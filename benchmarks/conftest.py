@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import TyTAN, build_freertos_baseline
+
+
+@pytest.fixture
+def system():
+    """A freshly booted TyTAN system."""
+    return TyTAN()
+
+
+@pytest.fixture
+def baseline():
+    """Plain FreeRTOS (platform, kernel, loader)."""
+    return build_freertos_baseline()

@@ -1,0 +1,53 @@
+"""Helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables: it runs the workload
+on the simulator, collects the measured cycle counts, prints a
+paper-vs-measured table (visible with ``pytest -s``), stores the rows in
+``benchmark.extra_info`` so they survive into pytest-benchmark's JSON
+output, and asserts the *shape* tolerances documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def compare_table(title, rows, tolerance=0.05):
+    """Print and check a paper-vs-measured table.
+
+    ``rows`` is a list of ``(label, paper_value, measured_value)``.
+    Returns the rows as dictionaries (for ``extra_info``).  Raises an
+    ``AssertionError`` when a measured value strays beyond ``tolerance``
+    (relative) from the paper value; pass ``tolerance=None`` to report
+    without checking.
+    """
+    out = []
+    print("\n%s" % title)
+    print("  %-38s %14s %14s %8s" % ("row", "paper", "measured", "delta"))
+    for label, paper, measured in rows:
+        if paper:
+            delta = (measured - paper) / paper
+            delta_text = "%+.1f%%" % (100 * delta)
+        else:
+            delta = 0.0
+            delta_text = "-"
+        print("  %-38s %14s %14s %8s" % (label, _fmt(paper), _fmt(measured), delta_text))
+        out.append(
+            {"row": label, "paper": paper, "measured": measured, "delta": delta}
+        )
+        if tolerance is not None and paper:
+            assert abs(delta) <= tolerance, (
+                "%s / %s: measured %s vs paper %s (%.1f%% off, tolerance %.0f%%)"
+                % (title, label, measured, paper, 100 * delta, 100 * tolerance)
+            )
+    return out
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return "%.2f" % value
+    return "{:,}".format(value)
+
+
+def attach(benchmark, title, rows):
+    """Store comparison rows in the benchmark's extra info."""
+    benchmark.extra_info["table"] = title
+    benchmark.extra_info["rows"] = rows

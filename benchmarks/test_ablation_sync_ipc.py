@@ -1,0 +1,106 @@
+"""Ablation - synchronous vs asynchronous secure IPC.
+
+Section 4: "For synchronous communication, the IPC proxy branches to R,
+whose entry routine processes m.  For asynchronous communication, the
+IPC proxy continues executing S and R processes m the next time it is
+scheduled."  The design choice trades sender progress against receiver
+latency; this bench quantifies the message end-to-end latency of both
+modes, plus the cost of the truncated 64-bit identity (footnote 9)
+versus hypothetical full-digest registry probes.
+"""
+
+from repro import TyTAN, cycles
+from repro.rtos.task import NativeCall
+
+from tableutil import attach, compare_table
+
+
+def measure_delivery(sync):
+    """Cycles from send to the receiver observing the message."""
+    system = TyTAN()
+    seen = {}
+
+    def receiver_body(kernel, task):
+        while True:
+            message = system.ipc.read_inbox(task)
+            if message is not None and "at" not in seen:
+                seen["at"] = kernel.clock.now
+            yield NativeCall.delay_cycles(4_000)  # polling receiver
+
+    def sender_body(kernel, task):
+        yield NativeCall.delay_cycles(10_000)
+        seen["sent"] = kernel.clock.now
+        system.ipc.send(task, rid, [1, 2, 3, 4], sync=sync)
+        while True:
+            yield NativeCall.delay_cycles(50_000)
+
+    receiver = system.create_service_task("receiver", 3, receiver_body)
+    rid = system.rtm.register_service(receiver, "receiver")[:8]
+    system.create_service_task("sender", 3, sender_body)
+    system.run(until=lambda: "at" in seen, max_cycles=1_000_000)
+    return seen["at"] - seen["sent"]
+
+
+def test_ablation_sync_vs_async(benchmark):
+    sync_latency = benchmark(measure_delivery, True)
+    async_latency = measure_delivery(False)
+    rows = compare_table(
+        "Ablation: sync vs async IPC (send-to-receive latency, cycles)",
+        [
+            ("synchronous (proxy branches to R)", 0, sync_latency),
+            ("asynchronous (R waits to be scheduled)", 0, async_latency),
+        ],
+        tolerance=None,
+    )
+    # Sync delivery lands within a couple of context switches;
+    # async waits for the receiver's next natural activation.
+    assert sync_latency < 3_000
+    assert async_latency > sync_latency
+    print(
+        "  sync is %.1fx faster end-to-end in this configuration"
+        % (async_latency / sync_latency)
+    )
+    attach(benchmark, "ablation-sync-ipc", rows)
+
+
+def test_ablation_truncated_identity(benchmark):
+    """Footnote 9: the implementation uses the first 64 bits of the
+    digest 'for enhanced performance'.  A full 160-bit compare would
+    probe 5 words instead of 2 per registry entry."""
+
+    def proxy_cost_model(id_words, entries):
+        per_entry_full = cycles.IPC_REGISTRY_PER_ENTRY * id_words / 2.0
+        return (
+            cycles.IPC_ENTRY
+            + cycles.IPC_ORIGIN_LOOKUP
+            + cycles.IPC_REGISTRY_BASE
+            + entries * per_entry_full
+            + cycles.IPC_INBOX_BASE
+            + (cycles.IPC_MAX_MESSAGE_WORDS + id_words) * cycles.IPC_INBOX_PER_WORD
+            + cycles.IPC_DELIVER
+        )
+
+    def sweep():
+        return {
+            entries: (proxy_cost_model(2, entries), proxy_cost_model(5, entries))
+            for entries in (2, 8, 16)
+        }
+
+    results = benchmark(sweep)
+    rows = []
+    for entries, (truncated, full) in results.items():
+        rows.append(
+            ("%d tasks: truncated 64-bit id" % entries, 0, truncated)
+        )
+        rows.append(("%d tasks: full 160-bit id" % entries, 0, full))
+    table = compare_table(
+        "Ablation: truncated vs full identity in the IPC proxy (cycles)",
+        rows,
+        tolerance=None,
+    )
+    for entries, (truncated, full) in results.items():
+        assert full > truncated
+    # At the paper's reference config the saving is ~8% of the proxy.
+    saving = (results[2][1] - results[2][0]) / results[2][0]
+    print("  truncation saves %.1f%% at 2 registered tasks" % (100 * saving))
+    attach(benchmark, "ablation-truncated-id", table)

@@ -1,0 +1,125 @@
+"""Extension bench - release jitter and interrupt latency under load.
+
+The paper claims real-time compliance for every component; the tables
+measure per-primitive costs.  This bench measures the *system-level*
+consequence: the release jitter of a 1.5 kHz task while the platform is
+deliberately stressed with task churn (loads/unloads), IPC traffic, and
+a CPU hog - the worst case an integrator actually cares about.
+"""
+
+from repro import TyTAN
+from repro.rtos.task import NativeCall
+from repro.sim.analysis import jitter_stats
+from repro.sim.workloads import periodic_sender_source, synthetic_image
+
+from tableutil import attach, compare_table
+
+PERIOD = 32_000
+
+
+def run_stressed():
+    system = TyTAN()
+    stamps = []
+
+    def hf_task(kernel, task):
+        deadline = kernel.clock.now + PERIOD
+        while True:
+            stamps.append(kernel.clock.now)
+            yield NativeCall.charge(400)
+            yield NativeCall.delay_until(deadline)
+            deadline += PERIOD
+
+    system.create_service_task("hf", 6, hf_task)
+
+    # Stressor 1: IPC chatter into a sink.
+    received = []
+
+    def sink(kernel, task):
+        while True:
+            while system.ipc.read_inbox(task) is not None:
+                received.append(1)
+            yield NativeCall.delay_cycles(6_000)
+
+    sink_task = system.create_service_task("sink", 4, sink, protect=False)
+    sink_id = system.rtm.register_service(sink_task, "sink")[:8]
+    system.load_source(
+        periodic_sender_source(
+            system.platform.pedal_base, sink_id, period_cycles=10_000
+        ),
+        "chatter",
+        secure=True,
+        priority=3,
+    )
+
+    # Stressor 2: a CPU hog at low priority.
+    system.load_source(
+        ".global start\nstart:\n    jmp start", "hog", secure=False, priority=1
+    )
+
+    # Stressor 3: continuous load/unload churn in the background.
+    churn_image = synthetic_image(blocks=10, relocations=4, name="churn")
+
+    def churner(kernel, task):
+        while True:
+            result = system.loader.spawn_load_task(
+                churn_image, loader_priority=0, secure=True, priority=2
+            )
+            while not result.done:
+                yield NativeCall.delay_cycles(20_000)
+            yield NativeCall.delay_cycles(10_000)
+            system.unload_task(result.task)
+            yield NativeCall.delay_cycles(10_000)
+
+    system.create_service_task("churner", 2, churner, protect=False)
+
+    system.run(max_cycles=120 * PERIOD)  # 80 ms
+    return jitter_stats(stamps, PERIOD), len(received)
+
+
+def run_idle():
+    system = TyTAN()
+    stamps = []
+
+    def hf_task(kernel, task):
+        deadline = kernel.clock.now + PERIOD
+        while True:
+            stamps.append(kernel.clock.now)
+            yield NativeCall.charge(400)
+            yield NativeCall.delay_until(deadline)
+            deadline += PERIOD
+
+    system.create_service_task("hf", 6, hf_task)
+    system.run(max_cycles=120 * PERIOD)
+    return jitter_stats(stamps, PERIOD)
+
+
+def test_rt_release_jitter(benchmark):
+    stressed, traffic = benchmark(run_stressed)
+    idle = run_idle()
+    rows = compare_table(
+        "Extension: 1.5 kHz release jitter (cycles; 'paper' column = "
+        "deadline-tolerance budget 8,000)",
+        [
+            ("idle system: max |jitter|", 8_000, idle["max_abs"]),
+            ("stressed system: max |jitter|", 8_000, stressed["max_abs"]),
+            ("stressed system: worst gap", PERIOD + 8_000, stressed["worst_gap"]),
+        ],
+        tolerance=None,
+    )
+    # The RT guarantee: even under churn + IPC + hog, jitter stays well
+    # inside the deadline tolerance and no activation is lost.
+    assert idle["max_abs"] < 2_000
+    assert stressed["max_abs"] < 8_000
+    assert stressed["count"] >= 110
+    assert traffic > 100  # the stress really happened
+    print(
+        "  stressed max |jitter| %d cycles (%.1f%% of the period); "
+        "%d activations, %d IPC messages absorbed"
+        % (
+            stressed["max_abs"],
+            100.0 * stressed["max_abs"] / PERIOD,
+            stressed["count"] + 1,
+            traffic,
+        )
+    )
+    attach(benchmark, "ext-rt-jitter", rows)

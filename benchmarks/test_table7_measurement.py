@@ -1,0 +1,79 @@
+"""Table 7 - measuring a task: memory-size and relocation sweeps.
+
+Paper:
+
+    memory size sweep (cycles):     1 block  8,261
+                                    2 blocks 12,200
+                                    4 blocks 20,078
+                                    8 blocks 35,790
+    reverted addresses (cycles):    0 -> 114, 1 -> 680, 2 -> 1,188, 4 -> 2,187
+
+and the closed form T ~= 4,300 + b*3,900 + 100 + a*500.  The RTM hashes
+one 64-byte block per step (really feeding SHA-1), and really reads +
+reverts each relocation site, so both linear shapes are measured.
+"""
+
+from repro import TyTAN, cycles
+from repro.rtos.task import NativeCall
+from repro.sim.workloads import synthetic_image
+
+BLOCK_PAPER = {1: 8_261, 2: 12_200, 4: 20_078, 8: 35_790}
+ADDR_PAPER = {0: 114, 1: 680, 2: 1_188, 4: 2_187}
+
+from tableutil import attach, compare_table
+
+
+def measure_task(blocks, relocations):
+    """Drive a bare RTM measurement; returns (hash_cycles, reversal_cycles)."""
+    system = TyTAN()
+    image = synthetic_image(blocks=blocks, relocations=relocations, name="m")
+    task = system.load_task(image, secure=False, measure=False)
+    clock = system.clock
+    hash_cost = 0
+    reversal_cost = 0
+    for call in system.rtm.measure(task):
+        assert call.kind == NativeCall.CHARGE
+        clock.charge(call.value)
+        if call.value in (
+            cycles.REVERSAL_BASE,
+            cycles.REVERSAL_FIRST,
+            cycles.REVERSAL_NEXT,
+        ):
+            reversal_cost += call.value
+        else:
+            hash_cost += call.value
+    return hash_cost, reversal_cost
+
+
+def measure_sweeps():
+    block_results = {
+        blocks: measure_task(blocks, 0)[0] for blocks in BLOCK_PAPER
+    }
+    addr_results = {
+        addresses: measure_task(8, addresses)[1] for addresses in ADDR_PAPER
+    }
+    return block_results, addr_results
+
+
+def test_table7_measurement(benchmark):
+    block_results, addr_results = benchmark(measure_sweeps)
+
+    rows = [
+        ("%d block(s)" % blocks, paper, block_results[blocks])
+        for blocks, paper in BLOCK_PAPER.items()
+    ] + [
+        ("%d address(es) reverted" % addresses, paper, addr_results[addresses])
+        for addresses, paper in ADDR_PAPER.items()
+    ]
+    table = compare_table("Table 7: measuring a task (cycles)", rows, tolerance=0.01)
+
+    # Linearity in blocks (the paper's T ~= 4,300 + b*3,900 + 100).
+    step21 = block_results[2] - block_results[1]
+    step84 = (block_results[8] - block_results[4]) / 4
+    assert abs(step21 - step84) / step21 < 0.01
+    assert 3_800 <= step21 <= 4_000
+
+    # Reverting 0 addresses still walks the (empty) table.
+    assert addr_results[0] > 0
+
+    attach(benchmark, "table7", table)

@@ -1,0 +1,47 @@
+"""Table 8 - memory consumption of TyTAN's OS.
+
+Paper: FreeRTOS 215,617 bytes, TyTAN 249,943 bytes, overhead 15.92%.
+
+The footprint model sums per-component linker-map sections; the bench
+regenerates the totals and the overhead, and checks the secure-task
+entry-routine overhead note from Section 6.
+"""
+
+from repro.sim.footprint import (
+    freertos_footprint,
+    overhead_percent,
+    secure_task_overhead_bytes,
+    total_bytes,
+    tytan_footprint,
+)
+
+from tableutil import attach, compare_table
+
+
+def measure():
+    base = freertos_footprint()
+    extended = tytan_footprint()
+    return {
+        "freertos": total_bytes(base),
+        "tytan": total_bytes(extended),
+        "overhead_pct": overhead_percent(base, extended),
+    }
+
+
+def test_table8_memory(benchmark):
+    result = benchmark(measure)
+    rows = compare_table(
+        "Table 8: memory consumption of TyTAN's OS (bytes)",
+        [
+            ("FreeRTOS", 215_617, result["freertos"]),
+            ("TyTAN", 249_943, result["tytan"]),
+        ],
+        tolerance=0.0,
+    )
+    assert round(result["overhead_pct"], 2) == 15.92
+    print("  overhead: %.2f%% (paper: 15.92%%)" % result["overhead_pct"])
+
+    # Section 6 note: secure tasks carry a small entry-routine stub.
+    assert 0 < secure_task_overhead_bytes() <= 256
+
+    attach(benchmark, "table8", rows)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Industrial control: a TyTAN-protected pump controller with an
+independent safety monitor and operator attestation.
+
+The paper's introduction motivates TyTAN with industrial control
+systems and SCADA attacks.  This scenario shows the defensive structure
+the architecture enables on one PLC-class device:
+
+* the *integrator's* pump controller and the *plant operator's* safety
+  monitor run as mutually isolated secure tasks - a compromised
+  controller cannot touch (or silence) the monitor;
+* the monitor orders an emergency stop over secure IPC when pressure
+  leaves the safe band - and the controller cannot fake the sender
+  identity of such an order;
+* the operator station remote-attests the controller periodically and
+  notices when a tampered binary answers instead.
+
+Run with:  python examples/industrial_plant.py
+"""
+
+from repro import TyTAN
+from repro.uc.industrial import (
+    HIGH_LIMIT,
+    SETPOINT,
+    IndustrialControlSystem,
+)
+
+
+def main():
+    print("== Industrial plant (pressure control) ==")
+    system = TyTAN()
+    hz = system.platform.config.hz
+    # Pressure scenario: steady, then a blockage drives it over limit.
+    system.platform.speed.trace = [
+        (0, SETPOINT - 30),
+        (int(0.05 * hz), SETPOINT),
+        (int(0.08 * hz), HIGH_LIMIT + 80),
+    ]
+    plant = IndustrialControlSystem(system)
+    station = plant.make_operator_station()
+    print(
+        "controller id %s..., monitor id %s... (mutually isolated)"
+        % (plant.controller_identity.hex()[:12], plant._monitor_id.hex())
+    )
+
+    # -- phase 1: normal operation + attestation rounds -----------------
+    for round_number in range(3):
+        system.run(max_cycles=int(0.02 * hz))
+        ok = plant.attestation_round(station)
+        print(
+            "t=%5.1f ms: pump=%4s per-mille, attestation %s"
+            % (
+                system.clock.cycles_to_ms(system.clock.now),
+                plant.pump.last_command,
+                "OK" if ok else "FAILED",
+            )
+        )
+
+    # -- phase 2: the over-pressure transient hits ------------------------
+    system.run(max_cycles=int(0.04 * hz))
+    if plant.estops:
+        stop_cycle, pressure = plant.estops[0]
+        print(
+            "over-pressure %d (limit %d) -> safety monitor ordered "
+            "e-stop at t=%.1f ms; pump now %s"
+            % (
+                pressure,
+                HIGH_LIMIT,
+                system.clock.cycles_to_ms(stop_cycle),
+                plant.pump.last_command,
+            )
+        )
+    print("emergency stopped: %s" % plant.emergency_stopped)
+
+    # -- phase 3: a tampered controller fails attestation ------------------
+    print("\n-- supply-chain swap: a rogue controller registers --")
+    system.rtm.register_service(plant.controller, "rogue-controller")
+    ok = plant.attestation_round(station)
+    print("operator attestation of the swapped controller: %s" % ("OK" if ok else "FAILED"))
+    print(
+        "attestation history: %s"
+        % ["OK" if ok else "FAIL" for _, ok in plant.attestation_log]
+    )
+    print("faults: %s" % (dict(system.kernel.faulted) or "none"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Multi-stakeholder remote attestation and identity-bound storage.
+
+The paper's model: a component supplier and a car manufacturer (OEM)
+deploy mutually distrusting tasks on one ECU.  Each stakeholder:
+
+* builds and distributes its own task image;
+* attests its task with a *provider-specific* attestation key derived
+  from the platform key (the paper's footnote 2);
+* stores calibration data sealed to its task's identity.
+
+The example also shows what happens when a task binary is tampered
+with: its measured identity changes, remote attestation fails against
+the verifier's whitelist, and the sealed data of the genuine task is
+unreachable.
+
+Run with:  python examples/multi_stakeholder_attestation.py
+"""
+
+from repro import TyTAN
+from repro.core.identity import identity_of_image
+from repro.errors import SecureStorageError
+from repro.image.telf import TaskImage
+
+SUPPLIER_TASK = """
+; Supplier's injection-control task.
+.section .text
+.global start
+start:
+    movi esi, state
+loop:
+    ld eax, [esi]
+    addi eax, 3
+    st [esi], eax
+    movi eax, 7
+    movi ebx, 64000
+    int 0x20
+    jmp loop
+.section .data
+state:
+    .word 0
+"""
+
+OEM_TASK = """
+; OEM's body-control task.
+.section .text
+.global start
+start:
+    movi esi, state
+loop:
+    ld eax, [esi]
+    addi eax, 7
+    st [esi], eax
+    movi eax, 7
+    movi ebx, 96000
+    int 0x20
+    jmp loop
+.section .data
+state:
+    .word 0
+"""
+
+
+def tamper(image):
+    """Flip one byte of the task's code - a supply-chain implant."""
+    blob = bytearray(image.blob)
+    blob[-1] ^= 0xFF
+    return TaskImage(
+        image.name,
+        bytes(blob),
+        image.entry,
+        image.relocations,
+        image.bss_size,
+        image.stack_size,
+    )
+
+
+def main():
+    print("== Multi-stakeholder attestation ==")
+    system = TyTAN()
+
+    # Each stakeholder builds and signs (here: hashes) its own image.
+    supplier_image = system.build_image(SUPPLIER_TASK, "supplier-injection")
+    oem_image = system.build_image(OEM_TASK, "oem-body-control")
+
+    # Stakeholder verifiers, each with its own derived attestation key.
+    supplier_verifier = system.make_verifier(provider=b"supplier")
+    supplier_verifier.expect(identity_of_image(supplier_image))
+    oem_verifier = system.make_verifier(provider=b"oem")
+    oem_verifier.expect(identity_of_image(oem_image))
+
+    # The device loads both tasks (mutually distrusting, both secure).
+    supplier_task = system.load_task(supplier_image, secure=True, priority=3)
+    oem_task = system.load_task(oem_image, secure=True, priority=3)
+    system.run(max_cycles=400_000)
+    print(
+        "running: supplier id %s..., oem id %s..."
+        % (supplier_task.identity.hex()[:12], oem_task.identity.hex()[:12])
+    )
+
+    # -- each stakeholder attests its own task ----------------------------
+    for label, task, verifier, provider in (
+        ("supplier", supplier_task, supplier_verifier, b"supplier"),
+        ("oem", oem_task, oem_verifier, b"oem"),
+    ):
+        nonce = verifier.fresh_nonce()
+        report = system.remote_attest_task(task, nonce, provider=provider)
+        print("%s attests its task -> %s" % (label, verifier.verify(report, nonce)))
+
+    # -- cross-checks fail: provider keys are separated --------------------
+    nonce = oem_verifier.fresh_nonce()
+    cross = system.remote_attest_task(supplier_task, nonce, provider=b"supplier")
+    print(
+        "oem verifier fed the supplier's report -> %s (provider keys differ)"
+        % oem_verifier.verify(cross, nonce)
+    )
+
+    # -- sealed storage per identity ----------------------------------------
+    system.store(supplier_task, "inj-map", b"supplier-injection-map-v7")
+    system.store(oem_task, "body-cfg", b"oem-body-config-v2")
+    print("supplier reads its map: %r" % system.retrieve(supplier_task, "inj-map"))
+
+    # -- a tampered supplier task -----------------------------------------
+    print("\n-- supply-chain tampering scenario --")
+    system.unload_task(supplier_task)
+    evil_image = tamper(supplier_image)
+    evil_task = system.load_task(evil_image, secure=True, priority=3)
+    print(
+        "tampered task loaded; measured id %s... (genuine was %s...)"
+        % (evil_task.identity.hex()[:12], identity_of_image(supplier_image).hex()[:12])
+    )
+    nonce = supplier_verifier.fresh_nonce()
+    report = system.remote_attest_task(evil_task, nonce, provider=b"supplier")
+    print(
+        "supplier verifier checks the tampered task -> %s"
+        % supplier_verifier.verify(report, nonce)
+    )
+    try:
+        system.retrieve(evil_task, "inj-map")
+        print("BUG: tampered task read the sealed map!")
+    except SecureStorageError:
+        print("sealed storage: tampered task CANNOT read the genuine map")
+
+    # The genuine binary, reloaded, still can.
+    system.unload_task(evil_task)
+    genuine = system.load_task(supplier_image, secure=True, priority=3)
+    print(
+        "genuine binary reloaded at 0x%08X reads: %r"
+        % (genuine.base, system.retrieve(genuine, "inj-map"))
+    )
+
+
+if __name__ == "__main__":
+    main()

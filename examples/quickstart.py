@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: boot TyTAN, load a secure task, attest it, store a secret.
+
+This walks the public API end to end:
+
+1. boot the platform (secure boot measures and locks the trusted
+   components);
+2. assemble + link a small task and load it *dynamically* as a secure
+   task (allocated, relocated, EA-MPU-protected, measured by the RTM);
+3. run the system for a few milliseconds of simulated time;
+4. check isolation: the untrusted OS cannot read the task's memory;
+5. remote-attest the task against a verifier that knows the expected
+   image;
+6. store and retrieve a secret bound to the task's identity.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import TyTAN
+from repro.core.identity import identity_of_image
+from repro.errors import ProtectionFault
+
+TASK_SOURCE = """
+; A periodic task: bump a counter every millisecond of simulated time.
+.section .text
+.global start
+start:
+    movi esi, counter
+again:
+    ld eax, [esi]
+    addi eax, 1
+    st [esi], eax
+    movi eax, 7          ; syscall DELAY_CYCLES
+    movi ebx, 48000      ; 1 ms at 48 MHz
+    int 0x20
+    jmp again
+
+.section .data
+counter:
+    .word 0
+"""
+
+
+def main():
+    print("== TyTAN quickstart ==")
+    system = TyTAN()
+    print(
+        "booted: %d trusted components measured, boot aggregate %s..."
+        % (len(system.boot_log.entries), system.boot_log.aggregate.hex()[:16])
+    )
+
+    # -- build and load a secure task dynamically -----------------------
+    image = system.build_image(TASK_SOURCE, "heartbeat", stack_size=256)
+    task = system.load_task(image, secure=True, priority=3)
+    print(
+        "loaded %r at 0x%08X (%d bytes, %d relocations applied)"
+        % (task.name, task.base, task.memory_size, len(image.relocations))
+    )
+    print("task identity (id_t): %s" % task.identity.hex())
+
+    # -- run 10 ms of simulated time --------------------------------------
+    system.run(max_cycles=480_000)
+    counter = system.kernel.memory.read_u32(
+        task.base + len(image.blob) - 4, actor=task.base
+    )
+    print("after 10 ms: heartbeat counter = %d (expected ~10)" % counter)
+
+    # -- isolation: the OS cannot peek -----------------------------------
+    try:
+        system.kernel.memory.read_u32(task.base, actor=system.kernel.os_actor)
+        raise SystemExit("BUG: the OS read secure task memory!")
+    except ProtectionFault:
+        print("isolation: EA-MPU denied the OS read of the task's memory")
+
+    # -- remote attestation -------------------------------------------------
+    verifier = system.make_verifier()
+    verifier.expect(identity_of_image(image))  # from the signed image
+    nonce = verifier.fresh_nonce()
+    report = system.remote_attest_task(task, nonce)
+    print(
+        "remote attestation: report for id %s... -> verifier says %s"
+        % (report.identity.hex()[:16], verifier.verify(report, nonce))
+    )
+
+    # -- secure storage -------------------------------------------------------
+    system.store(task, "calibration", b"inject-timing=1337us")
+    recovered = system.retrieve(task, "calibration")
+    print("secure storage round trip: %r" % recovered)
+
+    print("done: %.2f ms simulated" % system.clock.cycles_to_ms(system.clock.now))
+
+
+if __name__ == "__main__":
+    main()

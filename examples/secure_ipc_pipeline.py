@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""A sensor-to-actuator pipeline over secure IPC.
+
+Three mutually isolated secure tasks cooperate *only* through the IPC
+proxy:
+
+    speed sensor --> [sampler] --IPC--> [filter] --IPC--> [actuator svc]
+
+* The **sampler** is a real ISA binary reading the speed sensor over
+  MMIO and sending each sample via ``int 0x21`` - it is provisioned
+  with the filter's truncated identity at build time (the paper's
+  footnote 3).
+* The **filter** is a native secure service smoothing samples with an
+  exponential moving average.
+* The **actuator service** drives the engine throttle from filtered
+  speed, and the two native stages also exchange a *bulk* calibration
+  table through proxy-established shared memory (Section 3).
+
+Every message arrives with a proxy-written sender identity, so each
+stage verifies who it is listening to.
+
+Run with:  python examples/secure_ipc_pipeline.py
+"""
+
+from repro import TyTAN
+from repro.rtos.task import NativeCall
+from repro.sim.workloads import periodic_sender_source
+
+
+def main():
+    print("== Secure IPC pipeline ==")
+    system = TyTAN()
+    hz = system.platform.config.hz
+    # Speed ramps 50 -> 120 km/h over 40 ms (sensor unit: 0.1 km/h).
+    system.platform.speed.trace = [(0, 500), (int(0.040 * hz), 1_200)]
+
+    stats = {"filtered": [], "commands": 0, "rejected": 0}
+
+    # -- actuator service ----------------------------------------------------
+    def actuator_body(kernel, task):
+        engine = system.platform.engine_base
+        while True:
+            message = system.ipc.read_inbox(task)
+            while message is not None:
+                words, sender = message
+                if sender != filter_id[:8]:
+                    stats["rejected"] += 1
+                else:
+                    # Simple speed-hold: throttle tracks filtered speed.
+                    throttle = min(1000, words[0])
+                    kernel.memory.write_u32(engine, throttle, actor=task.base)
+                    stats["commands"] += 1
+                message = system.ipc.read_inbox(task)
+            yield NativeCall.delay_cycles(8_000)
+
+    actuator = system.create_service_task("actuator", 4, actuator_body)
+    actuator_id = system.rtm.register_service(actuator, "actuator")
+
+    # -- filter service --------------------------------------------------------
+    def filter_body(kernel, task):
+        smoothed = None
+        while True:
+            message = system.ipc.read_inbox(task)
+            while message is not None:
+                words, sender = message
+                if sender == sampler_id64:
+                    sample = words[0]
+                    smoothed = (
+                        sample
+                        if smoothed is None
+                        else (3 * smoothed + sample) // 4
+                    )
+                    stats["filtered"].append(smoothed)
+                    system.ipc.send(task, actuator_id[:8], [smoothed])
+                else:
+                    stats["rejected"] += 1
+                message = system.ipc.read_inbox(task)
+            yield NativeCall.delay_cycles(8_000)
+
+    filter_task = system.create_service_task("filter", 3, filter_body)
+    filter_id = system.rtm.register_service(filter_task, "filter")
+
+    # -- sampler (real ISA binary, provisioned with the filter's id) -------
+    sampler_source = periodic_sender_source(
+        system.platform.speed_base, filter_id[:8], period_cycles=16_000
+    )
+    sampler = system.load_source(sampler_source, "sampler", secure=True, priority=2)
+    sampler_id64 = sampler.identity[:8]
+    print(
+        "pipeline: sampler(%s...) -> filter(%s...) -> actuator(%s...)"
+        % (
+            sampler.identity.hex()[:8],
+            filter_id.hex()[:8],
+            actuator_id.hex()[:8],
+        )
+    )
+
+    # -- bulk data via proxy-established shared memory ------------------------
+    window = system.ipc.setup_shared_memory(filter_task, actuator, 512)
+    calibration = [100 + 7 * i for i in range(16)]
+    for index, value in enumerate(calibration):
+        system.kernel.memory.write_u32(
+            window + 4 * index, value, actor=filter_task.base
+        )
+    readback = [
+        system.kernel.memory.read_u32(window + 4 * index, actor=actuator.base)
+        for index in range(16)
+    ]
+    print(
+        "shared-memory calibration table transferred: %s"
+        % ("ok" if readback == calibration else "MISMATCH")
+    )
+
+    # -- run 40 ms --------------------------------------------------------------
+    system.run(max_cycles=int(0.040 * hz))
+
+    print("\nafter 40 ms simulated:")
+    print("  samples filtered:        %d" % len(stats["filtered"]))
+    print("  throttle commands:       %d" % stats["commands"])
+    print("  forged/foreign messages: %d" % stats["rejected"])
+    print(
+        "  speed estimate:          %.1f km/h (sensor ended at 120.0)"
+        % (stats["filtered"][-1] / 10.0)
+    )
+    print("  faults: %s" % (dict(system.kernel.faulted) or "none"))
+
+
+if __name__ == "__main__":
+    main()

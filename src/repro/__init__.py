@@ -1,0 +1,38 @@
+"""TyTAN: Tiny Trust Anchor for Tiny Devices - a behavioural reproduction.
+
+This package reproduces the DAC 2015 paper *TyTAN: Tiny Trust Anchor
+for Tiny Devices* (Brasser, El Mahjoub, Sadeghi, Wachsmann, Koeberl):
+a security architecture for low-end embedded systems providing
+hardware-assisted isolation of dynamically loaded tasks, secure IPC,
+local/remote attestation, and real-time guarantees.
+
+Layers (bottom up):
+
+* :mod:`repro.hw` - the simulated Siskiyou Peak platform: 32-bit core,
+  EA-MPU, exception engine, timers, MMIO sensors, platform key.
+* :mod:`repro.isa` / :mod:`repro.image` - instruction set, assembler,
+  relocatable TELF binaries, and linker.
+* :mod:`repro.crypto` - from-scratch SHA-1 / HMAC / KDF / XTEA.
+* :mod:`repro.rtos` - the FreeRTOS-like preemptive real-time kernel.
+* :mod:`repro.core` - TyTAN's trusted components and the
+  :class:`~repro.core.system.TyTAN` facade.
+* :mod:`repro.sim` - tracing, rate monitoring, footprint model,
+  synthetic workloads.
+* :mod:`repro.uc` - the adaptive cruise control use case.
+
+Quickstart::
+
+    from repro import TyTAN
+
+    system = TyTAN()
+    task = system.load_source(SOURCE, "my-task", secure=True)
+    system.run(max_cycles=1_000_000)
+    print(system.local_attest(task).hex())
+"""
+
+from repro.core.system import TyTAN, build_freertos_baseline
+from repro.hw.platform import MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["TyTAN", "build_freertos_baseline", "MachineConfig", "__version__"]

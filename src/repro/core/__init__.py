@@ -1,0 +1,55 @@
+"""TyTAN's trusted software components - the paper's core contribution.
+
+Everything in this package is "trusted software" in Figure 1 of the
+paper: loaded by secure boot, isolated by locked EA-MPU rules, and
+together forming the trust anchor:
+
+* :mod:`repro.core.secure_boot` - measures and locks the trusted
+  components, installs the static EA-MPU rules, re-points the IDT at
+  the Int Mux.
+* :mod:`repro.core.mpu_driver` - the only software allowed to program
+  EA-MPU slots; implements the Table 6 configure sequence (find free
+  slot, overlap policy check, write rule).
+* :mod:`repro.core.int_mux` - the trusted interrupt multiplexer: saves
+  and wipes a secure task's context before the untrusted handler runs
+  (Table 2), and the secure entry routine that restores it (Table 3).
+* :mod:`repro.core.rtm` - the Root of Trust for Measurement: computes
+  position-independent task identities with interruptible, block-wise
+  SHA-1 (Table 7) and keeps the identity registry used by IPC.
+* :mod:`repro.core.ipc` - the secure IPC proxy (Section 3 / Section 6).
+* :mod:`repro.core.remote_attest` - MAC-based remote attestation with
+  the derived key K_a.
+* :mod:`repro.core.secure_storage` - per-task encrypted storage with
+  ``K_t = HMAC(id_t | K_p)``.
+* :mod:`repro.core.loader` - dynamic task loading/unloading/suspension
+  (Table 4/5), fully interruptible (Table 1).
+* :mod:`repro.core.system` - the :class:`~repro.core.system.TyTAN`
+  facade: boots the whole stack and exposes the public API.
+"""
+
+from repro.core.identity import identity_of_image, measured_bytes
+from repro.core.mpu_driver import EAMPUDriver
+from repro.core.int_mux import IntMux, TyTANContextPolicy
+from repro.core.rtm import RTM
+from repro.core.ipc import IPCProxy
+from repro.core.remote_attest import RemoteAttest, AttestationReport
+from repro.core.secure_storage import SecureStorage
+from repro.core.loader import TaskLoader
+from repro.core.secure_boot import SecureBoot
+from repro.core.system import TyTAN
+
+__all__ = [
+    "identity_of_image",
+    "measured_bytes",
+    "EAMPUDriver",
+    "IntMux",
+    "TyTANContextPolicy",
+    "RTM",
+    "IPCProxy",
+    "RemoteAttest",
+    "AttestationReport",
+    "SecureStorage",
+    "TaskLoader",
+    "SecureBoot",
+    "TyTAN",
+]

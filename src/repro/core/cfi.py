@@ -1,0 +1,192 @@
+"""Hardware-assisted runtime attack detection - control-flow integrity.
+
+The paper's second future-work item: "new hardware-assisted runtime
+attack detection" (Section 8), motivated by its own observation that
+"code reuse attacks pose a severe threat on diverse platforms including
+embedded systems" (footnote 6).
+
+The EA-MPU already blocks *inter*-task code reuse (entry-point
+enforcement), but a task can still be hijacked **within its own code
+region**: a corrupted return address redirects execution to an
+attacker-chosen gadget inside the task, which the EA-MPU cannot see.
+The :class:`CfiWatchdog` closes that gap:
+
+* at load time, :class:`ControlFlowGraph` extracts the task's valid
+  control-flow edges from its (position-independent) binary - direct
+  branch/call targets as encoded, plus the set of valid *return sites*
+  (instructions immediately following a ``call``);
+* at runtime the watchdog sits on the core's control-transfer port
+  (``cpu.transfer_hook``) and validates every taken transfer inside a
+  monitored region: direct branches must go where the binary says, and
+  returns must land on a call site's continuation (classic
+  coarse-grained CFI);
+* a violation raises :class:`CfiViolation`, which the kernel treats
+  like any other hardware fault: the offending task is killed, the
+  platform keeps running.
+
+The check is modelled as hardware (a couple of cycles per transfer);
+the overhead bench quantifies it against unmonitored execution.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareFault
+from repro.hw.platform import FirmwareComponent
+from repro.isa.encoding import decode
+from repro.isa.opcodes import CONDITIONAL_BRANCHES, Op
+
+#: Modelled hardware cost of one CFI edge check.
+CFI_CHECK_CYCLES = 2
+
+
+class CfiViolation(HardwareFault):
+    """A control transfer violated the task's extracted CFG."""
+
+    def __init__(self, from_eip, to_eip, reason):
+        self.from_eip = from_eip
+        self.to_eip = to_eip
+        self.reason = reason
+        super().__init__(
+            "CFI violation: 0x%08X -> 0x%08X (%s)" % (from_eip, to_eip, reason)
+        )
+
+
+class ControlFlowGraph:
+    """Static control-flow edges of a task image (link-base-0 offsets).
+
+    Built by a linear sweep of the blob.  The sweep stops at the first
+    undecodable byte, which in TELF images is the start of the data
+    section; bytes beyond it never execute (the EA-MPU would still let
+    them - code and data share the task region - so the watchdog treats
+    transfers into unswept offsets as violations, catching jumps into
+    data too).
+    """
+
+    def __init__(self):
+        #: offset of each decoded instruction -> set of valid direct
+        #: branch targets (offsets) for that instruction; empty set for
+        #: non-branch instructions.
+        self.branch_targets = {}
+        #: offsets that are valid return sites (call continuations).
+        self.return_sites = set()
+        #: offsets of ``ret`` instructions.
+        self.ret_offsets = set()
+        #: all valid instruction-start offsets.
+        self.instruction_starts = set()
+        #: one past the last swept byte.
+        self.swept_end = 0
+
+    @classmethod
+    def from_image(cls, image):
+        """Extract the CFG from a task image."""
+        cfg = cls()
+        blob = image.blob
+        offset = 0
+        while offset < len(blob):
+            try:
+                insn = decode(blob, offset)
+            except HardwareFault:
+                break
+            cfg.instruction_starts.add(offset)
+            targets = set()
+            opcode = insn.opcode
+            if opcode == Op.JMP:
+                targets.add(insn.imm)
+            elif opcode in CONDITIONAL_BRANCHES:
+                targets.add(insn.imm)
+            elif opcode == Op.CALL:
+                targets.add(insn.imm)
+                cfg.return_sites.add(offset + insn.length)
+            elif opcode == Op.RET:
+                cfg.ret_offsets.add(offset)
+            cfg.branch_targets[offset] = targets
+            offset += insn.length
+        cfg.swept_end = offset
+        return cfg
+
+    def validate(self, from_offset, to_offset):
+        """Check one taken transfer; returns ``None`` or a reason string."""
+        if from_offset not in self.instruction_starts:
+            return "transfer from unknown instruction"
+        if to_offset not in self.instruction_starts:
+            return "target is not an instruction boundary"
+        if from_offset in self.ret_offsets:
+            if to_offset not in self.return_sites:
+                return "return to a non-call-site"
+            return None
+        allowed = self.branch_targets.get(from_offset, set())
+        if to_offset in allowed:
+            return None
+        return "branch target not in the binary's CFG"
+
+
+class CfiWatchdog(FirmwareComponent):
+    """The runtime attack detector.
+
+    Conceptually a hardware block beside the EA-MPU; registered as a
+    firmware component so it has an identity in the trusted-component
+    inventory.  Tasks are enrolled explicitly (monitoring costs a
+    couple of cycles per transfer, so an integrator enables it for the
+    tasks that warrant it).
+    """
+
+    NAME = "cfi-watchdog"
+
+    def __init__(self, kernel):
+        super().__init__()
+        self.kernel = kernel
+        #: tid -> (base, end, ControlFlowGraph)
+        self._monitored = {}
+        #: Count of checks performed (overhead accounting).
+        self.checks = 0
+        #: Violations detected: list of CfiViolation.
+        self.violations = []
+        self._installed = False
+
+    # -- enrolment ----------------------------------------------------------
+
+    def monitor_task(self, task):
+        """Extract the task's CFG and start monitoring it."""
+        if task.image is None:
+            raise HardwareFault("cannot monitor a task without an image")
+        cfg = ControlFlowGraph.from_image(task.image)
+        self._monitored[task.tid] = (task.base, task.end, cfg)
+        self._install()
+        return cfg
+
+    def unmonitor_task(self, task):
+        """Stop monitoring ``task`` (unload/update)."""
+        self._monitored.pop(task.tid, None)
+
+    def monitored_count(self):
+        """Number of enrolled tasks."""
+        return len(self._monitored)
+
+    def _install(self):
+        if not self._installed:
+            self.kernel.platform.cpu.transfer_hook = self._on_transfer
+            self._installed = True
+
+    # -- the hardware check ------------------------------------------------
+
+    def _on_transfer(self, from_eip, to_eip):
+        for base, end, cfg in self._monitored.values():
+            if base <= from_eip < end:
+                break
+        else:
+            return  # transfer from unmonitored code: not our problem
+        self.checks += 1
+        self.kernel.clock.charge(CFI_CHECK_CYCLES)
+        if not (base <= to_eip < end):
+            return  # leaving the region: EA-MPU territory
+        reason = cfg.validate(from_eip - base, to_eip - base)
+        if reason is not None:
+            violation = CfiViolation(from_eip, to_eip, reason)
+            self.violations.append(violation)
+            self.kernel.emit(
+                "cfi-violation",
+                from_eip=from_eip,
+                to_eip=to_eip,
+                reason=reason,
+            )
+            raise violation

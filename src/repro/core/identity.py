@@ -1,0 +1,55 @@
+"""Task identities.
+
+"Each task t has a unique identifier id_t, i.e., the hash digest of its
+binary code."  The measurement covers "the code, static data, and
+initial stack layout" of the task (Section 4, RTM task), taken over the
+*unrelocated* image so the identity is position-independent.
+
+:func:`measured_bytes` defines the canonical byte string the RTM hashes:
+a fixed header describing the initial memory layout (entry offset, BSS
+size, stack size, relocation count) followed by the link-base-0 blob.
+The task's *name* is deliberately excluded - identity is the binary,
+not the label.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.sha1 import SHA1
+
+#: Header layout: entry, bss_size, stack_size, relocation count.
+_HEADER = struct.Struct("<IIII")
+
+#: Size of the measured header in bytes.
+HEADER_BYTES = _HEADER.size
+
+
+def measurement_header(image):
+    """The fixed-size header covering the initial memory layout."""
+    return _HEADER.pack(
+        image.entry,
+        image.bss_size,
+        image.stack_size,
+        len(image.relocations),
+    )
+
+
+def measured_bytes(image):
+    """The canonical measurement input for ``image``."""
+    return measurement_header(image) + image.blob
+
+
+def identity_of_image(image):
+    """The 20-byte identity the RTM will compute for ``image``.
+
+    This is the *verifier-side* oracle: a task provider (or remote
+    verifier) computes the expected identity from the distributed image
+    and compares it against attestation reports.
+    """
+    return SHA1(measured_bytes(image)).digest()
+
+
+def identity64_of_image(image):
+    """The truncated 64-bit identity used for IPC addressing."""
+    return identity_of_image(image)[:8]

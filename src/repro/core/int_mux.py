@@ -1,0 +1,184 @@
+"""The trusted interrupt multiplexer (Int Mux) and the secure entry routine.
+
+"TyTAN uses the trusted interrupt multiplexer (Int Mux) to securely save
+the context of a task to its stack before control is passed to the
+interrupt handler." (Section 4)
+
+On an interrupt of a **secure** task the Int Mux:
+
+1. stores the eight software-saved registers onto the task's own stack
+   (38 cycles - the hardware already pushed EIP and EFLAGS);
+2. **wipes** the CPU registers so the untrusted handler and OS observe
+   nothing of the task's state (16 cycles);
+3. branches to the real interrupt handler (41 cycles).
+
+Resuming a secure task goes through its **dedicated entry routine**
+(auto-included by the TyTAN tool chain): branch + EA-MPU entry check
+(106 cycles), a mode check distinguishing resume / message / first
+start (24 cycles), then the register restore (254 cycles).  Normal
+tasks use the plain FreeRTOS path (38 / 254 cycles) - those are the
+baseline columns of Tables 2 and 3.
+
+:class:`TyTANContextPolicy` plugs this behaviour into the kernel's
+context-policy slot.
+"""
+
+from __future__ import annotations
+
+from repro import cycles
+from repro.hw.platform import FirmwareComponent
+from repro.rtos.syscalls import IpcAbi
+
+
+class IntMux(FirmwareComponent):
+    """The Int Mux component: trusted context save for secure tasks."""
+
+    NAME = "int-mux"
+
+    def __init__(self, kernel):
+        super().__init__()
+        self.kernel = kernel
+        #: Breakdown of the most recent save (Table 2 bench hook).
+        self.last_save = None
+        #: Count of secure-context saves performed.
+        self.saves = 0
+
+    def save_secure_context(self, task):
+        """Store + wipe + branch for an interrupted secure task."""
+        clock = self.kernel.clock
+        store = cycles.store_context_cycles()
+        wipe = cycles.wipe_context_cycles()
+        branch = cycles.INTMUX_BRANCH
+
+        clock.charge(store)
+        # The Int Mux writes the frame as *itself*; the EA-MPU grants it
+        # write access to task RAM via a locked boot rule.
+        self.kernel.push_gpr_frame(task, actor=self.base)
+
+        clock.charge(wipe)
+        self.kernel.platform.cpu.regs.wipe_gprs()
+
+        clock.charge(branch)
+        self.saves += 1
+        self.last_save = {
+            "store": store,
+            "wipe": wipe,
+            "branch": branch,
+            "overall": store + wipe + branch,
+        }
+        return self.last_save["overall"]
+
+
+class EntryRoutine:
+    """The secure task entry routine (HLE of the tool-chain template).
+
+    "This entry routine detects whether the task has been (re)started or
+    was invoked to receive a message and acts accordingly.  TyTAN
+    provides this information in a CPU register, which is checked by the
+    entry routine." (Section 4)
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        #: Breakdown of the most recent restore (Table 3 bench hook).
+        self.last_restore = None
+
+    def enter(self, task):
+        """Branch into the entry routine and restore the task.
+
+        Returns the cycle breakdown.  The restore reads the context
+        frame *as the task itself* - the entry routine is task code, so
+        the EA-MPU task rule authorises it.
+        """
+        clock = self.kernel.clock
+        branch = cycles.ENTRY_BRANCH
+        mode_check = cycles.ENTRY_MODE_CHECK
+        restore = cycles.restore_context_cycles()
+        receive = 0
+
+        clock.charge(branch)
+        clock.charge(mode_check)
+        if task.resume_mode == IpcAbi.MODE_MESSAGE:
+            # Message mode: copy the inbox into the task's working set.
+            receive = cycles.IPC_ENTRY_ROUTINE_RECEIVE
+            clock.charge(receive)
+        clock.charge(restore)
+
+        if not task.is_native:
+            self.kernel.pop_gpr_frame(task, actor=task.base)
+            self.kernel.platform.engine.hw_return(self.kernel.platform.cpu)
+        task.resume_mode = None
+
+        self.last_restore = {
+            "branch": branch,
+            "mode_check": mode_check,
+            "receive": receive,
+            "restore": restore,
+            "overall": branch + mode_check + receive + restore,
+        }
+        return self.last_restore
+
+
+class TyTANContextPolicy:
+    """Kernel context policy routing secure tasks through the Int Mux.
+
+    Normal tasks keep the plain FreeRTOS path, so a TyTAN system imposes
+    zero context-switch overhead on normal tasks - exactly the paper's
+    overhead accounting.
+    """
+
+    def __init__(self, kernel, int_mux):
+        self.kernel = kernel
+        self.int_mux = int_mux
+        self.entry_routine = EntryRoutine(kernel)
+
+    # -- ISA tasks ---------------------------------------------------------
+
+    def save_context(self, task):
+        """Save an interrupted task's context (Table 2 paths)."""
+        if task.is_secure:
+            return self.int_mux.save_secure_context(task)
+        charged = cycles.store_context_cycles()
+        self.kernel.clock.charge(charged)
+        self.kernel.push_gpr_frame(task, actor=self.kernel.os_actor)
+        return charged
+
+    def restore_context(self, task):
+        """Restore a task's context (Table 3 paths)."""
+        if task.is_secure:
+            return self.entry_routine.enter(task)["overall"]
+        charged = cycles.restore_context_cycles()
+        self.kernel.clock.charge(charged)
+        self.kernel.pop_gpr_frame(task, actor=self.kernel.os_actor)
+        self.kernel.platform.engine.hw_return(self.kernel.platform.cpu)
+        return charged
+
+    # -- native tasks ---------------------------------------------------------
+
+    def save_context_native(self, task):
+        """Charge the save path for a native (HLE) task."""
+        if task.is_secure:
+            clock = self.kernel.clock
+            total = (
+                cycles.store_context_cycles()
+                + cycles.wipe_context_cycles()
+                + cycles.INTMUX_BRANCH
+            )
+            clock.charge(total)
+            self.int_mux.saves += 1
+            return total
+        charged = cycles.store_context_cycles()
+        self.kernel.clock.charge(charged)
+        return charged
+
+    def restore_context_native(self, task):
+        """Charge the restore path for a native (HLE) task."""
+        if task.is_secure:
+            return self.entry_routine.enter(task)["overall"]
+        charged = cycles.restore_context_cycles()
+        self.kernel.clock.charge(charged)
+        return charged
+
+    def describe(self):
+        """Policy name for traces."""
+        return "tytan"

@@ -1,0 +1,137 @@
+"""Remote attestation.
+
+"Remote attestation on TyTAN uses Message Authentication Codes (MAC)
+along with an attestation key K_a to prove the authenticity of id_t to
+a remote verifier.  K_a is derivated from K_p and only accessible to
+the Remote Attest task." (Section 3)
+
+The component reads K_p through the bus as itself, so the EA-MPU rule
+installed at secure boot is what actually authorises the derivation -
+any other component calling :meth:`RemoteAttest.attestation_key` with
+its own actor faults.  Footnote 2's per-provider keys are supported via
+a provider label in the derivation.
+
+:class:`Verifier` plays the remote party: it knows K_p (shared out of
+band in this symmetric scheme), derives the same K_a, and checks
+reports against a whitelist of expected identities.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro import cycles
+from repro.crypto.compare import constant_time_equal
+from repro.crypto.hmac import hmac_sha1
+from repro.crypto.kdf import derive_key
+from repro.errors import AttestationError
+from repro.hw.platform import FirmwareComponent
+
+
+class AttestationReport:
+    """A remote attestation report: (id_t, nonce, MAC)."""
+
+    def __init__(self, identity, nonce, mac):
+        self.identity = bytes(identity)
+        self.nonce = bytes(nonce)
+        self.mac = bytes(mac)
+
+    def to_bytes(self):
+        """Wire format: identity | nonce-length | nonce | mac."""
+        return (
+            self.identity
+            + struct.pack("<H", len(self.nonce))
+            + self.nonce
+            + self.mac
+        )
+
+    @classmethod
+    def from_bytes(cls, blob):
+        """Parse the wire format."""
+        blob = bytes(blob)
+        identity = blob[:20]
+        (nonce_len,) = struct.unpack("<H", blob[20:22])
+        nonce = blob[22 : 22 + nonce_len]
+        mac = blob[22 + nonce_len :]
+        if len(mac) != 20:
+            raise AttestationError("malformed attestation report")
+        return cls(identity, nonce, mac)
+
+    def __repr__(self):
+        return "AttestationReport(id=%s..., nonce=%s)" % (
+            self.identity[:4].hex(),
+            self.nonce.hex(),
+        )
+
+
+class RemoteAttest(FirmwareComponent):
+    """The Remote Attest trusted task."""
+
+    NAME = "remote-attest"
+
+    def __init__(self, kernel, rtm, key_store):
+        super().__init__()
+        self.kernel = kernel
+        self.rtm = rtm
+        self.key_store = key_store
+        #: Reports issued (diagnostics).
+        self.reports_issued = 0
+
+    def attestation_key(self, provider=b""):
+        """Derive K_a from K_p (EA-MPU gated read of the key fuses)."""
+        platform_key = self.key_store.read_key(actor=self.base)
+        self.kernel.clock.charge(cycles.KEY_DERIVATION)
+        return derive_key(platform_key, b"attest", provider)
+
+    def attest(self, task, nonce, provider=b""):
+        """Produce a report proving ``task``'s identity, fresh by ``nonce``."""
+        entry = self.rtm.lookup_task(task)
+        if entry is None:
+            raise AttestationError("task %s is not registered" % task.name)
+        key = self.attestation_key(provider)
+        self.kernel.clock.charge(cycles.ATTEST_MAC)
+        mac = hmac_sha1(key, entry.identity + bytes(nonce))
+        self.reports_issued += 1
+        return AttestationReport(entry.identity, nonce, mac)
+
+    def attest_identity(self, identity, nonce, provider=b""):
+        """Report over an explicit registered identity (IPC-path use)."""
+        if identity not in self.rtm.identities():
+            raise AttestationError("identity not registered")
+        key = self.attestation_key(provider)
+        self.kernel.clock.charge(cycles.ATTEST_MAC)
+        mac = hmac_sha1(key, bytes(identity) + bytes(nonce))
+        self.reports_issued += 1
+        return AttestationReport(identity, nonce, mac)
+
+
+class Verifier:
+    """The remote verifier (runs off-device).
+
+    Knows the platform key out of band; accepts a report iff the MAC
+    verifies for the verifier's own nonce and the attested identity is
+    in the expected set.
+    """
+
+    def __init__(self, platform_key, provider=b""):
+        self._key = derive_key(bytes(platform_key), b"attest", provider)
+        self.expected = set()
+        self._nonce_counter = 0
+
+    def expect(self, identity):
+        """Whitelist an identity (e.g. from the provider's signed image)."""
+        self.expected.add(bytes(identity))
+
+    def fresh_nonce(self):
+        """A unique challenge nonce."""
+        self._nonce_counter += 1
+        return struct.pack("<Q", self._nonce_counter)
+
+    def verify(self, report, nonce):
+        """Check ``report`` against ``nonce``; returns True/False."""
+        if bytes(nonce) != report.nonce:
+            return False
+        expected_mac = hmac_sha1(self._key, report.identity + report.nonce)
+        if not constant_time_equal(expected_mac, report.mac):
+            return False
+        return report.identity in self.expected

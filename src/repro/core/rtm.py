@@ -1,0 +1,226 @@
+"""The Root of Trust for Measurement (RTM).
+
+"To prove the integrity of a task t to a local or remote verifier, the
+Root of Trust for Measurement (RTM) task computes a cryptographic hash
+function over the binary code of each created task.  This hash digest
+serves as identity of the task id_t.  To meet real-time requirements,
+the RTM task must be interruptible during the hash calculation."
+(Section 3)
+
+Key behaviours reproduced here:
+
+* **Interruptible measurement** - :meth:`RTM.measure` is a generator
+  that hashes one 64-byte block per step and yields a
+  :class:`~repro.rtos.task.NativeCall` charge between blocks; every
+  yield is a kernel preemption point (Table 1's loading experiment
+  depends on this).
+* **Position-independent measurement** - before hashing, the RTM
+  *temporarily reverts* the relocations the loader applied: for every
+  relocation site it reads the loaded 32-bit word and subtracts the
+  task's base address, reconstructing the link-base-0 image (Section 4,
+  "RTM task"; costs from Table 7's address sub-table).
+* **Immutability during measurement** - the task being measured is not
+  yet schedulable and its memory is already protected by the EA-MPU, so
+  it cannot change while the (interruptible) measurement runs.
+* **Registry** - the RTM "maintains a list of the identities of all
+  loaded tasks and their memory addresses"; the IPC proxy resolves
+  receivers through it.  Only the RTM writes it (the EA-MPU would fault
+  anyone else; in HLE terms the registry object lives inside the RTM).
+"""
+
+from __future__ import annotations
+
+from repro import cycles
+from repro.crypto.sha1 import SHA1
+from repro.errors import AttestationError
+from repro.hw.platform import FirmwareComponent
+from repro.rtos.task import NativeCall
+
+from repro.core.identity import measurement_header
+
+
+class RegistryEntry:
+    """One row of the RTM's task registry."""
+
+    def __init__(self, task, identity):
+        self.task = task
+        self.identity = identity
+        self.identity64 = identity[:8]
+        self.base = task.base
+
+
+class RTM(FirmwareComponent):
+    """The RTM component."""
+
+    NAME = "rtm"
+
+    def __init__(self, kernel):
+        super().__init__()
+        self.kernel = kernel
+        #: Ordered registry of measured, loaded tasks.
+        self._registry = []
+        #: Statistics of the last measurement (Table 7 bench hook).
+        self.last_measurement = None
+
+    # -- measurement -----------------------------------------------------------
+
+    def measure(self, task, charge_invoke=False, register=True):
+        """Generator measuring ``task``; yields charge calls per block.
+
+        ``charge_invoke`` additionally charges the full RTM-task
+        invocation overhead (IPC round trip, scheduling, absorbed
+        interruptions) that the paper's Table 4 configuration includes -
+        spread over chunks so it, too, is interruptible.
+
+        On completion the task's identity is set and (unless
+        ``register`` is false - used when measuring a staged update
+        image before it goes live) registered.
+        """
+        if task.image is None:
+            raise AttestationError("task %s has no image to measure" % task.name)
+        image = task.image
+        memory = self.kernel.memory
+        stats = {"blocks": 0, "addresses": 0, "cycles": 0}
+        start_cycle = self.kernel.clock.now
+
+        if charge_invoke:
+            # Invocation overhead, in interruptible chunks.
+            remaining = cycles.RTM_INVOKE_OVERHEAD
+            chunk = 6_000
+            while remaining > 0:
+                step = min(chunk, remaining)
+                remaining -= step
+                yield NativeCall.charge(step)
+
+        yield NativeCall.charge(cycles.MEASURE_SETUP)
+
+        # -- revert relocations (read-only: the original word is
+        #    reconstructed on the fly, the loaded image is untouched) ----
+        reverted = {}
+        relocations = image.relocations
+        if not relocations:
+            yield NativeCall.charge(cycles.REVERSAL_BASE)
+        else:
+            yield NativeCall.charge(cycles.REVERSAL_BASE)
+            for index, offset in enumerate(relocations):
+                cost = (
+                    cycles.REVERSAL_FIRST if index == 0 else cycles.REVERSAL_NEXT
+                )
+                loaded = memory.read_u32(task.base + offset, actor=self.base)
+                original = (loaded - task.base) & 0xFFFFFFFF
+                reverted[offset] = original
+                stats["addresses"] += 1
+                yield NativeCall.charge(cost)
+
+        # -- hash header + blob, one 64-byte block at a time -------------
+        digest_state = SHA1()
+        digest_state.feed(measurement_header(image))
+        blob_len = len(image.blob)
+        cursor = 0
+        while cursor < blob_len:
+            take = min(cycles.MEASURE_BLOCK_BYTES, blob_len - cursor)
+            chunk_bytes = bytearray(
+                memory.read(task.base + cursor, take, actor=self.base)
+            )
+            # Patch reverted relocation words into the measured stream.
+            for offset, original in reverted.items():
+                for byte_index in range(4):
+                    position = offset + byte_index - cursor
+                    if 0 <= position < take:
+                        chunk_bytes[position] = (
+                            original >> (8 * byte_index)
+                        ) & 0xFF
+            digest_state.feed(bytes(chunk_bytes))
+            compressed = digest_state.compress_pending(max_blocks=1)
+            stats["blocks"] += compressed
+            cursor += take
+            yield NativeCall.charge(cycles.MEASURE_PER_BLOCK)
+
+        yield NativeCall.charge(cycles.MEASURE_FINALIZE)
+        identity = digest_state.digest()
+        stats["blocks"] = max(
+            stats["blocks"], 1
+        )  # finalisation always compresses at least once
+        stats["cycles"] = self.kernel.clock.now - start_cycle
+        self.last_measurement = stats
+
+        task.identity = identity
+        if register:
+            self.register(task)
+
+    def measure_synchronously(self, task, charge_invoke=False):
+        """Drive :meth:`measure` to completion without preemption.
+
+        Used at boot and by benches; the charge calls still advance the
+        clock, so costs are identical - only interruptibility differs.
+        """
+        for call in self.measure(task, charge_invoke=charge_invoke):
+            if call.kind == NativeCall.CHARGE:
+                self.kernel.clock.charge(call.value)
+        return task.identity
+
+    # -- registry ------------------------------------------------------------
+
+    def register(self, task):
+        """Record a measured task; replaces a stale entry for the TCB."""
+        self.unregister(task)
+        self._registry.append(RegistryEntry(task, task.identity))
+
+    def register_service(self, task, label):
+        """Register a native (HLE) service task under a label identity.
+
+        Native tasks have no TELF binary; their identity is the digest
+        of a ``service:`` label, standing in for the hash of the
+        component binary secure boot measured.  This lets native tasks
+        be IPC receivers like any measured task.
+        """
+        identity = SHA1(b"service:" + label.encode("utf-8")).digest()
+        task.identity = identity
+        self.register(task)
+        return identity
+
+    def unregister(self, task):
+        """Drop the registry entry of ``task`` (unload)."""
+        self._registry = [e for e in self._registry if e.task is not task]
+
+    def lookup64(self, identity64, charge=True):
+        """Resolve a truncated identity to a registry entry.
+
+        The linear probe charges per entry inspected (the IPC proxy's
+        receiver lookup cost).  Returns ``None`` when unknown.
+        """
+        if charge:
+            self.kernel.clock.charge(cycles.IPC_REGISTRY_BASE)
+        for entry in self._registry:
+            if charge:
+                self.kernel.clock.charge(cycles.IPC_REGISTRY_PER_ENTRY)
+            if entry.identity64 == bytes(identity64):
+                return entry
+        return None
+
+    def lookup_task(self, task):
+        """The registry entry for a TCB, or ``None``."""
+        for entry in self._registry:
+            if entry.task is task:
+                return entry
+        return None
+
+    def registry_size(self):
+        """Number of registered (loaded, measured) tasks."""
+        return len(self._registry)
+
+    def identities(self):
+        """All registered full identities, in registration order."""
+        return [entry.identity for entry in self._registry]
+
+    def local_attest(self, task):
+        """Local attestation: return id_t for a loaded task.
+
+        "For local attestation, id_t can be used as both identifier and
+        attestation report of t."  The EA-MPU guarantees only the RTM
+        can have written it, which is what makes the value trustworthy.
+        """
+        entry = self.lookup_task(task)
+        if entry is None:
+            raise AttestationError("task %s is not registered" % task.name)
+        return entry.identity

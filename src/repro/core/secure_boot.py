@@ -1,0 +1,207 @@
+"""Secure boot.
+
+"TyTAN's trusted software components (i.e., EA-MPU driver, Int Mux, IPC
+Proxy, RTM task, Remote Attest and Secure Storage) are loaded with
+secure boot and isolated from the rest of the system by the EA-MPU to
+ensure their integrity. ... The EA-MPU rules for the static components
+(including the EA-MPU driver itself) are set during secure boot."
+(Section 3)
+
+Boot sequence implemented here:
+
+1. **measure** each trusted component's (pseudo-)binary and extend a
+   boot measurement log - the software-visible root of trust;
+2. install and **lock** the static EA-MPU rules:
+
+   * one rule per trusted component page (only the component itself may
+     touch its page),
+   * the IDT is public read-only (its integrity rule),
+   * the platform-key fuses are readable only by Remote Attest and
+     Secure Storage,
+   * OS data is accessible only to OS code,
+   * Int Mux / IPC proxy may write task RAM, the RTM may read it
+     (that is how they operate on task memory without owning it);
+
+3. re-point every IDT vector at the **Int Mux**, the single trusted
+   interrupt entry;
+4. restrict further EA-MPU programming to the **EA-MPU driver**'s code
+   region and hand the driver the remaining dynamic slots.
+"""
+
+from __future__ import annotations
+
+from repro import cycles
+from repro.crypto.sha1 import SHA1
+from repro.errors import ConfigurationError
+from repro.hw.ea_mpu import MpuRule, Perm
+from repro.hw.exceptions import Vector
+
+
+class BootLog:
+    """The secure-boot measurement log (TPM-PCR-like extend chain)."""
+
+    def __init__(self):
+        self.entries = []
+        self._accumulator = b"\x00" * 20
+
+    def extend(self, name, digest):
+        """Append a component measurement and fold it into the chain."""
+        self.entries.append((name, bytes(digest)))
+        self._accumulator = SHA1(self._accumulator + bytes(digest)).digest()
+
+    @property
+    def aggregate(self):
+        """The chained boot measurement."""
+        return self._accumulator
+
+
+class SecureBoot:
+    """Performs the boot sequence for a TyTAN system."""
+
+    def __init__(self, platform, kernel, mpu_driver):
+        self.platform = platform
+        self.kernel = kernel
+        self.mpu_driver = mpu_driver
+        self.log = BootLog()
+        self.booted = False
+
+    def boot(self, components):
+        """Run secure boot over the trusted ``components``.
+
+        ``components`` maps role names (``int_mux``, ``ipc_proxy``,
+        ``rtm``, ``remote_attest``, ``secure_storage``) to the bound
+        firmware objects; the EA-MPU driver itself and the OS trap gate
+        are picked up from the wiring.
+        """
+        if self.booted:
+            raise ConfigurationError("secure boot already ran")
+        mpu = self.platform.mpu
+        cfg = self.platform.config
+        slot = 0
+
+        def install(rule):
+            nonlocal slot
+            mpu.program_slot(slot, rule, lock=True)
+            slot += 1
+            return slot - 1
+
+        # -- 1. measure the trusted components -------------------------------
+        for name, component in self._iter_components(components):
+            pseudo_binary = self._component_image(component)
+            self.log.extend(name, SHA1(pseudo_binary).digest())
+            self.kernel.clock.charge(cycles.SECURE_BOOT_PER_COMPONENT)
+
+        # -- 2. static rules ---------------------------------------------------
+        # IDT: public read-only; nobody (software) can retarget vectors.
+        install(
+            MpuRule(
+                "boot:idt",
+                None,
+                None,
+                cfg.idt_base,
+                cfg.idt_base + cfg.idt_size,
+                Perm.R,
+            )
+        )
+        # Per-component page isolation.
+        for name, component in self._iter_components(components):
+            install(
+                MpuRule(
+                    "boot:%s" % name,
+                    component.base,
+                    component.end,
+                    component.base,
+                    component.end,
+                    Perm.RWX,
+                )
+            )
+        # OS trap gate page (public execute so any task's trap can land
+        # there; its contents are read-protected).
+        gate = self.kernel.trap_gate
+        install(
+            MpuRule(
+                "boot:os-gate",
+                None,
+                None,
+                gate.base,
+                gate.end,
+                Perm.X,
+            )
+        )
+        # Platform key fuses: Remote Attest + Secure Storage (+ the Task
+        # Updater extension, which derives K_u from K_p) only.
+        attest = components["remote_attest"]
+        storage = components["secure_storage"]
+        key_subjects = [(storage.base, storage.end)]
+        if "task_updater" in components:
+            updater = components["task_updater"]
+            key_subjects.append((updater.base, updater.end))
+        install(
+            MpuRule(
+                "boot:key-fuses",
+                attest.base,
+                attest.end,
+                cfg.key_base,
+                cfg.key_base + self.platform.key_store.size,
+                Perm.R,
+                extra_subjects=tuple(key_subjects),
+            )
+        )
+        # OS data: OS code only.
+        install(
+            MpuRule(
+                "boot:os-data",
+                cfg.os_code_base,
+                cfg.os_code_base + cfg.os_code_size,
+                cfg.os_data_base,
+                cfg.os_data_base + cfg.os_data_size,
+                Perm.RW,
+            )
+        )
+        # Trusted components reach task memory through the *per-task*
+        # rules the EA-MPU driver installs at load time: the Int Mux,
+        # IPC proxy, and RTM regions are added as subjects of every
+        # task's rule (so a secure task's memory is accessible to the
+        # task itself and the trusted components, and nothing else).
+        int_mux = components["int_mux"]
+        ipc_proxy = components["ipc_proxy"]
+        rtm = components["rtm"]
+        trusted = [
+            (int_mux.base, int_mux.end, Perm.RW),
+            (ipc_proxy.base, ipc_proxy.end, Perm.RW),
+            (rtm.base, rtm.end, Perm.R),
+        ]
+        if "task_updater" in components:
+            updater = components["task_updater"]
+            trusted.append((updater.base, updater.end, Perm.RW))
+        self.mpu_driver.trusted_subjects = tuple(trusted)
+
+        # -- 3. vector everything through the Int Mux ---------------------------
+        for vector in range(Vector.COUNT):
+            self.platform.engine.install_handler(vector, int_mux.base)
+
+        # -- 4. lock down MPU programming to the driver -------------------------
+        mpu.set_driver_range(self.mpu_driver.base, self.mpu_driver.end)
+
+        self.booted = True
+        self.kernel.emit(
+            "secure-boot",
+            components=len(self.log.entries),
+            static_rules=slot,
+            aggregate=self.log.aggregate.hex(),
+        )
+        return self.log
+
+    def _iter_components(self, components):
+        """Deterministic iteration order: driver first, then roles."""
+        yield "ea-mpu-driver", self.mpu_driver
+        roles = ["int_mux", "ipc_proxy", "rtm", "remote_attest", "secure_storage"]
+        if "task_updater" in components:
+            roles.append("task_updater")
+        for name in roles:
+            yield name.replace("_", "-"), components[name]
+
+    def _component_image(self, component):
+        """The pseudo-binary secure boot measures: the component's page
+        contents (HLE components have deterministic stub pages)."""
+        return self.platform.memory.read_raw(component.base, component.size)

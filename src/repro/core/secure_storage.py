@@ -1,0 +1,199 @@
+"""Secure storage.
+
+"Secure storage is realized as a secure task.  For each task a task key
+K_t = HMAC(id_t | K_p) is generated which is bound to the task identity
+(id_t) and the platform (K_p). ... All data a task sends to the secure
+storage task get encrypted with K_t.  Since id_t is included in K_t a
+task that tries to access data stored before will only succeed if it
+has the same id_t as the task that stored the data, i.e., if it is the
+same task." (Section 3)
+
+The vault persists across task unload/reload (that is the point: a task
+re-loaded later - even at a different address - recovers its data, while
+a *modified* task, whose digest differs, cannot).  Blobs are encrypted
+with XTEA-CTR under K_t and integrity-protected with an HMAC tag, both
+keyed per task identity.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro import cycles
+from repro.crypto.compare import constant_time_equal
+from repro.crypto.hmac import hmac_sha1
+from repro.crypto.kdf import derive_task_key
+from repro.crypto.xtea import xtea_ctr
+from repro.errors import SecureStorageError
+from repro.hw.platform import FirmwareComponent
+from repro.rtos.task import NativeCall
+
+
+def _chunked_charge(total, chunk):
+    """Yield ``NativeCall.charge`` records summing to ``total``."""
+    remaining = total
+    while remaining > 0:
+        step = min(chunk, remaining)
+        remaining -= step
+        yield NativeCall.charge(step)
+
+
+class SecureStorage(FirmwareComponent):
+    """The secure storage trusted task."""
+
+    NAME = "secure-storage"
+
+    def __init__(self, kernel, rtm, key_store):
+        super().__init__()
+        self.kernel = kernel
+        self.rtm = rtm
+        self.key_store = key_store
+        #: identity -> {slot_name: (nonce, ciphertext, tag)}
+        self._vault = {}
+        self._nonce_counter = 0
+
+    # -- key handling ----------------------------------------------------------
+
+    def task_key(self, identity):
+        """Derive K_t = HMAC(id_t | K_p) for a task identity."""
+        platform_key = self.key_store.read_key(actor=self.base)
+        self.kernel.clock.charge(cycles.KEY_DERIVATION)
+        return derive_task_key(platform_key, identity)
+
+    def _require_identity(self, task):
+        entry = self.rtm.lookup_task(task)
+        if entry is None:
+            raise SecureStorageError(
+                "task %s is not measured/registered; secure storage is "
+                "identity-bound" % task.name
+            )
+        return entry.identity
+
+    # -- the storage API (identification comes from secure IPC: the
+    #    requesting task is whoever the kernel says sent the request,
+    #    which the IPC origin check authenticated) -------------------------
+
+    def store(self, task, slot_name, payload):
+        """Encrypt ``payload`` under the caller's K_t and keep it."""
+        identity = self._require_identity(task)
+        key = self.task_key(identity)
+        self._nonce_counter += 1
+        nonce = struct.pack("<I", self._nonce_counter)
+        ciphertext = xtea_ctr(key[:16], nonce, payload)
+        blocks = (len(payload) + 7) // 8
+        self.kernel.clock.charge(blocks * cycles.XTEA_PER_BLOCK)
+        tag = hmac_sha1(key, nonce + bytes(slot_name, "utf-8") + ciphertext)
+        self.kernel.clock.charge(cycles.ATTEST_MAC)
+        self._vault.setdefault(bytes(identity), {})[slot_name] = (
+            nonce,
+            ciphertext,
+            tag,
+        )
+
+    def retrieve(self, task, slot_name):
+        """Decrypt and return the caller's blob for ``slot_name``.
+
+        Raises :class:`SecureStorageError` when the caller's identity
+        has no such blob - including the case where a *modified* task
+        (different digest) tries to read data its predecessor stored.
+        """
+        identity = self._require_identity(task)
+        blobs = self._vault.get(bytes(identity), {})
+        if slot_name not in blobs:
+            raise SecureStorageError(
+                "no blob %r stored under this task identity" % slot_name
+            )
+        nonce, ciphertext, tag = blobs[slot_name]
+        key = self.task_key(identity)
+        expected = hmac_sha1(key, nonce + bytes(slot_name, "utf-8") + ciphertext)
+        self.kernel.clock.charge(cycles.ATTEST_MAC)
+        if not constant_time_equal(expected, tag):
+            raise SecureStorageError("blob %r failed integrity check" % slot_name)
+        blocks = (len(ciphertext) + 7) // 8
+        self.kernel.clock.charge(blocks * cycles.XTEA_PER_BLOCK)
+        return xtea_ctr(key[:16], nonce, ciphertext)
+
+    def delete(self, task, slot_name):
+        """Remove the caller's blob for ``slot_name``."""
+        identity = self._require_identity(task)
+        blobs = self._vault.get(bytes(identity), {})
+        if slot_name not in blobs:
+            raise SecureStorageError("no blob %r to delete" % slot_name)
+        del blobs[slot_name]
+
+    def slots_of(self, task):
+        """Slot names stored under the caller's identity."""
+        identity = self._require_identity(task)
+        return sorted(self._vault.get(bytes(identity), {}))
+
+    # -- live update support -----------------------------------------------------
+
+    #: Upper bound on one non-preemptible reseal work chunk (cycles).
+    RESEAL_CHUNK = 6_000
+
+    def reseal_steps(self, old_identity, new_identity):
+        """Interruptible re-seal: move every blob from one task identity
+        to another, yielding :class:`NativeCall` charges in bounded
+        chunks so real-time tasks keep their deadlines while an update
+        is in flight.
+
+        Only the trusted Task Updater drives this, and only after
+        verifying a provider's update token - re-sealing is exactly the
+        capability that must NOT exist for anyone else, since it would
+        break the identity binding.  Returns the number of blobs moved
+        (via the generator's ``StopIteration`` value).
+        """
+        old_blobs = self._vault.pop(bytes(old_identity), None)
+        if not old_blobs:
+            return 0
+        # Key derivations (the raw_key read is EA-MPU-gated as usual).
+        platform_key = self.key_store.read_key(actor=self.base)
+        old_key = derive_task_key(platform_key, old_identity)
+        new_key = derive_task_key(platform_key, new_identity)
+        yield from _chunked_charge(2 * cycles.KEY_DERIVATION, self.RESEAL_CHUNK)
+
+        moved = 0
+        target = self._vault.setdefault(bytes(new_identity), {})
+        for slot_name, (nonce, ciphertext, tag) in old_blobs.items():
+            expected = hmac_sha1(
+                old_key, nonce + bytes(slot_name, "utf-8") + ciphertext
+            )
+            if not constant_time_equal(expected, tag):
+                raise SecureStorageError(
+                    "blob %r failed integrity check during reseal" % slot_name
+                )
+            plaintext = xtea_ctr(old_key[:16], nonce, ciphertext)
+            self._nonce_counter += 1
+            new_nonce = struct.pack("<I", self._nonce_counter)
+            new_ciphertext = xtea_ctr(new_key[:16], new_nonce, plaintext)
+            new_tag = hmac_sha1(
+                new_key, new_nonce + bytes(slot_name, "utf-8") + new_ciphertext
+            )
+            blocks = (len(plaintext) + 7) // 8
+            yield from _chunked_charge(
+                2 * blocks * cycles.XTEA_PER_BLOCK + 2 * cycles.ATTEST_MAC,
+                self.RESEAL_CHUNK,
+            )
+            target[slot_name] = (new_nonce, new_ciphertext, new_tag)
+            moved += 1
+        return moved
+
+    def reseal(self, old_identity, new_identity):
+        """Synchronous wrapper around :meth:`reseal_steps`."""
+        steps = self.reseal_steps(old_identity, new_identity)
+        moved = 0
+        while True:
+            try:
+                call = next(steps)
+            except StopIteration as stop:
+                moved = stop.value or 0
+                break
+            self.kernel.clock.charge(call.value)
+        return moved
+
+    # -- persistence oracle for tests --------------------------------------------
+
+    def raw_blob(self, identity, slot_name):
+        """The stored (nonce, ciphertext, tag) triple - flash-dump oracle
+        for tests that check ciphertexts leak nothing."""
+        return self._vault.get(bytes(identity), {}).get(slot_name)

@@ -1,0 +1,276 @@
+"""Runtime task update - the paper's first future-work item.
+
+"Future work includes extending TyTAN with a mechanism to update tasks
+at runtime (i.e., without stopping and restarting them) to meet the
+high availability requirements of embedded applications." (Section 8)
+
+This module implements that mechanism as an additional trusted
+component, the **Task Updater**.  An update replaces a loaded task's
+binary with a new version while preserving its *service continuity*:
+
+* the task keeps its scheduling parameters, name, and priority;
+* pending IPC inbox messages survive the update (senders never observe
+  the service disappearing);
+* sealed storage is **re-sealed** from the old identity to the new one
+  - the defining problem of identity-bound storage under updates: the
+  new binary hashes to a different id_t, so without re-sealing it could
+  never read its predecessor's data (and *with* it, only an *authorized*
+  successor can);
+* the EA-MPU rule, RTM measurement, and registry entry are replaced
+  atomically from the schedulers' point of view.
+
+Authorization: updates are approved by the task's provider with an
+**update token** ``HMAC(K_u, id_old | id_new)`` where
+``K_u = KDF(K_p, "update", provider)`` - the same symmetric trust
+model the paper uses for remote attestation (footnote 2).  A provider
+cannot be impersonated without K_p, and a token authorizes exactly one
+(old, new) version edge, preventing rollback to arbitrary binaries.
+
+Like loading, the update is a generator with a preemption point after
+every bounded chunk, so real-time tasks keep their deadlines while an
+update is in flight (verified by the ablation bench).
+"""
+
+from __future__ import annotations
+
+from repro import cycles
+from repro.crypto.compare import constant_time_equal
+from repro.crypto.hmac import hmac_sha1
+from repro.crypto.kdf import derive_key
+from repro.errors import LoaderError, SecurityViolation
+from repro.hw.platform import FirmwareComponent
+from repro.rtos.task import INBOX_BYTES, NativeCall
+
+from repro.core.identity import identity_of_image
+
+
+class _StagedImage:
+    """A not-yet-live placement of a new binary, measurable by the RTM."""
+
+    def __init__(self, name, image, base):
+        self.name = "%s(staged)" % name
+        self.image = image
+        self.base = base
+        self.identity = None
+
+
+class UpdateAuthority:
+    """The provider-side signer of update tokens (runs off-device)."""
+
+    def __init__(self, platform_key, provider=b""):
+        self._key = derive_key(bytes(platform_key), b"update", provider)
+
+    def authorize(self, old_identity, new_image):
+        """Issue a token approving ``old_identity -> new_image``."""
+        new_identity = identity_of_image(new_image)
+        return hmac_sha1(self._key, bytes(old_identity) + new_identity)
+
+
+class UpdateResult:
+    """Mutable handle filled in as an update completes."""
+
+    def __init__(self):
+        self.task = None
+        self.started_at = None
+        self.finished_at = None
+        self.downtime = None
+        self.old_identity = None
+        self.new_identity = None
+
+    @property
+    def done(self):
+        """Whether the update finished."""
+        return self.task is not None
+
+    @property
+    def total_cycles(self):
+        """End-to-end update duration."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class TaskUpdater(FirmwareComponent):
+    """The trusted task-update component."""
+
+    NAME = "task-updater"
+
+    def __init__(self, kernel, loader, rtm, mpu_driver, secure_storage, key_store):
+        super().__init__()
+        self.kernel = kernel
+        self.loader = loader
+        self.rtm = rtm
+        self.mpu_driver = mpu_driver
+        self.secure_storage = secure_storage
+        self.key_store = key_store
+        #: Completed updates (diagnostics).
+        self.updates_applied = 0
+
+    def _update_key(self, provider, charge=True):
+        platform_key = self.key_store.read_key(actor=self.base)
+        if charge:
+            self.kernel.clock.charge(cycles.KEY_DERIVATION)
+        return derive_key(platform_key, b"update", provider)
+
+    def verify_token(self, task, new_image, token, provider=b"", charge=True):
+        """Check a provider's update authorization.
+
+        ``charge=False`` lets the interruptible update path account the
+        crypto cost itself (in preemptible chunks).
+        """
+        if task.identity is None:
+            raise SecurityViolation("only measured tasks can be updated")
+        key = self._update_key(provider, charge=charge)
+        expected = hmac_sha1(
+            key, task.identity + identity_of_image(new_image)
+        )
+        if charge:
+            self.kernel.clock.charge(cycles.ATTEST_MAC)
+        if not constant_time_equal(expected, bytes(token)):
+            raise SecurityViolation(
+                "update token rejected for task %s" % task.name
+            )
+
+    # -- the update procedure --------------------------------------------------
+
+    def update(self, task, new_image, token, provider=b"", result=None):
+        """Generator performing one authorized live update.
+
+        Phases (each chunked / yielded like the loader's):
+
+        1. verify the provider token;
+        2. stage the new binary into fresh memory (copy + relocate),
+           while the old version keeps running;
+        3. quiesce: take the task off the CPU at a preemption boundary;
+        4. carry over the inbox, re-seal storage old->new identity;
+        5. swap EA-MPU protection, measure the new binary, swap the
+           registry entry;
+        6. resume the task at the new entry point.
+
+        Only phase 3-6 is downtime for the task, and each step inside
+        it is bounded; everything else overlaps with normal execution.
+        """
+        if result is None:
+            result = UpdateResult()
+        clock = self.kernel.clock
+        result.started_at = clock.now
+        result.old_identity = task.identity
+
+        # -- 1. authorization (crypto cost in preemptible chunks) ----------
+        self.verify_token(task, new_image, token, provider, charge=False)
+        remaining = cycles.KEY_DERIVATION + cycles.ATTEST_MAC
+        while remaining > 0:
+            step = min(6_000, remaining)
+            remaining -= step
+            yield NativeCall.charge(step)
+
+        # -- 2. stage the new image (old version still running) -------------
+        memory_size = (
+            len(new_image.blob)
+            + new_image.bss_size
+            + INBOX_BYTES
+            + new_image.stack_size
+        )
+        new_base = self.kernel.allocator.allocate(memory_size)
+        yield from self.loader._copy_image(new_image, new_base)
+        yield from self.loader._relocate(new_image, new_base)
+
+        # Measure the staged copy *before* taking the service down: the
+        # staged region is not schedulable, so it is as immutable as a
+        # protected task, and the measurement (the most expensive update
+        # step) overlaps with normal service execution.
+        staged = _StagedImage(task.name, new_image, new_base)
+        yield from self.rtm.measure(staged, register=False)
+        result.new_identity = staged.identity
+
+        # -- 3. quiesce the old version -----------------------------------------
+        if self.kernel.scheduler.current is task:
+            raise LoaderError("cannot update the currently running task")
+        downtime_start = clock.now
+        self.kernel.scheduler.suspend(task)
+        yield NativeCall.charge(cycles.LIST_OP)
+
+        # -- 4. carry state over ---------------------------------------------------
+        old_base = task.base
+        old_size = task.memory_size
+        old_image = task.image
+        old_identity = task.identity
+        # Inbox ring: byte-copy from the old location to the new one.
+        old_inbox = task.inbox_base
+        inbox_bytes = self.kernel.memory.read(
+            old_inbox, INBOX_BYTES, actor=self.base
+        )
+        yield NativeCall.charge(cycles.IPC_INBOX_BASE + INBOX_BYTES // 4 * cycles.IPC_INBOX_PER_WORD)
+
+        # Re-point the TCB at the new placement.
+        task.base = new_base
+        task.memory_size = memory_size
+        task.stack_size = new_image.stack_size
+        task.image = new_image
+        self.kernel.memory.write(
+            task.inbox_base, inbox_bytes, actor=self.base
+        )
+        self.kernel.prepare_initial_stack(task)
+        yield NativeCall.charge(cycles.LIST_OP)
+
+        # -- 5. swap protection and registry -------------------------------------
+        self.mpu_driver.unprotect_task(task)
+        task.entry = new_base + new_image.entry
+        os_range = (
+            self.kernel.platform.config.os_code_base,
+            self.kernel.platform.config.os_code_base
+            + self.kernel.platform.config.os_code_size,
+        )
+        self.mpu_driver.protect_task(task, os_code_range=os_range)
+        yield NativeCall.charge(0)
+        task.identity = staged.identity
+        self.rtm.register(task)
+        yield NativeCall.charge(cycles.LIST_OP)
+
+        # Re-seal storage: decrypt under K_t(old), re-encrypt under
+        # K_t(new), in bounded chunks so other tasks keep running.
+        # Only reachable through a verified token.
+        yield from self.secure_storage.reseal_steps(old_identity, task.identity)
+
+        # -- 6. release the old memory and resume ------------------------------
+        self.kernel.memory.write_raw(old_base, bytes(old_size))
+        self.kernel.allocator.free(old_base)
+        self.kernel.scheduler.make_ready(task)
+        yield NativeCall.charge(cycles.LIST_OP)
+
+        result.task = task
+        result.finished_at = clock.now
+        result.downtime = clock.now - downtime_start
+        self.updates_applied += 1
+        self.kernel.emit(
+            "task-updated",
+            name=task.name,
+            old=old_identity.hex()[:12],
+            new=task.identity.hex()[:12],
+            downtime=result.downtime,
+        )
+        return result
+
+    def update_synchronously(self, task, new_image, token, provider=b""):
+        """Drive :meth:`update` to completion without preemption."""
+        result = UpdateResult()
+        for call in self.update(task, new_image, token, provider, result=result):
+            if call.kind == NativeCall.CHARGE:
+                self.kernel.clock.charge(call.value)
+            else:
+                raise LoaderError("unexpected native call during sync update")
+        return result
+
+    def spawn_update_task(self, task, new_image, token, provider=b"", priority=0):
+        """Run the update inside a low-priority native task (preemptible)."""
+        result = UpdateResult()
+
+        def updater_body(kernel, tcb):
+            yield from self.update(
+                task, new_image, token, provider, result=result
+            )
+
+        self.kernel.create_native_task(
+            "updater:%s" % task.name, priority, updater_body, memory_size=128
+        )
+        return result

@@ -1,0 +1,27 @@
+"""From-scratch cryptographic primitives for TyTAN.
+
+The paper uses SHA-1 for task measurement ("We use SHA-1 but other hash
+algorithms can also be used"), HMAC for remote attestation MACs and task
+key derivation (``K_t = HMAC(id_t | K_p)``), and symmetric encryption
+for secure storage.  All primitives here are implemented from first
+principles (no ``hashlib``), because the RTM needs an *incremental*
+block-by-block hashing interface so measurement can be interrupted
+between compression blocks - the property the paper's real-time argument
+rests on.
+"""
+
+from repro.crypto.sha1 import SHA1, sha1
+from repro.crypto.hmac import hmac_sha1
+from repro.crypto.kdf import derive_key
+from repro.crypto.xtea import XTEA, xtea_ctr
+from repro.crypto.compare import constant_time_equal
+
+__all__ = [
+    "SHA1",
+    "sha1",
+    "hmac_sha1",
+    "derive_key",
+    "XTEA",
+    "xtea_ctr",
+    "constant_time_equal",
+]

@@ -1,0 +1,20 @@
+"""Constant-time comparison.
+
+MAC verification (remote attestation, secure storage integrity) must not
+leak how many prefix bytes matched; trusted components compare digests
+with :func:`constant_time_equal`.
+"""
+
+from __future__ import annotations
+
+
+def constant_time_equal(left, right):
+    """Compare two byte strings without early exit on mismatch."""
+    left = bytes(left)
+    right = bytes(right)
+    if len(left) != len(right):
+        return False
+    diff = 0
+    for a, b in zip(left, right):
+        diff |= a ^ b
+    return diff == 0

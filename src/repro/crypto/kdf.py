@@ -1,0 +1,51 @@
+"""Key derivation from the platform key.
+
+"Additional keys can be derivated from K_p, e.g., for remote attestation
+or for secure storage." (Section 3).  We use an HMAC-based extract/label
+construction: ``derive_key(K_p, label, context)`` yields a key bound to
+a purpose label (``b"attest"``, ``b"storage"``) and optional context
+bytes (e.g. a task identity, or a per-provider identifier as in the
+SANCUS-style scheme the paper's footnote 2 references).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import hmac_sha1
+from repro.crypto.sha1 import DIGEST_BYTES
+
+
+def derive_key(master, label, context=b"", length=DIGEST_BYTES):
+    """Derive ``length`` bytes from ``master`` for ``label``/``context``.
+
+    Expansion follows the HKDF-expand pattern with HMAC-SHA-1 blocks, so
+    any length up to 255 * 20 bytes is available.
+    """
+    if not label:
+        raise ValueError("derivation label must not be empty")
+    if length <= 0 or length > 255 * DIGEST_BYTES:
+        raise ValueError("bad derived key length %d" % length)
+    out = bytearray()
+    previous = b""
+    counter = 1
+    while len(out) < length:
+        previous = hmac_sha1(
+            master, previous + bytes(label) + b"\x00" + bytes(context) + bytes([counter])
+        )
+        out += previous
+        counter += 1
+    return bytes(out[:length])
+
+
+def derive_task_key(platform_key, task_identity):
+    """The paper's task key: ``K_t = HMAC(id_t | K_p)``.
+
+    Bound to the task identity and the platform; a task whose binary
+    changed (different ``id_t``) derives a different key and cannot
+    decrypt data stored before.
+    """
+    return hmac_sha1(platform_key, b"task-key\x00" + bytes(task_identity))
+
+
+def derive_attestation_key(platform_key, provider=b""):
+    """The attestation key K_a, derivable per provider (footnote 2)."""
+    return derive_key(platform_key, b"attest", provider)

@@ -1,0 +1,75 @@
+"""XTEA block cipher (Needham/Wheeler) and a CTR mode.
+
+Secure storage needs symmetric encryption with a per-task key.  XTEA is
+the classic choice for tiny embedded devices: a 64-bit block, a 128-bit
+key, and a few dozen lines of code - the kind of cipher that actually
+ships on MSP430/Cortex-M class parts.  CTR mode turns it into a stream
+cipher so blobs of any length encrypt without padding.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = 0xFFFFFFFF
+_DELTA = 0x9E3779B9
+
+#: Standard number of Feistel rounds.
+ROUNDS = 32
+
+#: Key length in bytes.
+KEY_BYTES = 16
+
+#: Block length in bytes.
+BLOCK_BYTES = 8
+
+
+class XTEA:
+    """XTEA with a fixed 128-bit key."""
+
+    def __init__(self, key):
+        key = bytes(key)
+        if len(key) != KEY_BYTES:
+            raise ValueError("XTEA key must be %d bytes" % KEY_BYTES)
+        self._k = struct.unpack("<4I", key)
+
+    def encrypt_block(self, block):
+        """Encrypt one 8-byte block."""
+        v0, v1 = struct.unpack("<2I", bytes(block))
+        total = 0
+        k = self._k
+        for _ in range(ROUNDS):
+            v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
+            total = (total + _DELTA) & _MASK
+            v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))) & _MASK
+        return struct.pack("<2I", v0, v1)
+
+    def decrypt_block(self, block):
+        """Decrypt one 8-byte block."""
+        v0, v1 = struct.unpack("<2I", bytes(block))
+        total = (_DELTA * ROUNDS) & _MASK
+        k = self._k
+        for _ in range(ROUNDS):
+            v1 = (v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))) & _MASK
+            total = (total - _DELTA) & _MASK
+            v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
+        return struct.pack("<2I", v0, v1)
+
+
+def xtea_ctr(key, nonce, data):
+    """XTEA-CTR keystream XOR: encryption and decryption are the same.
+
+    ``nonce`` is a 4-byte per-blob value; the counter occupies the other
+    half of the block.  Returns ``len(data)`` bytes.
+    """
+    nonce = bytes(nonce)
+    if len(nonce) != 4:
+        raise ValueError("CTR nonce must be 4 bytes")
+    cipher = XTEA(key)
+    out = bytearray()
+    data = bytes(data)
+    for counter in range((len(data) + BLOCK_BYTES - 1) // BLOCK_BYTES):
+        keystream = cipher.encrypt_block(nonce + struct.pack("<I", counter))
+        chunk = data[counter * BLOCK_BYTES : (counter + 1) * BLOCK_BYTES]
+        out += bytes(a ^ b for a, b in zip(chunk, keystream))
+    return bytes(out)

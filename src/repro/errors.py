@@ -1,0 +1,161 @@
+"""Exception hierarchy for the TyTAN reproduction.
+
+Every error raised by the simulator derives from :class:`TyTANError` so
+applications can catch simulator faults separately from programming errors.
+Hardware-level faults (memory protection, illegal instructions) derive from
+:class:`HardwareFault` and carry enough context to diagnose which component
+performed the offending access.
+"""
+
+from __future__ import annotations
+
+
+class TyTANError(Exception):
+    """Base class for all errors raised by the TyTAN simulator."""
+
+
+class ConfigurationError(TyTANError):
+    """A component was configured inconsistently (bad memory map, etc.)."""
+
+
+class HardwareFault(TyTANError):
+    """Base class for faults raised by simulated hardware."""
+
+
+class MemoryFault(HardwareFault):
+    """An access fell outside any mapped memory or MMIO region."""
+
+    def __init__(self, address, size=1, kind="access"):
+        self.address = address
+        self.size = size
+        self.kind = kind
+        super().__init__(
+            "unmapped %s of %d byte(s) at 0x%08X" % (kind, size, address)
+        )
+
+
+class ProtectionFault(HardwareFault):
+    """The EA-MPU denied an access.
+
+    Attributes mirror the information a real EA-MPU would latch into its
+    fault status registers: the faulting address, the access kind
+    (``'read'``, ``'write'``, or ``'execute'``), and the code region that
+    performed the access.
+    """
+
+    def __init__(self, address, kind, actor, detail=""):
+        self.address = address
+        self.kind = kind
+        self.actor = actor
+        self.detail = detail
+        msg = "EA-MPU denied %s at 0x%08X by %r" % (kind, address, actor)
+        if detail:
+            msg += " (%s)" % detail
+        super().__init__(msg)
+
+
+class EntryPointFault(ProtectionFault):
+    """Control entered a protected code region anywhere but its entry point."""
+
+    def __init__(self, address, actor, entry_point):
+        self.entry_point = entry_point
+        super().__init__(
+            address,
+            "execute",
+            actor,
+            detail="region may only be entered at 0x%08X" % entry_point,
+        )
+
+
+class IllegalInstruction(HardwareFault):
+    """The CPU decoded an unknown or malformed instruction."""
+
+    def __init__(self, address, opcode):
+        self.address = address
+        self.opcode = opcode
+        super().__init__(
+            "illegal instruction 0x%02X at 0x%08X" % (opcode, address)
+        )
+
+
+class StackOverflow(HardwareFault):
+    """A task's stack grew below its allocated floor.
+
+    Detected when a context frame would be stored outside the stack
+    area - the FreeRTOS-style overflow check, raised at save time so
+    the overflowing task is killed before it corrupts its own inbox.
+    """
+
+    def __init__(self, task_name, esp, floor):
+        self.task_name = task_name
+        self.esp = esp
+        self.floor = floor
+        super().__init__(
+            "stack overflow in %s: esp=0x%08X below floor 0x%08X"
+            % (task_name, esp, floor)
+        )
+
+
+class AlignmentFault(HardwareFault):
+    """A multi-byte access was required to be aligned but was not."""
+
+    def __init__(self, address, size):
+        self.address = address
+        self.size = size
+        super().__init__(
+            "unaligned %d-byte access at 0x%08X" % (size, address)
+        )
+
+
+class MPUSlotError(TyTANError):
+    """EA-MPU slot management failed (no free slot, overlap, bad index)."""
+
+
+class AssemblerError(TyTANError):
+    """The assembler rejected a source file."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class LinkError(TyTANError):
+    """The linker could not resolve or combine object files."""
+
+
+class ImageFormatError(TyTANError):
+    """A TELF image was malformed or failed verification."""
+
+
+class LoaderError(TyTANError):
+    """Dynamic task loading failed (no memory, bad image, MPU conflict)."""
+
+
+class SchedulerError(TyTANError):
+    """The RTOS scheduler was driven into an invalid state."""
+
+
+class KernelPanic(TyTANError):
+    """An unrecoverable kernel condition (double fault, stack overflow)."""
+
+
+class IPCError(TyTANError):
+    """Secure IPC failed (unknown receiver, oversized message)."""
+
+
+class AttestationError(TyTANError):
+    """Local or remote attestation failed verification."""
+
+
+class SecureStorageError(TyTANError):
+    """Secure storage rejected a request (wrong identity, corrupt blob)."""
+
+
+class SecurityViolation(TyTANError):
+    """An operation violated TyTAN's security policy (not a HW fault).
+
+    Raised by trusted software components when a caller asks for something
+    the policy forbids, e.g. a normal task requesting the attestation key.
+    """

@@ -1,0 +1,45 @@
+"""Simulated Siskiyou Peak hardware platform.
+
+This package models the hardware substrate TyTAN runs on: a 32-bit core
+with a flat physical address space (:mod:`repro.hw.cpu`), byte-addressable
+RAM with memory-mapped I/O (:mod:`repro.hw.memory`, :mod:`repro.hw.mmio`),
+an execution-aware memory protection unit (:mod:`repro.hw.ea_mpu`), a
+hardware exception engine with an interrupt descriptor table
+(:mod:`repro.hw.exceptions`), timers and synthetic sensor devices
+(:mod:`repro.hw.timer`, :mod:`repro.hw.devices`), and a fused platform
+key (:mod:`repro.hw.platform_key`).  :mod:`repro.hw.platform` wires the
+pieces into a bootable machine.
+"""
+
+from repro.hw.memory import MemoryMap, RamRegion, PhysicalMemory
+from repro.hw.mmio import MmioDevice, MmioRegion
+from repro.hw.registers import RegisterFile, Reg, Flag
+from repro.hw.ea_mpu import EAMPU, MpuRule, Perm
+from repro.hw.exceptions import ExceptionEngine, InterruptController, Vector
+from repro.hw.cpu import CPU
+from repro.hw.timer import TickTimer, RealTimeClock
+from repro.hw.platform_key import PlatformKeyStore
+from repro.hw.platform import Platform, MachineConfig
+
+__all__ = [
+    "MemoryMap",
+    "RamRegion",
+    "PhysicalMemory",
+    "MmioDevice",
+    "MmioRegion",
+    "RegisterFile",
+    "Reg",
+    "Flag",
+    "EAMPU",
+    "MpuRule",
+    "Perm",
+    "ExceptionEngine",
+    "InterruptController",
+    "Vector",
+    "CPU",
+    "TickTimer",
+    "RealTimeClock",
+    "PlatformKeyStore",
+    "Platform",
+    "MachineConfig",
+]

@@ -1,0 +1,354 @@
+"""The 32-bit core: instruction interpreter with EA-MPU enforcement.
+
+Every instruction fetch runs an execute check against the EA-MPU; every
+data access carries the current EIP as the *actor*, which is what makes
+the MPU execution-aware.  Control transfers (including sequential flow
+across a region boundary) run the entry-point check; only the hardware
+resume path (IRET) and the trusted Int Mux restore are privileged.
+
+Interrupts are taken **between** instructions when EFLAGS.IF is set -
+the core never blocks interrupts for longer than one instruction, which
+is the hardware half of TyTAN's real-time story.
+"""
+
+from __future__ import annotations
+
+from repro import cycles
+from repro.errors import IllegalInstruction, TyTANError
+from repro.hw.memory import u32
+from repro.hw.registers import Flag, RegisterFile
+from repro.isa.encoding import decode
+from repro.isa.opcodes import BASE_CYCLES, Op
+
+#: Longest instruction encoding; fetch reads this many bytes.
+MAX_INSN_BYTES = 6
+
+
+class CPU:
+    """The simulated Siskiyou Peak core."""
+
+    def __init__(self, memory, clock):
+        self.memory = memory
+        self.clock = clock
+        self.regs = RegisterFile()
+        self.engine = None  # wired by the Platform
+        self.halted = False
+        #: Count of retired instructions (diagnostics / tests).
+        self.retired = 0
+        #: Optional callable invoked as ``hook(cpu, insn)`` before each
+        #: instruction executes (tracing).
+        self.trace_hook = None
+        #: Optional control-transfer monitor ``hook(from_eip, to_eip)``
+        #: invoked on every taken branch/call/return.  This is the
+        #: attachment point for hardware-assisted runtime attack
+        #: detection (the paper's second future-work item); the hook
+        #: may raise a :class:`~repro.errors.HardwareFault` to kill the
+        #: offending task.
+        self.transfer_hook = None
+
+    def attach_engine(self, engine):
+        """Wire the exception engine (done by the Platform)."""
+        self.engine = engine
+
+    # -- interrupt intake ---------------------------------------------------
+
+    def maybe_take_interrupt(self):
+        """Deliver the highest-priority pending IRQ if unmasked.
+
+        Returns the delivered vector or ``None``.  Delivery wakes a
+        halted core.
+        """
+        if self.engine is None:
+            return None
+        controller = self.engine.controller
+        if not controller.has_pending():
+            return None
+        if not self.regs.interrupts_enabled:
+            return None
+        vector = controller.take()
+        self.halted = False
+        self.engine.deliver(self, vector)
+        return vector
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self):
+        """Execute one instruction; returns cycles charged.
+
+        A halted core just burns one idle cycle waiting for an
+        interrupt.
+        """
+        if self.halted:
+            self.clock.charge(1)
+            return 1
+        before = self.clock.now
+        eip = self.regs.eip
+        self.memory.check_execute(eip, eip)
+        insn = self._fetch(eip)
+        if self.trace_hook is not None:
+            self.trace_hook(self, insn)
+        self._execute(insn)
+        self.retired += 1
+        return self.clock.now - before
+
+    def _fetch(self, eip):
+        window = min(MAX_INSN_BYTES, self._fetch_limit(eip))
+        blob = self.memory.read_raw(eip, window)
+        return decode(blob, 0, address=eip)
+
+    def _fetch_limit(self, eip):
+        region = self.memory.map.try_find(eip, 1)
+        if region is None:
+            raise IllegalInstruction(eip, 0xFF)
+        return region.end - eip
+
+    # -- memory helpers (actor = current EIP) -------------------------------
+
+    def _load(self, address, size):
+        payload = self.memory.read(address, size, actor=self.regs.eip)
+        return int.from_bytes(payload, "little")
+
+    def _store(self, address, value, size):
+        payload = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        self.memory.write(address, payload, actor=self.regs.eip)
+
+    def push(self, value):
+        """Push a 32-bit value onto the current stack."""
+        self.regs.esp = self.regs.esp - 4
+        self._store(self.regs.esp, value, 4)
+
+    def pop(self):
+        """Pop a 32-bit value from the current stack."""
+        value = self._load(self.regs.esp, 4)
+        self.regs.esp = self.regs.esp + 4
+        return value
+
+    # -- flag helpers -----------------------------------------------------------
+
+    def _set_zsf(self, result):
+        self.regs.set_flag(Flag.ZF, result == 0)
+        self.regs.set_flag(Flag.SF, bool(result & 0x80000000))
+
+    def _alu_add(self, a, b):
+        raw = a + b
+        result = u32(raw)
+        self.regs.set_flag(Flag.CF, raw > 0xFFFFFFFF)
+        sa, sb, sr = a >> 31, b >> 31, result >> 31
+        self.regs.set_flag(Flag.OF, sa == sb and sr != sa)
+        self._set_zsf(result)
+        return result
+
+    def _alu_sub(self, a, b):
+        raw = a - b
+        result = u32(raw)
+        self.regs.set_flag(Flag.CF, raw < 0)
+        sa, sb, sr = a >> 31, b >> 31, result >> 31
+        self.regs.set_flag(Flag.OF, sa != sb and sr != sa)
+        self._set_zsf(result)
+        return result
+
+    def _alu_logic(self, result):
+        result = u32(result)
+        self.regs.set_flag(Flag.CF, False)
+        self.regs.set_flag(Flag.OF, False)
+        self._set_zsf(result)
+        return result
+
+    # -- control transfer ---------------------------------------------------
+
+    def _jump(self, target, privileged=False, taken_cost=True):
+        if self.memory.mpu is not None:
+            self.memory.mpu.check_transfer(self.regs.eip, target, privileged)
+        if self.transfer_hook is not None:
+            self.transfer_hook(self.regs.eip, u32(target))
+        self.regs.eip = u32(target)
+        if taken_cost:
+            self.clock.charge(cycles.INSN_BRANCH_TAKEN)
+
+    def _advance(self, insn):
+        """Sequential flow to the next instruction.
+
+        Region boundaries are still subject to the entry-point check:
+        falling off the end of public code into a protected region is a
+        control transfer like any other.
+        """
+        target = self.regs.eip + insn.length
+        if self.memory.mpu is not None:
+            self.memory.mpu.check_transfer(self.regs.eip, target, False)
+        self.regs.eip = u32(target)
+
+    # -- condition evaluation ----------------------------------------------
+
+    def _condition(self, opcode):
+        regs = self.regs
+        zf = regs.get_flag(Flag.ZF)
+        cf = regs.get_flag(Flag.CF)
+        sf = regs.get_flag(Flag.SF)
+        of = regs.get_flag(Flag.OF)
+        if opcode == Op.JZ:
+            return zf
+        if opcode == Op.JNZ:
+            return not zf
+        if opcode == Op.JC:
+            return cf
+        if opcode == Op.JNC:
+            return not cf
+        if opcode == Op.JS:
+            return sf
+        if opcode == Op.JNS:
+            return not sf
+        if opcode == Op.JG:
+            return not zf and sf == of
+        if opcode == Op.JL:
+            return sf != of
+        if opcode == Op.JGE:
+            return sf == of
+        if opcode == Op.JLE:
+            return zf or sf != of
+        raise AssertionError("not a condition: %02X" % opcode)
+
+    # -- the interpreter ------------------------------------------------------
+
+    def _execute(self, insn):
+        op = insn.opcode
+        regs = self.regs
+        self.clock.charge(BASE_CYCLES[op])
+
+        if op == Op.NOP:
+            self._advance(insn)
+        elif op == Op.HLT:
+            self.halted = True
+            self._advance(insn)
+        elif op == Op.CLI:
+            regs.set_flag(Flag.IF, False)
+            self._advance(insn)
+        elif op == Op.STI:
+            regs.set_flag(Flag.IF, True)
+            self._advance(insn)
+        elif op == Op.RET:
+            target = self.pop()
+            self._jump(target)
+        elif op == Op.IRET:
+            # The hardware half of interrupt return: pop EIP/EFLAGS and
+            # resume the interrupted stream (privileged transfer).
+            self.engine.hw_return(self)
+        elif op == Op.MOV:
+            regs.write(insn.reg, regs.read(insn.reg2))
+            self._advance(insn)
+        elif op == Op.ADD:
+            regs.write(insn.reg, self._alu_add(regs.read(insn.reg), regs.read(insn.reg2)))
+            self._advance(insn)
+        elif op == Op.SUB:
+            regs.write(insn.reg, self._alu_sub(regs.read(insn.reg), regs.read(insn.reg2)))
+            self._advance(insn)
+        elif op == Op.AND:
+            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) & regs.read(insn.reg2)))
+            self._advance(insn)
+        elif op == Op.OR:
+            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) | regs.read(insn.reg2)))
+            self._advance(insn)
+        elif op == Op.XOR:
+            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) ^ regs.read(insn.reg2)))
+            self._advance(insn)
+        elif op == Op.CMP:
+            self._alu_sub(regs.read(insn.reg), regs.read(insn.reg2))
+            self._advance(insn)
+        elif op == Op.SHL:
+            shift = regs.read(insn.reg2) & 0x1F
+            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) << shift))
+            self._advance(insn)
+        elif op == Op.SHR:
+            shift = regs.read(insn.reg2) & 0x1F
+            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) >> shift))
+            self._advance(insn)
+        elif op == Op.MUL:
+            raw = regs.read(insn.reg) * regs.read(insn.reg2)
+            regs.write(insn.reg, u32(raw))
+            regs.set_flag(Flag.CF, raw > 0xFFFFFFFF)
+            regs.set_flag(Flag.OF, raw > 0xFFFFFFFF)
+            self._set_zsf(u32(raw))
+            self._advance(insn)
+        elif op == Op.DIV:
+            divisor = regs.read(insn.reg2)
+            if divisor == 0:
+                self._advance(insn)
+                self.engine.deliver(self, 0x00)  # divide error
+                return
+            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) // divisor))
+            self._advance(insn)
+        elif op == Op.MOVI:
+            regs.write(insn.reg, insn.imm)
+            self._advance(insn)
+        elif op == Op.ADDI:
+            regs.write(insn.reg, self._alu_add(regs.read(insn.reg), u32(insn.imm)))
+            self._advance(insn)
+        elif op == Op.SUBI:
+            regs.write(insn.reg, self._alu_sub(regs.read(insn.reg), u32(insn.imm)))
+            self._advance(insn)
+        elif op == Op.ANDI:
+            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) & insn.imm))
+            self._advance(insn)
+        elif op == Op.ORI:
+            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) | insn.imm))
+            self._advance(insn)
+        elif op == Op.XORI:
+            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) ^ insn.imm))
+            self._advance(insn)
+        elif op == Op.CMPI:
+            self._alu_sub(regs.read(insn.reg), u32(insn.imm))
+            self._advance(insn)
+        elif op == Op.SHLI:
+            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) << (insn.imm & 0x1F)))
+            self._advance(insn)
+        elif op == Op.SHRI:
+            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) >> (insn.imm & 0x1F)))
+            self._advance(insn)
+        elif op == Op.LD:
+            address = u32(regs.read(insn.reg2) + insn.imm)
+            regs.write(insn.reg, self._load(address, 4))
+            self._advance(insn)
+        elif op == Op.ST:
+            address = u32(regs.read(insn.reg2) + insn.imm)
+            self._store(address, regs.read(insn.reg), 4)
+            self._advance(insn)
+        elif op == Op.LDB:
+            address = u32(regs.read(insn.reg2) + insn.imm)
+            regs.write(insn.reg, self._load(address, 1))
+            self._advance(insn)
+        elif op == Op.STB:
+            address = u32(regs.read(insn.reg2) + insn.imm)
+            self._store(address, regs.read(insn.reg), 1)
+            self._advance(insn)
+        elif op == Op.JMP:
+            self._jump(insn.imm)
+        elif op == Op.CALL:
+            self.push(self.regs.eip + insn.length)
+            self._jump(insn.imm)
+        elif op in (
+            Op.JZ, Op.JNZ, Op.JC, Op.JNC, Op.JS,
+            Op.JNS, Op.JG, Op.JL, Op.JGE, Op.JLE,
+        ):
+            if self._condition(op):
+                self._jump(insn.imm)
+            else:
+                self._advance(insn)
+        elif op == Op.PUSH:
+            self.push(regs.read(insn.reg))
+            self._advance(insn)
+        elif op == Op.POP:
+            regs.write(insn.reg, self.pop())
+            self._advance(insn)
+        elif op == Op.PUSHI:
+            self.push(insn.imm)
+            self._advance(insn)
+        elif op == Op.NOT:
+            regs.write(insn.reg, self._alu_logic(~regs.read(insn.reg)))
+            self._advance(insn)
+        elif op == Op.NEG:
+            regs.write(insn.reg, self._alu_sub(0, regs.read(insn.reg)))
+            self._advance(insn)
+        elif op == Op.INT:
+            self._advance(insn)
+            self.engine.deliver(self, insn.imm, charge=False)
+        else:  # pragma: no cover - opcode table is closed
+            raise TyTANError("unhandled opcode 0x%02X" % op)

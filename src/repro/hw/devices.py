@@ -1,0 +1,126 @@
+"""Synthetic sensor and actuator devices for the automotive use case.
+
+The paper's evaluation (Section 6, Figure 2) uses a *simulated* adaptive
+cruise control system: an accelerator-pedal position sensor, a radar
+sensor measuring the distance/speed of the vehicle in front, and the
+engine control actuator.  We model each as an MMIO device whose value
+follows a scripted trace over simulated time, which preserves the code
+path the paper exercises (secure tasks polling MMIO sensors and feeding
+an engine-control task over secure IPC).
+"""
+
+from __future__ import annotations
+
+from repro.hw.mmio import MmioDevice
+
+
+class TraceSensor(MmioDevice):
+    """A read-only sensor whose sample follows a piecewise-linear trace.
+
+    ``trace`` is a list of ``(cycle, value)`` breakpoints; reads return
+    the interpolated value at the current cycle (clamped to the ends).
+    Register ``0x00`` is the current sample; register ``0x04`` counts
+    reads, so tests can verify a monitoring task's polling rate.
+    """
+
+    REG_SAMPLE = 0x00
+    REG_READS = 0x04
+
+    def __init__(self, name, clock, trace, scale=1):
+        super().__init__(name)
+        if not trace:
+            raise ValueError("sensor trace must not be empty")
+        self.clock = clock
+        self.trace = sorted(trace)
+        self.scale = scale
+        self.reads = 0
+
+    def sample_at(self, now):
+        """Interpolated sensor value at absolute cycle ``now``."""
+        trace = self.trace
+        if now <= trace[0][0]:
+            return int(trace[0][1] * self.scale)
+        if now >= trace[-1][0]:
+            return int(trace[-1][1] * self.scale)
+        for (t0, v0), (t1, v1) in zip(trace, trace[1:]):
+            if t0 <= now <= t1:
+                if t1 == t0:
+                    return int(v1 * self.scale)
+                frac = (now - t0) / (t1 - t0)
+                return int((v0 + frac * (v1 - v0)) * self.scale)
+        return int(trace[-1][1] * self.scale)  # pragma: no cover
+
+    def reg_read(self, offset):
+        if offset == self.REG_SAMPLE:
+            self.reads += 1
+            return self.sample_at(self.clock.now) & 0xFFFFFFFF
+        if offset == self.REG_READS:
+            return self.reads & 0xFFFFFFFF
+        return super().reg_read(offset)
+
+
+class PedalSensor(TraceSensor):
+    """Accelerator pedal position, 0..1000 (per-mille of full travel)."""
+
+    def __init__(self, clock, trace=None):
+        if trace is None:
+            trace = [(0, 300)]
+        super().__init__("pedal", clock, trace)
+
+
+class RadarSensor(TraceSensor):
+    """Distance to the vehicle in front, in decimetres."""
+
+    def __init__(self, clock, trace=None):
+        if trace is None:
+            trace = [(0, 800)]
+        super().__init__("radar", clock, trace)
+
+
+class SpeedSensor(TraceSensor):
+    """Own vehicle speed, in 0.1 km/h units."""
+
+    def __init__(self, clock, trace=None):
+        if trace is None:
+            trace = [(0, 500)]
+        super().__init__("speed", clock, trace)
+
+
+class EngineActuator(MmioDevice):
+    """The engine control output.
+
+    Register ``0x00`` receives throttle commands (0..1000); the device
+    keeps a timestamped history so the use-case bench can verify the
+    control loop's output rate and values.
+    """
+
+    REG_THROTTLE = 0x00
+    REG_LAST = 0x04
+    REG_COUNT = 0x08
+
+    def __init__(self, clock):
+        super().__init__("engine")
+        self.clock = clock
+        self.history = []
+
+    @property
+    def last_command(self):
+        """Most recent throttle command, or ``None``."""
+        return self.history[-1][1] if self.history else None
+
+    def reg_read(self, offset):
+        if offset == self.REG_LAST:
+            return (self.last_command or 0) & 0xFFFFFFFF
+        if offset == self.REG_COUNT:
+            return len(self.history) & 0xFFFFFFFF
+        return super().reg_read(offset)
+
+    def reg_write(self, offset, value):
+        if offset == self.REG_THROTTLE:
+            self.history.append((self.clock.now, value))
+        else:
+            super().reg_write(offset, value)
+
+    def commands_between(self, start, end):
+        """Throttle commands issued in cycle window ``[start, end)``."""
+        return [(t, v) for t, v in self.history if start <= t < end]

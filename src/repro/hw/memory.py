@@ -1,0 +1,216 @@
+"""Flat physical memory with a region map.
+
+Siskiyou Peak uses a flat, physical addressing model: no MMU, no virtual
+memory.  :class:`PhysicalMemory` models the bus: it routes each access to
+a RAM region or an MMIO region, and (when an EA-MPU is attached) runs the
+execution-aware access check before the access is performed.
+
+All multi-byte values are little-endian, matching the x86 lineage of the
+platform.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, MemoryFault
+
+MASK32 = 0xFFFFFFFF
+
+
+def u32(value):
+    """Truncate ``value`` to an unsigned 32-bit integer."""
+    return value & MASK32
+
+
+class RamRegion:
+    """A contiguous range of byte-addressable RAM.
+
+    Parameters
+    ----------
+    name:
+        Human-readable region name (shows up in traces and faults).
+    base:
+        First physical address of the region.
+    size:
+        Region length in bytes.
+    """
+
+    def __init__(self, name, base, size):
+        if size <= 0:
+            raise ConfigurationError("region %r has non-positive size" % name)
+        self.name = name
+        self.base = u32(base)
+        self.size = size
+        self.data = bytearray(size)
+
+    @property
+    def end(self):
+        """One past the last address of the region."""
+        return self.base + self.size
+
+    def contains(self, address, size=1):
+        """Whether ``[address, address + size)`` lies inside the region."""
+        return self.base <= address and address + size <= self.end
+
+    def read(self, address, size):
+        """Read ``size`` bytes starting at physical ``address``."""
+        offset = address - self.base
+        return bytes(self.data[offset : offset + size])
+
+    def write(self, address, payload):
+        """Write ``payload`` starting at physical ``address``."""
+        offset = address - self.base
+        self.data[offset : offset + len(payload)] = payload
+
+    def fill(self, value=0):
+        """Overwrite the whole region with ``value`` (for wipes)."""
+        for i in range(self.size):
+            self.data[i] = value
+
+    def __repr__(self):
+        return "RamRegion(%s, 0x%08X..0x%08X)" % (self.name, self.base, self.end)
+
+
+class MemoryMap:
+    """Ordered collection of non-overlapping regions.
+
+    The map is the single source of truth for what exists at each physical
+    address.  Regions may be :class:`RamRegion` or any object exposing the
+    same ``base``/``size``/``contains``/``read``/``write`` protocol (MMIO
+    regions do).
+    """
+
+    def __init__(self):
+        self._regions = []
+
+    def add(self, region):
+        """Register ``region``, refusing overlaps with existing regions."""
+        for existing in self._regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ConfigurationError(
+                    "region %r overlaps %r" % (region.name, existing.name)
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+        return region
+
+    def find(self, address, size=1):
+        """Return the region containing ``[address, address + size)``.
+
+        Raises :class:`MemoryFault` if no region contains the full range.
+        """
+        for region in self._regions:
+            if region.contains(address, size):
+                return region
+        raise MemoryFault(address, size)
+
+    def try_find(self, address, size=1):
+        """Like :meth:`find` but returns ``None`` instead of raising."""
+        for region in self._regions:
+            if region.contains(address, size):
+                return region
+        return None
+
+    def regions(self):
+        """All regions, ordered by base address."""
+        return list(self._regions)
+
+    def region_named(self, name):
+        """Return the region called ``name`` or raise ``KeyError``."""
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+
+class PhysicalMemory:
+    """The memory bus: routes accesses, enforces the EA-MPU.
+
+    Every access carries an *actor*: the identifier of the code region the
+    access is executed from.  This is what makes the MPU execution-aware -
+    the same address may be accessible from one task's code and forbidden
+    from another's.  Hardware agents (the exception engine, DMA-less
+    device models) use the reserved actor :data:`HW_ACTOR`, which bypasses
+    the MPU exactly as bus-master hardware does on the real platform.
+    """
+
+    #: Actor identifier for hardware-initiated accesses (exception engine
+    #: pushing EIP/EFLAGS, device models updating their MMIO windows).
+    HW_ACTOR = "<hardware>"
+
+    def __init__(self, memory_map=None):
+        self.map = memory_map if memory_map is not None else MemoryMap()
+        self.mpu = None
+        self._watchpoints = []
+
+    def attach_mpu(self, mpu):
+        """Install the EA-MPU; all subsequent accesses are checked."""
+        self.mpu = mpu
+
+    def add_watchpoint(self, callback):
+        """Register ``callback(kind, address, size, actor)`` for tracing."""
+        self._watchpoints.append(callback)
+
+    # -- raw (unchecked) accessors used by loaders and device models -----
+
+    def read_raw(self, address, size):
+        """Read without an MPU check (hardware/bootloader privilege)."""
+        region = self.map.find(address, size)
+        return region.read(address, size)
+
+    def write_raw(self, address, payload):
+        """Write without an MPU check (hardware/bootloader privilege)."""
+        region = self.map.find(address, len(payload))
+        region.write(address, bytes(payload))
+
+    # -- checked accessors -------------------------------------------------
+
+    def read(self, address, size, actor=HW_ACTOR):
+        """Read ``size`` bytes as ``actor``, enforcing the EA-MPU."""
+        address = u32(address)
+        self._check("read", address, size, actor)
+        return self.read_raw(address, size)
+
+    def write(self, address, payload, actor=HW_ACTOR):
+        """Write ``payload`` as ``actor``, enforcing the EA-MPU."""
+        address = u32(address)
+        self._check("write", address, len(payload), actor)
+        self.write_raw(address, payload)
+
+    def check_execute(self, address, actor):
+        """Run the MPU execute check for an instruction fetch."""
+        if self.mpu is not None:
+            self.mpu.check(
+                "execute", u32(address), 1, actor
+            )
+
+    def _check(self, kind, address, size, actor):
+        for callback in self._watchpoints:
+            callback(kind, address, size, actor)
+        if self.mpu is not None and actor != self.HW_ACTOR:
+            self.mpu.check(kind, address, size, actor)
+
+    # -- typed helpers ------------------------------------------------------
+
+    def read_u8(self, address, actor=HW_ACTOR):
+        """Read an unsigned byte."""
+        return self.read(address, 1, actor)[0]
+
+    def read_u16(self, address, actor=HW_ACTOR):
+        """Read an unsigned little-endian 16-bit value."""
+        return int.from_bytes(self.read(address, 2, actor), "little")
+
+    def read_u32(self, address, actor=HW_ACTOR):
+        """Read an unsigned little-endian 32-bit value."""
+        return int.from_bytes(self.read(address, 4, actor), "little")
+
+    def write_u8(self, address, value, actor=HW_ACTOR):
+        """Write an unsigned byte."""
+        self.write(address, bytes([value & 0xFF]), actor)
+
+    def write_u16(self, address, value, actor=HW_ACTOR):
+        """Write an unsigned little-endian 16-bit value."""
+        self.write(address, (value & 0xFFFF).to_bytes(2, "little"), actor)
+
+    def write_u32(self, address, value, actor=HW_ACTOR):
+        """Write an unsigned little-endian 32-bit value."""
+        self.write(address, u32(value).to_bytes(4, "little"), actor)

@@ -1,0 +1,81 @@
+"""Memory-mapped I/O.
+
+Siskiyou Peak interacts with peripherals exclusively through MMIO.  An
+:class:`MmioDevice` implements word-sized register reads and writes at
+offsets within its window; :class:`MmioRegion` adapts a device to the
+:class:`repro.hw.memory.MemoryMap` region protocol so the bus can route
+accesses to it transparently.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlignmentFault, MemoryFault
+
+
+class MmioDevice:
+    """Base class for memory-mapped peripherals.
+
+    Subclasses override :meth:`reg_read` / :meth:`reg_write`, which operate
+    on 32-bit registers addressed by byte offset within the device window.
+    """
+
+    #: Size of the device's MMIO window in bytes.
+    WINDOW = 0x100
+
+    def __init__(self, name):
+        self.name = name
+
+    def reg_read(self, offset):
+        """Read the 32-bit register at byte ``offset``; override."""
+        raise MemoryFault(offset, 4, kind="mmio read")
+
+    def reg_write(self, offset, value):
+        """Write the 32-bit register at byte ``offset``; override."""
+        raise MemoryFault(offset, 4, kind="mmio write")
+
+    def tick(self, now):
+        """Advance device state to absolute cycle ``now``; optional."""
+
+
+class MmioRegion:
+    """Adapter exposing an :class:`MmioDevice` as a memory-map region.
+
+    MMIO accesses must be whole, aligned 32-bit words - the device models
+    have word-granular registers, as the real platform does.
+    """
+
+    def __init__(self, device, base):
+        self.device = device
+        self.name = "mmio:%s" % device.name
+        self.base = base
+        self.size = device.WINDOW
+
+    @property
+    def end(self):
+        """One past the last address of the window."""
+        return self.base + self.size
+
+    def contains(self, address, size=1):
+        """Whether the access range falls inside the window."""
+        return self.base <= address and address + size <= self.end
+
+    def read(self, address, size):
+        """Route a bus read to the device's register file."""
+        self._require_word(address, size)
+        value = self.device.reg_read(address - self.base)
+        return (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def write(self, address, payload):
+        """Route a bus write to the device's register file."""
+        self._require_word(address, len(payload))
+        value = int.from_bytes(payload, "little")
+        self.device.reg_write(address - self.base, value)
+
+    def _require_word(self, address, size):
+        if size != 4:
+            raise MemoryFault(address, size, kind="non-word mmio")
+        if address % 4 != 0:
+            raise AlignmentFault(address, size)
+
+    def __repr__(self):
+        return "MmioRegion(%s, 0x%08X..0x%08X)" % (self.name, self.base, self.end)

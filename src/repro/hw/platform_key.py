@@ -1,0 +1,76 @@
+"""The fused platform key K_p.
+
+"The TyTAN hardware platform comes with a platform key K_p.  Access to
+this key is controlled by the EA-MPU and only trusted software
+components have access to it.  Additional keys can be derivated from
+K_p, e.g., for remote attestation or for secure storage." (Section 3)
+
+We model the key store as a small read-only memory window.  Secure boot
+installs a locked EA-MPU rule whose subjects are exactly the trusted
+components allowed to read the window; any other read faults.  The
+:meth:`PlatformKeyStore.read_key` helper performs the read *through the
+bus with the caller's code address as actor*, so the MPU decides.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+#: Length of K_p in bytes (160 bits, one SHA-1 block's worth of key).
+KEY_BYTES = 20
+
+
+class PlatformKeyStore:
+    """The key-fuse window mapped at ``base`` in physical memory.
+
+    Parameters
+    ----------
+    memory:
+        The bus; the key bytes are written into the backing RAM region
+        at construction (modelling fuses visible as ROM).
+    base:
+        Physical address of the window.
+    key:
+        The fused key bytes; deterministic default for reproducibility.
+    """
+
+    def __init__(self, memory, base, key=None):
+        if key is None:
+            # Deterministic but non-trivial default "fuse" pattern.
+            key = bytes(
+                (0x5A ^ (i * 37 + 11)) & 0xFF for i in range(KEY_BYTES)
+            )
+        if len(key) != KEY_BYTES:
+            raise ValueError("platform key must be %d bytes" % KEY_BYTES)
+        self.memory = memory
+        self.base = base
+        self._key = bytes(key)
+        memory.write_raw(base, self._key)
+
+    @property
+    def size(self):
+        """Window size in bytes."""
+        return KEY_BYTES
+
+    def read_key(self, actor):
+        """Read K_p through the bus as ``actor``.
+
+        Raises :class:`repro.errors.ProtectionFault` unless the EA-MPU
+        grants ``actor`` read access to the window - i.e. unless the
+        caller is a trusted component.
+        """
+        return self.memory.read(self.base, KEY_BYTES, actor=actor)
+
+    def raw_key(self):
+        """The key without an access check - test/verifier oracle only.
+
+        A remote verifier is assumed to share K_p (or a key derived from
+        it) with the device out of band; tests use this to play that
+        verifier role.
+        """
+        return self._key
+
+    def words(self):
+        """The key as little-endian 32-bit words (diagnostics)."""
+        return list(struct.unpack("<5I", self._key))

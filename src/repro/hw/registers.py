@@ -1,0 +1,129 @@
+"""CPU register file.
+
+The core carries eight 32-bit general-purpose registers with x86 naming
+(the paper's Siskiyou Peak is an x86-lineage embedded core and the paper
+refers to EIP and EFLAGS explicitly), plus the instruction pointer EIP
+and the flags register EFLAGS.
+
+The split matters architecturally: on an interrupt the *hardware
+exception engine* pushes EIP and EFLAGS to the interrupted task's stack,
+while the remaining eight registers are saved by software - by the OS
+interrupt handler for normal tasks, and by the trusted Int Mux for secure
+tasks (Section 4 of the paper, Tables 2 and 3).
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import u32
+
+
+class Reg:
+    """Register indices for the eight software-saved registers."""
+
+    EAX = 0
+    ECX = 1
+    EDX = 2
+    EBX = 3
+    ESP = 4
+    EBP = 5
+    ESI = 6
+    EDI = 7
+
+    NAMES = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"]
+    COUNT = 8
+
+    @classmethod
+    def index(cls, name):
+        """Map a register name (any case) to its index."""
+        return cls.NAMES.index(name.lower())
+
+    @classmethod
+    def name(cls, index):
+        """Map a register index to its canonical lower-case name."""
+        return cls.NAMES[index]
+
+
+class Flag:
+    """Bit positions inside EFLAGS."""
+
+    CF = 1 << 0  #: carry / unsigned overflow
+    ZF = 1 << 6  #: zero
+    SF = 1 << 7  #: sign
+    IF = 1 << 9  #: interrupts enabled
+    OF = 1 << 11  #: signed overflow
+
+
+class RegisterFile:
+    """The architectural register state of the core."""
+
+    def __init__(self):
+        self.gpr = [0] * Reg.COUNT
+        self.eip = 0
+        self.eflags = Flag.IF
+
+    # -- general-purpose registers ----------------------------------------
+
+    def read(self, index):
+        """Read general-purpose register ``index``."""
+        return self.gpr[index]
+
+    def write(self, index, value):
+        """Write general-purpose register ``index`` (truncated to 32 bits)."""
+        self.gpr[index] = u32(value)
+
+    @property
+    def esp(self):
+        """The stack pointer."""
+        return self.gpr[Reg.ESP]
+
+    @esp.setter
+    def esp(self, value):
+        self.gpr[Reg.ESP] = u32(value)
+
+    # -- flags ---------------------------------------------------------------
+
+    def get_flag(self, flag):
+        """Whether flag bit ``flag`` is set."""
+        return bool(self.eflags & flag)
+
+    def set_flag(self, flag, value):
+        """Set or clear flag bit ``flag``."""
+        if value:
+            self.eflags |= flag
+        else:
+            self.eflags &= ~flag & 0xFFFFFFFF
+
+    @property
+    def interrupts_enabled(self):
+        """Whether maskable interrupts are accepted (EFLAGS.IF)."""
+        return self.get_flag(Flag.IF)
+
+    # -- context snapshots ---------------------------------------------------
+
+    def snapshot(self):
+        """Copy the full architectural state (for traces and tests)."""
+        return {
+            "gpr": list(self.gpr),
+            "eip": self.eip,
+            "eflags": self.eflags,
+        }
+
+    def restore(self, snapshot):
+        """Restore a snapshot produced by :meth:`snapshot`."""
+        self.gpr = list(snapshot["gpr"])
+        self.eip = snapshot["eip"]
+        self.eflags = snapshot["eflags"]
+
+    def wipe_gprs(self):
+        """Zero all general-purpose registers (the Int Mux wipe step)."""
+        self.gpr = [0] * Reg.COUNT
+
+    def __repr__(self):
+        regs = " ".join(
+            "%s=%08X" % (Reg.name(i), v) for i, v in enumerate(self.gpr)
+        )
+        return "<RegisterFile eip=%08X eflags=%08X %s>" % (
+            self.eip,
+            self.eflags,
+            regs,
+        )

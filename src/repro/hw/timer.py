@@ -1,0 +1,145 @@
+"""Timers: the RTOS tick source and the high-resolution real-time clock.
+
+The paper requires a "high-resolution real-time clock" and "special
+alarms and time-outs" (FreeRTOS real-time properties, Section 4).  The
+:class:`TickTimer` raises the periodic scheduler tick interrupt; the
+:class:`RealTimeClock` exposes the free-running cycle counter and a
+one-shot alarm comparator over MMIO.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.exceptions import Vector
+from repro.hw.mmio import MmioDevice
+
+
+class TickTimer(MmioDevice):
+    """Periodic tick interrupt generator.
+
+    MMIO registers (byte offsets):
+
+    * ``0x00`` PERIOD - cycles between ticks (read/write; write restarts)
+    * ``0x04`` ENABLE - 1 enables tick generation
+    * ``0x08`` COUNT  - ticks raised so far (read-only)
+    """
+
+    REG_PERIOD = 0x00
+    REG_ENABLE = 0x04
+    REG_COUNT = 0x08
+
+    def __init__(self, controller, period, vector=Vector.TIMER):
+        super().__init__("tick-timer")
+        if period <= 0:
+            raise ConfigurationError("tick period must be positive")
+        self.controller = controller
+        self.period = period
+        self.vector = vector
+        self.enabled = False
+        self.ticks = 0
+        self._next_fire = None
+
+    def start(self, now):
+        """Enable the timer; first tick fires one period from ``now``."""
+        self.enabled = True
+        self._next_fire = now + self.period
+
+    def stop(self):
+        """Disable tick generation."""
+        self.enabled = False
+        self._next_fire = None
+
+    def tick(self, now):
+        """Raise the tick IRQ for every period boundary crossed."""
+        if not self.enabled:
+            return
+        while self._next_fire is not None and now >= self._next_fire:
+            self.controller.raise_irq(self.vector)
+            self.ticks += 1
+            self._next_fire += self.period
+
+    def next_event(self):
+        """Cycle of the next tick, or ``None`` when disabled."""
+        return self._next_fire if self.enabled else None
+
+    # -- MMIO -------------------------------------------------------------
+
+    def reg_read(self, offset):
+        if offset == self.REG_PERIOD:
+            return self.period
+        if offset == self.REG_ENABLE:
+            return 1 if self.enabled else 0
+        if offset == self.REG_COUNT:
+            return self.ticks & 0xFFFFFFFF
+        return super().reg_read(offset)
+
+    def reg_write(self, offset, value):
+        if offset == self.REG_PERIOD:
+            if value <= 0:
+                raise ConfigurationError("tick period must be positive")
+            self.period = value
+        elif offset == self.REG_ENABLE:
+            self.enabled = bool(value)
+        else:
+            super().reg_write(offset, value)
+
+
+class RealTimeClock(MmioDevice):
+    """Free-running high-resolution clock with a one-shot alarm.
+
+    MMIO registers:
+
+    * ``0x00`` NOW_LO / ``0x04`` NOW_HI - 64-bit cycle counter
+    * ``0x08`` ALARM_LO / ``0x0C`` ALARM_HI - one-shot alarm compare
+    * ``0x10`` ALARM_EN - 1 arms the alarm
+    """
+
+    REG_NOW_LO = 0x00
+    REG_NOW_HI = 0x04
+    REG_ALARM_LO = 0x08
+    REG_ALARM_HI = 0x0C
+    REG_ALARM_EN = 0x10
+
+    def __init__(self, clock, controller, vector=Vector.DEVICE_BASE + 0xF):
+        super().__init__("rtc")
+        self.clock = clock
+        self.controller = controller
+        self.vector = vector
+        self.alarm = 0
+        self.alarm_enabled = False
+
+    def tick(self, now):
+        """Fire the alarm when the counter passes the compare value."""
+        if self.alarm_enabled and now >= self.alarm:
+            self.controller.raise_irq(self.vector)
+            self.alarm_enabled = False
+
+    def next_event(self):
+        """Cycle of the pending alarm, or ``None``."""
+        return self.alarm if self.alarm_enabled else None
+
+    # -- MMIO -------------------------------------------------------------
+
+    def reg_read(self, offset):
+        now = self.clock.now
+        if offset == self.REG_NOW_LO:
+            return now & 0xFFFFFFFF
+        if offset == self.REG_NOW_HI:
+            return (now >> 32) & 0xFFFFFFFF
+        if offset == self.REG_ALARM_LO:
+            return self.alarm & 0xFFFFFFFF
+        if offset == self.REG_ALARM_HI:
+            return (self.alarm >> 32) & 0xFFFFFFFF
+        if offset == self.REG_ALARM_EN:
+            return 1 if self.alarm_enabled else 0
+        return super().reg_read(offset)
+
+    def reg_write(self, offset, value):
+        if offset == self.REG_ALARM_LO:
+            self.alarm = (self.alarm & ~0xFFFFFFFF) | value
+        elif offset == self.REG_ALARM_HI:
+            self.alarm = (self.alarm & 0xFFFFFFFF) | (value << 32)
+        elif offset == self.REG_ALARM_EN:
+            self.alarm_enabled = bool(value)
+        else:
+            super().reg_write(offset, value)

@@ -1,0 +1,37 @@
+"""Relocatable task binaries.
+
+The paper's implementation extends FreeRTOS with an ELF loader because
+FreeRTOS runs on physical memory: a task's base address depends on which
+memory is free at load time, so binaries must be relocatable and carry
+relocation entries (Section 4, "Dynamic task handling").
+
+We implement a minimal ELF-like container, **TELF**:
+
+* :class:`~repro.image.telf.ObjectFile` - assembler output: sections
+  (``.text``/``.data``/``.bss``), a symbol table, and relocation records.
+* :class:`~repro.image.telf.TaskImage` - linker output: one loadable
+  blob laid out at link base 0, an entry offset, a BSS size, a stack-size
+  hint, and a flat relocation table (byte offsets of 32-bit absolute
+  address words).  Loading at base *B* adds *B* to each site; the RTM
+  reverts exactly this to obtain position-independent measurements.
+* :func:`~repro.image.linker.link` - combines object files into a
+  :class:`TaskImage`.
+"""
+
+from repro.image.telf import (
+    ObjectFile,
+    Relocation,
+    Section,
+    Symbol,
+    TaskImage,
+)
+from repro.image.linker import link
+
+__all__ = [
+    "ObjectFile",
+    "Relocation",
+    "Section",
+    "Symbol",
+    "TaskImage",
+    "link",
+]

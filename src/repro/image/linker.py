@@ -1,0 +1,158 @@
+"""The TELF linker.
+
+Combines one or more :class:`~repro.image.telf.ObjectFile` objects into a
+single loadable :class:`~repro.image.telf.TaskImage`:
+
+1. lay out sections in canonical order (``.text``, then ``.data`` word-
+   aligned, then ``.bss``) at link base 0;
+2. resolve every symbol to its link-base-0 address;
+3. apply relocations by adding the resolved symbol address to the addend
+   already stored at each fixup site;
+4. emit the flat relocation table the loader and the RTM consume.
+
+Symbols must resolve uniquely across the input objects; the entry symbol
+(default ``start``) must exist and live in ``.text``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LinkError
+from repro.image.telf import (
+    DEFAULT_STACK_SIZE,
+    SECTION_ORDER,
+    TaskImage,
+)
+
+#: Alignment applied between sections.
+SECTION_ALIGN = 4
+
+
+def _align(value, alignment):
+    """Round ``value`` up to a multiple of ``alignment``."""
+    return (value + alignment - 1) // alignment * alignment
+
+
+def link(objects, name=None, entry_symbol="start", stack_size=DEFAULT_STACK_SIZE):
+    """Link ``objects`` into a :class:`TaskImage`.
+
+    Parameters
+    ----------
+    objects:
+        A single object file or an iterable of them.
+    name:
+        Image name; defaults to the first object's name.
+    entry_symbol:
+        Symbol the loader jumps to; must be defined in ``.text``.
+    stack_size:
+        Stack bytes the loader must allocate for the task.
+    """
+    if not isinstance(objects, (list, tuple)):
+        objects = [objects]
+    if not objects:
+        raise LinkError("no input objects")
+    image_name = name if name is not None else objects[0].name
+
+    # -- 1. layout ---------------------------------------------------------
+    # placement[(obj_index, section_name)] -> base offset at link base 0
+    placement = {}
+    cursor = 0
+    section_sizes = {sname: 0 for sname in SECTION_ORDER}
+    for sname in SECTION_ORDER:
+        cursor = _align(cursor, SECTION_ALIGN)
+        section_base = cursor
+        for index, obj in enumerate(objects):
+            section = obj.sections.get(sname)
+            if section is None or section.size == 0:
+                continue
+            cursor = _align(cursor, SECTION_ALIGN)
+            placement[(index, sname)] = cursor
+            cursor += section.size
+        section_sizes[sname] = cursor - section_base
+
+    # -- 2. symbol resolution -----------------------------------------------
+    # Global symbols share one namespace; local labels are scoped to their
+    # object file (two objects may both define a local ``loop``).
+    global_addresses = {}
+    local_addresses = [dict() for _ in objects]
+    for index, obj in enumerate(objects):
+        for sym in obj.symbols.values():
+            key = (index, sym.section)
+            if key not in placement:
+                raise LinkError(
+                    "symbol %r defined in empty section %r" % (sym.name, sym.section)
+                )
+            address = placement[key] + sym.offset
+            if sym.is_global:
+                if sym.name in global_addresses:
+                    raise LinkError("duplicate global symbol %r" % sym.name)
+                global_addresses[sym.name] = address
+            else:
+                local_addresses[index][sym.name] = address
+
+    def resolve(index, symbol):
+        """Resolve ``symbol`` as seen from object ``index``."""
+        if symbol in local_addresses[index]:
+            return local_addresses[index][symbol]
+        if symbol in global_addresses:
+            return global_addresses[symbol]
+        raise LinkError("undefined symbol %r" % symbol)
+
+    entry_address = None
+    if entry_symbol in global_addresses:
+        entry_address = global_addresses[entry_symbol]
+    else:
+        for index in range(len(objects)):
+            if entry_symbol in local_addresses[index]:
+                entry_address = local_addresses[index][entry_symbol]
+                break
+    if entry_address is None:
+        raise LinkError("entry symbol %r not defined" % entry_symbol)
+
+    # -- 3. build the blob and apply relocations ----------------------------
+    blob_size = 0
+    for index, obj in enumerate(objects):
+        for sname in (".text", ".data"):
+            key = (index, sname)
+            if key in placement:
+                end = placement[key] + obj.sections[sname].size
+                blob_size = max(blob_size, end)
+    blob = bytearray(blob_size)
+    for index, obj in enumerate(objects):
+        for sname in (".text", ".data"):
+            key = (index, sname)
+            if key not in placement:
+                continue
+            base = placement[key]
+            data = obj.sections[sname].data
+            blob[base : base + len(data)] = data
+
+    relocation_offsets = []
+    for index, obj in enumerate(objects):
+        for reloc in obj.relocations:
+            key = (index, reloc.section)
+            if key not in placement:
+                raise LinkError(
+                    "relocation in unplaced section %r" % reloc.section
+                )
+            if reloc.section == ".bss":
+                raise LinkError("relocation sites cannot live in .bss")
+            site = placement[key] + reloc.offset
+            addend = int.from_bytes(blob[site : site + 4], "little")
+            value = (resolve(index, reloc.symbol) + addend) & 0xFFFFFFFF
+            blob[site : site + 4] = value.to_bytes(4, "little")
+            relocation_offsets.append(site)
+
+    bss_total = 0
+    for index, obj in enumerate(objects):
+        section = obj.sections.get(".bss")
+        if section is not None:
+            bss_total += _align(section.bss_size, SECTION_ALIGN)
+
+    return TaskImage(
+        image_name,
+        bytes(blob),
+        entry_address,
+        relocation_offsets,
+        bss_size=bss_total,
+        stack_size=stack_size,
+    )

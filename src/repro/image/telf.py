@@ -1,0 +1,328 @@
+"""TELF: the Tiny ELF-like binary container.
+
+Two container kinds live here:
+
+* :class:`ObjectFile` - relocatable assembler output (sections, symbols,
+  relocation records referring to symbols or sections).
+* :class:`TaskImage` - linked, loadable task binary: a single blob laid
+  out at link base 0 plus a flat relocation table.  This is the unit the
+  TyTAN loader loads, the RTM measures, and task providers sign.
+
+Both serialise to deterministic byte strings so that task identities
+(hash digests of the image) are stable.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ImageFormatError
+
+#: Serialised magic for object files.
+OBJ_MAGIC = b"TELF"
+#: Serialised magic for linked task images.
+IMG_MAGIC = b"TIMG"
+#: Container format version.
+VERSION = 1
+
+#: Canonical section order used by the linker layout.
+SECTION_ORDER = (".text", ".data", ".bss")
+
+#: Default stack size granted to a task when the image carries no hint.
+DEFAULT_STACK_SIZE = 512
+
+
+class Section:
+    """A named chunk of an object file.
+
+    ``.bss`` sections carry only a size (their content is implicitly
+    zero); other sections carry bytes.
+    """
+
+    def __init__(self, name, data=b"", bss_size=0):
+        self.name = name
+        self.data = bytearray(data)
+        self.bss_size = bss_size
+
+    @property
+    def size(self):
+        """Section size in bytes (data length, or reserved BSS length)."""
+        if self.name == ".bss":
+            return self.bss_size
+        return len(self.data)
+
+    def append(self, payload):
+        """Append bytes to the section and return their start offset."""
+        offset = len(self.data)
+        self.data += payload
+        return offset
+
+    def reserve(self, count):
+        """Reserve ``count`` zero bytes (BSS) and return their offset."""
+        offset = self.bss_size
+        self.bss_size += count
+        return offset
+
+    def __repr__(self):
+        return "Section(%s, %d bytes)" % (self.name, self.size)
+
+
+class Symbol:
+    """A named location: (section, offset), optionally exported."""
+
+    def __init__(self, name, section, offset, is_global=False):
+        self.name = name
+        self.section = section
+        self.offset = offset
+        self.is_global = is_global
+
+    def __repr__(self):
+        return "Symbol(%s=%s+0x%X%s)" % (
+            self.name,
+            self.section,
+            self.offset,
+            ", global" if self.is_global else "",
+        )
+
+
+class Relocation:
+    """An absolute-address fixup site.
+
+    ``section``/``offset`` locate a 32-bit little-endian word inside the
+    object; the word currently holds the *addend*.  At link time the
+    symbol's address (at link base 0) is added; at load time the load
+    base is added; the RTM subtracts the load base again before hashing.
+    """
+
+    def __init__(self, section, offset, symbol):
+        self.section = section
+        self.offset = offset
+        self.symbol = symbol
+
+    def __repr__(self):
+        return "Relocation(%s+0x%X -> %s)" % (
+            self.section,
+            self.offset,
+            self.symbol,
+        )
+
+
+class ObjectFile:
+    """Relocatable assembler output."""
+
+    def __init__(self, name="object"):
+        self.name = name
+        self.sections = {}
+        self.symbols = {}
+        self.relocations = []
+
+    def section(self, name):
+        """Return (creating if needed) the section called ``name``."""
+        if name not in self.sections:
+            self.sections[name] = Section(name)
+        return self.sections[name]
+
+    def add_symbol(self, name, section, offset, is_global=False):
+        """Define symbol ``name``; redefinition is an error."""
+        if name in self.symbols:
+            raise ImageFormatError("duplicate symbol %r" % name)
+        self.symbols[name] = Symbol(name, section, offset, is_global)
+        return self.symbols[name]
+
+    def add_relocation(self, section, offset, symbol):
+        """Record an absolute-address fixup at ``section+offset``."""
+        reloc = Relocation(section, offset, symbol)
+        self.relocations.append(reloc)
+        return reloc
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_bytes(self):
+        """Serialise deterministically."""
+        out = bytearray()
+        out += OBJ_MAGIC
+        out += struct.pack("<HH", VERSION, len(self.sections))
+        out += _pack_str(self.name)
+        for name in sorted(self.sections):
+            section = self.sections[name]
+            out += _pack_str(name)
+            out += struct.pack("<II", len(section.data), section.bss_size)
+            out += section.data
+        out += struct.pack("<I", len(self.symbols))
+        for name in sorted(self.symbols):
+            sym = self.symbols[name]
+            out += _pack_str(name)
+            out += _pack_str(sym.section)
+            out += struct.pack("<IB", sym.offset, 1 if sym.is_global else 0)
+        out += struct.pack("<I", len(self.relocations))
+        for reloc in self.relocations:
+            out += _pack_str(reloc.section)
+            out += struct.pack("<I", reloc.offset)
+            out += _pack_str(reloc.symbol)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob):
+        """Parse a serialised object file."""
+        view = _Reader(blob)
+        if view.take(4) != OBJ_MAGIC:
+            raise ImageFormatError("bad object magic")
+        version, section_count = struct.unpack("<HH", view.take(4))
+        if version != VERSION:
+            raise ImageFormatError("unsupported object version %d" % version)
+        obj = cls(view.take_str())
+        for _ in range(section_count):
+            name = view.take_str()
+            data_len, bss_size = struct.unpack("<II", view.take(8))
+            section = Section(name, view.take(data_len), bss_size)
+            obj.sections[name] = section
+        (symbol_count,) = struct.unpack("<I", view.take(4))
+        for _ in range(symbol_count):
+            name = view.take_str()
+            section = view.take_str()
+            offset, glob = struct.unpack("<IB", view.take(5))
+            obj.symbols[name] = Symbol(name, section, offset, bool(glob))
+        (reloc_count,) = struct.unpack("<I", view.take(4))
+        for _ in range(reloc_count):
+            section = view.take_str()
+            (offset,) = struct.unpack("<I", view.take(4))
+            symbol = view.take_str()
+            obj.relocations.append(Relocation(section, offset, symbol))
+        return obj
+
+
+class TaskImage:
+    """A linked, loadable task binary.
+
+    Attributes
+    ----------
+    name:
+        Task name (informational; identity is the hash, not the name).
+    blob:
+        ``.text`` + ``.data`` laid out at link base 0.
+    bss_size:
+        Bytes of zero-initialised memory following the blob.
+    entry:
+        Entry offset within the blob.
+    stack_size:
+        Stack bytes the loader must allocate after BSS.
+    relocations:
+        Sorted byte offsets (within the blob) of 32-bit words holding
+        absolute addresses relative to link base 0.
+    """
+
+    def __init__(
+        self,
+        name,
+        blob,
+        entry,
+        relocations,
+        bss_size=0,
+        stack_size=DEFAULT_STACK_SIZE,
+    ):
+        self.name = name
+        self.blob = bytes(blob)
+        self.entry = entry
+        self.relocations = sorted(relocations)
+        self.bss_size = bss_size
+        self.stack_size = stack_size
+        self._validate()
+
+    def _validate(self):
+        if self.entry >= len(self.blob) and self.blob:
+            raise ImageFormatError(
+                "entry 0x%X outside blob of %d bytes" % (self.entry, len(self.blob))
+            )
+        for offset in self.relocations:
+            if offset + 4 > len(self.blob):
+                raise ImageFormatError(
+                    "relocation at 0x%X outside blob" % offset
+                )
+        if self.stack_size <= 0:
+            raise ImageFormatError("stack size must be positive")
+
+    @property
+    def memory_size(self):
+        """Total RAM the task occupies: blob + BSS + stack."""
+        return len(self.blob) + self.bss_size + self.stack_size
+
+    @property
+    def measured_size(self):
+        """Bytes covered by the RTM measurement (code + static data)."""
+        return len(self.blob)
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_bytes(self):
+        """Serialise deterministically; this is what providers distribute
+        and what the task identity hash covers."""
+        out = bytearray()
+        out += IMG_MAGIC
+        out += struct.pack("<HH", VERSION, 0)
+        out += _pack_str(self.name)
+        out += struct.pack(
+            "<IIIII",
+            len(self.blob),
+            self.bss_size,
+            self.entry,
+            self.stack_size,
+            len(self.relocations),
+        )
+        for offset in self.relocations:
+            out += struct.pack("<I", offset)
+        out += self.blob
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob):
+        """Parse a serialised task image."""
+        view = _Reader(blob)
+        if view.take(4) != IMG_MAGIC:
+            raise ImageFormatError("bad image magic")
+        version, _ = struct.unpack("<HH", view.take(4))
+        if version != VERSION:
+            raise ImageFormatError("unsupported image version %d" % version)
+        name = view.take_str()
+        blob_len, bss, entry, stack, reloc_count = struct.unpack(
+            "<IIIII", view.take(20)
+        )
+        relocations = [
+            struct.unpack("<I", view.take(4))[0] for _ in range(reloc_count)
+        ]
+        payload = view.take(blob_len)
+        return cls(name, payload, entry, relocations, bss, stack)
+
+    def __repr__(self):
+        return "TaskImage(%s, %d bytes, %d relocs, entry=0x%X)" % (
+            self.name,
+            len(self.blob),
+            len(self.relocations),
+            self.entry,
+        )
+
+
+def _pack_str(text):
+    """Length-prefixed UTF-8 string."""
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ImageFormatError("string too long")
+    return struct.pack("<H", len(raw)) + raw
+
+
+class _Reader:
+    """Cursor over a byte string with bounds checking."""
+
+    def __init__(self, blob):
+        self.blob = bytes(blob)
+        self.pos = 0
+
+    def take(self, count):
+        if self.pos + count > len(self.blob):
+            raise ImageFormatError("truncated container")
+        chunk = self.blob[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def take_str(self):
+        (length,) = struct.unpack("<H", self.take(2))
+        return self.take(length).decode("utf-8")

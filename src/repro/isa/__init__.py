@@ -1,0 +1,35 @@
+"""The simulated core's instruction set.
+
+A compact, fixed-format 32-bit instruction set in the spirit of a deeply
+embedded x86-subset core: eight GPRs, absolute control flow (which is what
+makes task binaries *relocatable* - every absolute address reference gets
+a relocation entry, feeding the paper's Table 5 and the RTM's
+position-independent measurement), register+offset addressing, and a
+software-interrupt instruction used for syscalls and secure IPC.
+
+Modules:
+
+* :mod:`repro.isa.opcodes` - opcode numbers, formats, mnemonics, cycles
+* :mod:`repro.isa.encoding` - instruction encoder / decoder
+* :mod:`repro.isa.assembler` - two-pass assembler producing TELF objects
+* :mod:`repro.isa.disassembler` - decoder to readable text
+"""
+
+from repro.isa.opcodes import Op, FORMATS, MNEMONICS, OpFormat
+from repro.isa.encoding import Instruction, decode, encode
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.disassembler import disassemble, disassemble_one
+
+__all__ = [
+    "Op",
+    "FORMATS",
+    "MNEMONICS",
+    "OpFormat",
+    "Instruction",
+    "decode",
+    "encode",
+    "Assembler",
+    "assemble",
+    "disassemble",
+    "disassemble_one",
+]

@@ -1,0 +1,370 @@
+"""Two-operand assembler producing TELF object files.
+
+Syntax (one statement per line; ``;`` or ``#`` start a comment)::
+
+    .section .text          ; switch section (.text / .data / .bss)
+    .global start           ; export a symbol
+    start:                  ; define a label in the current section
+        movi eax, 5
+        movi ebx, table     ; symbol reference -> relocation entry
+        ld   ecx, [ebx+4]   ; register + signed 16-bit displacement
+        cmp  ecx, eax
+        jz   done           ; absolute branch target -> relocation entry
+        int  0x30           ; software interrupt (syscall / IPC)
+    done:
+        hlt
+    .section .data
+    table:
+        .word 1, 2, 3, done ; words may reference symbols (relocated)
+        .byte 0x41, 65
+        .ascii "hi"
+        .asciz "hi"         ; NUL-terminated
+        .align 4
+    .section .bss
+    buffer:
+        .space 64           ; zero-initialised, not stored in the image
+
+Because control flow and address formation use *absolute* addresses,
+every symbol reference becomes a relocation record - exactly the property
+that forces the TyTAN loader to relocate at load time and the RTM to
+revert relocation for position-independent measurement.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError
+from repro.hw.registers import Reg
+from repro.image.telf import ObjectFile
+from repro.isa.encoding import Instruction, encode
+from repro.isa.opcodes import (
+    ADDRESS_IMM_OPS,
+    FORMATS,
+    OPCODES_BY_NAME,
+    OpFormat,
+)
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):")
+_MEM_RE = re.compile(
+    r"^\[\s*([A-Za-z]+)\s*(?:([+-])\s*(0x[0-9A-Fa-f]+|\d+)\s*)?\]$"
+)
+_SYM_EXPR_RE = re.compile(
+    r"^([A-Za-z_][A-Za-z0-9_]*)\s*(?:([+-])\s*(0x[0-9A-Fa-f]+|\d+))?$"
+)
+
+
+class Assembler:
+    """Single-pass assembler with link-time symbol resolution.
+
+    Every symbol reference is emitted as a relocation record against the
+    (possibly not-yet-defined) symbol, so no second pass is needed: the
+    linker resolves everything, including forward references.
+    """
+
+    def __init__(self, name="object"):
+        self.obj = ObjectFile(name)
+        self._section = self.obj.section(".text")
+        self._globals = set()
+        self._line = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def assemble(self, source):
+        """Assemble ``source`` text; returns the :class:`ObjectFile`."""
+        for number, raw in enumerate(source.splitlines(), start=1):
+            self._line = number
+            self._statement(raw)
+        for name in self._globals:
+            if name not in self.obj.symbols:
+                raise AssemblerError(
+                    ".global %r names an undefined symbol" % name
+                )
+            self.obj.symbols[name].is_global = True
+        return self.obj
+
+    # -- statement handling --------------------------------------------------
+
+    def _statement(self, raw):
+        text = raw.split(";", 1)[0].split("#", 1)[0].strip()
+        if not text:
+            return
+        match = _LABEL_RE.match(text)
+        if match:
+            self._define_label(match.group(1))
+            text = text[match.end() :].strip()
+            if not text:
+                return
+        if text.startswith("."):
+            self._directive(text)
+        else:
+            self._instruction(text)
+
+    def _define_label(self, name):
+        offset = (
+            self._section.bss_size
+            if self._section.name == ".bss"
+            else len(self._section.data)
+        )
+        try:
+            self.obj.add_symbol(name, self._section.name, offset)
+        except Exception as exc:
+            raise AssemblerError(str(exc), self._line)
+
+    # -- directives ----------------------------------------------------------
+
+    def _directive(self, text):
+        parts = text.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".section":
+            if rest not in (".text", ".data", ".bss"):
+                raise AssemblerError("unknown section %r" % rest, self._line)
+            self._section = self.obj.section(rest)
+        elif name == ".global":
+            for symbol in self._split_operands(rest):
+                self._globals.add(symbol)
+        elif name == ".word":
+            self._require_data_section(".word")
+            for operand in self._split_operands(rest):
+                self._emit_word(operand)
+        elif name == ".byte":
+            self._require_data_section(".byte")
+            for operand in self._split_operands(rest):
+                value = self._parse_number(operand)
+                self._section.append(bytes([value & 0xFF]))
+        elif name in (".ascii", ".asciz"):
+            self._require_data_section(name)
+            value = self._parse_string(rest)
+            if name == ".asciz":
+                value += b"\x00"
+            self._section.append(value)
+        elif name == ".space":
+            count = self._parse_number(rest)
+            if self._section.name == ".bss":
+                self._section.reserve(count)
+            else:
+                self._section.append(bytes(count))
+        elif name == ".align":
+            alignment = self._parse_number(rest)
+            if alignment <= 0 or alignment & (alignment - 1):
+                raise AssemblerError(
+                    "alignment must be a power of two", self._line
+                )
+            if self._section.name == ".bss":
+                current = self._section.bss_size
+                pad = (-current) % alignment
+                self._section.reserve(pad)
+            else:
+                current = len(self._section.data)
+                pad = (-current) % alignment
+                self._section.append(bytes(pad))
+        else:
+            raise AssemblerError("unknown directive %r" % name, self._line)
+
+    def _require_data_section(self, directive):
+        if self._section.name == ".bss":
+            raise AssemblerError(
+                "%s not allowed in .bss (use .space)" % directive, self._line
+            )
+
+    def _emit_word(self, operand):
+        """Emit a 32-bit word; symbol expressions create relocations."""
+        symbol, addend = self._parse_symbol_or_number(operand)
+        offset = self._section.append((addend & 0xFFFFFFFF).to_bytes(4, "little"))
+        if symbol is not None:
+            self.obj.add_relocation(self._section.name, offset, symbol)
+
+    # -- instructions ---------------------------------------------------------
+
+    def _instruction(self, text):
+        if self._section.name != ".text":
+            raise AssemblerError(
+                "instructions are only allowed in .text", self._line
+            )
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        opcode = OPCODES_BY_NAME.get(mnemonic)
+        if opcode is None:
+            raise AssemblerError("unknown mnemonic %r" % mnemonic, self._line)
+        operands = self._split_operands(parts[1]) if len(parts) > 1 else []
+        fmt = FORMATS[opcode]
+        handler = {
+            OpFormat.NONE: self._op_none,
+            OpFormat.REG: self._op_reg,
+            OpFormat.REG_REG: self._op_reg_reg,
+            OpFormat.REG_IMM32: self._op_reg_imm32,
+            OpFormat.IMM32: self._op_imm32,
+            OpFormat.IMM8: self._op_imm8,
+            OpFormat.MEM: self._op_mem,
+        }[fmt]
+        handler(opcode, operands)
+
+    def _op_none(self, opcode, operands):
+        self._expect_operands(operands, 0)
+        self._emit(Instruction(opcode))
+
+    def _op_reg(self, opcode, operands):
+        self._expect_operands(operands, 1)
+        self._emit(Instruction(opcode, reg=self._parse_reg(operands[0])))
+
+    def _op_reg_reg(self, opcode, operands):
+        self._expect_operands(operands, 2)
+        self._emit(
+            Instruction(
+                opcode,
+                reg=self._parse_reg(operands[0]),
+                reg2=self._parse_reg(operands[1]),
+            )
+        )
+
+    def _op_reg_imm32(self, opcode, operands):
+        self._expect_operands(operands, 2)
+        reg = self._parse_reg(operands[0])
+        symbol, value = self._parse_symbol_or_number(operands[1])
+        if symbol is not None and opcode not in ADDRESS_IMM_OPS:
+            raise AssemblerError(
+                "symbol operand not allowed for this instruction", self._line
+            )
+        insn = Instruction(opcode, reg=reg, imm=value & 0xFFFFFFFF)
+        offset = self._emit(insn)
+        if symbol is not None:
+            # The 32-bit immediate starts 2 bytes into the encoding.
+            self.obj.add_relocation(".text", offset + 2, symbol)
+
+    def _op_imm32(self, opcode, operands):
+        self._expect_operands(operands, 1)
+        symbol, value = self._parse_symbol_or_number(operands[0])
+        if symbol is not None and opcode not in ADDRESS_IMM_OPS:
+            raise AssemblerError(
+                "symbol operand not allowed for this instruction", self._line
+            )
+        insn = Instruction(opcode, imm=value & 0xFFFFFFFF)
+        offset = self._emit(insn)
+        if symbol is not None:
+            # The 32-bit immediate starts 1 byte into the encoding.
+            self.obj.add_relocation(".text", offset + 1, symbol)
+
+    def _op_imm8(self, opcode, operands):
+        self._expect_operands(operands, 1)
+        value = self._parse_number(operands[0])
+        if not 0 <= value <= 0xFF:
+            raise AssemblerError("imm8 out of range: %d" % value, self._line)
+        self._emit(Instruction(opcode, imm=value))
+
+    def _op_mem(self, opcode, operands):
+        self._expect_operands(operands, 2)
+        # ld/ldb: reg, [mem];  st/stb: [mem], reg
+        if operands[0].startswith("["):
+            mem, reg = operands[0], operands[1]
+        else:
+            reg, mem = operands[0], operands[1]
+        base, disp = self._parse_mem(mem)
+        self._emit(
+            Instruction(
+                opcode, reg=self._parse_reg(reg), reg2=base, imm=disp & 0xFFFF
+            )
+        )
+
+    # -- operand parsing --------------------------------------------------
+
+    def _split_operands(self, text):
+        out = [item.strip() for item in text.split(",")]
+        return [item for item in out if item]
+
+    def _expect_operands(self, operands, count):
+        if len(operands) != count:
+            raise AssemblerError(
+                "expected %d operand(s), got %d" % (count, len(operands)),
+                self._line,
+            )
+
+    def _parse_reg(self, text):
+        try:
+            return Reg.index(text)
+        except ValueError:
+            raise AssemblerError("unknown register %r" % text, self._line)
+
+    def _parse_string(self, text):
+        """Parse a double-quoted string literal with simple escapes."""
+        text = text.strip()
+        if len(text) < 2 or not text.startswith('"') or not text.endswith('"'):
+            raise AssemblerError("bad string literal %r" % text, self._line)
+        body = text[1:-1]
+        out = bytearray()
+        index = 0
+        while index < len(body):
+            char = body[index]
+            if char == "\\" and index + 1 < len(body):
+                escape = body[index + 1]
+                mapping = {"n": 10, "t": 9, "0": 0, "\\": 92, '"': 34}
+                if escape not in mapping:
+                    raise AssemblerError(
+                        "unknown escape \\%s" % escape, self._line
+                    )
+                out.append(mapping[escape])
+                index += 2
+            else:
+                out.append(ord(char))
+                index += 1
+        return bytes(out)
+
+    def _parse_number(self, text):
+        text = text.strip()
+        try:
+            if text.startswith("'") and text.endswith("'") and len(text) == 3:
+                return ord(text[1])
+            if text.lower().startswith("0x"):
+                return int(text, 16)
+            if text.lstrip("-").isdigit():
+                return int(text, 10)
+        except ValueError:
+            pass
+        raise AssemblerError("bad number %r" % text, self._line)
+
+    def _parse_symbol_or_number(self, text):
+        """Return (symbol_or_None, constant)."""
+        text = text.strip()
+        try:
+            return None, self._parse_number(text)
+        except AssemblerError:
+            pass
+        match = _SYM_EXPR_RE.match(text)
+        if not match:
+            raise AssemblerError("bad operand %r" % text, self._line)
+        symbol, sign, magnitude = match.groups()
+        if symbol.lower() in Reg.NAMES:
+            raise AssemblerError(
+                "register %r where immediate expected" % symbol, self._line
+            )
+        addend = 0
+        if magnitude is not None:
+            addend = self._parse_number(magnitude)
+            if sign == "-":
+                addend = -addend
+        return symbol, addend
+
+    def _parse_mem(self, text):
+        match = _MEM_RE.match(text.strip())
+        if not match:
+            raise AssemblerError("bad memory operand %r" % text, self._line)
+        base = self._parse_reg(match.group(1))
+        disp = 0
+        if match.group(3) is not None:
+            disp = self._parse_number(match.group(3))
+            if match.group(2) == "-":
+                disp = -disp
+        if not -0x8000 <= disp <= 0x7FFF:
+            raise AssemblerError(
+                "displacement out of 16-bit range: %d" % disp, self._line
+            )
+        return base, disp
+
+    def _emit(self, insn):
+        """Append the encoded instruction; returns its section offset."""
+        return self._section.append(encode(insn))
+
+
+def assemble(source, name="object"):
+    """Assemble ``source`` and return the resulting object file."""
+    return Assembler(name).assemble(source)

@@ -1,0 +1,66 @@
+"""Disassembler: decoded instructions back to readable assembly.
+
+Used by traces, debugging helpers, and the tests that check the encoder
+and decoder round-trip.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IllegalInstruction
+from repro.hw.registers import Reg
+from repro.isa.encoding import decode
+from repro.isa.opcodes import FORMATS, OpFormat
+
+
+def format_instruction(insn):
+    """Render one decoded instruction as assembly text."""
+    fmt = FORMATS[insn.opcode]
+    name = insn.mnemonic
+    if fmt == OpFormat.NONE:
+        return name
+    if fmt == OpFormat.REG:
+        return "%s %s" % (name, Reg.name(insn.reg))
+    if fmt == OpFormat.REG_REG:
+        return "%s %s, %s" % (name, Reg.name(insn.reg), Reg.name(insn.reg2))
+    if fmt == OpFormat.REG_IMM32:
+        return "%s %s, 0x%X" % (name, Reg.name(insn.reg), insn.imm)
+    if fmt == OpFormat.IMM32:
+        return "%s 0x%X" % (name, insn.imm)
+    if fmt == OpFormat.IMM8:
+        return "%s 0x%X" % (name, insn.imm)
+    if fmt == OpFormat.MEM:
+        base = Reg.name(insn.reg2)
+        if insn.imm == 0:
+            mem = "[%s]" % base
+        elif insn.imm > 0:
+            mem = "[%s+%d]" % (base, insn.imm)
+        else:
+            mem = "[%s%d]" % (base, insn.imm)
+        if insn.mnemonic in ("st", "stb"):
+            return "%s %s, %s" % (name, mem, Reg.name(insn.reg))
+        return "%s %s, %s" % (name, Reg.name(insn.reg), mem)
+    raise AssertionError("unknown format %r" % fmt)  # pragma: no cover
+
+
+def disassemble_one(blob, offset=0):
+    """Decode and format one instruction; returns (text, length)."""
+    insn = decode(blob, offset)
+    return format_instruction(insn), insn.length
+
+
+def disassemble(blob, base_address=0):
+    """Disassemble a whole blob into ``(address, text)`` pairs.
+
+    Stops at the first byte that does not decode (data sections following
+    code will generally not decode; that is expected).
+    """
+    out = []
+    offset = 0
+    while offset < len(blob):
+        try:
+            text, length = disassemble_one(blob, offset)
+        except IllegalInstruction:
+            break
+        out.append((base_address + offset, text))
+        offset += length
+    return out

@@ -1,0 +1,132 @@
+"""Instruction encoder and decoder.
+
+Instructions are encoded with a single opcode byte followed by
+format-specific operand bytes (little-endian immediates).  The
+:class:`Instruction` object is the decoded form shared by the CPU, the
+assembler, and the disassembler.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IllegalInstruction
+from repro.isa.opcodes import FORMATS, LENGTHS, MNEMONICS, OpFormat
+
+
+class Instruction:
+    """A decoded instruction.
+
+    Attributes
+    ----------
+    opcode:
+        The opcode byte.
+    reg / reg2:
+        Destination and source register indices (where the format has
+        them); ``reg2`` is the base register of memory operands.
+    imm:
+        Immediate value: 32-bit for IMM32/REG_IMM32, 8-bit for IMM8,
+        signed 16-bit displacement for MEM.
+    length:
+        Encoded length in bytes.
+    """
+
+    __slots__ = ("opcode", "reg", "reg2", "imm", "length")
+
+    def __init__(self, opcode, reg=0, reg2=0, imm=0):
+        self.opcode = opcode
+        self.reg = reg
+        self.reg2 = reg2
+        self.imm = imm
+        self.length = LENGTHS[FORMATS[opcode]]
+
+    @property
+    def mnemonic(self):
+        """The instruction's assembly mnemonic."""
+        return MNEMONICS[self.opcode]
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Instruction)
+            and self.opcode == other.opcode
+            and self.reg == other.reg
+            and self.reg2 == other.reg2
+            and self.imm == other.imm
+        )
+
+    def __repr__(self):
+        return "Instruction(%s, reg=%d, reg2=%d, imm=%d)" % (
+            self.mnemonic,
+            self.reg,
+            self.reg2,
+            self.imm,
+        )
+
+
+def encode(insn):
+    """Encode an :class:`Instruction` into bytes."""
+    fmt = FORMATS[insn.opcode]
+    out = bytearray([insn.opcode])
+    if fmt == OpFormat.NONE:
+        pass
+    elif fmt == OpFormat.REG:
+        out.append(insn.reg & 0x0F)
+    elif fmt == OpFormat.REG_REG:
+        out.append(((insn.reg & 0x0F) << 4) | (insn.reg2 & 0x0F))
+    elif fmt == OpFormat.REG_IMM32:
+        out.append(insn.reg & 0x0F)
+        out += (insn.imm & 0xFFFFFFFF).to_bytes(4, "little")
+    elif fmt == OpFormat.IMM32:
+        out += (insn.imm & 0xFFFFFFFF).to_bytes(4, "little")
+    elif fmt == OpFormat.IMM8:
+        out.append(insn.imm & 0xFF)
+    elif fmt == OpFormat.MEM:
+        out.append(((insn.reg & 0x0F) << 4) | (insn.reg2 & 0x0F))
+        out += (insn.imm & 0xFFFF).to_bytes(2, "little")
+    else:  # pragma: no cover - table is closed
+        raise AssertionError("unknown format %r" % fmt)
+    return bytes(out)
+
+
+def decode(blob, offset=0, address=None):
+    """Decode one instruction from ``blob`` at ``offset``.
+
+    ``address`` is only used to report the location of illegal
+    instructions (defaults to ``offset``).
+    """
+    where = offset if address is None else address
+    if offset >= len(blob):
+        raise IllegalInstruction(where, 0xFF)
+    opcode = blob[offset]
+    fmt = FORMATS.get(opcode)
+    if fmt is None:
+        raise IllegalInstruction(where, opcode)
+    length = LENGTHS[fmt]
+    if offset + length > len(blob):
+        raise IllegalInstruction(where, opcode)
+    body = blob[offset + 1 : offset + length]
+    if fmt == OpFormat.NONE:
+        return Instruction(opcode)
+    if fmt == OpFormat.REG:
+        return Instruction(opcode, reg=body[0] & 0x0F)
+    if fmt == OpFormat.REG_REG:
+        return Instruction(opcode, reg=(body[0] >> 4) & 0x0F, reg2=body[0] & 0x0F)
+    if fmt == OpFormat.REG_IMM32:
+        return Instruction(
+            opcode,
+            reg=body[0] & 0x0F,
+            imm=int.from_bytes(body[1:5], "little"),
+        )
+    if fmt == OpFormat.IMM32:
+        return Instruction(opcode, imm=int.from_bytes(body, "little"))
+    if fmt == OpFormat.IMM8:
+        return Instruction(opcode, imm=body[0])
+    if fmt == OpFormat.MEM:
+        disp = int.from_bytes(body[1:3], "little")
+        if disp >= 0x8000:
+            disp -= 0x10000
+        return Instruction(
+            opcode,
+            reg=(body[0] >> 4) & 0x0F,
+            reg2=body[0] & 0x0F,
+            imm=disp,
+        )
+    raise AssertionError("unknown format %r" % fmt)  # pragma: no cover

@@ -1,0 +1,193 @@
+"""Opcode table of the simulated core.
+
+Each opcode has a fixed format (see :class:`OpFormat`), a mnemonic, and a
+base cycle cost.  Memory-touching instructions add
+:data:`repro.cycles.INSN_MEM`; taken branches add
+:data:`repro.cycles.INSN_BRANCH_TAKEN` - those surcharges are applied by
+the CPU at execution time because they depend on dynamic behaviour.
+"""
+
+from __future__ import annotations
+
+from repro import cycles
+
+
+class OpFormat:
+    """Instruction formats (distinct tags; lengths live in ``LENGTHS``)."""
+
+    NONE = "none"  #: opcode only
+    REG = "reg"  #: opcode + register byte
+    REG_REG = "reg_reg"  #: opcode + packed register pair byte
+    REG_IMM32 = "reg_imm32"  #: opcode + register byte + 32-bit immediate
+    IMM32 = "imm32"  #: opcode + 32-bit immediate
+    IMM8 = "imm8"  #: opcode + 8-bit immediate
+    MEM = "mem"  #: opcode + packed register pair byte + signed 16-bit offset
+
+
+#: format -> encoded length in bytes
+LENGTHS = {
+    OpFormat.NONE: 1,
+    OpFormat.REG: 2,
+    OpFormat.REG_REG: 2,
+    OpFormat.REG_IMM32: 6,
+    OpFormat.IMM32: 5,
+    OpFormat.IMM8: 2,
+    OpFormat.MEM: 4,
+}
+
+
+class Op:
+    """Opcode numbers."""
+
+    NOP = 0x00
+    HLT = 0x01
+    RET = 0x02
+    IRET = 0x03
+    CLI = 0x04
+    STI = 0x05
+
+    MOV = 0x10
+    ADD = 0x11
+    SUB = 0x12
+    AND = 0x13
+    OR = 0x14
+    XOR = 0x15
+    CMP = 0x16
+    SHL = 0x17
+    SHR = 0x18
+    MUL = 0x19
+    DIV = 0x1A
+
+    MOVI = 0x20
+    ADDI = 0x21
+    SUBI = 0x22
+    ANDI = 0x23
+    ORI = 0x24
+    XORI = 0x25
+    CMPI = 0x26
+    SHLI = 0x27
+    SHRI = 0x28
+
+    LD = 0x30
+    ST = 0x31
+    LDB = 0x32
+    STB = 0x33
+
+    JMP = 0x40
+    CALL = 0x41
+    JZ = 0x42
+    JNZ = 0x43
+    JC = 0x44
+    JNC = 0x45
+    JS = 0x46
+    JNS = 0x47
+    JG = 0x48
+    JL = 0x49
+    JGE = 0x4A
+    JLE = 0x4B
+
+    PUSH = 0x50
+    POP = 0x51
+    PUSHI = 0x52
+    NOT = 0x53
+    NEG = 0x54
+
+    INT = 0x60
+
+
+#: opcode -> (mnemonic, format, base cycle cost)
+_TABLE = {
+    Op.NOP: ("nop", OpFormat.NONE, cycles.INSN_BASE),
+    Op.HLT: ("hlt", OpFormat.NONE, cycles.INSN_BASE),
+    Op.RET: ("ret", OpFormat.NONE, cycles.INSN_BASE + cycles.INSN_MEM),
+    Op.IRET: ("iret", OpFormat.NONE, cycles.EXCEPTION_RETURN),
+    Op.CLI: ("cli", OpFormat.NONE, cycles.INSN_BASE),
+    Op.STI: ("sti", OpFormat.NONE, cycles.INSN_BASE),
+    Op.MOV: ("mov", OpFormat.REG_REG, cycles.INSN_BASE),
+    Op.ADD: ("add", OpFormat.REG_REG, cycles.INSN_BASE),
+    Op.SUB: ("sub", OpFormat.REG_REG, cycles.INSN_BASE),
+    Op.AND: ("and", OpFormat.REG_REG, cycles.INSN_BASE),
+    Op.OR: ("or", OpFormat.REG_REG, cycles.INSN_BASE),
+    Op.XOR: ("xor", OpFormat.REG_REG, cycles.INSN_BASE),
+    Op.CMP: ("cmp", OpFormat.REG_REG, cycles.INSN_BASE),
+    Op.SHL: ("shl", OpFormat.REG_REG, cycles.INSN_BASE),
+    Op.SHR: ("shr", OpFormat.REG_REG, cycles.INSN_BASE),
+    Op.MUL: ("mul", OpFormat.REG_REG, 3 * cycles.INSN_BASE),
+    Op.DIV: ("div", OpFormat.REG_REG, 12 * cycles.INSN_BASE),
+    Op.MOVI: ("movi", OpFormat.REG_IMM32, cycles.INSN_BASE),
+    Op.ADDI: ("addi", OpFormat.REG_IMM32, cycles.INSN_BASE),
+    Op.SUBI: ("subi", OpFormat.REG_IMM32, cycles.INSN_BASE),
+    Op.ANDI: ("andi", OpFormat.REG_IMM32, cycles.INSN_BASE),
+    Op.ORI: ("ori", OpFormat.REG_IMM32, cycles.INSN_BASE),
+    Op.XORI: ("xori", OpFormat.REG_IMM32, cycles.INSN_BASE),
+    Op.CMPI: ("cmpi", OpFormat.REG_IMM32, cycles.INSN_BASE),
+    Op.SHLI: ("shli", OpFormat.REG_IMM32, cycles.INSN_BASE),
+    Op.SHRI: ("shri", OpFormat.REG_IMM32, cycles.INSN_BASE),
+    Op.LD: ("ld", OpFormat.MEM, cycles.INSN_BASE + cycles.INSN_MEM),
+    Op.ST: ("st", OpFormat.MEM, cycles.INSN_BASE + cycles.INSN_MEM),
+    Op.LDB: ("ldb", OpFormat.MEM, cycles.INSN_BASE + cycles.INSN_MEM),
+    Op.STB: ("stb", OpFormat.MEM, cycles.INSN_BASE + cycles.INSN_MEM),
+    Op.JMP: ("jmp", OpFormat.IMM32, cycles.INSN_BASE),
+    Op.CALL: ("call", OpFormat.IMM32, cycles.INSN_BASE + cycles.INSN_MEM),
+    Op.JZ: ("jz", OpFormat.IMM32, cycles.INSN_BASE),
+    Op.JNZ: ("jnz", OpFormat.IMM32, cycles.INSN_BASE),
+    Op.JC: ("jc", OpFormat.IMM32, cycles.INSN_BASE),
+    Op.JNC: ("jnc", OpFormat.IMM32, cycles.INSN_BASE),
+    Op.JS: ("js", OpFormat.IMM32, cycles.INSN_BASE),
+    Op.JNS: ("jns", OpFormat.IMM32, cycles.INSN_BASE),
+    Op.JG: ("jg", OpFormat.IMM32, cycles.INSN_BASE),
+    Op.JL: ("jl", OpFormat.IMM32, cycles.INSN_BASE),
+    Op.JGE: ("jge", OpFormat.IMM32, cycles.INSN_BASE),
+    Op.JLE: ("jle", OpFormat.IMM32, cycles.INSN_BASE),
+    Op.PUSH: ("push", OpFormat.REG, cycles.INSN_BASE + cycles.INSN_MEM),
+    Op.POP: ("pop", OpFormat.REG, cycles.INSN_BASE + cycles.INSN_MEM),
+    Op.PUSHI: ("pushi", OpFormat.IMM32, cycles.INSN_BASE + cycles.INSN_MEM),
+    Op.NOT: ("not", OpFormat.REG, cycles.INSN_BASE),
+    Op.NEG: ("neg", OpFormat.REG, cycles.INSN_BASE),
+    Op.INT: ("int", OpFormat.IMM8, cycles.EXCEPTION_ENTRY),
+}
+
+#: opcode -> format
+FORMATS = {op: fmt for op, (_, fmt, _) in _TABLE.items()}
+
+#: opcode -> mnemonic
+MNEMONICS = {op: name for op, (name, _, _) in _TABLE.items()}
+
+#: mnemonic -> opcode
+OPCODES_BY_NAME = {name: op for op, (name, _, _) in _TABLE.items()}
+
+#: opcode -> base cycle cost
+BASE_CYCLES = {op: cost for op, (_, _, cost) in _TABLE.items()}
+
+#: opcodes whose IMM32 operand is a code or data *address* (and therefore
+#: needs a relocation entry when the operand is a symbol).
+ADDRESS_IMM_OPS = frozenset(
+    {
+        Op.JMP,
+        Op.CALL,
+        Op.JZ,
+        Op.JNZ,
+        Op.JC,
+        Op.JNC,
+        Op.JS,
+        Op.JNS,
+        Op.JG,
+        Op.JL,
+        Op.JGE,
+        Op.JLE,
+        Op.MOVI,
+        Op.PUSHI,
+        Op.CMPI,
+        Op.ADDI,
+    }
+)
+
+#: conditional branch opcodes -> (flag expression evaluator name)
+CONDITIONAL_BRANCHES = frozenset(
+    {Op.JZ, Op.JNZ, Op.JC, Op.JNC, Op.JS, Op.JNS, Op.JG, Op.JL, Op.JGE, Op.JLE}
+)
+
+
+def instruction_length(opcode):
+    """Encoded length in bytes of ``opcode``'s format."""
+    return LENGTHS[FORMATS[opcode]]

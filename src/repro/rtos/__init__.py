@@ -1,0 +1,48 @@
+"""A FreeRTOS-like real-time operating system for the simulated core.
+
+The paper ports FreeRTOS to Siskiyou Peak and extends it; this package
+implements the equivalent kernel with the seven real-time properties the
+paper enumerates (Section 4):
+
+1. multi-tasking (:mod:`repro.rtos.task`),
+2. priority-based pre-emptive scheduling (:mod:`repro.rtos.scheduler`),
+3. bounded execution time for primitives (every kernel path charges a
+   bounded cycle cost),
+4. a high-resolution real-time clock (:class:`repro.hw.timer.RealTimeClock`),
+5. special alarms and time-outs (:mod:`repro.rtos.swtimer`),
+6. real-time queuing (:mod:`repro.rtos.queues`),
+7. delaying of processes (:meth:`repro.rtos.kernel.Kernel` delay/suspend).
+
+The kernel runs *unmodified* as the plain-FreeRTOS baseline the paper
+compares against; TyTAN is layered on top by installing the trusted
+components' context policy and syscall handlers
+(:mod:`repro.core.system`).
+"""
+
+from repro.rtos.heap import FirstFitAllocator
+from repro.rtos.task import TaskControlBlock, TaskState, TaskType, NativeCall
+from repro.rtos.scheduler import Scheduler
+from repro.rtos.queues import RTQueue
+from repro.rtos.sync import CountingSemaphore, Mutex
+from repro.rtos.events import EventGroup
+from repro.rtos.swtimer import SoftwareTimer, TimerService
+from repro.rtos.kernel import Kernel, OSContextPolicy
+from repro.rtos.syscalls import Syscall
+
+__all__ = [
+    "FirstFitAllocator",
+    "TaskControlBlock",
+    "TaskState",
+    "TaskType",
+    "NativeCall",
+    "Scheduler",
+    "RTQueue",
+    "CountingSemaphore",
+    "Mutex",
+    "EventGroup",
+    "SoftwareTimer",
+    "TimerService",
+    "Kernel",
+    "OSContextPolicy",
+    "Syscall",
+]

@@ -1,0 +1,101 @@
+"""Event groups: FreeRTOS-style many-to-many synchronisation.
+
+An event group is a word of flag bits.  Tasks set bits, and other tasks
+wait for any-of / all-of a bit mask, optionally clearing the bits they
+consumed on exit.  The kernel owns the blocking; the group records who
+waits for what, mirroring how queues and semaphores are split.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulerError
+
+
+class EventGroup:
+    """A 24-bit event flag word (FreeRTOS reserves the top byte)."""
+
+    _next_gid = 1
+
+    #: Usable flag bits.
+    MASK = 0x00FFFFFF
+
+    def __init__(self, name=None):
+        self.gid = EventGroup._next_gid
+        EventGroup._next_gid += 1
+        self.name = name or ("events-%d" % self.gid)
+        self.bits = 0
+        #: wait records: task -> (mask, wait_all, clear_on_exit)
+        self._waiters = {}
+
+    def wait_token(self, task):
+        """The scheduler wait object for ``task`` on this group."""
+        return ("events", self.gid, task.tid)
+
+    # -- flag operations ----------------------------------------------------
+
+    def set_bits(self, mask):
+        """OR ``mask`` into the flag word; returns tasks to wake.
+
+        The caller (kernel) readies the returned tasks; their wait
+        records are consumed here, including clear-on-exit semantics.
+        """
+        if mask & ~self.MASK:
+            raise SchedulerError("event bits 0x%X outside usable mask" % mask)
+        self.bits |= mask
+        released = []
+        clear_mask = 0
+        # FreeRTOS semantics: every waiter satisfied by the new value is
+        # released first; clear-on-exit masks apply afterwards, so one
+        # event can release several waiters.
+        for task, (wanted, wait_all, clear) in list(self._waiters.items()):
+            if self._satisfied(wanted, wait_all):
+                released.append((task, self.bits & wanted))
+                if clear:
+                    clear_mask |= wanted
+                del self._waiters[task]
+        self.bits &= ~clear_mask & self.MASK
+        return released
+
+    def clear_bits(self, mask):
+        """Clear ``mask``; returns the flag word before clearing."""
+        before = self.bits
+        self.bits &= ~mask & self.MASK
+        return before
+
+    def _satisfied(self, wanted, wait_all):
+        hit = self.bits & wanted
+        return hit == wanted if wait_all else bool(hit)
+
+    # -- waiting ---------------------------------------------------------------
+
+    def try_wait(self, task, mask, wait_all=False, clear_on_exit=True):
+        """Non-blocking wait.
+
+        Returns ``(satisfied, bits_seen)``.  When unsatisfied, the task
+        is recorded as a waiter; the kernel should then block it on
+        :meth:`wait_token`.
+        """
+        if mask & ~self.MASK or mask == 0:
+            raise SchedulerError("bad event wait mask 0x%X" % mask)
+        if self._satisfied(mask, wait_all):
+            seen = self.bits & mask
+            if clear_on_exit:
+                self.bits &= ~mask & self.MASK
+            return True, seen
+        self._waiters[task] = (mask, wait_all, clear_on_exit)
+        return False, self.bits & mask
+
+    def cancel_wait(self, task):
+        """Forget a waiter (task deleted or timed out)."""
+        self._waiters.pop(task, None)
+
+    def waiter_count(self):
+        """Number of recorded waiters."""
+        return len(self._waiters)
+
+    def __repr__(self):
+        return "EventGroup(%s, bits=0x%06X, %d waiting)" % (
+            self.name,
+            self.bits,
+            len(self._waiters),
+        )

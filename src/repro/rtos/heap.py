@@ -1,0 +1,87 @@
+"""First-fit physical memory allocator for task RAM.
+
+FreeRTOS on Siskiyou Peak operates on physical memory: "the base address
+of a task changes depending on which memory regions are free at load
+time, making relocation necessary" (Section 4).  This allocator is the
+reason relocation exists: consecutive load/unload cycles hand out
+different base addresses, and the tests verify that the same image
+loaded at two bases still produces the same measured identity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoaderError
+
+
+class FirstFitAllocator:
+    """First-fit allocator over ``[base, base + size)``.
+
+    Allocations are aligned; freeing coalesces adjacent holes.
+    """
+
+    def __init__(self, base, size, align=16):
+        self.base = base
+        self.size = size
+        self.align = align
+        #: sorted list of (start, size) allocations
+        self._allocations = []
+
+    def _aligned(self, value):
+        return (value + self.align - 1) // self.align * self.align
+
+    def allocate(self, size):
+        """Allocate ``size`` bytes; returns the base address.
+
+        Raises :class:`LoaderError` when no hole is large enough.
+        """
+        if size <= 0:
+            raise LoaderError("allocation size must be positive")
+        size = self._aligned(size)
+        cursor = self._aligned(self.base)
+        for start, length in self._allocations:
+            if cursor + size <= start:
+                break
+            cursor = self._aligned(start + length)
+        if cursor + size > self.base + self.size:
+            raise LoaderError(
+                "out of task memory: need %d bytes, largest hole too small" % size
+            )
+        self._allocations.append((cursor, size))
+        self._allocations.sort()
+        return cursor
+
+    def free(self, address):
+        """Release the allocation starting at ``address``."""
+        for index, (start, _) in enumerate(self._allocations):
+            if start == address:
+                del self._allocations[index]
+                return
+        raise LoaderError("free of unallocated address 0x%08X" % address)
+
+    def allocated_bytes(self):
+        """Total bytes currently allocated."""
+        return sum(size for _, size in self._allocations)
+
+    def free_bytes(self):
+        """Total bytes currently free (ignores fragmentation)."""
+        return self.size - self.allocated_bytes()
+
+    def holes(self):
+        """List of ``(start, size)`` free holes, in address order."""
+        out = []
+        cursor = self.base
+        for start, length in self._allocations:
+            if start > cursor:
+                out.append((cursor, start - cursor))
+            cursor = start + length
+        end = self.base + self.size
+        if cursor < end:
+            out.append((cursor, end - cursor))
+        return out
+
+    def owns(self, address):
+        """Whether ``address`` lies inside an allocation."""
+        for start, length in self._allocations:
+            if start <= address < start + length:
+                return True
+        return False

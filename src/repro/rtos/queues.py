@@ -1,0 +1,69 @@
+"""Real-time queues.
+
+FreeRTOS-style bounded FIFO queues with blocking send/receive.  The
+kernel owns the wake-ups; the queue records who waits on which side.
+Queue operations charge a bounded cycle cost (copy is per-item, capacity
+is fixed at creation), satisfying the bounded-primitives requirement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SchedulerError
+
+
+class RTQueue:
+    """A bounded FIFO of fixed-size items.
+
+    The queue itself is passive; :class:`repro.rtos.kernel.Kernel`
+    exposes the blocking ``queue_send`` / ``queue_receive`` operations
+    that charge cycles and park tasks.
+    """
+
+    _next_qid = 1
+
+    def __init__(self, capacity, name=None):
+        if capacity <= 0:
+            raise SchedulerError("queue capacity must be positive")
+        self.qid = RTQueue._next_qid
+        RTQueue._next_qid += 1
+        self.name = name or ("queue-%d" % self.qid)
+        self.capacity = capacity
+        self._items = deque()
+        #: Opaque wait tokens used with Scheduler.block / wake_waiters.
+        self.not_empty = ("queue", self.qid, "not_empty")
+        self.not_full = ("queue", self.qid, "not_full")
+
+    def try_send(self, item):
+        """Append ``item`` if space allows; returns success."""
+        if len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        return True
+
+    def try_receive(self):
+        """Pop the oldest item; returns ``(ok, item)``."""
+        if not self._items:
+            return False, None
+        return True, self._items.popleft()
+
+    def peek(self):
+        """The oldest item without removing it, or ``None``."""
+        return self._items[0] if self._items else None
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def full(self):
+        """Whether the queue is at capacity."""
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self):
+        """Whether the queue holds no items."""
+        return not self._items
+
+    def __repr__(self):
+        return "RTQueue(%s, %d/%d)" % (self.name, len(self._items), self.capacity)

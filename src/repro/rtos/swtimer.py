@@ -1,0 +1,80 @@
+"""Software timers: one-shot and periodic alarms at tick granularity.
+
+The "special alarms and time-outs" requirement.  Timer callbacks run in
+kernel context during tick processing, charged a bounded cost plus
+whatever the callback itself charges.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulerError
+
+
+class SoftwareTimer:
+    """A timer firing ``callback(kernel, timer)`` after ``period`` ticks.
+
+    ``periodic`` timers re-arm themselves; one-shot timers disarm after
+    firing.
+    """
+
+    _next_id = 1
+
+    def __init__(self, period_ticks, callback, periodic=False, name=None):
+        if period_ticks <= 0:
+            raise SchedulerError("timer period must be positive")
+        self.timer_id = SoftwareTimer._next_id
+        SoftwareTimer._next_id += 1
+        self.name = name or ("timer-%d" % self.timer_id)
+        self.period_ticks = period_ticks
+        self.callback = callback
+        self.periodic = periodic
+        self.armed = False
+        self.expiry_tick = None
+        self.fired = 0
+
+    def arm(self, current_tick):
+        """Start (or restart) the timer from ``current_tick``."""
+        self.armed = True
+        self.expiry_tick = current_tick + self.period_ticks
+
+    def disarm(self):
+        """Stop the timer."""
+        self.armed = False
+        self.expiry_tick = None
+
+
+class TimerService:
+    """Holds all software timers; the kernel drives :meth:`expire`."""
+
+    def __init__(self):
+        self._timers = []
+
+    def create(self, period_ticks, callback, periodic=False, name=None):
+        """Create (unarmed) and register a timer."""
+        timer = SoftwareTimer(period_ticks, callback, periodic, name)
+        self._timers.append(timer)
+        return timer
+
+    def remove(self, timer):
+        """Delete a timer."""
+        self._timers.remove(timer)
+
+    def expire(self, kernel, current_tick):
+        """Fire every timer whose expiry passed; returns fired timers."""
+        fired = []
+        for timer in self._timers:
+            if not timer.armed or timer.expiry_tick is None:
+                continue
+            if current_tick >= timer.expiry_tick:
+                timer.fired += 1
+                fired.append(timer)
+                if timer.periodic:
+                    timer.expiry_tick += timer.period_ticks
+                else:
+                    timer.disarm()
+                timer.callback(kernel, timer)
+        return fired
+
+    def armed_count(self):
+        """Number of armed timers (tick handler charges per timer)."""
+        return sum(1 for timer in self._timers if timer.armed)

@@ -1,0 +1,94 @@
+"""Counting semaphores and priority-inheritance mutexes.
+
+The mutex implements priority inheritance: while a high-priority task
+waits, the holder runs at the waiter's priority, bounding priority
+inversion - table stakes for the real-time claims the paper makes about
+its FreeRTOS base.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulerError
+
+
+class CountingSemaphore:
+    """A counting semaphore (binary when ``maximum=1``)."""
+
+    _next_sid = 1
+
+    def __init__(self, initial=0, maximum=None, name=None):
+        if initial < 0:
+            raise SchedulerError("semaphore count cannot start negative")
+        if maximum is not None and initial > maximum:
+            raise SchedulerError("initial count exceeds maximum")
+        self.sid = CountingSemaphore._next_sid
+        CountingSemaphore._next_sid += 1
+        self.name = name or ("sem-%d" % self.sid)
+        self.count = initial
+        self.maximum = maximum
+        self.wait_token = ("sem", self.sid)
+
+    def try_take(self):
+        """Decrement if positive; returns success."""
+        if self.count > 0:
+            self.count -= 1
+            return True
+        return False
+
+    def give(self):
+        """Increment (clamped to ``maximum``); returns whether the count
+        changed (a waiter should be woken only if it did)."""
+        if self.maximum is not None and self.count >= self.maximum:
+            return False
+        self.count += 1
+        return True
+
+
+class Mutex:
+    """A mutex with priority inheritance.
+
+    The kernel calls :meth:`on_block` when a task starts waiting and
+    :meth:`on_release` when the holder lets go; both return priority
+    adjustments the kernel applies to the holder's TCB.
+    """
+
+    _next_mid = 1
+
+    def __init__(self, name=None):
+        self.mid = Mutex._next_mid
+        Mutex._next_mid += 1
+        self.name = name or ("mutex-%d" % self.mid)
+        self.holder = None
+        self._holder_base_priority = None
+        self.wait_token = ("mutex", self.mid)
+
+    def try_take(self, task):
+        """Acquire for ``task`` if free; returns success."""
+        if self.holder is None:
+            self.holder = task
+            self._holder_base_priority = task.priority
+            return True
+        return self.holder is task  # recursive take is a no-op success
+
+    def on_block(self, waiter):
+        """Priority inheritance: returns the priority the holder should
+        be boosted to, or ``None``."""
+        if self.holder is None:
+            raise SchedulerError("blocking on a free mutex")
+        if waiter.priority > self.holder.priority:
+            return waiter.priority
+        return None
+
+    def on_release(self, task):
+        """Release by ``task``; returns the holder's base priority to
+        restore, or ``None`` if no boost was applied."""
+        if self.holder is not task:
+            raise SchedulerError(
+                "mutex %s released by non-holder %s" % (self.name, task.name)
+            )
+        base = self._holder_base_priority
+        self.holder = None
+        self._holder_base_priority = None
+        if base is not None and base != task.priority:
+            return base
+        return None

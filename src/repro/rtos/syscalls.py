@@ -1,0 +1,54 @@
+"""The syscall ABI for ISA tasks.
+
+ISA tasks request OS services with ``int 0x20`` after loading the
+function number into EAX; arguments travel in EBX/ECX/EDX and results
+come back in EAX.  Secure IPC uses its own vector (``int 0x21``) with
+the register convention from Section 3 of the paper: the message in
+EAX..EDX and the receiver's truncated 64-bit identity in ESI:EDI.
+"""
+
+from __future__ import annotations
+
+
+class Syscall:
+    """Function numbers for the ``int 0x20`` OS trap."""
+
+    YIELD = 0  #: give up the CPU, stay ready
+    DELAY = 1  #: EBX = ticks to sleep
+    EXIT = 2  #: terminate the calling task
+    GET_TIME = 3  #: returns low 32 bits of the cycle counter in EAX
+    SUSPEND_SELF = 4  #: suspend until another task resumes us
+    IPC_POLL = 5  #: EAX=1 if the inbox holds a message, else 0
+    IPC_CLEAR = 6  #: mark the inbox consumed
+    DELAY_CYCLES = 7  #: EBX = cycles to sleep (high-resolution delay)
+    QUEUE_SEND = 8  #: EBX = queue id, ECX = value; blocks while full
+    QUEUE_RECV = 9  #: EBX = queue id; blocks while empty; value in EAX
+
+    #: Register index conventions (see repro.hw.registers.Reg).
+    FUNC_REG = 0  # EAX
+    ARG1_REG = 3  # EBX
+    ARG2_REG = 1  # ECX
+    ARG3_REG = 2  # EDX
+    RESULT_REG = 0  # EAX
+
+
+class IpcAbi:
+    """Register convention for the ``int 0x21`` IPC trap."""
+
+    #: Message payload registers, in order (EAX, EBX, ECX, EDX).
+    MSG_REGS = (0, 3, 1, 2)
+    #: Receiver identity (truncated 64-bit digest): low word in ESI,
+    #: high word in EDI.
+    ID_LO_REG = 6
+    ID_HI_REG = 7
+    #: Status returned in EAX: 0 ok, 1 unknown receiver, 2 inbox full.
+    STATUS_OK = 0
+    STATUS_UNKNOWN_RECEIVER = 1
+    STATUS_INBOX_FULL = 2
+
+    #: Entry-routine mode values (set in EDX before entering a secure
+    #: task: the paper's "TyTAN provides this information in a CPU
+    #: register, which is checked by the entry routine").
+    MODE_RESUME = 1
+    MODE_MESSAGE = 2
+    MODE_START = 3

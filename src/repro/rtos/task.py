@@ -1,0 +1,248 @@
+"""Task control blocks.
+
+A task is either a **normal task** (isolated from other tasks but
+accessible to the OS) or a **secure task** (isolated from everything,
+including the OS) - Section 3 of the paper.  Tasks come in two execution
+flavours in the simulator:
+
+* **ISA tasks** execute a relocated TELF binary instruction-by-
+  instruction on the simulated core; their context really lives in
+  their stack memory and CPU registers.
+* **Native tasks** are Python generators used for OS services and
+  trusted components (high-level emulation).  They yield
+  :class:`NativeCall` records - every yield is a preemption point, and
+  the cycles they declare are charged to the platform clock, so native
+  tasks are *interruptible with bounded latency* exactly like ISA tasks.
+
+Task memory layout (one contiguous allocation)::
+
+    base                                  image blob (.text + .data)
+    base + blob_size                      .bss (zeroed)
+    base + blob_size + bss_size           IPC inbox (INBOX_BYTES)
+    ...                                   stack (grows down from `end`)
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulerError
+
+#: The IPC inbox is a small ring mailbox between BSS and stack.  The
+#: IPC proxy is the only writer of entries and the write index; the
+#: receiving task owns the read index.  Layout::
+#:
+#:     +0   read index   (written by the receiver)
+#:     +4   write index  (written by the proxy)
+#:     +8   entries[INBOX_SLOTS], each INBOX_ENTRY_BYTES:
+#:            4 message words | 2 sender-identity words
+INBOX_RD = 0
+INBOX_WR = 4
+INBOX_ENTRIES = 8
+INBOX_SLOTS = 4
+INBOX_ENTRY_BYTES = 24
+INBOX_BYTES = INBOX_ENTRIES + INBOX_SLOTS * INBOX_ENTRY_BYTES  # 104
+
+#: Offsets within one entry.
+INBOX_MSG = 0  #: 4 words of payload
+INBOX_SENDER = 16  #: 2 words of truncated sender identity
+
+
+class TaskType:
+    """Task flavours from the paper's model."""
+
+    NORMAL = "normal"
+    SECURE = "secure"
+
+
+class TaskState:
+    """Lifecycle states (FreeRTOS naming)."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    SUSPENDED = "suspended"
+    DELETED = "deleted"
+
+
+class NativeCall:
+    """One yield from a native task's generator.
+
+    Factory methods build the records the kernel understands:
+
+    * ``charge(n)`` - burn ``n`` cycles of work (preemption point);
+    * ``delay(ticks)`` - block until ``ticks`` scheduler ticks pass;
+    * ``delay_cycles(n)`` - block until ``n`` cycles pass;
+    * ``block(obj)`` - block until :meth:`Kernel.wake` on ``obj``;
+    * ``yield_cpu()`` - stay ready but let equal-priority peers run;
+    * ``exit(result)`` - terminate the task.
+    """
+
+    CHARGE = "charge"
+    DELAY = "delay"
+    DELAY_CYCLES = "delay_cycles"
+    DELAY_UNTIL = "delay_until"
+    BLOCK = "block"
+    YIELD = "yield"
+    EXIT = "exit"
+
+    def __init__(self, kind, value=None):
+        self.kind = kind
+        self.value = value
+
+    @classmethod
+    def charge(cls, cycle_count):
+        """Perform ``cycle_count`` cycles of work."""
+        return cls(cls.CHARGE, cycle_count)
+
+    @classmethod
+    def delay(cls, ticks):
+        """Sleep for ``ticks`` scheduler ticks."""
+        return cls(cls.DELAY, ticks)
+
+    @classmethod
+    def delay_cycles(cls, cycle_count):
+        """Sleep for ``cycle_count`` clock cycles."""
+        return cls(cls.DELAY_CYCLES, cycle_count)
+
+    @classmethod
+    def delay_until(cls, wake_cycle):
+        """Sleep until absolute cycle ``wake_cycle`` (drift-free
+        periodic activation)."""
+        return cls(cls.DELAY_UNTIL, wake_cycle)
+
+    @classmethod
+    def block(cls, wait_object):
+        """Block until the kernel wakes ``wait_object``."""
+        return cls(cls.BLOCK, wait_object)
+
+    @classmethod
+    def yield_cpu(cls):
+        """Cooperative yield."""
+        return cls(cls.YIELD)
+
+    @classmethod
+    def exit(cls, result=None):
+        """Terminate the calling task."""
+        return cls(cls.EXIT, result)
+
+    def __repr__(self):
+        return "NativeCall(%s, %r)" % (self.kind, self.value)
+
+
+class TaskControlBlock:
+    """Everything the kernel knows about one task."""
+
+    _next_tid = 1
+
+    def __init__(
+        self,
+        name,
+        priority,
+        task_type=TaskType.NORMAL,
+        entry=None,
+        native=None,
+        base=None,
+        memory_size=0,
+        stack_size=0,
+        image=None,
+    ):
+        if native is None and entry is None:
+            raise SchedulerError("task needs an entry address or native code")
+        self.tid = TaskControlBlock._next_tid
+        TaskControlBlock._next_tid += 1
+        self.name = name
+        self.priority = priority
+        self.task_type = task_type
+        self.state = TaskState.READY
+
+        #: ISA tasks: entry address of the relocated binary.
+        self.entry = entry
+        #: Native tasks: generator factory ``f(kernel, task) -> generator``.
+        self.native_factory = native
+        self.native_gen = None
+
+        #: Memory placement (ISA tasks; native service tasks may have a
+        #: pseudo-region for MPU purposes).
+        self.base = base
+        self.memory_size = memory_size
+        self.stack_size = stack_size
+        self.image = image
+
+        #: Saved stack pointer while not running (ISA tasks).
+        self.saved_esp = None
+        #: Whether the task has a context frame on its stack.
+        self.started = False
+        #: Entry-routine mode for the next resume (secure tasks).
+        self.resume_mode = None
+
+        #: Task identity: SHA-1 digest of the (unrelocated) image, set by
+        #: the RTM.  ``None`` until measured; normal tasks may stay
+        #: unmeasured.
+        self.identity = None
+
+        #: Absolute cycle at which a delayed task wakes.
+        self.wake_at = None
+        #: Object the task blocks on (queue, semaphore, IPC wait).
+        self.wait_object = None
+
+        #: EA-MPU slot indices owned by this task (freed at unload).
+        self.mpu_slots = []
+
+        #: Exit result for native tasks.
+        self.result = None
+
+        #: Scheduling statistics.
+        self.activations = 0
+        self.cycles_used = 0
+        self.preemptions = 0
+
+    # -- memory layout helpers ---------------------------------------------
+
+    @property
+    def end(self):
+        """One past the task's memory allocation."""
+        return self.base + self.memory_size
+
+    @property
+    def stack_top(self):
+        """Initial stack pointer (stacks grow down from the region end)."""
+        return self.end
+
+    @property
+    def inbox_base(self):
+        """Base address of the IPC inbox."""
+        if self.image is not None:
+            return self.base + len(self.image.blob) + self.image.bss_size
+        return self.base + self.memory_size - self.stack_size - INBOX_BYTES
+
+    @property
+    def is_secure(self):
+        """Whether this is a secure task."""
+        return self.task_type == TaskType.SECURE
+
+    @property
+    def is_native(self):
+        """Whether this task runs as native (HLE) code."""
+        return self.native_factory is not None
+
+    @property
+    def identity64(self):
+        """The truncated 64-bit identity used for IPC addressing
+        (paper footnote 9: "only the first 64 bits of the hash digest")."""
+        if self.identity is None:
+            return None
+        return self.identity[:8]
+
+    def start_native(self, kernel):
+        """Instantiate the native generator on first dispatch."""
+        if self.native_gen is None:
+            self.native_gen = self.native_factory(kernel, self)
+        return self.native_gen
+
+    def __repr__(self):
+        return "TCB(%s, tid=%d, %s/%s, prio=%d)" % (
+            self.name,
+            self.tid,
+            self.task_type,
+            "native" if self.is_native else "isa",
+            self.priority,
+        )

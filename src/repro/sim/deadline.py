@@ -1,0 +1,68 @@
+"""Rate and deadline analysis for the real-time evaluation.
+
+Table 1 of the paper reports the frequency of tasks t0/t1/t2 before,
+while, and after loading t2 - all three stay at 1.5 kHz, demonstrating
+that loading is fully preemptible.  :class:`RateMonitor` computes those
+frequencies from an :class:`~repro.sim.trace.ActivationRecorder` and
+checks per-activation deadlines (an activation is "missed" when the gap
+to its predecessor exceeds the period by more than a tolerance).
+"""
+
+from __future__ import annotations
+
+
+class RateReport:
+    """Frequency and deadline statistics for one task in one window."""
+
+    def __init__(self, name, window, activations, hz, max_gap, missed):
+        self.name = name
+        self.window = window
+        self.activations = activations
+        self.hz = hz
+        self.max_gap = max_gap
+        self.missed = missed
+
+    @property
+    def khz(self):
+        """Frequency in kHz (the unit Table 1 reports)."""
+        return self.hz / 1000.0
+
+    def __repr__(self):
+        return "RateReport(%s, %.3f kHz, %d activations, missed=%d)" % (
+            self.name,
+            self.khz,
+            self.activations,
+            self.missed,
+        )
+
+
+class RateMonitor:
+    """Computes :class:`RateReport` objects from recorded activations."""
+
+    def __init__(self, recorder, clock_hz):
+        self.recorder = recorder
+        self.clock_hz = clock_hz
+
+    def report(self, name, start, end, period=None, tolerance=0.25):
+        """Analyse ``name``'s activations in cycle window ``[start, end)``.
+
+        ``period`` (cycles) enables deadline checking: a gap larger than
+        ``period * (1 + tolerance)`` counts as a missed deadline.
+        """
+        stamps = [
+            t for t in self.recorder.timestamps(name) if start <= t < end
+        ]
+        window = end - start
+        hz = len(stamps) * self.clock_hz / window if window > 0 else 0.0
+        max_gap = 0
+        missed = 0
+        for previous, current in zip(stamps, stamps[1:]):
+            gap = current - previous
+            max_gap = max(max_gap, gap)
+            if period is not None and gap > period * (1 + tolerance):
+                missed += 1
+        return RateReport(name, (start, end), len(stamps), hz, max_gap, missed)
+
+    def khz(self, name, start, end):
+        """Frequency in kHz over a window (Table 1's cell format)."""
+        return self.report(name, start, end).khz

@@ -1,0 +1,253 @@
+"""Programmatic experiment drivers: regenerate every paper table.
+
+The pytest benches under ``benchmarks/`` assert tolerances; this module
+provides the same measurements as plain functions returning
+``(label, paper_value, measured_value)`` rows, so the reproduction can
+be driven without pytest (``python -m repro.tools.bench``) or embedded
+in other tooling.
+"""
+
+from __future__ import annotations
+
+from repro import TyTAN, build_freertos_baseline, cycles
+from repro.hw.ea_mpu import MpuRule, Perm
+from repro.isa.assembler import assemble
+from repro.image.linker import link
+from repro.rtos.task import NativeCall
+from repro.sim.footprint import (
+    freertos_footprint,
+    overhead_percent,
+    total_bytes,
+    tytan_footprint,
+)
+from repro.sim.workloads import reference_table4_image, synthetic_image
+
+_SPIN = ".global start\nstart:\n    jmp start"
+
+
+def measure_table1():
+    """Use-case task frequencies before/while/after loading t2 (kHz)."""
+    from repro.uc.cruise_control import CONTROL_PERIOD_CYCLES, CruiseControlSystem
+
+    system = TyTAN()
+    uc = CruiseControlSystem(system)
+    uc.t2_activation_hook()
+    hz = system.platform.config.hz
+    phase = int(0.030 * hz)
+    a0 = system.clock.now
+    system.run(max_cycles=phase)
+    a1 = system.clock.now
+    uc.activate_cruise_control()
+    system.run(until=lambda: uc.t2_result.done)
+    b1 = system.clock.now
+    system.run(max_cycles=phase)
+    c1 = system.clock.now
+
+    rows = []
+    paper = {
+        ("t1", "before"): 1.5, ("t2", "before"): 0.0, ("t0", "before"): 1.5,
+        ("t1", "while"): 1.5, ("t0", "while"): 1.5,
+        ("t1", "after"): 1.5, ("t2", "after"): 1.5, ("t0", "after"): 1.5,
+    }
+    windows = {"before": (a0, a1), "while": (a1, b1), "after": (b1, c1)}
+    for (task_name, phase_name), expected in paper.items():
+        report = uc.monitor.report(
+            task_name, *windows[phase_name], period=CONTROL_PERIOD_CYCLES
+        )
+        rows.append(
+            ("%s %s loading (kHz)" % (task_name, phase_name), expected, round(report.khz, 2))
+        )
+    rows.append(
+        (
+            "t2 load time (ms)",
+            27.8,
+            round(uc.t2_result.total_cycles * 1000.0 / hz, 2),
+        )
+    )
+    return rows
+
+
+def measure_table2():
+    """Saving a secure task's context (cycles)."""
+    system = TyTAN()
+    system.load_task(system.build_image(_SPIN, "spin"), secure=True)
+    system.run(max_cycles=40_000)
+    save = system.int_mux.last_save
+
+    platform, kernel, loader = build_freertos_baseline()
+    loader.load_synchronously(link(assemble(_SPIN, "spin"), stack_size=128))
+    observed = []
+    original = kernel.context_policy.save_context
+    kernel.context_policy.save_context = lambda task: observed.append(
+        original(task)
+    ) or observed[-1]
+    kernel.run(max_cycles=40_000)
+    baseline = observed[0]
+    return [
+        ("store context", 38, save["store"]),
+        ("wipe registers", 16, save["wipe"]),
+        ("branch", 41, save["branch"]),
+        ("overall", 95, save["overall"]),
+        ("freertos baseline", 38, baseline),
+        ("overhead", 57, save["overall"] - baseline),
+    ]
+
+
+def measure_table3():
+    """Restoring a secure task's context (cycles)."""
+    system = TyTAN()
+    system.load_task(system.build_image(_SPIN, "spin"), secure=True)
+    system.run(max_cycles=80_000)
+    restore = system.kernel.context_policy.entry_routine.last_restore
+    baseline = cycles.restore_context_cycles()
+    return [
+        ("branch (incl. entry check)", 106, restore["branch"]),
+        ("restore", 254, restore["restore"]),
+        ("overall", 384, restore["overall"]),
+        ("freertos baseline", 254, baseline),
+        ("overhead", 130, restore["overall"] - baseline),
+    ]
+
+
+def measure_table4():
+    """Creating a secure / normal task (cycles)."""
+    def load_once(secure):
+        system = TyTAN()
+        system.load_task(reference_table4_image(), secure=secure, measure=secure)
+        return system.loader.last_breakdown
+
+    secure = load_once(True)
+    normal = load_once(False)
+    return [
+        ("secure: relocation", 3_692, secure["relocation"]),
+        ("secure: EA-MPU", 225, secure["eampu"]),
+        ("secure: RTM", 433_433, secure["rtm"]),
+        ("secure: overall", 642_241, secure["overall"]),
+        ("normal: overall", 208_808, normal["overall"]),
+        ("normal: RTM", 0, normal["rtm"]),
+    ]
+
+
+def measure_table5():
+    """Relocation cost vs number of addresses (cycles, min and avg)."""
+    paper = {0: (37, 37), 1: (673, 703), 2: (1_346, 1_372), 4: (2_634, 2_711)}
+
+    def one(entries, aligned, seed=1):
+        system = TyTAN()
+        image = synthetic_image(
+            blocks=4, relocations=entries, aligned_relocs=aligned, seed=seed
+        )
+        system.load_task(image, secure=False, measure=False)
+        return system.loader.last_breakdown["relocation"]
+
+    rows = []
+    for entries, (paper_min, paper_avg) in paper.items():
+        measured_min = one(entries, True)
+        measured_avg = sum(one(entries, False, seed) for seed in range(4)) / 4
+        rows.append(("%d addresses (min)" % entries, paper_min, measured_min))
+        rows.append(("%d addresses (avg)" % entries, paper_avg, measured_avg))
+    return rows
+
+
+def measure_table6():
+    """EA-MPU configuration vs first free slot position (cycles)."""
+    from repro.core.mpu_driver import EAMPUDriver
+    from repro.hw.clock import CycleClock
+    from repro.hw.ea_mpu import EAMPU
+
+    def fill_rule(index):
+        base = 0x300000 + index * 0x1000
+        return MpuRule(
+            "fill-%d" % index, base, base + 0x100, base, base + 0x100, Perm.RWX
+        )
+
+    paper = {1: 1_125, 2: 1_144, 18: 1_448}
+    rows = []
+    for position, paper_overall in paper.items():
+        mpu = EAMPU()
+        clock = CycleClock()
+        driver = EAMPUDriver(mpu, clock)
+        driver.bind(0x10000, 0x1000)
+        for index in range(position - 1):
+            mpu.program_slot(index, fill_rule(index))
+        before = clock.now
+        driver.configure_rule(fill_rule(99))
+        rows.append(("first free slot %d" % position, paper_overall, clock.now - before))
+    return rows
+
+
+def measure_table7():
+    """Measuring a task: block and address sweeps (cycles)."""
+    def measure(blocks, relocations):
+        system = TyTAN()
+        image = synthetic_image(blocks=blocks, relocations=relocations)
+        task = system.load_task(image, secure=False, measure=False)
+        hash_cost = reversal_cost = 0
+        for call in system.rtm.measure(task):
+            system.clock.charge(call.value)
+            if call.value in (
+                cycles.REVERSAL_BASE,
+                cycles.REVERSAL_FIRST,
+                cycles.REVERSAL_NEXT,
+            ):
+                reversal_cost += call.value
+            else:
+                hash_cost += call.value
+        return hash_cost, reversal_cost
+
+    rows = []
+    for blocks, paper in ((1, 8_261), (2, 12_200), (4, 20_078), (8, 35_790)):
+        rows.append(("%d block(s)" % blocks, paper, measure(blocks, 0)[0]))
+    for addresses, paper in ((0, 114), (1, 680), (2, 1_188), (4, 2_187)):
+        rows.append(
+            ("%d address(es) reverted" % addresses, paper, measure(8, addresses)[1])
+        )
+    return rows
+
+
+def measure_table8():
+    """OS memory consumption (bytes)."""
+    base = freertos_footprint()
+    extended = tytan_footprint()
+    return [
+        ("FreeRTOS", 215_617, total_bytes(base)),
+        ("TyTAN", 249_943, total_bytes(extended)),
+        ("overhead %", 15.92, round(overhead_percent(base, extended), 2)),
+    ]
+
+
+def measure_ipc():
+    """Secure IPC latency (cycles)."""
+    system = TyTAN()
+
+    def idle(kernel, task):
+        while True:
+            yield NativeCall.delay_cycles(100_000)
+
+    sender = system.create_service_task("sender", 3, idle, protect=False)
+    system.rtm.register_service(sender, "sender")
+    receiver = system.create_service_task("receiver", 4, idle, protect=False)
+    receiver_id = system.rtm.register_service(receiver, "receiver")[:8]
+    before = system.clock.now
+    system.ipc.send(sender, receiver_id, [1, 2, 3, 4])
+    proxy = system.clock.now - before
+    entry = cycles.ENTRY_MODE_CHECK + cycles.IPC_ENTRY_ROUTINE_RECEIVE
+    return [
+        ("IPC proxy", 1_208, proxy),
+        ("receiver entry routine", 116, entry),
+        ("overall", 1_324, proxy + entry),
+    ]
+
+
+#: Experiment registry: name -> (description, driver).
+EXPERIMENTS = {
+    "table1": ("use-case task frequencies (Figure 2)", measure_table1),
+    "table2": ("saving a secure task's context", measure_table2),
+    "table3": ("restoring a secure task's context", measure_table3),
+    "table4": ("creating a task", measure_table4),
+    "table5": ("relocation", measure_table5),
+    "table6": ("EA-MPU configuration", measure_table6),
+    "table7": ("measuring a task", measure_table7),
+    "table8": ("OS memory consumption", measure_table8),
+    "ipc": ("secure IPC latency", measure_ipc),
+}

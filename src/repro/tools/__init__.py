@@ -1,0 +1,11 @@
+"""Command-line developer tools for the TyTAN toolchain.
+
+These mirror the binutils a task developer would expect:
+
+* ``python -m repro.tools.asm``     - assemble ``.s`` into TELF objects
+* ``python -m repro.tools.link``    - link objects into a task image
+* ``python -m repro.tools.objdump`` - inspect objects and images
+* ``python -m repro.tools.run``     - boot TyTAN and run task images
+
+Each module exposes ``main(argv)`` for tests and scripting.
+"""

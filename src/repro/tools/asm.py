@@ -1,0 +1,67 @@
+"""``repro-asm``: assemble TyTAN assembly into a TELF object file.
+
+Usage::
+
+    python -m repro.tools.asm input.s [-o output.obj] [--name NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+
+
+def build_parser():
+    """The tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-asm", description="Assemble TyTAN assembly into TELF objects."
+    )
+    parser.add_argument("source", help="assembly source file (.s)")
+    parser.add_argument(
+        "-o", "--output", help="output object path (default: <source>.obj)"
+    )
+    parser.add_argument(
+        "--name", help="object name recorded in the container (default: stem)"
+    )
+    return parser
+
+
+def main(argv=None):
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    source_path = Path(args.source)
+    try:
+        source = source_path.read_text()
+    except OSError as exc:
+        print("repro-asm: cannot read %s: %s" % (source_path, exc), file=sys.stderr)
+        return 2
+    name = args.name or source_path.stem
+    try:
+        obj = assemble(source, name)
+    except AssemblerError as exc:
+        print("repro-asm: %s: %s" % (source_path, exc), file=sys.stderr)
+        return 1
+    output = Path(args.output) if args.output else source_path.with_suffix(".obj")
+    output.write_bytes(obj.to_bytes())
+    text = obj.sections.get(".text")
+    data = obj.sections.get(".data")
+    print(
+        "%s: %d bytes text, %d bytes data, %d symbols, %d relocations -> %s"
+        % (
+            name,
+            text.size if text else 0,
+            data.size if data else 0,
+            len(obj.symbols),
+            len(obj.relocations),
+            output,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""``repro-bench``: regenerate the paper's tables from the command line.
+
+Usage::
+
+    python -m repro.tools.bench               # every experiment
+    python -m repro.tools.bench table7 ipc    # selected experiments
+    python -m repro.tools.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim.experiments import EXPERIMENTS
+
+
+def build_parser():
+    """The tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the TyTAN paper's evaluation tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (default: all); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    return parser
+
+
+def render(name, description, rows, out):
+    """Print one paper-vs-measured table."""
+    print("\n%s - %s" % (name, description), file=out)
+    print("  %-36s %14s %14s %8s" % ("row", "paper", "measured", "delta"), file=out)
+    worst = 0.0
+    for label, paper, measured in rows:
+        if paper:
+            delta = (measured - paper) / paper
+            delta_text = "%+.1f%%" % (100 * delta)
+            worst = max(worst, abs(delta))
+        else:
+            delta_text = "-"
+        print(
+            "  %-36s %14s %14s %8s"
+            % (label, _fmt(paper), _fmt(measured), delta_text),
+            file=out,
+        )
+    return worst
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return "%.2f" % value
+    return "{:,}".format(value)
+
+
+def main(argv=None, out=None):
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, (description, _) in EXPERIMENTS.items():
+            print("%-8s %s" % (name, description), file=out)
+        return 0
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        print("repro-bench: unknown experiment(s): %s" % ", ".join(unknown), file=sys.stderr)
+        return 2
+    for name in selected:
+        description, driver = EXPERIMENTS[name]
+        rows = driver()
+        render(name, description, rows, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""``repro-link``: link TELF objects into a loadable task image.
+
+Usage::
+
+    python -m repro.tools.link a.obj b.obj -o task.img \
+        [--entry start] [--stack 512] [--name NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ImageFormatError, LinkError
+from repro.image.linker import link
+from repro.image.telf import ObjectFile
+
+
+def build_parser():
+    """The tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-link", description="Link TELF objects into a task image."
+    )
+    parser.add_argument("objects", nargs="+", help="input object files")
+    parser.add_argument("-o", "--output", required=True, help="output image path")
+    parser.add_argument("--entry", default="start", help="entry symbol")
+    parser.add_argument("--stack", type=int, default=512, help="stack bytes")
+    parser.add_argument("--name", help="image name (default: first object's)")
+    return parser
+
+
+def main(argv=None):
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    objects = []
+    for path in args.objects:
+        try:
+            objects.append(ObjectFile.from_bytes(Path(path).read_bytes()))
+        except (OSError, ImageFormatError) as exc:
+            print("repro-link: %s: %s" % (path, exc), file=sys.stderr)
+            return 2
+    try:
+        image = link(
+            objects, name=args.name, entry_symbol=args.entry, stack_size=args.stack
+        )
+    except LinkError as exc:
+        print("repro-link: %s" % exc, file=sys.stderr)
+        return 1
+    Path(args.output).write_bytes(image.to_bytes())
+    from repro.core.identity import identity_of_image
+
+    print(
+        "%s: %d bytes blob + %d bss + %d stack, entry 0x%X, %d relocations"
+        % (
+            image.name,
+            len(image.blob),
+            image.bss_size,
+            image.stack_size,
+            image.entry,
+            len(image.relocations),
+        )
+    )
+    print("identity (id_t): %s" % identity_of_image(image).hex())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""``repro-objdump``: inspect TELF object files and task images.
+
+Usage::
+
+    python -m repro.tools.objdump file.obj            # headers + symbols
+    python -m repro.tools.objdump file.img -d         # + disassembly
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ImageFormatError
+from repro.image.telf import IMG_MAGIC, OBJ_MAGIC, ObjectFile, TaskImage
+from repro.isa.disassembler import disassemble
+
+
+def build_parser():
+    """The tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-objdump", description="Inspect TELF containers."
+    )
+    parser.add_argument("file", help="object (.obj) or image (.img) file")
+    parser.add_argument(
+        "-d", "--disassemble", action="store_true", help="disassemble code"
+    )
+    return parser
+
+
+def dump_object(obj, show_disassembly, out):
+    """Print an object file's contents."""
+    print("TELF object: %s" % obj.name, file=out)
+    for name in sorted(obj.sections):
+        section = obj.sections[name]
+        print("  section %-7s %6d bytes" % (name, section.size), file=out)
+    print("  symbols:", file=out)
+    for name in sorted(obj.symbols):
+        sym = obj.symbols[name]
+        print(
+            "    %-24s %s+0x%04X%s"
+            % (name, sym.section, sym.offset, "  GLOBAL" if sym.is_global else ""),
+            file=out,
+        )
+    print("  relocations:", file=out)
+    for reloc in obj.relocations:
+        print(
+            "    %s+0x%04X -> %s" % (reloc.section, reloc.offset, reloc.symbol),
+            file=out,
+        )
+    if show_disassembly:
+        print("  disassembly (.text):", file=out)
+        for address, text in disassemble(bytes(obj.section(".text").data)):
+            print("    %06X:  %s" % (address, text), file=out)
+
+
+def dump_image(image, show_disassembly, out):
+    """Print a task image's contents."""
+    from repro.core.identity import identity_of_image
+
+    print("TELF image: %s" % image.name, file=out)
+    print(
+        "  blob %d bytes, bss %d, stack %d, entry 0x%X"
+        % (len(image.blob), image.bss_size, image.stack_size, image.entry),
+        file=out,
+    )
+    print("  identity: %s" % identity_of_image(image).hex(), file=out)
+    print(
+        "  relocations (%d): %s"
+        % (
+            len(image.relocations),
+            " ".join("0x%X" % offset for offset in image.relocations[:16])
+            + (" ..." if len(image.relocations) > 16 else ""),
+        ),
+        file=out,
+    )
+    if show_disassembly:
+        print("  disassembly:", file=out)
+        for address, text in disassemble(image.blob):
+            print("    %06X:  %s" % (address, text), file=out)
+
+
+def main(argv=None, out=None):
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        blob = Path(args.file).read_bytes()
+    except OSError as exc:
+        print("repro-objdump: %s" % exc, file=sys.stderr)
+        return 2
+    try:
+        if blob[:4] == OBJ_MAGIC:
+            dump_object(ObjectFile.from_bytes(blob), args.disassemble, out)
+        elif blob[:4] == IMG_MAGIC:
+            dump_image(TaskImage.from_bytes(blob), args.disassemble, out)
+        else:
+            print("repro-objdump: not a TELF container", file=sys.stderr)
+            return 1
+    except ImageFormatError as exc:
+        print("repro-objdump: %s" % exc, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

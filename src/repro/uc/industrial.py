@@ -1,0 +1,167 @@
+"""Industrial control scenario - the paper's other motivating domain.
+
+The introduction motivates TyTAN with "industrial control systems, and
+critical infrastructures" and cites SCADA/PLC attacks ([19], [23]).
+This scenario models a PLC-class pressure-control loop with the
+defensive structure TyTAN enables:
+
+* a **pump controller** (secure task) holds the pressure setpoint with
+  a proportional controller driving the pump actuator;
+* a **safety monitor** (separate secure task, different stakeholder:
+  the plant operator rather than the integrator) independently watches
+  the pressure and orders an emergency stop over secure IPC when
+  bounds are exceeded - because the tasks are mutually isolated, a
+  compromised controller cannot silence the monitor;
+* an **operator station** (off-device verifier) periodically
+  remote-attests the controller - a tampered replacement is detected
+  on the next attestation round even though it "works".
+
+The pressure sensor and pump reuse the platform's generic trace-sensor
+and actuator devices.
+"""
+
+from __future__ import annotations
+
+from repro.rtos.task import NativeCall
+from repro.sim.trace import ActivationRecorder
+
+#: Control period: 500 Hz loop (industrial loops are slower than the
+#: automotive 1.5 kHz).
+CONTROL_PERIOD_CYCLES = 96_000
+
+#: Pressure band (sensor units, 0.01 bar): setpoint and hard limits.
+SETPOINT = 400
+HIGH_LIMIT = 520
+LOW_LIMIT = 150
+
+
+class IndustrialControlSystem:
+    """Builds the pump-control scenario on a TyTAN instance.
+
+    The platform's ``speed`` sensor plays the pressure transmitter and
+    the engine actuator plays the pump's variable-speed drive.
+    """
+
+    def __init__(self, system, period=CONTROL_PERIOD_CYCLES):
+        self.system = system
+        self.period = period
+        self.recorder = ActivationRecorder(system.clock)
+        #: Emergency-stop events: (cycle, pressure) tuples.
+        self.estops = []
+        #: Attestation rounds: (cycle, ok) tuples.
+        self.attestation_log = []
+
+        self._build_controller()
+        self._build_safety_monitor()
+
+    # -- the pump controller -------------------------------------------------
+
+    def _build_controller(self):
+        system = self.system
+        period = self.period
+        recorder = self.recorder
+        sensor_base = system.platform.speed_base
+        pump_base = system.platform.engine_base
+        state = {"stopped": False}
+        self.controller_state = state
+
+        def controller_body(kernel, task):
+            next_deadline = kernel.clock.now + period
+            while True:
+                recorder.mark("controller")
+                message = system.ipc.read_inbox(task)
+                while message is not None:
+                    words, sender = message
+                    if sender == self._monitor_id and words[0] == 0xE570:
+                        state["stopped"] = True
+                    message = system.ipc.read_inbox(task)
+                if state["stopped"]:
+                    kernel.memory.write_u32(pump_base, 0, actor=task.base)
+                else:
+                    pressure = kernel.memory.read_u32(
+                        sensor_base, actor=task.base
+                    )
+                    command = self._control_law(pressure)
+                    kernel.memory.write_u32(pump_base, command, actor=task.base)
+                yield NativeCall.charge(2_000)
+                yield NativeCall.delay_until(next_deadline)
+                next_deadline += period
+
+        self.controller = system.create_service_task(
+            "pump-controller", 4, controller_body
+        )
+        self.controller_identity = system.rtm.register_service(
+            self.controller, "pump-controller"
+        )
+        self._monitor_id = None
+
+    def _control_law(self, pressure):
+        """Proportional control toward the setpoint (pump per-mille)."""
+        error = SETPOINT - pressure
+        command = 500 + 3 * error
+        return max(0, min(1000, command))
+
+    # -- the safety monitor -----------------------------------------------------
+
+    def _build_safety_monitor(self):
+        system = self.system
+        period = self.period
+        recorder = self.recorder
+        sensor_base = system.platform.speed_base
+        estops = self.estops
+
+        def monitor_body(kernel, task):
+            next_deadline = kernel.clock.now + period
+            while True:
+                recorder.mark("monitor")
+                pressure = kernel.memory.read_u32(sensor_base, actor=task.base)
+                if pressure > HIGH_LIMIT or pressure < LOW_LIMIT:
+                    if not estops or kernel.clock.now - estops[-1][0] > period:
+                        estops.append((kernel.clock.now, pressure))
+                        system.ipc.send(
+                            task, self.controller_identity[:8], [0xE570, pressure]
+                        )
+                yield NativeCall.charge(900)
+                yield NativeCall.delay_until(next_deadline)
+                next_deadline += period
+
+        self.monitor = system.create_service_task(
+            "safety-monitor", 5, monitor_body
+        )
+        self._monitor_id = system.rtm.register_service(
+            self.monitor, "safety-monitor"
+        )[:8]
+
+    # -- the operator station ------------------------------------------------------
+
+    def make_operator_station(self):
+        """An off-device verifier trusting exactly this controller."""
+        verifier = self.system.make_verifier(provider=b"plant-operator")
+        verifier.expect(self.controller_identity)
+        return verifier
+
+    def attestation_round(self, verifier):
+        """One operator attestation of the controller; logs and returns
+        the verdict."""
+        nonce = verifier.fresh_nonce()
+        try:
+            report = self.system.remote_attest.attest_identity(
+                self.controller.identity, nonce, provider=b"plant-operator"
+            )
+            ok = verifier.verify(report, nonce)
+        except Exception:
+            ok = False
+        self.attestation_log.append((self.system.clock.now, ok))
+        return ok
+
+    # -- reporting ------------------------------------------------------------------
+
+    @property
+    def pump(self):
+        """The pump actuator device (command history)."""
+        return self.system.platform.engine_actuator
+
+    @property
+    def emergency_stopped(self):
+        """Whether the controller latched an emergency stop."""
+        return self.controller_state["stopped"]

@@ -1,0 +1,102 @@
+"""Configuration-matrix and determinism tests.
+
+A reproduction must be deterministic (same inputs -> same cycle counts
+and identities) and must not bake in one machine shape.
+"""
+
+import pytest
+
+from repro import MachineConfig, TyTAN
+
+from conftest import COUNTER_TASK, read_counter
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_clocks(self):
+        def run_once():
+            system = TyTAN()
+            task = system.load_source(COUNTER_TASK, "det", secure=True)
+            system.run(max_cycles=200_000)
+            return (
+                system.clock.now,
+                task.identity,
+                read_counter(system, task),
+                system.boot_log.aggregate,
+            )
+
+        assert run_once() == run_once()
+
+    def test_use_case_deterministic(self):
+        from repro.uc.cruise_control import CruiseControlSystem
+
+        def run_once():
+            system = TyTAN()
+            uc = CruiseControlSystem(system)
+            uc.activate_cruise_control()
+            system.run(until=lambda: uc.t2_result.done)
+            return uc.t2_result.total_cycles, uc.t2.identity
+
+        assert run_once() == run_once()
+
+
+class TestConfigMatrix:
+    @pytest.mark.parametrize("tick_period", [8_000, 16_000, 32_000])
+    def test_tick_rates(self, tick_period):
+        system = TyTAN(MachineConfig(tick_period=tick_period))
+        task = system.load_source(COUNTER_TASK, "t", secure=True)
+        system.run(max_cycles=320_000)
+        # The task uses cycle delays, so its rate is tick-independent.
+        assert read_counter(system, task) >= 8
+        assert not system.kernel.faulted
+
+    def test_slower_clock(self):
+        config = MachineConfig(hz=16_000_000)  # a 16 MHz part
+        system = TyTAN(config)
+        system.load_source(COUNTER_TASK, "t", secure=True)
+        system.run(max_cycles=100_000)
+        assert system.clock.cycles_to_ms(48_000) == 3.0
+
+    def test_bigger_mpu(self):
+        """A platform synthesised with more EA-MPU slots supports more
+        concurrent secure tasks (the paper's slot count is a synthesis
+        parameter, not a law)."""
+        default = TyTAN()
+        default_capacity = len(default.platform.mpu.free_slots())
+        big = TyTAN(MachineConfig(mpu_slots=32))
+        big_capacity = len(big.platform.mpu.free_slots())
+        assert big.platform.mpu.slot_count == 32
+        assert big_capacity == default_capacity + (32 - 18)
+        # And the extra capacity is usable end-to-end.
+        tasks = [
+            big.load_source(COUNTER_TASK, "t%d" % index, secure=True)
+            for index in range(default_capacity + 3)
+        ]
+        big.run(max_cycles=100_000)
+        assert all(read_counter(big, task) >= 2 for task in tasks)
+
+    def test_small_task_ram_exhausts_cleanly(self):
+        config = MachineConfig()
+        config.task_ram_size = 0x4000  # 16 KiB only
+        system = TyTAN(config)
+        from repro.errors import LoaderError
+        from repro.sim.workloads import synthetic_image
+
+        loaded = []
+        with pytest.raises(LoaderError):
+            for index in range(64):
+                loaded.append(
+                    system.load_task(
+                        synthetic_image(blocks=32, name="big-%d" % index),
+                        secure=False,
+                    )
+                )
+        assert loaded  # at least some fit before exhaustion
+
+    def test_identity_independent_of_machine_config(self):
+        """id_t depends only on the binary, never on the platform."""
+        image_source = COUNTER_TASK
+        a = TyTAN()
+        b = TyTAN(MachineConfig(hz=16_000_000, tick_period=8_000))
+        task_a = a.load_source(image_source, "t", secure=True)
+        task_b = b.load_source(image_source, "t", secure=True)
+        assert task_a.identity == task_b.identity

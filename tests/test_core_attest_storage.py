@@ -1,0 +1,197 @@
+"""Tests for remote attestation and secure storage."""
+
+import pytest
+
+from repro.core.identity import identity_of_image
+from repro.core.remote_attest import AttestationReport, Verifier
+from repro.errors import AttestationError, ProtectionFault, SecureStorageError
+from repro.sim.workloads import synthetic_image
+
+from conftest import COUNTER_TASK
+
+
+def loaded(system, name="t", seed=1):
+    image = synthetic_image(blocks=3, relocations=1, name=name, seed=seed)
+    return system.load_task(image, secure=True, name=name), image
+
+
+class TestRemoteAttestation:
+    def test_verify_roundtrip(self, system):
+        task, image = loaded(system)
+        verifier = system.make_verifier()
+        verifier.expect(identity_of_image(image))
+        nonce = verifier.fresh_nonce()
+        report = system.remote_attest_task(task, nonce)
+        assert verifier.verify(report, nonce)
+
+    def test_wrong_nonce_rejected(self, system):
+        task, image = loaded(system)
+        verifier = system.make_verifier()
+        verifier.expect(identity_of_image(image))
+        report = system.remote_attest_task(task, verifier.fresh_nonce())
+        assert not verifier.verify(report, verifier.fresh_nonce())
+
+    def test_unexpected_identity_rejected(self, system):
+        task, _ = loaded(system)
+        verifier = system.make_verifier()  # nothing whitelisted
+        nonce = verifier.fresh_nonce()
+        report = system.remote_attest_task(task, nonce)
+        assert not verifier.verify(report, nonce)
+
+    def test_tampered_mac_rejected(self, system):
+        task, image = loaded(system)
+        verifier = system.make_verifier()
+        verifier.expect(identity_of_image(image))
+        nonce = verifier.fresh_nonce()
+        report = system.remote_attest_task(task, nonce)
+        forged = AttestationReport(
+            report.identity, report.nonce, bytes(20)
+        )
+        assert not verifier.verify(forged, nonce)
+
+    def test_tampered_identity_rejected(self, system):
+        """Claiming a whitelisted identity with a MAC from another
+        report fails - the MAC binds identity and nonce."""
+        task, image = loaded(system)
+        other_task, other_image = loaded(system, "other", seed=9)
+        verifier = system.make_verifier()
+        verifier.expect(identity_of_image(image))
+        nonce = verifier.fresh_nonce()
+        other_report = system.remote_attest_task(other_task, nonce)
+        forged = AttestationReport(
+            identity_of_image(image), nonce, other_report.mac
+        )
+        assert not verifier.verify(forged, nonce)
+
+    def test_unregistered_task_cannot_attest(self, system):
+        normal = system.load_task(
+            system.build_image(COUNTER_TASK, "norm"), secure=False
+        )
+        with pytest.raises(AttestationError):
+            system.remote_attest_task(normal, b"\x00" * 8)
+
+    def test_per_provider_keys(self, system):
+        task, image = loaded(system)
+        nonce = b"\x01" * 8
+        report_a = system.remote_attest_task(task, nonce, provider=b"oem")
+        report_b = system.remote_attest_task(task, nonce, provider=b"tier1")
+        assert report_a.mac != report_b.mac
+        verifier = Verifier(system.platform.key_store.raw_key(), provider=b"oem")
+        verifier.expect(identity_of_image(image))
+        assert verifier.verify(report_a, nonce)
+        assert not verifier.verify(report_b, nonce)
+
+    def test_report_wire_roundtrip(self, system):
+        task, _ = loaded(system)
+        report = system.remote_attest_task(task, b"\xAB\xCD")
+        parsed = AttestationReport.from_bytes(report.to_bytes())
+        assert parsed.identity == report.identity
+        assert parsed.nonce == report.nonce
+        assert parsed.mac == report.mac
+
+    def test_malformed_report_rejected(self):
+        with pytest.raises(AttestationError):
+            AttestationReport.from_bytes(b"\x00" * 25)
+
+    def test_platform_key_unreadable_by_os(self, system):
+        with pytest.raises(ProtectionFault):
+            system.platform.key_store.read_key(actor=system.kernel.os_actor)
+
+    def test_platform_key_unreadable_by_task(self, system):
+        task, _ = loaded(system)
+        with pytest.raises(ProtectionFault):
+            system.platform.key_store.read_key(actor=task.base)
+
+    def test_platform_key_readable_by_attest_component(self, system):
+        key = system.platform.key_store.read_key(actor=system.remote_attest.base)
+        assert key == system.platform.key_store.raw_key()
+
+
+class TestSecureStorage:
+    def test_store_retrieve(self, system):
+        task, _ = loaded(system)
+        system.store(task, "calibration", b"\x01\x02\x03\x04" * 8)
+        assert system.retrieve(task, "calibration") == b"\x01\x02\x03\x04" * 8
+
+    def test_missing_slot(self, system):
+        task, _ = loaded(system)
+        with pytest.raises(SecureStorageError):
+            system.retrieve(task, "nope")
+
+    def test_unmeasured_task_rejected(self, system):
+        normal = system.load_task(
+            system.build_image(COUNTER_TASK, "n"), secure=False
+        )
+        with pytest.raises(SecureStorageError):
+            system.store(normal, "x", b"data")
+
+    def test_persists_across_reload(self, system):
+        """The core property: the same binary re-loaded later (even at
+        another address) recovers its data."""
+        image = synthetic_image(blocks=3, name="persist")
+        task = system.load_task(image, secure=True)
+        system.store(task, "state", b"persisted-bytes")
+        system.unload_task(task)
+        system.kernel.allocator.allocate(48)  # move the next base
+        again = system.load_task(image, secure=True)
+        assert system.retrieve(again, "state") == b"persisted-bytes"
+
+    def test_modified_task_cannot_read(self, system):
+        """A task whose binary changed has a different id_t and thus a
+        different K_t: old data is unreachable."""
+        original = synthetic_image(blocks=3, name="v1", seed=5)
+        task = system.load_task(original, secure=True)
+        system.store(task, "secret", b"for-v1-only")
+        system.unload_task(task)
+        modified = synthetic_image(blocks=3, name="v1", seed=6)
+        impostor = system.load_task(modified, secure=True)
+        with pytest.raises(SecureStorageError):
+            system.retrieve(impostor, "secret")
+
+    def test_ciphertext_differs_from_plaintext(self, system):
+        task, _ = loaded(system)
+        payload = b"A" * 64
+        system.store(task, "blob", payload)
+        nonce, ciphertext, tag = system.secure_storage.raw_blob(
+            task.identity, "blob"
+        )
+        assert ciphertext != payload
+        assert payload not in ciphertext
+
+    def test_tampered_ciphertext_detected(self, system):
+        task, _ = loaded(system)
+        system.store(task, "blob", b"integrity matters")
+        nonce, ciphertext, tag = system.secure_storage.raw_blob(
+            task.identity, "blob"
+        )
+        flipped = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+        system.secure_storage._vault[bytes(task.identity)]["blob"] = (
+            nonce,
+            flipped,
+            tag,
+        )
+        with pytest.raises(SecureStorageError):
+            system.retrieve(task, "blob")
+
+    def test_delete(self, system):
+        task, _ = loaded(system)
+        system.store(task, "temp", b"x")
+        system.secure_storage.delete(task, "temp")
+        with pytest.raises(SecureStorageError):
+            system.retrieve(task, "temp")
+        with pytest.raises(SecureStorageError):
+            system.secure_storage.delete(task, "temp")
+
+    def test_slots_listing(self, system):
+        task, _ = loaded(system)
+        system.store(task, "b", b"1")
+        system.store(task, "a", b"2")
+        assert system.secure_storage.slots_of(task) == ["a", "b"]
+
+    def test_two_tasks_isolated_namespaces(self, system):
+        a, _ = loaded(system, "a", seed=1)
+        b, _ = loaded(system, "b", seed=2)
+        system.store(a, "key", b"a-data")
+        system.store(b, "key", b"b-data")
+        assert system.retrieve(a, "key") == b"a-data"
+        assert system.retrieve(b, "key") == b"b-data"

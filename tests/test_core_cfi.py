@@ -1,0 +1,171 @@
+"""Tests for the CFI watchdog (runtime attack detection extension)."""
+
+from repro.core.cfi import CfiViolation, ControlFlowGraph
+from repro.isa.assembler import assemble
+from repro.image.linker import link
+
+from conftest import COUNTER_TASK, read_counter
+
+#: A task with a function call, a loop, and a clean exit.
+WELL_BEHAVED = """
+.section .text
+.global start
+start:
+    movi ecx, 3
+loop:
+    call work
+    subi ecx, 1
+    cmpi ecx, 0
+    jnz loop
+    movi eax, 2
+    int 0x20
+work:
+    movi ebx, result
+    ld eax, [ebx]
+    addi eax, 5
+    st [ebx], eax
+    ret
+.section .data
+result:
+    .word 0
+"""
+
+#: A task that smashes its own return address: it pushes a gadget
+#: address mid-function and returns to it - classic code reuse that the
+#: EA-MPU cannot see because everything stays inside the task's region.
+ROP_ATTACK = """
+.section .text
+.global start
+start:
+    call victim
+    movi eax, 2
+    int 0x20
+victim:
+    pushi gadget         ; overwrite the return address
+    ret                  ; "returns" into the gadget
+gadget:
+    movi ebx, loot
+    movi eax, 0x666
+    st [ebx], eax
+    movi eax, 2
+    int 0x20
+.section .data
+loot:
+    .word 0
+"""
+
+
+class TestCfgExtraction:
+    def make_cfg(self, source):
+        image = link(assemble(source, "t"), stack_size=256)
+        return image, ControlFlowGraph.from_image(image)
+
+    def test_instruction_starts_swept(self):
+        image, cfg = self.make_cfg(WELL_BEHAVED)
+        assert 0 in cfg.instruction_starts
+        assert cfg.swept_end > 0
+
+    def test_branch_targets_extracted(self):
+        image, cfg = self.make_cfg(WELL_BEHAVED)
+        all_targets = set().union(*cfg.branch_targets.values())
+        # call work + jnz loop = at least two distinct targets
+        assert len(all_targets) >= 2
+        for target in all_targets:
+            assert target in cfg.instruction_starts
+
+    def test_return_sites_follow_calls(self):
+        image, cfg = self.make_cfg(WELL_BEHAVED)
+        assert cfg.return_sites  # one call in the program
+        for site in cfg.return_sites:
+            assert site in cfg.instruction_starts
+
+    def test_ret_offsets_found(self):
+        image, cfg = self.make_cfg(WELL_BEHAVED)
+        assert len(cfg.ret_offsets) == 1
+
+    def test_validate_good_edges(self):
+        image, cfg = self.make_cfg(WELL_BEHAVED)
+        for offset, targets in cfg.branch_targets.items():
+            for target in targets:
+                assert cfg.validate(offset, target) is None
+
+    def test_validate_rejects_mid_instruction(self):
+        image, cfg = self.make_cfg(WELL_BEHAVED)
+        ret = next(iter(cfg.ret_offsets))
+        assert cfg.validate(ret, 3) is not None  # not a boundary
+
+    def test_validate_rejects_bad_return(self):
+        image, cfg = self.make_cfg(WELL_BEHAVED)
+        ret = next(iter(cfg.ret_offsets))
+        bad = next(
+            offset
+            for offset in cfg.instruction_starts
+            if offset not in cfg.return_sites
+        )
+        assert cfg.validate(ret, bad) == "return to a non-call-site"
+
+
+class TestRuntimeDetection:
+    def test_well_behaved_task_unharmed(self, system):
+        task = system.load_source(WELL_BEHAVED, "good", secure=True)
+        system.enable_cfi(task)
+        system.run(max_cycles=300_000)
+        assert task not in system.kernel.faulted
+        assert system.cfi.checks > 0
+        assert system.cfi.violations == []
+
+    def test_rop_attack_detected_and_contained(self, system):
+        attacker = system.load_source(ROP_ATTACK, "rop", secure=True)
+        victim = system.load_source(COUNTER_TASK, "bystander", secure=True)
+        system.enable_cfi(attacker)
+        system.run(max_cycles=300_000)
+        fault = system.kernel.faulted.get(attacker)
+        assert isinstance(fault, CfiViolation)
+        assert "non-call-site" in fault.reason
+        # The gadget never executed: the loot word stays zero.
+        # (The attacker is dead, so read as the RTM.)
+        loot = system.kernel.memory.read_raw(
+            attacker.base + len(attacker.image.blob) - 4, 4
+        )
+        assert loot == bytes(4)
+        # The rest of the platform is unaffected.
+        assert read_counter(system, victim) >= 4
+
+    def test_unmonitored_attack_succeeds(self, system):
+        """Without the watchdog, the same attack works - the EA-MPU
+        alone cannot stop intra-task code reuse.  (This is the gap the
+        future-work extension closes.)"""
+        attacker = system.load_source(ROP_ATTACK, "rop", secure=True)
+        system.run(max_cycles=300_000)
+        assert attacker not in system.kernel.faulted
+        loot = system.kernel.memory.read_raw(
+            attacker.base + len(attacker.image.blob) - 4, 4
+        )
+        assert int.from_bytes(loot, "little") == 0x666
+
+    def test_checks_counted_and_charged(self, system):
+        task = system.load_source(WELL_BEHAVED, "good", secure=True)
+        system.enable_cfi(task)
+        system.run(max_cycles=300_000)
+        assert system.cfi.checks >= 6  # 3 loop iterations x (call+ret)
+
+    def test_unmonitor_stops_checking(self, system):
+        task = system.load_source(WELL_BEHAVED, "good", secure=True)
+        system.enable_cfi(task)
+        system.cfi.unmonitor_task(task)
+        system.run(max_cycles=300_000)
+        assert system.cfi.checks == 0
+
+    def test_monitoring_survives_live_update(self, system):
+        v1 = system.build_image(WELL_BEHAVED, "v1")
+        task = system.load_task(v1, secure=True, name="svc")
+        system.enable_cfi(task)
+        authority = system.make_update_authority()
+        v2 = system.build_image(COUNTER_TASK, "v2")
+        token = authority.authorize(task.identity, v2)
+        system.update_task(task, v2, token)
+        assert task.tid in system.cfi._monitored
+        base, end, _ = system.cfi._monitored[task.tid]
+        assert base == task.base  # re-extracted at the new placement
+        system.run(max_cycles=100_000)
+        assert task not in system.kernel.faulted

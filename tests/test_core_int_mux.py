@@ -1,0 +1,88 @@
+"""Tests for the Int Mux and entry routine (Tables 2 and 3 behaviours)."""
+
+from repro import cycles
+from repro.rtos.syscalls import IpcAbi
+
+
+SPIN = ".global start\nstart:\n    jmp start"
+
+
+def spin_task(system, secure=True, name="spin"):
+    return system.load_task(system.build_image(SPIN, name), secure=secure)
+
+
+class TestSaveCosts:
+    def test_secure_save_breakdown_matches_table2(self, system):
+        task = spin_task(system)
+        system.run(max_cycles=40_000)  # first tick preempts the spinner
+        save = system.int_mux.last_save
+        assert save["store"] == 38
+        assert save["wipe"] == 16
+        assert save["branch"] == 41
+        assert save["overall"] == 95
+
+    def test_normal_save_is_baseline(self, system):
+        task = spin_task(system, secure=False)
+        clock = system.clock
+        # Let it get preempted once and count the policy charge directly.
+        before_saves = system.int_mux.saves
+        system.run(max_cycles=40_000)
+        # Normal tasks never go through the Int Mux.
+        assert system.int_mux.saves == before_saves
+
+    def test_overhead_is_57_cycles(self):
+        secure = (
+            cycles.store_context_cycles()
+            + cycles.wipe_context_cycles()
+            + cycles.INTMUX_BRANCH
+        )
+        baseline = cycles.store_context_cycles()
+        assert secure - baseline == 57
+
+
+class TestRestoreCosts:
+    def test_secure_restore_breakdown_matches_table3(self, system):
+        task = spin_task(system)
+        system.run(max_cycles=80_000)  # preempt + resume at least once
+        restore = system.kernel.context_policy.entry_routine.last_restore
+        assert restore["branch"] == 106
+        assert restore["restore"] == 254
+        assert restore["mode_check"] == 24
+        assert restore["overall"] == 384
+
+    def test_overhead_is_130_cycles(self):
+        secure = (
+            cycles.ENTRY_BRANCH
+            + cycles.ENTRY_MODE_CHECK
+            + cycles.restore_context_cycles()
+        )
+        baseline = cycles.restore_context_cycles()
+        assert secure - baseline == 130
+
+    def test_message_mode_adds_receive_cost(self, system):
+        task = spin_task(system)
+        system.run(max_cycles=40_000)
+        task.resume_mode = IpcAbi.MODE_MESSAGE
+        before = system.clock.now
+        # Drive one more slice: the restore path runs with message mode.
+        system.run(max_cycles=1_000)
+        restore = system.kernel.context_policy.entry_routine.last_restore
+        assert restore["receive"] == cycles.IPC_ENTRY_ROUTINE_RECEIVE
+        assert restore["overall"] == 106 + 24 + 92 + 254
+        # The mode check + receive copy is the paper's 116-cycle
+        # "entry routine of the receiver processing the message".
+        assert restore["receive"] + restore["mode_check"] == 116
+
+
+class TestPolicyRouting:
+    def test_policy_describes_tytan(self, system):
+        assert system.kernel.context_policy.describe() == "tytan"
+
+    def test_baseline_policy_describes_freertos(self, baseline):
+        platform, kernel, loader = baseline
+        assert kernel.context_policy.describe() == "freertos"
+
+    def test_saves_counted(self, system):
+        spin_task(system)
+        system.run(max_cycles=100_000)
+        assert system.int_mux.saves >= 2

@@ -1,0 +1,106 @@
+"""Measurement-time immutability and interruption correctness.
+
+Section 3: "By isolating t's memory and preventing its execution,
+TyTAN ensures that t is immutable while the RTM task computes id_t.
+This guarantees the reliable verification of id_t."
+
+These tests drive the measurement generator step by step, interleaving
+hostile writes and real preemption between hash blocks, and check that
+the final identity is exactly the verifier oracle's.
+"""
+
+import pytest
+
+from repro.core.identity import identity_of_image
+from repro.errors import ProtectionFault
+from repro.rtos.task import NativeCall
+from repro.sim.workloads import synthetic_image
+
+
+
+class TestImmutabilityDuringMeasurement:
+    def test_os_write_blocked_mid_measurement(self, system):
+        """The EA-MPU rule is installed *before* measurement (loading
+        step 4 precedes step 5), so even between hash blocks the OS
+        cannot modify the task."""
+        from repro import cycles
+
+        image = synthetic_image(blocks=8, relocations=2, name="target")
+        # Drive the loader manually so we can pause mid-measurement.
+        load = system.loader.load(image, secure=True)
+        paused_in_measurement = False
+        for call in load:
+            system.clock.charge(call.value if call.value else 0)
+            if call.value == cycles.MEASURE_PER_BLOCK and not paused_in_measurement:
+                # We are between two hash blocks of the RTM.
+                allocations = system.kernel.allocator
+                base = max(start for start, _ in allocations._allocations)
+                with pytest.raises(ProtectionFault):
+                    system.kernel.memory.write_u32(
+                        base, 0xE71, actor=system.kernel.os_actor
+                    )
+                paused_in_measurement = True
+        assert paused_in_measurement
+
+    def test_task_not_schedulable_until_measured(self, system):
+        """Step 6 (schedule) follows step 5 (measure): while the RTM
+        hashes, the task cannot run and self-modify."""
+        from repro import cycles
+
+        image = synthetic_image(blocks=8, name="notyet")
+        load = system.loader.load(image, secure=True)
+        mid_measurement_tids = None
+        for call in load:
+            system.clock.charge(call.value if call.value else 0)
+            if call.value == cycles.MEASURE_PER_BLOCK:
+                mid_measurement_tids = set(system.kernel.scheduler.tasks)
+        # The task only appears in the scheduler after the load ends.
+        assert mid_measurement_tids is not None
+        final_tids = set(system.kernel.scheduler.tasks)
+        assert len(final_tids) == len(mid_measurement_tids) + 1
+
+    def test_identity_correct_with_preemption(self, system):
+        """A high-frequency task preempting the RTM between every block
+        must not change the measured identity."""
+        from repro.rtos.task import NativeCall
+
+        def chatterbox(kernel, task):
+            while True:
+                yield NativeCall.charge(500)
+                yield NativeCall.delay_cycles(2_000)
+
+        system.create_service_task("chatter", 6, chatterbox, protect=False)
+        image = synthetic_image(blocks=16, relocations=5, name="measured")
+        result = system.load_task_async(image, secure=True, priority=2)
+        system.run(until=lambda: result.done)
+        assert result.task.identity == identity_of_image(image)
+
+    def test_identity_correct_after_loader_preempted_often(self, system):
+        """Same, for an ISA spinner stealing whole tick slices.
+
+        The spinner shares the loader's priority, so the tick-based
+        round robin interleaves whole slices of spinning with loader
+        chunks.
+        """
+        spinner = system.load_source(
+            ".global start\nstart:\n    jmp start", "spin", secure=False, priority=2
+        )
+        image = synthetic_image(blocks=12, relocations=4, name="m2")
+        result = system.load_task_async(
+            image, secure=True, priority=3, loader_priority=2
+        )
+        system.run(until=lambda: result.done, max_cycles=20_000_000)
+        assert result.done
+        assert result.task.identity == identity_of_image(image)
+        # The spinner really did interleave with the load.
+        assert spinner.preemptions > 10
+
+    def test_tampering_before_measurement_changes_identity(self, system):
+        """Sanity check of the other direction: a write that lands
+        before protection (i.e. a different image) yields a different
+        id_t - the measurement really covers the bytes."""
+        image_a = synthetic_image(blocks=4, seed=30, name="x")
+        image_b = synthetic_image(blocks=4, seed=31, name="x")
+        a = system.load_task(image_a, secure=True, name="a")
+        b = system.load_task(image_b, secure=True, name="b")
+        assert a.identity != b.identity

@@ -1,0 +1,136 @@
+"""Tests for the EA-MPU driver (Table 6) and secure boot."""
+
+import pytest
+
+from repro import cycles
+from repro.errors import MPUSlotError
+from repro.hw.ea_mpu import MpuRule, Perm
+
+from conftest import COUNTER_TASK
+
+
+def free_rule(name, base):
+    return MpuRule(name, base, base + 0x100, base, base + 0x100, Perm.RWX)
+
+
+class TestConfigureRule:
+    def test_cost_depends_on_slot_position(self, system):
+        driver = system.mpu_driver
+        first_free = system.platform.mpu.free_slots()[0]
+        before = system.clock.now
+        driver.configure_rule(free_rule("r", 0x300000))
+        cost = system.clock.now - before
+        assert cost == cycles.eampu_config_cycles(first_free + 1)
+
+    def test_breakdown_components(self, system):
+        driver = system.mpu_driver
+        driver.configure_rule(free_rule("r", 0x300000))
+        breakdown = driver.last_breakdown
+        assert breakdown["policy"] == 824
+        assert breakdown["write"] == 225
+        assert breakdown["overall"] == sum(
+            breakdown[k] for k in ("find", "policy", "write")
+        )
+
+    def test_slot18_cost_matches_paper(self):
+        """Table 6 row 3: first free slot at position 18 -> 1,448."""
+        assert cycles.eampu_config_cycles(18) == 1_448
+        assert cycles.eampu_config_cycles(1) == 1_125
+        assert cycles.eampu_config_cycles(2) == 1_144
+
+    def test_overlap_rejected(self, system):
+        driver = system.mpu_driver
+        driver.configure_rule(free_rule("a", 0x300000))
+        with pytest.raises(MPUSlotError):
+            driver.configure_rule(free_rule("b", 0x300080))
+
+    def test_table_full_rejected(self, system):
+        driver = system.mpu_driver
+        base = 0x300000
+        for index, _ in enumerate(system.platform.mpu.free_slots()):
+            driver.configure_rule(free_rule("r%d" % index, base))
+            base += 0x200
+        with pytest.raises(MPUSlotError):
+            driver.configure_rule(free_rule("overflow", base))
+
+    def test_release_rule_frees_slot(self, system):
+        driver = system.mpu_driver
+        slot = driver.configure_rule(free_rule("r", 0x300000))
+        driver.release_rule(slot)
+        assert slot in system.platform.mpu.free_slots()
+
+
+class TestTaskRules:
+    def test_secure_rule_shape(self, system):
+        task = system.load_task(
+            system.build_image(COUNTER_TASK, "s"), secure=True
+        )
+        rules = system.platform.mpu.covering_rules(task.base)
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.entry_point == task.entry
+        assert rule.data_start == task.base
+        assert rule.data_end == task.end
+        # Trusted components are subjects (Int Mux writes, RTM reads).
+        subject_ranges = [(start, end) for start, end, _ in rule.extra_subjects]
+        assert (system.int_mux.base, system.int_mux.end) in subject_ranges
+        assert (system.rtm.base, system.rtm.end) in subject_ranges
+
+    def test_normal_rule_includes_os_subject(self, system):
+        task = system.load_task(
+            system.build_image(COUNTER_TASK, "n"), secure=False
+        )
+        rule = system.platform.mpu.covering_rules(task.base)[0]
+        assert rule.entry_point is None
+        os_range = (
+            system.platform.config.os_code_base,
+            system.platform.config.os_code_base
+            + system.platform.config.os_code_size,
+        )
+        subject_ranges = [(start, end) for start, end, _ in rule.extra_subjects]
+        assert os_range in subject_ranges
+
+
+class TestSecureBoot:
+    def test_boot_measured_all_components(self, system):
+        names = [name for name, _ in system.boot_log.entries]
+        assert names == [
+            "ea-mpu-driver",
+            "int-mux",
+            "ipc-proxy",
+            "rtm",
+            "remote-attest",
+            "secure-storage",
+            "task-updater",
+        ]
+
+    def test_boot_log_aggregate_deterministic(self):
+        from repro import TyTAN
+
+        a = TyTAN()
+        b = TyTAN()
+        assert a.boot_log.aggregate == b.boot_log.aggregate
+
+    def test_boot_measurements_differ_per_component(self, system):
+        digests = [digest for _, digest in system.boot_log.entries]
+        assert len(set(digests)) == len(digests)
+
+    def test_static_rules_locked(self, system):
+        mpu = system.platform.mpu
+        locked = [i for i, rule in mpu.active_rules() if mpu.is_locked(i)]
+        assert len(locked) == 11  # IDT, 7 component pages, gate, key, os-data
+
+    def test_double_boot_rejected(self, system):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            system.secure_boot.boot({})
+
+    def test_idt_vectors_point_at_int_mux(self, system):
+        from repro.hw.exceptions import Vector
+
+        for vector in (Vector.TIMER, Vector.SYSCALL, Vector.IPC):
+            assert (
+                system.platform.engine.handler_address(vector)
+                == system.int_mux.base
+            )

@@ -1,0 +1,197 @@
+"""Tests for the runtime task-update extension (paper future work)."""
+
+import pytest
+
+from repro.core.identity import identity_of_image
+from repro.errors import SecurityViolation
+from repro.rtos.syscalls import IpcAbi
+from repro.rtos.task import NativeCall, TaskState
+
+from conftest import read_counter
+
+V1_SOURCE = """
+.section .text
+.global start
+start:
+    movi esi, counter
+again:
+    ld eax, [esi]
+    addi eax, 1          ; version 1 increments by 1
+    st [esi], eax
+    movi eax, 7
+    movi ebx, 32000
+    int 0x20
+    jmp again
+.section .data
+counter:
+    .word 0
+"""
+
+V2_SOURCE = """
+.section .text
+.global start
+start:
+    movi esi, counter
+again:
+    ld eax, [esi]
+    addi eax, 100        ; version 2 increments by 100
+    st [esi], eax
+    movi eax, 7
+    movi ebx, 32000
+    int 0x20
+    jmp again
+.section .data
+counter:
+    .word 0
+"""
+
+
+@pytest.fixture
+def deployed(system):
+    """A running v1 task plus its provider's update machinery."""
+    v1 = system.build_image(V1_SOURCE, "svc-v1")
+    v2 = system.build_image(V2_SOURCE, "svc-v2")
+    task = system.load_task(v1, secure=True, priority=3, name="svc")
+    authority = system.make_update_authority(provider=b"acme")
+    return task, v1, v2, authority
+
+
+class TestAuthorization:
+    def test_valid_token_accepted(self, system, deployed):
+        task, v1, v2, authority = deployed
+        token = authority.authorize(task.identity, v2)
+        result = system.update_task(task, v2, token, provider=b"acme")
+        assert result.done
+        assert result.new_identity == identity_of_image(v2)
+
+    def test_forged_token_rejected(self, system, deployed):
+        task, v1, v2, authority = deployed
+        with pytest.raises(SecurityViolation):
+            system.update_task(task, v2, b"\x00" * 20, provider=b"acme")
+
+    def test_wrong_provider_rejected(self, system, deployed):
+        task, v1, v2, authority = deployed
+        token = authority.authorize(task.identity, v2)
+        with pytest.raises(SecurityViolation):
+            system.update_task(task, v2, token, provider=b"mallory")
+
+    def test_token_bound_to_old_version(self, system, deployed):
+        """A token for v1->v2 does not authorize v2->v2 (replay)."""
+        task, v1, v2, authority = deployed
+        token = authority.authorize(task.identity, v2)
+        system.update_task(task, v2, token, provider=b"acme")
+        with pytest.raises(SecurityViolation):
+            system.update_task(task, v2, token, provider=b"acme")
+
+    def test_unmeasured_task_rejected(self, system, deployed):
+        _, v1, v2, authority = deployed
+        normal = system.load_task(v1, secure=False, name="unmeasured")
+        with pytest.raises(SecurityViolation):
+            system.update_task(normal, v2, b"x" * 20, provider=b"acme")
+
+
+class TestContinuity:
+    def test_new_code_runs_after_update(self, system, deployed):
+        task, v1, v2, authority = deployed
+        system.run(max_cycles=100_000)
+        count_before = read_counter(system, task)
+        assert 2 <= count_before <= 4  # v1 increments by 1
+        token = authority.authorize(task.identity, v2)
+        system.update_task(task, v2, token, provider=b"acme")
+        system.run(max_cycles=100_000)
+        count_after = read_counter(system, task)
+        # v2 starts from a fresh data section and bumps by 100.
+        assert count_after >= 200
+        assert count_after % 100 == 0
+
+    def test_identity_changes_and_registry_follows(self, system, deployed):
+        task, v1, v2, authority = deployed
+        token = authority.authorize(task.identity, v2)
+        system.update_task(task, v2, token, provider=b"acme")
+        entry = system.rtm.lookup64(identity_of_image(v2)[:8], charge=False)
+        assert entry is not None and entry.task is task
+        assert system.rtm.lookup64(identity_of_image(v1)[:8], charge=False) is None
+
+    def test_sealed_storage_resealed(self, system, deployed):
+        """The headline property: v2 reads what v1 sealed - but only
+        because the provider authorized the succession."""
+        task, v1, v2, authority = deployed
+        system.store(task, "cal", b"precious calibration")
+        token = authority.authorize(task.identity, v2)
+        system.update_task(task, v2, token, provider=b"acme")
+        assert system.retrieve(task, "cal") == b"precious calibration"
+
+    def test_unauthorized_binary_still_locked_out(self, system, deployed):
+        """Loading v2 fresh (no update) cannot read v1's sealed data."""
+        task, v1, v2, authority = deployed
+        system.store(task, "cal", b"precious calibration")
+        system.unload_task(task)
+        fresh_v2 = system.load_task(v2, secure=True, name="fresh")
+        from repro.errors import SecureStorageError
+
+        with pytest.raises(SecureStorageError):
+            system.retrieve(fresh_v2, "cal")
+
+    def test_inbox_preserved_across_update(self, system, deployed):
+        task, v1, v2, authority = deployed
+
+        def sender_factory(kernel, tcb):
+            yield NativeCall.charge(100)
+
+        sender = system.create_service_task("sender", 2, sender_factory)
+        system.rtm.register_service(sender, "sender")
+        status, _ = system.ipc.send(sender, task.identity[:8], [0xBEEF])
+        assert status == IpcAbi.STATUS_OK
+        token = authority.authorize(task.identity, v2)
+        system.update_task(task, v2, token, provider=b"acme")
+        message = system.ipc.read_inbox(task)
+        assert message is not None
+        assert message[0][0] == 0xBEEF
+
+    def test_memory_moves_and_old_wiped(self, system, deployed):
+        task, v1, v2, authority = deployed
+        old_base, old_size = task.base, task.memory_size
+        token = authority.authorize(task.identity, v2)
+        system.update_task(task, v2, token, provider=b"acme")
+        assert task.base != old_base
+        assert system.kernel.memory.read_raw(old_base, old_size) == bytes(old_size)
+
+    def test_task_ready_after_update(self, system, deployed):
+        task, v1, v2, authority = deployed
+        token = authority.authorize(task.identity, v2)
+        result = system.update_task(task, v2, token, provider=b"acme")
+        assert task.state == TaskState.READY
+        assert result.downtime is not None
+        assert result.downtime < result.total_cycles
+
+    def test_mpu_slots_balanced(self, system, deployed):
+        task, v1, v2, authority = deployed
+        free_before = len(system.platform.mpu.free_slots())
+        token = authority.authorize(task.identity, v2)
+        system.update_task(task, v2, token, provider=b"acme")
+        assert len(system.platform.mpu.free_slots()) == free_before
+        rule = system.platform.mpu.covering_rules(task.base)[0]
+        assert rule.entry_point == task.entry
+
+
+class TestPreemptibleUpdate:
+    def test_async_update_keeps_deadlines(self, system, deployed):
+        task, v1, v2, authority = deployed
+        marks = []
+
+        def periodic(kernel, tcb):
+            deadline = kernel.clock.now + 32_000
+            while True:
+                marks.append(kernel.clock.now)
+                yield NativeCall.charge(400)
+                yield NativeCall.delay_until(deadline)
+                deadline += 32_000
+
+        system.create_service_task("hf", 5, periodic)
+        token = authority.authorize(task.identity, v2)
+        result = system.update_task_async(task, v2, token, provider=b"acme")
+        system.run(until=lambda: result.done)
+        assert result.done
+        window = [m for m in marks if result.started_at <= m <= result.finished_at]
+        gaps = [b - a for a, b in zip(window, window[1:])]
+        assert gaps and max(gaps) < 40_000  # no deadline blown

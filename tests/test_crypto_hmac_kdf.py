@@ -1,0 +1,105 @@
+"""Tests for HMAC-SHA1 (RFC 2202 vectors) and the key derivation."""
+
+import pytest
+
+from repro.crypto.hmac import hmac_sha1
+from repro.crypto.kdf import derive_attestation_key, derive_key, derive_task_key
+
+# RFC 2202 test cases for HMAC-SHA-1.
+RFC2202 = [
+    (b"\x0b" * 20, b"Hi There", "b617318655057264e28bc0b6fb378c8ef146be00"),
+    (
+        b"Jefe",
+        b"what do ya want for nothing?",
+        "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79",
+    ),
+    (b"\xaa" * 20, b"\xdd" * 50, "125d7342b9ac11cd91a39af48aa17b4f63f175d3"),
+    (
+        bytes(range(1, 26)),
+        b"\xcd" * 50,
+        "4c9007f4026250c6bc8414f9bf50c86c2d7235da",
+    ),
+    (
+        b"\xaa" * 80,
+        b"Test Using Larger Than Block-Size Key - Hash Key First",
+        "aa4ae5e15272d00e95705637ce8a3b55ed402112",
+    ),
+    (
+        b"\xaa" * 80,
+        b"Test Using Larger Than Block-Size Key and Larger Than One Block-Size Data",
+        "e8e99d0f45237d786d6bbaa7965c7808bbff1a91",
+    ),
+]
+
+
+@pytest.mark.parametrize("key,message,expected", RFC2202)
+def test_rfc2202_vectors(key, message, expected):
+    assert hmac_sha1(key, message).hex() == expected
+
+
+def test_hmac_key_sensitivity():
+    assert hmac_sha1(b"k1", b"m") != hmac_sha1(b"k2", b"m")
+
+
+def test_hmac_message_sensitivity():
+    assert hmac_sha1(b"k", b"m1") != hmac_sha1(b"k", b"m2")
+
+
+class TestDeriveKey:
+    def test_deterministic(self):
+        a = derive_key(b"master", b"label", b"ctx")
+        b = derive_key(b"master", b"label", b"ctx")
+        assert a == b
+
+    def test_label_separation(self):
+        assert derive_key(b"m", b"attest") != derive_key(b"m", b"storage")
+
+    def test_context_separation(self):
+        assert derive_key(b"m", b"l", b"a") != derive_key(b"m", b"l", b"b")
+
+    def test_master_separation(self):
+        assert derive_key(b"m1", b"l") != derive_key(b"m2", b"l")
+
+    def test_length_control(self):
+        assert len(derive_key(b"m", b"l", length=7)) == 7
+        assert len(derive_key(b"m", b"l", length=64)) == 64
+
+    def test_long_output_prefix_stable(self):
+        short = derive_key(b"m", b"l", length=20)
+        long = derive_key(b"m", b"l", length=60)
+        assert long[:20] == short
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            derive_key(b"m", b"")
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            derive_key(b"m", b"l", length=0)
+        with pytest.raises(ValueError):
+            derive_key(b"m", b"l", length=256 * 20)
+
+
+class TestTaskKey:
+    def test_binds_identity(self):
+        kp = b"platform-key-bytes--"
+        assert derive_task_key(kp, b"id-a" * 5) != derive_task_key(kp, b"id-b" * 5)
+
+    def test_binds_platform(self):
+        identity = b"i" * 20
+        assert derive_task_key(b"kp-one" * 3 + b"xy", identity) != derive_task_key(
+            b"kp-two" * 3 + b"xy", identity
+        )
+
+
+class TestAttestationKey:
+    def test_per_provider_keys_differ(self):
+        """Footnote 2: individual attestation keys per provider."""
+        kp = b"p" * 20
+        assert derive_attestation_key(kp, b"oem") != derive_attestation_key(
+            kp, b"supplier"
+        )
+
+    def test_default_provider_stable(self):
+        kp = b"p" * 20
+        assert derive_attestation_key(kp) == derive_attestation_key(kp, b"")

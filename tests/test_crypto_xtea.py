@@ -1,0 +1,72 @@
+"""Tests for XTEA and the CTR mode used by secure storage."""
+
+import pytest
+
+from repro.crypto.xtea import BLOCK_BYTES, KEY_BYTES, XTEA, xtea_ctr
+
+
+class TestXTEABlock:
+    def test_known_answer(self):
+        """Published XTEA vector: zero key, zero block.
+
+        The canonical vector is big-endian ``dee9d4d8 f7131ed9``; our
+        cipher serialises words little-endian (matching the platform's
+        bus), so the same core state appears byte-swapped per word.
+        """
+        cipher = XTEA(bytes(16))
+        out = cipher.encrypt_block(bytes(8))
+        canonical = bytes.fromhex("dee9d4d8f7131ed9")
+        swapped = canonical[3::-1] + canonical[7:3:-1]
+        assert out == swapped
+
+    def test_known_answer_pattern_key(self):
+        """Round-trip + stability for a fixed patterned key."""
+        key = bytes(range(16))
+        cipher = XTEA(key)
+        out = cipher.encrypt_block(b"ABCDEFGH")
+        assert cipher.decrypt_block(out) == b"ABCDEFGH"
+        # Encryption must be deterministic.
+        assert out == cipher.encrypt_block(b"ABCDEFGH")
+
+    def test_roundtrip_many_blocks(self):
+        cipher = XTEA(b"0123456789abcdef")
+        for seed in range(32):
+            block = bytes((seed * 17 + i) & 0xFF for i in range(BLOCK_BYTES))
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_key_sensitivity(self):
+        block = b"samedata"
+        a = XTEA(b"a" * KEY_BYTES).encrypt_block(block)
+        b = XTEA(b"b" * KEY_BYTES).encrypt_block(block)
+        assert a != b
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            XTEA(b"short")
+
+
+class TestCTR:
+    def test_roundtrip(self):
+        key = b"k" * 16
+        data = b"the engine control calibration tables" * 3
+        ct = xtea_ctr(key, b"nnnn", data)
+        assert ct != data
+        assert xtea_ctr(key, b"nnnn", ct) == data
+
+    def test_non_multiple_of_block(self):
+        key = b"k" * 16
+        for length in (0, 1, 7, 8, 9, 23):
+            data = bytes(range(length % 256))[:length]
+            assert xtea_ctr(key, b"aaaa", xtea_ctr(key, b"aaaa", data)) == data
+
+    def test_nonce_separation(self):
+        key = b"k" * 16
+        data = b"secret" * 10
+        assert xtea_ctr(key, b"n001", data) != xtea_ctr(key, b"n002", data)
+
+    def test_bad_nonce_rejected(self):
+        with pytest.raises(ValueError):
+            xtea_ctr(b"k" * 16, b"toolong!", b"data")
+
+    def test_output_length(self):
+        assert len(xtea_ctr(b"k" * 16, b"nnnn", b"12345")) == 5

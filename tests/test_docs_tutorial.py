@@ -1,0 +1,82 @@
+"""The tutorial's end-to-end flow, executed as a test.
+
+Keeps docs/TUTORIAL.md honest: every step it teaches must work.
+"""
+
+import pytest
+
+from repro import TyTAN
+from repro.core.identity import identity_of_image
+from repro.errors import ProtectionFault, SecurityViolation
+
+MAX_PEDAL = """
+.section .text
+.global start
+start:
+    movi ebp, 0x00F00200     ; pedal sensor MMIO
+loop:
+    ld   eax, [ebp]
+    movi esi, peak
+    ld   ecx, [esi]
+    cmp  eax, ecx
+    jle  sleep
+    st   [esi], eax
+sleep:
+    movi eax, 7
+    movi ebx, 48000
+    int  0x20
+    jmp  loop
+.section .data
+peak:
+    .word 0
+"""
+
+#: The "update": also count samples.
+MAX_PEDAL_V2 = MAX_PEDAL.replace(
+    ".word 0", ".word 0\ncount:\n    .word 0"
+)
+
+
+class TestTutorialFlow:
+    def test_steps_1_through_7(self, system=None):
+        system = TyTAN()
+        # Step 2: build.
+        image = system.build_image(MAX_PEDAL, "max-pedal", stack_size=256)
+        assert len(image.relocations) == 3
+
+        # Step 3: load and run.
+        task = system.load_task(image, secure=True, priority=3)
+        system.run(max_cycles=480_000)
+        peak = system.kernel.memory.read_u32(
+            task.base + len(image.blob) - 4, actor=task.base
+        )
+        assert peak == 300  # default pedal trace
+        with pytest.raises(ProtectionFault):
+            system.kernel.memory.read_u32(task.base, actor=system.kernel.os_actor)
+
+        # Step 4: attest.
+        verifier = system.make_verifier()
+        verifier.expect(identity_of_image(image))
+        nonce = verifier.fresh_nonce()
+        assert verifier.verify(system.remote_attest_task(task, nonce), nonce)
+
+        # Step 5: seal.
+        system.store(task, "peak-history", b"\x00" * 32)
+        assert system.retrieve(task, "peak-history") == b"\x00" * 32
+
+        # Step 6: live update with a provider token.
+        new_image = system.build_image(MAX_PEDAL_V2, "max-pedal", stack_size=256)
+        authority = system.make_update_authority()
+        with pytest.raises(SecurityViolation):
+            system.update_task(task, new_image, b"\x00" * 20)
+        token = authority.authorize(task.identity, new_image)
+        result = system.update_task_async(task, new_image, token)
+        system.run(until=lambda: result.done)
+        assert result.done
+        assert system.retrieve(task, "peak-history") == b"\x00" * 32
+
+        # Step 7: CFI on; the benign task keeps running unharmed.
+        system.enable_cfi(task)
+        system.run(max_cycles=200_000)
+        assert task not in system.kernel.faulted
+        assert system.cfi.checks > 0

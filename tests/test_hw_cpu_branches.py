@@ -1,0 +1,125 @@
+"""Exhaustive conditional-branch and flag-semantics tests."""
+
+import pytest
+
+from repro.hw.registers import Flag, Reg
+
+from test_hw_cpu import make_cpu, run_until_halt
+
+
+def branch_result(setup, branch):
+    """Run: setup; <branch> taken_path; ebx=0 hlt; taken: ebx=1 hlt."""
+    source = "\n".join(
+        [
+            setup,
+            "    %s taken" % branch,
+            "    movi ebx, 0",
+            "    hlt",
+            "taken:",
+            "    movi ebx, 1",
+            "    hlt",
+        ]
+    )
+    cpu = run_until_halt(make_cpu(source))
+    return cpu.regs.read(Reg.EBX)
+
+
+class TestConditionalBranches:
+    # (setup producing flags, branch, expected taken?)
+    CASES = [
+        ("movi eax, 5\ncmpi eax, 5", "jz", 1),
+        ("movi eax, 5\ncmpi eax, 4", "jz", 0),
+        ("movi eax, 5\ncmpi eax, 4", "jnz", 1),
+        ("movi eax, 3\ncmpi eax, 5", "jc", 1),  # borrow -> CF
+        ("movi eax, 7\ncmpi eax, 5", "jc", 0),
+        ("movi eax, 7\ncmpi eax, 5", "jnc", 1),
+        ("movi eax, 3\ncmpi eax, 5", "js", 1),  # negative result
+        ("movi eax, 7\ncmpi eax, 5", "js", 0),
+        ("movi eax, 7\ncmpi eax, 5", "jns", 1),
+        # Signed comparisons: -1 vs 1.
+        ("movi eax, 0xFFFFFFFF\ncmpi eax, 1", "jl", 1),
+        ("movi eax, 0xFFFFFFFF\ncmpi eax, 1", "jg", 0),
+        ("movi eax, 1\nmovi ecx, 0xFFFFFFFF\ncmp eax, ecx", "jg", 1),
+        ("movi eax, 5\ncmpi eax, 5", "jge", 1),
+        ("movi eax, 4\ncmpi eax, 5", "jge", 0),
+        ("movi eax, 5\ncmpi eax, 5", "jle", 1),
+        ("movi eax, 6\ncmpi eax, 5", "jle", 0),
+        # Signed overflow case: INT_MIN - 1 overflows; jl must still
+        # report "less" thanks to SF != OF.
+        ("movi eax, 0x80000000\ncmpi eax, 1", "jl", 1),
+        ("movi eax, 0x80000000\ncmpi eax, 1", "jg", 0),
+    ]
+
+    @pytest.mark.parametrize("setup,branch,expected", CASES)
+    def test_branch_decision(self, setup, branch, expected):
+        assert branch_result(setup, branch) == expected
+
+
+class TestFlagDetails:
+    def test_mul_overflow_flags(self):
+        cpu = run_until_halt(
+            make_cpu("movi eax, 0x10000\nmovi ecx, 0x10000\nmul eax, ecx\nhlt")
+        )
+        assert cpu.regs.read(Reg.EAX) == 0
+        assert cpu.regs.get_flag(Flag.CF)
+        assert cpu.regs.get_flag(Flag.OF)
+        assert cpu.regs.get_flag(Flag.ZF)
+
+    def test_mul_no_overflow(self):
+        cpu = run_until_halt(make_cpu("movi eax, 1000\nmovi ecx, 3\nmul eax, ecx\nhlt"))
+        assert not cpu.regs.get_flag(Flag.CF)
+
+    def test_logic_clears_cf_of(self):
+        cpu = run_until_halt(
+            make_cpu(
+                "movi eax, 0xFFFFFFFF\naddi eax, 2\n"  # sets CF
+                "andi eax, 0xFF\nhlt"
+            )
+        )
+        assert not cpu.regs.get_flag(Flag.CF)
+        assert not cpu.regs.get_flag(Flag.OF)
+
+    def test_neg_of_zero(self):
+        cpu = run_until_halt(make_cpu("movi eax, 0\nneg eax\nhlt"))
+        assert cpu.regs.read(Reg.EAX) == 0
+        assert cpu.regs.get_flag(Flag.ZF)
+        assert not cpu.regs.get_flag(Flag.CF)
+
+    def test_sub_signed_overflow(self):
+        # 0x7FFFFFFF - (-1) overflows signed.
+        cpu = run_until_halt(
+            make_cpu(
+                "movi eax, 0x7FFFFFFF\nmovi ecx, 0xFFFFFFFF\nsub eax, ecx\nhlt"
+            )
+        )
+        assert cpu.regs.get_flag(Flag.OF)
+
+    def test_shift_by_register_masked(self):
+        cpu = run_until_halt(
+            make_cpu("movi eax, 1\nmovi ecx, 33\nshl eax, ecx\nhlt")
+        )
+        # Shift count masked to 5 bits: 33 & 31 == 1.
+        assert cpu.regs.read(Reg.EAX) == 2
+
+
+class TestStackDiscipline:
+    def test_nested_calls(self):
+        cpu = run_until_halt(
+            make_cpu(
+                "call outer\nmovi edx, 3\nhlt\n"
+                "outer:\ncall inner\naddi eax, 1\nret\n"
+                "inner:\nmovi eax, 10\nret"
+            )
+        )
+        assert cpu.regs.read(Reg.EAX) == 11
+        assert cpu.regs.read(Reg.EDX) == 3
+
+    def test_push_pop_order(self):
+        cpu = run_until_halt(
+            make_cpu(
+                "movi eax, 1\nmovi ecx, 2\npush eax\npush ecx\n"
+                "pop esi\npop edi\nhlt"
+            )
+        )
+        assert cpu.regs.read(Reg.ESI) == 2  # LIFO
+        assert cpu.regs.read(Reg.EDI) == 1

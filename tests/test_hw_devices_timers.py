@@ -1,0 +1,193 @@
+"""Tests for timers, the RTC, sensors, and the engine actuator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.clock import CycleClock
+from repro.hw.devices import (
+    EngineActuator,
+    PedalSensor,
+    RadarSensor,
+    TraceSensor,
+)
+from repro.hw.exceptions import InterruptController, Vector
+from repro.hw.timer import RealTimeClock, TickTimer
+
+
+class TestCycleClock:
+    def test_charge_advances(self):
+        clock = CycleClock()
+        clock.charge(100)
+        clock.charge(50)
+        assert clock.now == 150
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CycleClock().charge(-1)
+
+    def test_listeners(self):
+        clock = CycleClock()
+        seen = []
+        listener = lambda now, charged: seen.append((now, charged))
+        clock.add_listener(listener)
+        clock.charge(5)
+        clock.remove_listener(listener)
+        clock.charge(5)
+        assert seen == [(5, 5)]
+
+    def test_time_conversions(self):
+        clock = CycleClock(hz=48_000_000)
+        assert clock.cycles_to_ms(48_000) == 1.0
+        assert clock.cycles_to_seconds(48_000_000) == 1.0
+        clock.charge(24_000_000)
+        assert clock.seconds() == 0.5
+
+
+class TestTickTimer:
+    def make(self, period=1_000):
+        controller = InterruptController()
+        timer = TickTimer(controller, period)
+        return controller, timer
+
+    def test_fires_each_period(self):
+        controller, timer = self.make()
+        timer.start(0)
+        timer.tick(999)
+        assert not controller.has_pending()
+        timer.tick(1_000)
+        assert controller.take() == Vector.TIMER
+        assert timer.ticks == 1
+
+    def test_catchup_counts_all_boundaries(self):
+        controller, timer = self.make()
+        timer.start(0)
+        timer.tick(5_500)
+        assert timer.ticks == 5
+
+    def test_disabled_timer_silent(self):
+        controller, timer = self.make()
+        timer.tick(10_000)
+        assert not controller.has_pending()
+        assert timer.next_event() is None
+
+    def test_stop(self):
+        controller, timer = self.make()
+        timer.start(0)
+        timer.stop()
+        timer.tick(5_000)
+        assert timer.ticks == 0
+
+    def test_mmio_interface(self):
+        controller, timer = self.make()
+        assert timer.reg_read(TickTimer.REG_PERIOD) == 1_000
+        timer.reg_write(TickTimer.REG_PERIOD, 2_000)
+        assert timer.period == 2_000
+        timer.reg_write(TickTimer.REG_ENABLE, 1)
+        assert timer.enabled
+
+    def test_bad_period_rejected(self):
+        controller = InterruptController()
+        with pytest.raises(ConfigurationError):
+            TickTimer(controller, 0)
+
+
+class TestRealTimeClock:
+    def make(self):
+        clock = CycleClock()
+        controller = InterruptController()
+        rtc = RealTimeClock(clock, controller)
+        return clock, controller, rtc
+
+    def test_now_registers(self):
+        clock, _, rtc = self.make()
+        clock.charge(0x1_2345_6789)
+        assert rtc.reg_read(RealTimeClock.REG_NOW_LO) == 0x2345_6789
+        assert rtc.reg_read(RealTimeClock.REG_NOW_HI) == 0x1
+
+    def test_alarm_fires_once(self):
+        clock, controller, rtc = self.make()
+        rtc.alarm = 500
+        rtc.alarm_enabled = True
+        rtc.tick(499)
+        assert not controller.has_pending()
+        rtc.tick(500)
+        assert controller.has_pending()
+        controller.take()
+        rtc.tick(600)
+        assert not controller.has_pending()  # one-shot
+
+    def test_alarm_via_mmio(self):
+        clock, controller, rtc = self.make()
+        rtc.reg_write(RealTimeClock.REG_ALARM_LO, 1_000)
+        rtc.reg_write(RealTimeClock.REG_ALARM_EN, 1)
+        assert rtc.next_event() == 1_000
+
+
+class TestInterruptController:
+    def test_priority_order(self):
+        controller = InterruptController()
+        controller.raise_irq(0x10)
+        controller.raise_irq(0x08)
+        assert controller.peek() == 0x08
+        assert controller.take() == 0x08
+        assert controller.take() == 0x10
+
+    def test_dedup(self):
+        controller = InterruptController()
+        controller.raise_irq(0x08)
+        controller.raise_irq(0x08)
+        controller.take()
+        assert not controller.has_pending()
+
+    def test_clear(self):
+        controller = InterruptController()
+        controller.raise_irq(0x08)
+        controller.clear()
+        assert not controller.has_pending()
+
+
+class TestSensors:
+    def test_trace_interpolation(self):
+        clock = CycleClock()
+        sensor = TraceSensor("s", clock, [(0, 0), (100, 100)])
+        assert sensor.sample_at(0) == 0
+        assert sensor.sample_at(50) == 50
+        assert sensor.sample_at(100) == 100
+        assert sensor.sample_at(200) == 100  # clamped
+
+    def test_reads_counted(self):
+        clock = CycleClock()
+        sensor = PedalSensor(clock)
+        sensor.reg_read(TraceSensor.REG_SAMPLE)
+        sensor.reg_read(TraceSensor.REG_SAMPLE)
+        assert sensor.reg_read(TraceSensor.REG_READS) == 2
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSensor("bad", CycleClock(), [])
+
+    def test_defaults(self):
+        clock = CycleClock()
+        assert PedalSensor(clock).sample_at(0) == 300
+        assert RadarSensor(clock).sample_at(0) == 800
+
+
+class TestEngineActuator:
+    def test_history_timestamped(self):
+        clock = CycleClock()
+        engine = EngineActuator(clock)
+        engine.reg_write(EngineActuator.REG_THROTTLE, 123)
+        clock.charge(1_000)
+        engine.reg_write(EngineActuator.REG_THROTTLE, 456)
+        assert engine.history == [(0, 123), (1_000, 456)]
+        assert engine.last_command == 456
+        assert engine.reg_read(EngineActuator.REG_LAST) == 456
+        assert engine.reg_read(EngineActuator.REG_COUNT) == 2
+
+    def test_commands_between(self):
+        clock = CycleClock()
+        engine = EngineActuator(clock)
+        for _ in range(3):
+            engine.reg_write(EngineActuator.REG_THROTTLE, 1)
+            clock.charge(100)
+        assert len(engine.commands_between(0, 150)) == 2

@@ -1,0 +1,184 @@
+"""Tests for the execution-aware MPU: the paper's central hardware piece."""
+
+import pytest
+
+from repro import cycles
+from repro.errors import EntryPointFault, MPUSlotError, ProtectionFault
+from repro.hw.ea_mpu import EAMPU, MpuRule, Perm
+
+TASK_A = (0x1000, 0x2000)  # code+data region of task A
+TASK_B = (0x3000, 0x4000)
+OS = (0x8000, 0x9000)
+
+
+def task_rule(name, region, entry=None, extra=()):
+    return MpuRule(
+        name, region[0], region[1], region[0], region[1], Perm.RWX,
+        entry_point=entry, extra_subjects=extra,
+    )
+
+
+class TestPerm:
+    def test_bits(self):
+        assert Perm.RW == Perm.R | Perm.W
+        assert Perm.bit_for("read") == Perm.R
+        assert Perm.bit_for("write") == Perm.W
+        assert Perm.bit_for("execute") == Perm.X
+
+    def test_describe(self):
+        assert Perm.describe(Perm.RWX) == "rwx"
+        assert Perm.describe(Perm.R) == "r--"
+
+
+class TestExecutionAwareness:
+    """The defining property: access rights depend on WHO executes."""
+
+    def make(self):
+        mpu = EAMPU()
+        mpu.program_slot(0, task_rule("a", TASK_A))
+        mpu.program_slot(1, task_rule("b", TASK_B))
+        return mpu
+
+    def test_task_reaches_own_memory(self):
+        mpu = self.make()
+        mpu.check("read", 0x1800, 4, eip=0x1004)
+        mpu.check("write", 0x1800, 4, eip=0x1004)
+
+    def test_task_cannot_reach_other_task(self):
+        mpu = self.make()
+        with pytest.raises(ProtectionFault):
+            mpu.check("read", 0x3800, 4, eip=0x1004)
+        with pytest.raises(ProtectionFault):
+            mpu.check("write", 0x1800, 4, eip=0x3004)
+
+    def test_os_cannot_reach_secure_task(self):
+        mpu = self.make()
+        with pytest.raises(ProtectionFault):
+            mpu.check("read", 0x1800, 4, eip=OS[0])
+
+    def test_os_reaches_normal_task_via_extra_subject(self):
+        mpu = EAMPU()
+        mpu.program_slot(0, task_rule("normal", TASK_A, extra=(OS,)))
+        mpu.check("write", 0x1800, 4, eip=OS[0] + 8)
+
+    def test_uncovered_addresses_are_public(self):
+        mpu = self.make()
+        mpu.check("read", 0x7000, 4, eip=0x1004)
+        mpu.check("write", 0x7000, 4, eip=OS[0])
+
+    def test_partial_overlap_is_protected(self):
+        """An access straddling public/protected memory is denied."""
+        mpu = self.make()
+        with pytest.raises(ProtectionFault):
+            mpu.check("read", 0xFFE, 4, eip=OS[0])
+
+    def test_permission_bits_enforced(self):
+        mpu = EAMPU()
+        mpu.program_slot(
+            0, MpuRule("ro", None, None, 0x100, 0x200, Perm.R)
+        )
+        mpu.check("read", 0x100, 4, eip=0x9999)
+        with pytest.raises(ProtectionFault):
+            mpu.check("write", 0x100, 4, eip=0x9999)
+        with pytest.raises(ProtectionFault):
+            mpu.check("execute", 0x100, 1, eip=0x9999)
+
+    def test_fault_log_records_denials(self):
+        mpu = self.make()
+        with pytest.raises(ProtectionFault):
+            mpu.check("read", 0x1800, 4, eip=OS[0])
+        assert len(mpu.fault_log) == 1
+        assert mpu.fault_log[0].address == 0x1800
+
+
+class TestEntryPoint:
+    """Secure tasks may only be entered at their dedicated entry point."""
+
+    def make(self):
+        mpu = EAMPU()
+        mpu.program_slot(0, task_rule("sec", TASK_A, entry=0x1000))
+        return mpu
+
+    def test_entry_at_entry_point_allowed(self):
+        mpu = self.make()
+        mpu.check_transfer(OS[0], 0x1000)
+
+    def test_entry_mid_region_denied(self):
+        mpu = self.make()
+        with pytest.raises(EntryPointFault):
+            mpu.check_transfer(OS[0], 0x1234)
+
+    def test_internal_jumps_free(self):
+        mpu = self.make()
+        mpu.check_transfer(0x1100, 0x1234)
+
+    def test_privileged_resume_bypasses(self):
+        """The Int Mux / hardware IRET resume path is privileged."""
+        mpu = self.make()
+        mpu.check_transfer(OS[0], 0x1234, privileged=True)
+
+    def test_leaving_region_free(self):
+        mpu = self.make()
+        mpu.check_transfer(0x1100, OS[0])
+
+
+class TestSlots:
+    def test_default_slot_count_matches_paper(self):
+        assert EAMPU().slot_count == 18
+        assert cycles.EAMPU_SLOTS == 18
+
+    def test_locked_slot_immutable(self):
+        mpu = EAMPU()
+        mpu.program_slot(0, task_rule("x", TASK_A), lock=True)
+        with pytest.raises(MPUSlotError):
+            mpu.program_slot(0, task_rule("y", TASK_B))
+        with pytest.raises(MPUSlotError):
+            mpu.clear_slot(0)
+        assert mpu.is_locked(0)
+
+    def test_clear_frees_slot(self):
+        mpu = EAMPU()
+        mpu.program_slot(3, task_rule("x", TASK_A))
+        mpu.clear_slot(3)
+        assert 3 in mpu.free_slots()
+
+    def test_out_of_range_slot_rejected(self):
+        mpu = EAMPU()
+        with pytest.raises(MPUSlotError):
+            mpu.program_slot(18, task_rule("x", TASK_A))
+        with pytest.raises(MPUSlotError):
+            mpu.clear_slot(-1)
+
+    def test_driver_range_enforced(self):
+        mpu = EAMPU()
+        mpu.set_driver_range(0x5000, 0x6000)
+        mpu.program_slot(0, task_rule("ok", TASK_A), actor=0x5004)
+        with pytest.raises(ProtectionFault):
+            mpu.program_slot(1, task_rule("no", TASK_B), actor=0x1234)
+        # Hardware (boot) retains privilege.
+        mpu.program_slot(2, task_rule("hw", TASK_B))
+
+    def test_empty_data_range_rejected(self):
+        with pytest.raises(MPUSlotError):
+            MpuRule("bad", None, None, 0x200, 0x100, Perm.R)
+
+    def test_active_rules_listing(self):
+        mpu = EAMPU()
+        mpu.program_slot(2, task_rule("x", TASK_A))
+        active = mpu.active_rules()
+        assert len(active) == 1
+        assert active[0][0] == 2
+
+
+class TestIsolationMatrix:
+    def test_matrix_shape(self):
+        mpu = EAMPU()
+        mpu.program_slot(0, task_rule("a", TASK_A))
+        probes = {
+            "subjects": {"task-a": 0x1004, "os": OS[0]},
+            "objects": {"task-a-mem": (0x1800, 4)},
+        }
+        matrix = mpu.isolation_matrix(probes)
+        assert matrix[("task-a", "task-a-mem", "read")] is True
+        assert matrix[("os", "task-a-mem", "read")] is False
+        assert matrix[("os", "task-a-mem", "write")] is False

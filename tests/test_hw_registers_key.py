@@ -1,0 +1,135 @@
+"""Tests for the register file and the platform key store."""
+
+import pytest
+
+from repro.hw.platform import Platform
+from repro.hw.platform_key import KEY_BYTES, PlatformKeyStore
+from repro.hw.registers import Flag, Reg, RegisterFile
+
+
+class TestReg:
+    def test_name_index_roundtrip(self):
+        for index in range(Reg.COUNT):
+            assert Reg.index(Reg.name(index)) == index
+
+    def test_case_insensitive(self):
+        assert Reg.index("EAX") == Reg.EAX
+        assert Reg.index("eSp") == Reg.ESP
+
+    def test_unknown_register(self):
+        with pytest.raises(ValueError):
+            Reg.index("r15")
+
+    def test_x86_order(self):
+        assert Reg.NAMES == ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"]
+
+
+class TestRegisterFile:
+    def test_writes_truncate(self):
+        regs = RegisterFile()
+        regs.write(Reg.EAX, 0x1_FFFF_FFFF)
+        assert regs.read(Reg.EAX) == 0xFFFFFFFF
+
+    def test_esp_property(self):
+        regs = RegisterFile()
+        regs.esp = 0x2000
+        assert regs.read(Reg.ESP) == 0x2000
+        regs.esp -= 4
+        assert regs.esp == 0x1FFC
+
+    def test_flags(self):
+        regs = RegisterFile()
+        regs.set_flag(Flag.ZF, True)
+        assert regs.get_flag(Flag.ZF)
+        regs.set_flag(Flag.ZF, False)
+        assert not regs.get_flag(Flag.ZF)
+
+    def test_interrupts_enabled_default(self):
+        assert RegisterFile().interrupts_enabled
+
+    def test_snapshot_restore(self):
+        regs = RegisterFile()
+        regs.write(Reg.EBX, 77)
+        regs.eip = 0x1234
+        snap = regs.snapshot()
+        regs.write(Reg.EBX, 0)
+        regs.eip = 0
+        regs.restore(snap)
+        assert regs.read(Reg.EBX) == 77
+        assert regs.eip == 0x1234
+
+    def test_snapshot_is_deep(self):
+        regs = RegisterFile()
+        snap = regs.snapshot()
+        regs.write(Reg.EAX, 99)
+        assert snap["gpr"][Reg.EAX] == 0
+
+    def test_wipe(self):
+        regs = RegisterFile()
+        for index in range(Reg.COUNT):
+            regs.write(index, index + 1)
+        regs.wipe_gprs()
+        assert regs.gpr == [0] * Reg.COUNT
+
+
+class TestPlatformKeyStore:
+    def test_default_key_deterministic(self):
+        a = Platform().key_store.raw_key()
+        b = Platform().key_store.raw_key()
+        assert a == b
+        assert len(a) == KEY_BYTES
+
+    def test_custom_key(self, platform):
+        custom = bytes(range(20))
+        store = PlatformKeyStore(
+            platform.memory, platform.config.key_base, key=custom
+        )
+        assert store.raw_key() == custom
+
+    def test_bad_key_length(self, platform):
+        with pytest.raises(ValueError):
+            PlatformKeyStore(platform.memory, platform.config.key_base, key=b"short")
+
+    def test_key_visible_on_bus_without_mpu_rules(self, platform):
+        # Bare platform: no boot rules yet, so the window is public.
+        assert (
+            platform.key_store.read_key(actor=0x1234)
+            == platform.key_store.raw_key()
+        )
+
+    def test_words(self, platform):
+        words = platform.key_store.words()
+        assert len(words) == 5
+        reconstructed = b"".join(w.to_bytes(4, "little") for w in words)
+        assert reconstructed == platform.key_store.raw_key()
+
+
+class TestIdentityHelpers:
+    def test_header_excludes_name(self):
+        from repro.core.identity import identity_of_image
+        from repro.image.telf import TaskImage
+
+        a = TaskImage("name-a", b"\x01" * 16, 0, [], 0, 128)
+        b = TaskImage("name-b", b"\x01" * 16, 0, [], 0, 128)
+        assert identity_of_image(a) == identity_of_image(b)
+
+    def test_layout_fields_matter(self):
+        from repro.core.identity import identity_of_image
+        from repro.image.telf import TaskImage
+
+        base = TaskImage("t", b"\x01" * 16, 0, [], 0, 128)
+        diff_stack = TaskImage("t", b"\x01" * 16, 0, [], 0, 256)
+        diff_bss = TaskImage("t", b"\x01" * 16, 0, [], 64, 128)
+        diff_entry = TaskImage("t", b"\x01" * 16, 4, [], 0, 128)
+        identities = {
+            identity_of_image(img)
+            for img in (base, diff_stack, diff_bss, diff_entry)
+        }
+        assert len(identities) == 4
+
+    def test_identity64_prefix(self):
+        from repro.core.identity import identity64_of_image, identity_of_image
+        from repro.image.telf import TaskImage
+
+        image = TaskImage("t", b"\x02" * 16, 0, [], 0, 128)
+        assert identity64_of_image(image) == identity_of_image(image)[:8]

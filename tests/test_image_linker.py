@@ -1,0 +1,102 @@
+"""Tests for the linker: layout, resolution, relocation emission."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.isa.assembler import assemble
+from repro.image.linker import link
+
+
+class TestSingleObject:
+    def test_entry_resolved(self):
+        image = link(assemble(".global start\nnop\nstart:\n    nop"))
+        assert image.entry == 1  # one nop before the label
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(LinkError):
+            link(assemble("nop"))
+
+    def test_custom_entry_symbol(self):
+        image = link(assemble("main:\n    nop"), entry_symbol="main")
+        assert image.entry == 0
+
+    def test_data_follows_text_aligned(self):
+        src = "start:\n    nop\n.section .data\nvalue:\n    .word 0xAABBCCDD"
+        image = link(assemble(src))
+        # text = 1 byte, data aligned to 4
+        assert image.blob[4:8] == b"\xDD\xCC\xBB\xAA"
+
+    def test_relocation_applied_at_link_base_zero(self):
+        src = "start:\n    movi ebx, value\n.section .data\nvalue:\n    .word 0"
+        image = link(assemble(src))
+        site = image.relocations[0]
+        resolved = int.from_bytes(image.blob[site : site + 4], "little")
+        # movi is 6 bytes -> data section at 8 (aligned)
+        assert resolved == 8
+
+    def test_addend_preserved(self):
+        src = "start:\n    movi ebx, value+4\n.section .data\nvalue:\n    .word 0, 0"
+        image = link(assemble(src))
+        site = image.relocations[0]
+        assert int.from_bytes(image.blob[site : site + 4], "little") == 12
+
+    def test_bss_not_in_blob(self):
+        src = "start:\n    nop\n.section .bss\nbuf:\n    .space 100"
+        image = link(assemble(src))
+        assert len(image.blob) == 1
+        assert image.bss_size == 100
+
+    def test_stack_size_carried(self):
+        image = link(assemble("start:\n    nop"), stack_size=777)
+        assert image.stack_size == 777
+
+
+class TestMultiObject:
+    def test_cross_object_global_reference(self):
+        a = assemble(".global start\nstart:\n    call helper\n    hlt", "a")
+        b = assemble(".global helper\nhelper:\n    ret", "b")
+        image = link([a, b])
+        site = image.relocations[0]
+        target = int.from_bytes(image.blob[site : site + 4], "little")
+        # Layout: a.text at 0 (call 5 + hlt 1 = 6 bytes), b.text aligned at 8.
+        assert target == 8
+
+    def test_local_labels_do_not_collide(self):
+        a = assemble(".global start\nstart:\nloop:\n    jmp loop", "a")
+        b = assemble(".global other\nother:\nloop:\n    jmp loop", "b")
+        image = link([a, b])
+        assert len(image.relocations) == 2
+
+    def test_duplicate_globals_rejected(self):
+        a = assemble(".global start\nstart:\n    nop", "a")
+        b = assemble(".global start\nstart:\n    nop", "b")
+        with pytest.raises(LinkError):
+            link([a, b])
+
+    def test_undefined_symbol_rejected(self):
+        a = assemble(".global start\nstart:\n    jmp nowhere_defined\nnowhere_defined:", "a")
+        # defined here; now a truly undefined one:
+        bad = assemble(".global start2\nstart2:\n    nop", "b")
+        bad.add_relocation(".text", 0, "missing")
+        with pytest.raises(LinkError):
+            link([a, bad], entry_symbol="start")
+
+    def test_no_objects_rejected(self):
+        with pytest.raises(LinkError):
+            link([])
+
+
+class TestLayoutInvariants:
+    def test_relocation_sites_unique(self):
+        src = (
+            ".global start\nstart:\n"
+            "    movi eax, d1\n    movi ebx, d2\n    jmp start\n"
+            ".section .data\nd1:\n    .word d2\nd2:\n    .word d1\n"
+        )
+        image = link(assemble(src))
+        # movi x2 + jmp + .word x2 = 5 relocation sites
+        assert len(set(image.relocations)) == len(image.relocations) == 5
+
+    def test_image_name_defaults_to_object(self):
+        image = link(assemble("start:\n    nop", "widget"))
+        assert image.name == "widget"

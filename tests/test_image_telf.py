@@ -1,0 +1,116 @@
+"""Tests for the TELF object and image containers."""
+
+import pytest
+
+from repro.errors import ImageFormatError
+from repro.image.telf import (
+    DEFAULT_STACK_SIZE,
+    ObjectFile,
+    Section,
+    TaskImage,
+)
+
+
+class TestSection:
+    def test_append_returns_offset(self):
+        section = Section(".text")
+        assert section.append(b"abc") == 0
+        assert section.append(b"de") == 3
+        assert section.size == 5
+
+    def test_bss_reserve(self):
+        section = Section(".bss")
+        assert section.reserve(16) == 0
+        assert section.reserve(8) == 16
+        assert section.size == 24
+
+
+class TestObjectFile:
+    def make(self):
+        obj = ObjectFile("mod")
+        obj.section(".text").append(b"\x00" * 8)
+        obj.section(".data").append(b"\x01\x02\x03\x04")
+        obj.section(".bss").reserve(32)
+        obj.add_symbol("start", ".text", 0, is_global=True)
+        obj.add_symbol("local", ".data", 0)
+        obj.add_relocation(".text", 4, "local")
+        return obj
+
+    def test_duplicate_symbol_rejected(self):
+        obj = self.make()
+        with pytest.raises(ImageFormatError):
+            obj.add_symbol("start", ".text", 4)
+
+    def test_serialise_roundtrip(self):
+        obj = self.make()
+        parsed = ObjectFile.from_bytes(obj.to_bytes())
+        assert parsed.name == "mod"
+        assert bytes(parsed.section(".text").data) == b"\x00" * 8
+        assert parsed.section(".bss").bss_size == 32
+        assert parsed.symbols["start"].is_global
+        assert not parsed.symbols["local"].is_global
+        assert parsed.relocations[0].offset == 4
+        assert parsed.relocations[0].symbol == "local"
+
+    def test_serialise_deterministic(self):
+        obj = self.make()
+        assert obj.to_bytes() == obj.to_bytes()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ImageFormatError):
+            ObjectFile.from_bytes(b"NOPE" + b"\x00" * 20)
+
+    def test_truncated_rejected(self):
+        blob = self.make().to_bytes()
+        with pytest.raises(ImageFormatError):
+            ObjectFile.from_bytes(blob[:10])
+
+
+class TestTaskImage:
+    def make(self):
+        return TaskImage(
+            "task",
+            b"\x01" + bytes(63),
+            entry=0,
+            relocations=[8, 4],
+            bss_size=16,
+            stack_size=128,
+        )
+
+    def test_relocations_sorted(self):
+        assert self.make().relocations == [4, 8]
+
+    def test_memory_size(self):
+        image = self.make()
+        assert image.memory_size == 64 + 16 + 128
+        assert image.measured_size == 64
+
+    def test_serialise_roundtrip(self):
+        image = self.make()
+        parsed = TaskImage.from_bytes(image.to_bytes())
+        assert parsed.name == "task"
+        assert parsed.blob == image.blob
+        assert parsed.relocations == image.relocations
+        assert parsed.bss_size == 16
+        assert parsed.stack_size == 128
+        assert parsed.entry == 0
+
+    def test_entry_outside_blob_rejected(self):
+        with pytest.raises(ImageFormatError):
+            TaskImage("bad", b"\x00" * 8, entry=9, relocations=[])
+
+    def test_relocation_outside_blob_rejected(self):
+        with pytest.raises(ImageFormatError):
+            TaskImage("bad", b"\x00" * 8, entry=0, relocations=[6])
+
+    def test_nonpositive_stack_rejected(self):
+        with pytest.raises(ImageFormatError):
+            TaskImage("bad", b"\x00" * 8, entry=0, relocations=[], stack_size=0)
+
+    def test_default_stack(self):
+        image = TaskImage("t", b"\x00" * 4, 0, [])
+        assert image.stack_size == DEFAULT_STACK_SIZE
+
+    def test_bad_magic(self):
+        with pytest.raises(ImageFormatError):
+            TaskImage.from_bytes(b"XXXX" + bytes(30))

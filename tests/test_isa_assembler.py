@@ -1,0 +1,177 @@
+"""Tests for the assembler: syntax, relocations, errors."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.hw.registers import Reg
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Op
+
+
+def text_of(obj):
+    return bytes(obj.section(".text").data)
+
+
+class TestBasicEncoding:
+    def test_movi(self):
+        obj = assemble("movi eax, 0x1234")
+        insn = decode(text_of(obj), 0)
+        assert insn.opcode == Op.MOVI
+        assert insn.reg == Reg.EAX
+        assert insn.imm == 0x1234
+
+    def test_reg_reg(self):
+        obj = assemble("add ebx, ecx")
+        insn = decode(text_of(obj), 0)
+        assert (insn.opcode, insn.reg, insn.reg2) == (Op.ADD, Reg.EBX, Reg.ECX)
+
+    def test_memory_operands(self):
+        obj = assemble("ld eax, [ebp+8]\nst [ebp-4], ecx\nldb edx, [esi]")
+        blob = text_of(obj)
+        ld = decode(blob, 0)
+        assert (ld.opcode, ld.reg, ld.reg2, ld.imm) == (Op.LD, Reg.EAX, Reg.EBP, 8)
+        st = decode(blob, ld.length)
+        assert (st.opcode, st.reg, st.reg2, st.imm) == (Op.ST, Reg.ECX, Reg.EBP, -4)
+        ldb = decode(blob, ld.length + st.length)
+        assert (ldb.opcode, ldb.reg2, ldb.imm) == (Op.LDB, Reg.ESI, 0)
+
+    def test_int_imm8(self):
+        insn = decode(text_of(assemble("int 0x21")), 0)
+        assert (insn.opcode, insn.imm) == (Op.INT, 0x21)
+
+    def test_no_operand_ops(self):
+        obj = assemble("nop\nhlt\nret\niret\ncli\nsti")
+        assert len(text_of(obj)) == 6
+
+    def test_char_literal(self):
+        insn = decode(text_of(assemble("movi eax, 'A'")), 0)
+        assert insn.imm == 65
+
+    def test_comments_ignored(self):
+        obj = assemble("nop ; trailing\n# full line\nnop")
+        assert len(text_of(obj)) == 2
+
+    def test_case_insensitive_mnemonics_registers(self):
+        insn = decode(text_of(assemble("MOVI EAX, 1")), 0)
+        assert (insn.opcode, insn.reg) == (Op.MOVI, Reg.EAX)
+
+
+class TestSymbolsAndRelocations:
+    def test_label_reference_creates_relocation(self):
+        obj = assemble("start:\n    jmp start")
+        assert len(obj.relocations) == 1
+        reloc = obj.relocations[0]
+        assert reloc.section == ".text"
+        assert reloc.symbol == "start"
+        # imm32 of jmp starts 1 byte into the instruction
+        assert reloc.offset == 1
+
+    def test_movi_symbol_relocation_offset(self):
+        obj = assemble("movi ebx, target\ntarget:")
+        assert obj.relocations[0].offset == 2
+
+    def test_symbol_plus_offset(self):
+        obj = assemble("movi ebx, data+8\n.section .data\ndata:\n.word 0,0,0")
+        blob = text_of(obj)
+        insn = decode(blob, 0)
+        assert insn.imm == 8  # addend stored at site
+
+    def test_word_directive_with_symbol(self):
+        obj = assemble(".section .data\ntable:\n.word table")
+        assert obj.relocations[0].section == ".data"
+
+    def test_forward_reference_allowed(self):
+        obj = assemble("jmp later\nlater:\n    nop")
+        assert "later" in obj.symbols
+
+    def test_global_marks_symbol(self):
+        obj = assemble(".global start\nstart:\n    nop")
+        assert obj.symbols["start"].is_global
+
+    def test_global_undefined_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".global missing\nnop")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("dup:\n    nop\ndup:")
+
+    def test_symbol_in_non_address_imm_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("xori eax, somewhere\nsomewhere:")
+
+
+class TestDirectives:
+    def test_data_directives(self):
+        obj = assemble(
+            ".section .data\n"
+            ".byte 1, 2, 0x10\n"
+            ".word 0x11223344\n"
+            ".ascii \"hi\"\n"
+            ".asciz \"hi\"\n"
+        )
+        data = bytes(obj.section(".data").data)
+        assert data == b"\x01\x02\x10" + b"\x44\x33\x22\x11" + b"hi" + b"hi\x00"
+
+    def test_space_and_align(self):
+        obj = assemble(".section .data\n.byte 1\n.align 4\n.space 3")
+        assert obj.section(".data").size == 7
+
+    def test_bss_space(self):
+        obj = assemble(".section .bss\nbuf:\n.space 64")
+        assert obj.section(".bss").bss_size == 64
+        assert obj.symbols["buf"].offset == 0
+
+    def test_data_in_bss_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".section .bss\n.word 1")
+
+    def test_code_outside_text_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".section .data\nnop")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".wat 3")
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".section .rodata")
+
+    def test_bad_align_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".section .data\n.align 3")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate eax")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("movi r9, 1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("movi eax")
+        with pytest.raises(AssemblerError):
+            assemble("nop eax")
+
+    def test_imm8_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("int 300")
+
+    def test_displacement_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("ld eax, [ebx+40000]")
+
+    def test_error_reports_line(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nnop\nbadop eax")
+        assert "line 3" in str(excinfo.value)
+
+    def test_register_where_imm_expected(self):
+        with pytest.raises(AssemblerError):
+            assemble("movi eax, ebx")

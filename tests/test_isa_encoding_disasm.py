@@ -1,0 +1,141 @@
+"""Tests for instruction encoding, decoding, and disassembly."""
+
+import pytest
+
+from repro.errors import IllegalInstruction
+from repro.hw.registers import Reg
+from repro.isa.disassembler import disassemble, disassemble_one, format_instruction
+from repro.isa.encoding import Instruction, decode, encode
+from repro.isa.opcodes import (
+    BASE_CYCLES,
+    FORMATS,
+    LENGTHS,
+    MNEMONICS,
+    OPCODES_BY_NAME,
+    Op,
+    instruction_length,
+)
+
+
+class TestTableConsistency:
+    def test_all_opcodes_have_metadata(self):
+        for opcode in MNEMONICS:
+            assert opcode in FORMATS
+            assert opcode in BASE_CYCLES
+            assert instruction_length(opcode) == LENGTHS[FORMATS[opcode]]
+
+    def test_mnemonics_unique(self):
+        names = list(MNEMONICS.values())
+        assert len(names) == len(set(names))
+
+    def test_name_lookup_inverse(self):
+        for opcode, name in MNEMONICS.items():
+            assert OPCODES_BY_NAME[name] == opcode
+
+    def test_positive_costs(self):
+        assert all(cost > 0 for cost in BASE_CYCLES.values())
+
+
+class TestRoundTrip:
+    CASES = [
+        Instruction(Op.NOP),
+        Instruction(Op.MOV, reg=Reg.EAX, reg2=Reg.EDI),
+        Instruction(Op.MOVI, reg=Reg.EBX, imm=0xDEADBEEF),
+        Instruction(Op.JMP, imm=0x12345678),
+        Instruction(Op.INT, imm=0x21),
+        Instruction(Op.LD, reg=Reg.ECX, reg2=Reg.EBP, imm=-4),
+        Instruction(Op.ST, reg=Reg.EDX, reg2=Reg.ESI, imm=0x7FFF),
+        Instruction(Op.PUSH, reg=Reg.ESP),
+        Instruction(Op.SHLI, reg=Reg.EAX, imm=31),
+    ]
+
+    @pytest.mark.parametrize("insn", CASES, ids=lambda i: i.mnemonic)
+    def test_encode_decode_roundtrip(self, insn):
+        blob = encode(insn)
+        assert len(blob) == insn.length
+        decoded = decode(blob)
+        assert decoded == insn
+
+    def test_all_opcodes_roundtrip(self):
+        for opcode in MNEMONICS:
+            insn = Instruction(opcode, reg=1, reg2=2, imm=4)
+            assert decode(encode(insn)).opcode == opcode
+
+    def test_negative_displacement_sign_extended(self):
+        insn = decode(encode(Instruction(Op.LD, reg=0, reg2=1, imm=-100)))
+        assert insn.imm == -100
+
+
+class TestDecodeErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(IllegalInstruction):
+            decode(b"\xFE")
+
+    def test_truncated_instruction(self):
+        with pytest.raises(IllegalInstruction):
+            decode(encode(Instruction(Op.MOVI, reg=0, imm=1))[:3])
+
+    def test_empty_blob(self):
+        with pytest.raises(IllegalInstruction):
+            decode(b"")
+
+    def test_error_reports_address(self):
+        with pytest.raises(IllegalInstruction) as excinfo:
+            decode(b"\xFE", 0, address=0xCAFE)
+        assert excinfo.value.address == 0xCAFE
+
+
+class TestDisassembler:
+    def test_format_samples(self):
+        assert format_instruction(Instruction(Op.NOP)) == "nop"
+        assert (
+            format_instruction(Instruction(Op.MOV, reg=Reg.EAX, reg2=Reg.EBX))
+            == "mov eax, ebx"
+        )
+        assert (
+            format_instruction(Instruction(Op.MOVI, reg=Reg.ECX, imm=0x10))
+            == "movi ecx, 0x10"
+        )
+        assert (
+            format_instruction(Instruction(Op.LD, reg=Reg.EAX, reg2=Reg.EBP, imm=8))
+            == "ld eax, [ebp+8]"
+        )
+        assert (
+            format_instruction(Instruction(Op.ST, reg=Reg.EAX, reg2=Reg.EBP, imm=-4))
+            == "st [ebp-4], eax"
+        )
+        assert (
+            format_instruction(Instruction(Op.LDB, reg=Reg.EAX, reg2=Reg.ESI))
+            == "ldb eax, [esi]"
+        )
+
+    def test_disassemble_one(self):
+        text, length = disassemble_one(encode(Instruction(Op.INT, imm=0x20)))
+        assert text == "int 0x20"
+        assert length == 2
+
+    def test_disassemble_stream(self):
+        blob = (
+            encode(Instruction(Op.MOVI, reg=0, imm=5))
+            + encode(Instruction(Op.HLT))
+        )
+        listing = disassemble(blob, base_address=0x1000)
+        assert listing == [(0x1000, "movi eax, 0x5"), (0x1006, "hlt")]
+
+    def test_disassemble_stops_at_garbage(self):
+        blob = encode(Instruction(Op.NOP)) + b"\xFE\xFE"
+        assert len(disassemble(blob)) == 1
+
+    def test_assembler_disassembler_agree(self):
+        from repro.isa.assembler import assemble
+
+        src = "movi eax, 0x5\nadd eax, ebx\npush eax\nint 0x20\nhlt"
+        blob = bytes(assemble(src).section(".text").data)
+        texts = [text for _, text in disassemble(blob)]
+        assert texts == [
+            "movi eax, 0x5",
+            "add eax, ebx",
+            "push eax",
+            "int 0x20",
+            "hlt",
+        ]

@@ -1,0 +1,119 @@
+"""Differential property tests of the CPU's ALU against a reference model.
+
+Random operand pairs run through real assembled programs; results and
+flags are compared against an independent Python model of two's-
+complement 32-bit arithmetic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.registers import Flag, Reg
+
+from test_hw_cpu import make_cpu, run_until_halt
+
+word = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def run_binop(op, a, b):
+    """Execute ``op eax, ecx`` with the given operands; return (result, flags)."""
+    cpu = run_until_halt(
+        make_cpu("movi eax, 0x%X\nmovi ecx, 0x%X\n%s eax, ecx\nhlt" % (a, b, op))
+    )
+    regs = cpu.regs
+    return regs.read(Reg.EAX), {
+        "zf": regs.get_flag(Flag.ZF),
+        "sf": regs.get_flag(Flag.SF),
+        "cf": regs.get_flag(Flag.CF),
+        "of": regs.get_flag(Flag.OF),
+    }
+
+
+def signed(value):
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class TestAddSub:
+    @settings(max_examples=60, deadline=None)
+    @given(word, word)
+    def test_add_model(self, a, b):
+        result, flags = run_binop("add", a, b)
+        assert result == (a + b) & 0xFFFFFFFF
+        assert flags["cf"] == (a + b > 0xFFFFFFFF)
+        assert flags["zf"] == (result == 0)
+        assert flags["sf"] == bool(result & 0x80000000)
+        expected_of = not (-(2**31) <= signed(a) + signed(b) <= 2**31 - 1)
+        assert flags["of"] == expected_of
+
+    @settings(max_examples=60, deadline=None)
+    @given(word, word)
+    def test_sub_model(self, a, b):
+        result, flags = run_binop("sub", a, b)
+        assert result == (a - b) & 0xFFFFFFFF
+        assert flags["cf"] == (a < b)
+        expected_of = not (-(2**31) <= signed(a) - signed(b) <= 2**31 - 1)
+        assert flags["of"] == expected_of
+
+
+class TestLogic:
+    @settings(max_examples=40, deadline=None)
+    @given(word, word, st.sampled_from(["and", "or", "xor"]))
+    def test_logic_model(self, a, b, op):
+        result, flags = run_binop(op, a, b)
+        expected = {"and": a & b, "or": a | b, "xor": a ^ b}[op]
+        assert result == expected
+        assert flags["cf"] is False
+        assert flags["of"] is False
+        assert flags["zf"] == (expected == 0)
+
+
+class TestMulDiv:
+    @settings(max_examples=40, deadline=None)
+    @given(word, word)
+    def test_mul_model(self, a, b):
+        result, flags = run_binop("mul", a, b)
+        assert result == (a * b) & 0xFFFFFFFF
+        assert flags["cf"] == (a * b > 0xFFFFFFFF)
+
+    @settings(max_examples=40, deadline=None)
+    @given(word, st.integers(min_value=1, max_value=0xFFFFFFFF))
+    def test_div_model(self, a, b):
+        result, _ = run_binop("div", a, b)
+        assert result == a // b
+
+
+class TestShifts:
+    @settings(max_examples=40, deadline=None)
+    @given(word, st.integers(min_value=0, max_value=255))
+    def test_shl_model(self, a, count):
+        result, _ = run_binop("shl", a, count)
+        assert result == (a << (count & 31)) & 0xFFFFFFFF
+
+    @settings(max_examples=40, deadline=None)
+    @given(word, st.integers(min_value=0, max_value=255))
+    def test_shr_model(self, a, count):
+        result, _ = run_binop("shr", a, count)
+        assert result == a >> (count & 31)
+
+
+class TestCompareBranchAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(word, word)
+    def test_signed_compare_matches_python(self, a, b):
+        """jl after cmp agrees with Python's signed comparison."""
+        source = (
+            "movi eax, 0x%X\nmovi ecx, 0x%X\ncmp eax, ecx\n"
+            "jl less\nmovi ebx, 0\nhlt\nless:\nmovi ebx, 1\nhlt" % (a, b)
+        )
+        cpu = run_until_halt(make_cpu(source))
+        assert cpu.regs.read(Reg.EBX) == (1 if signed(a) < signed(b) else 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(word, word)
+    def test_unsigned_compare_matches_python(self, a, b):
+        """jc after cmp agrees with Python's unsigned comparison."""
+        source = (
+            "movi eax, 0x%X\nmovi ecx, 0x%X\ncmp eax, ecx\n"
+            "jc below\nmovi ebx, 0\nhlt\nbelow:\nmovi ebx, 1\nhlt" % (a, b)
+        )
+        cpu = run_until_halt(make_cpu(source))
+        assert cpu.regs.read(Reg.EBX) == (1 if a < b else 0)

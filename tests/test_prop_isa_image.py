@@ -1,0 +1,107 @@
+"""Property-based tests for the ISA encoding, allocator, and images."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LoaderError
+from repro.isa.encoding import Instruction, decode, encode
+from repro.isa.opcodes import MNEMONICS, OpFormat, FORMATS
+from repro.image.telf import ObjectFile, TaskImage
+from repro.rtos.heap import FirstFitAllocator
+
+opcode_st = st.sampled_from(sorted(MNEMONICS))
+reg_st = st.integers(min_value=0, max_value=7)
+
+
+def imm_for(opcode, value):
+    fmt = FORMATS[opcode]
+    if fmt == OpFormat.IMM8:
+        return value & 0xFF
+    if fmt == OpFormat.MEM:
+        return ((value & 0xFFFF) ^ 0x8000) - 0x8000  # signed 16-bit
+    return value & 0xFFFFFFFF
+
+
+class TestEncodingProperties:
+    @given(opcode_st, reg_st, reg_st, st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip(self, opcode, reg, reg2, raw_imm):
+        insn = Instruction(opcode, reg=reg, reg2=reg2, imm=imm_for(opcode, raw_imm))
+        blob = encode(insn)
+        assert len(blob) == insn.length
+        decoded = decode(blob)
+        assert decoded.opcode == insn.opcode
+        fmt = FORMATS[opcode]
+        if fmt in (OpFormat.REG, OpFormat.REG_REG, OpFormat.REG_IMM32, OpFormat.MEM):
+            assert decoded.reg == insn.reg
+        if fmt in (OpFormat.REG_REG, OpFormat.MEM):
+            assert decoded.reg2 == insn.reg2
+        if fmt != OpFormat.NONE and fmt != OpFormat.REG and fmt != OpFormat.REG_REG:
+            assert decoded.imm == insn.imm
+
+    @given(opcode_st)
+    def test_length_is_format_length(self, opcode):
+        insn = Instruction(opcode)
+        assert len(encode(insn)) == insn.length
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["alloc", "free"]),
+                st.integers(min_value=1, max_value=2_048),
+            ),
+            max_size=40,
+        )
+    )
+    def test_no_overlap_invariant(self, operations):
+        """Live allocations never overlap, whatever the op sequence."""
+        heap = FirstFitAllocator(0x10000, 0x8000)
+        live = []
+        for op, size in operations:
+            if op == "alloc":
+                try:
+                    base = heap.allocate(size)
+                except LoaderError:
+                    continue
+                live.append((base, size))
+            elif live:
+                base, _ = live.pop(len(live) // 2)
+                heap.free(base)
+        intervals = sorted(live)
+        for (a_base, a_size), (b_base, _) in zip(intervals, intervals[1:]):
+            assert a_base + a_size <= b_base
+        for base, size in intervals:
+            assert 0x10000 <= base and base + size <= 0x18000
+
+    @given(st.integers(min_value=1, max_value=1_000))
+    def test_alloc_free_restores_capacity(self, size):
+        heap = FirstFitAllocator(0, 0x2000)
+        base = heap.allocate(size)
+        heap.free(base)
+        assert heap.allocated_bytes() == 0
+        assert heap.allocate(0x2000) == 0
+
+
+class TestContainerProperties:
+    @given(
+        st.binary(min_size=1, max_size=256),
+        st.integers(min_value=0, max_value=128),
+        st.integers(min_value=32, max_value=1_024),
+    )
+    def test_task_image_roundtrip(self, blob, bss, stack):
+        relocations = [
+            offset for offset in range(0, max(0, len(blob) - 4), 16)
+        ]
+        image = TaskImage("t", blob, 0, relocations, bss, stack)
+        parsed = TaskImage.from_bytes(image.to_bytes())
+        assert parsed.blob == image.blob
+        assert parsed.relocations == image.relocations
+        assert parsed.bss_size == bss
+        assert parsed.stack_size == stack
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=1, max_size=24))
+    def test_object_file_name_roundtrip(self, name):
+        obj = ObjectFile(name)
+        obj.section(".text").append(b"\x00")
+        assert ObjectFile.from_bytes(obj.to_bytes()).name == name

@@ -1,0 +1,101 @@
+"""Robustness fuzzing: malformed inputs must fail cleanly, never crash.
+
+An adoptable trust anchor must reject hostile containers gracefully:
+random bytes fed to the TELF parsers raise :class:`ImageFormatError`
+(or parse, by fluke, into something structurally valid) - never an
+uncontrolled exception; truncations and bit-flips of valid containers
+likewise.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ImageFormatError
+from repro.image.telf import ObjectFile, TaskImage
+from repro.isa.assembler import assemble
+from repro.image.linker import link
+
+
+def valid_object_bytes():
+    obj = assemble(
+        ".global start\nstart:\n    movi eax, 1\n    jmp start\n"
+        ".section .data\nv:\n    .word v",
+        "fuzz",
+    )
+    return obj.to_bytes()
+
+
+def valid_image_bytes():
+    return link(
+        ObjectFile.from_bytes(valid_object_bytes()), stack_size=128
+    ).to_bytes()
+
+
+class TestContainerFuzz:
+    @settings(max_examples=120)
+    @given(st.binary(max_size=200))
+    def test_random_object_bytes_never_crash(self, blob):
+        try:
+            ObjectFile.from_bytes(blob)
+        except ImageFormatError:
+            pass  # the expected rejection
+        except (UnicodeDecodeError,):
+            pass  # malformed embedded strings surface as decode errors
+        # Anything else (IndexError, struct.error, ...) fails the test.
+
+    @settings(max_examples=120)
+    @given(st.binary(max_size=200))
+    def test_random_image_bytes_never_crash(self, blob):
+        try:
+            TaskImage.from_bytes(blob)
+        except ImageFormatError:
+            pass
+        except (UnicodeDecodeError,):
+            pass
+
+    @settings(max_examples=60)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_truncated_object_rejected(self, cut):
+        blob = valid_object_bytes()
+        truncated = blob[: min(cut, len(blob) - 1)]
+        try:
+            ObjectFile.from_bytes(truncated)
+        except (ImageFormatError, UnicodeDecodeError):
+            pass
+
+    @settings(max_examples=60)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(0, 255))
+    def test_bitflipped_image_parses_or_rejects(self, position, patch):
+        blob = bytearray(valid_image_bytes())
+        index = position % len(blob)
+        blob[index] ^= patch or 1
+        try:
+            image = TaskImage.from_bytes(bytes(blob))
+        except (ImageFormatError, UnicodeDecodeError):
+            return
+        # If it parsed, its invariants must hold (the constructor
+        # re-validates): entry inside blob, relocations inside blob.
+        for offset in image.relocations:
+            assert offset + 4 <= len(image.blob)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_flipped_image_changes_identity(self, position):
+        """Any bit flip inside the measured region changes id_t."""
+        from repro.core.identity import identity_of_image, measured_bytes
+
+        original = TaskImage.from_bytes(valid_image_bytes())
+        blob = bytearray(original.blob)
+        if not blob:
+            return
+        index = position % len(blob)
+        blob[index] ^= 0x01
+        flipped = TaskImage(
+            original.name,
+            bytes(blob),
+            original.entry,
+            original.relocations,
+            original.bss_size,
+            original.stack_size,
+        )
+        assert identity_of_image(flipped) != identity_of_image(original)
+        assert measured_bytes(flipped) != measured_bytes(original)

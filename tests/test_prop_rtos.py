@@ -1,0 +1,129 @@
+"""Property-based tests for scheduler, queues, and event groups."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rtos.events import EventGroup
+from repro.rtos.queues import RTQueue
+from repro.rtos.scheduler import Scheduler
+from repro.rtos.task import TaskControlBlock, TaskState
+
+
+def tcb(name, priority):
+    return TaskControlBlock(name, priority, entry=0x1000)
+
+
+# One operation per step: (op, priority, task_index)
+op_st = st.tuples(
+    st.sampled_from(["add", "dispatch", "ready", "delay", "block", "wake", "suspend", "remove"]),
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=15),
+)
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(op_st, max_size=60))
+    def test_invariants_under_random_ops(self, operations):
+        """Whatever the op sequence: (1) pick() returns a READY task of
+        the highest non-empty priority; (2) a task appears in at most
+        one place; (3) counts are consistent."""
+        sched = Scheduler()
+        tasks = []
+        now = [0]
+        for op, priority, index in operations:
+            now[0] += 100
+            if op == "add":
+                tasks.append(sched.add_task(tcb("t%d" % len(tasks), priority)))
+                continue
+            if not tasks:
+                continue
+            task = tasks[index % len(tasks)]
+            if task.state == TaskState.DELETED:
+                continue
+            if op == "dispatch":
+                sched.dispatch()
+            elif op == "ready":
+                sched.make_ready(task)
+            elif op == "delay":
+                sched.delay_until(task, now[0] + 1_000)
+            elif op == "block":
+                sched.block(task, "obj-%d" % priority)
+            elif op == "wake":
+                sched.wake_waiters("obj-%d" % priority)
+                sched.wake_sleepers(now[0])
+            elif op == "suspend":
+                sched.suspend(task)
+            elif op == "remove":
+                sched.remove_task(task)
+
+            # Invariant 1: pick() is a READY task at the top level.
+            top = sched.pick()
+            if top is not None:
+                assert top.state == TaskState.READY
+                for level in range(top.priority + 1, sched.levels):
+                    assert not sched._ready[level]
+            # Invariant 2: ready lists hold only READY tasks, exactly once.
+            seen = []
+            for level in sched._ready:
+                for queued in level:
+                    assert queued.state == TaskState.READY
+                    seen.append(queued.tid)
+            assert len(seen) == len(set(seen))
+            assert len(seen) == sched.ready_count()
+            # Invariant 3: delayed tasks are BLOCKED with a wake time.
+            for wake_at, delayed in sched._delayed:
+                assert delayed.state == TaskState.BLOCKED
+                assert delayed.wake_at == wake_at
+
+
+class TestQueueProperties:
+    @settings(max_examples=80)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.sampled_from(["send", "recv"]), max_size=60),
+    )
+    def test_fifo_and_bounds(self, capacity, operations):
+        queue = RTQueue(capacity)
+        model = []
+        counter = 0
+        for op in operations:
+            if op == "send":
+                ok = queue.try_send(counter)
+                assert ok == (len(model) < capacity)
+                if ok:
+                    model.append(counter)
+                counter += 1
+            else:
+                ok, item = queue.try_receive()
+                assert ok == bool(model)
+                if ok:
+                    assert item == model.pop(0)
+            assert len(queue) == len(model)
+            assert queue.full == (len(model) == capacity)
+            assert queue.empty == (not model)
+
+
+class TestEventGroupProperties:
+    @settings(max_examples=80)
+    @given(st.lists(st.integers(min_value=1, max_value=0xFFFFFF), max_size=20))
+    def test_bits_accumulate_like_or(self, masks):
+        group = EventGroup()
+        model = 0
+        for mask in masks:
+            group.set_bits(mask)
+            model |= mask
+            assert group.bits == model
+
+    @settings(max_examples=80)
+    @given(
+        st.integers(min_value=1, max_value=0xFFFF),
+        st.integers(min_value=1, max_value=0xFFFF),
+    )
+    def test_wait_any_matches_intersection(self, have, want):
+        group = EventGroup()
+        group.set_bits(have)
+        ok, seen = group.try_wait(tcb("w", 1), want, wait_all=False)
+        assert ok == bool(have & want)
+        if ok:
+            assert seen == have & want
+            assert group.bits == have & ~want & EventGroup.MASK

@@ -1,0 +1,97 @@
+"""Property-based tests on system-level invariants.
+
+These use one module-level TyTAN instance per property (booting is a few
+hundred ms of Python work; hypothesis re-runs the body many times).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import TyTAN
+from repro.core.identity import identity_of_image
+from repro.errors import ProtectionFault
+from repro.hw.ea_mpu import EAMPU, MpuRule, Perm
+from repro.sim.workloads import synthetic_image
+
+_system = TyTAN()
+
+
+class TestIdentityProperties:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        blocks=st.integers(min_value=1, max_value=6),
+        relocations=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_measured_identity_matches_oracle(self, blocks, relocations, seed):
+        """Whatever the image shape, the RTM's position-dependent view
+        hashes back to the position-independent oracle."""
+        image = synthetic_image(
+            blocks=blocks, relocations=relocations, seed=seed, name="prop"
+        )
+        task = _system.load_task(image, secure=True)
+        try:
+            assert task.identity == identity_of_image(image)
+        finally:
+            _system.unload_task(task)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1_000))
+    def test_load_unload_leaves_no_slots_behind(self, seed):
+        free_before = len(_system.platform.mpu.free_slots())
+        image = synthetic_image(blocks=2, seed=seed, name="prop2")
+        task = _system.load_task(image, secure=True)
+        _system.unload_task(task)
+        assert len(_system.platform.mpu.free_slots()) == free_before
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_os_never_reads_secure_memory(self, seed):
+        image = synthetic_image(blocks=2, seed=seed, name="prop3")
+        task = _system.load_task(image, secure=True)
+        try:
+            for offset in (0, task.memory_size // 2, task.memory_size - 4):
+                try:
+                    _system.kernel.memory.read_u32(
+                        task.base + offset, actor=_system.kernel.os_actor
+                    )
+                    raised = False
+                except ProtectionFault:
+                    raised = True
+                assert raised
+        finally:
+            _system.unload_task(task)
+
+
+class TestMpuProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        base=st.integers(min_value=0, max_value=0xF000),
+        size=st.integers(min_value=4, max_value=0x1000),
+        probe=st.integers(min_value=0, max_value=0x10000),
+        actor=st.integers(min_value=0, max_value=0x10000),
+    )
+    def test_single_rule_semantics(self, base, size, probe, actor):
+        """For one self-rule, an access is allowed iff (probe outside
+        the object range) or (actor inside the subject range)."""
+        mpu = EAMPU()
+        mpu.program_slot(
+            0, MpuRule("r", base, base + size, base, base + size, Perm.RWX)
+        )
+        inside_object = base <= probe and probe + 4 <= base + size
+        overlaps_object = probe < base + size and base < probe + 4
+        inside_subject = base <= actor < base + size
+        try:
+            mpu.check("read", probe, 4, actor)
+            allowed = True
+        except ProtectionFault:
+            allowed = False
+        if not overlaps_object:
+            assert allowed
+        elif inside_object and inside_subject:
+            assert allowed
+        elif overlaps_object and not inside_subject:
+            assert not allowed

@@ -1,0 +1,164 @@
+"""Tests for event groups and software timers."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.rtos.events import EventGroup
+from repro.rtos.swtimer import SoftwareTimer, TimerService
+from repro.rtos.task import NativeCall, TaskControlBlock
+
+
+def tcb(name="t", priority=2):
+    return TaskControlBlock(name, priority, entry=0x1000)
+
+
+class TestEventGroupUnit:
+    def test_set_and_clear(self):
+        group = EventGroup()
+        group.set_bits(0x5)
+        assert group.bits == 0x5
+        assert group.clear_bits(0x1) == 0x5
+        assert group.bits == 0x4
+
+    def test_wait_any_satisfied_immediately(self):
+        group = EventGroup()
+        group.set_bits(0x2)
+        ok, seen = group.try_wait(tcb(), 0x6, wait_all=False)
+        assert ok and seen == 0x2
+        assert group.bits == 0  # clear_on_exit default
+
+    def test_wait_all_requires_every_bit(self):
+        group = EventGroup()
+        group.set_bits(0x2)
+        waiter = tcb()
+        ok, _ = group.try_wait(waiter, 0x6, wait_all=True)
+        assert not ok
+        released = group.set_bits(0x4)
+        assert released == [(waiter, 0x6)]
+
+    def test_clear_on_exit_false_keeps_bits(self):
+        group = EventGroup()
+        group.set_bits(0x3)
+        ok, _ = group.try_wait(tcb(), 0x3, clear_on_exit=False)
+        assert ok
+        assert group.bits == 0x3
+
+    def test_multiple_waiters_released_together(self):
+        group = EventGroup()
+        a, b = tcb("a"), tcb("b")
+        group.try_wait(a, 0x1)
+        group.try_wait(b, 0x1, clear_on_exit=False)
+        released = group.set_bits(0x1)
+        assert {task.name for task, _ in released} == {"a", "b"}
+
+    def test_cancel_wait(self):
+        group = EventGroup()
+        waiter = tcb()
+        group.try_wait(waiter, 0x1)
+        group.cancel_wait(waiter)
+        assert group.set_bits(0x1) == []
+        assert group.waiter_count() == 0
+
+    def test_reserved_bits_rejected(self):
+        group = EventGroup()
+        with pytest.raises(SchedulerError):
+            group.set_bits(0xFF000000)
+        with pytest.raises(SchedulerError):
+            group.try_wait(tcb(), 0)
+
+
+class TestEventGroupKernel:
+    def test_native_tasks_synchronise(self, baseline):
+        platform, kernel, loader = baseline
+        group = EventGroup()
+        log = []
+
+        def consumer(k, task):
+            ok, bits = k.event_wait(task, group, 0x3, wait_all=True)
+            if not ok:
+                yield NativeCall.block(group.wait_token(task))
+                bits = task.event_result
+            log.append(("consumed", bits))
+
+        def producer(k, task):
+            yield NativeCall.delay_cycles(5_000)
+            k.event_set(group, 0x1)
+            log.append(("set", 0x1))
+            yield NativeCall.delay_cycles(5_000)
+            k.event_set(group, 0x2)
+            log.append(("set", 0x2))
+
+        kernel.create_native_task("consumer", 4, consumer)
+        kernel.create_native_task("producer", 3, producer)
+        kernel.run(max_cycles=100_000)
+        assert ("consumed", 0x3) in log
+        assert log.index(("set", 0x2)) < log.index(("consumed", 0x3))
+
+
+class TestSoftwareTimers:
+    def test_one_shot_fires_once(self, baseline):
+        platform, kernel, loader = baseline
+        fired = []
+        timer = kernel.timer_service.create(
+            3, lambda k, t: fired.append(k.tick_count), periodic=False
+        )
+        timer.arm(kernel.tick_count)
+
+        def idle(k, task):
+            while True:
+                yield NativeCall.delay_cycles(10_000)
+
+        kernel.create_native_task("idle", 1, idle)
+        kernel.run(max_cycles=10 * platform.tick_timer.period)
+        assert len(fired) == 1
+        assert not timer.armed
+
+    def test_periodic_rearms(self, baseline):
+        platform, kernel, loader = baseline
+        fired = []
+        timer = kernel.timer_service.create(
+            2, lambda k, t: fired.append(k.tick_count), periodic=True
+        )
+        timer.arm(kernel.tick_count)
+
+        def idle(k, task):
+            while True:
+                yield NativeCall.delay_cycles(10_000)
+
+        kernel.create_native_task("idle", 1, idle)
+        kernel.run(max_cycles=11 * platform.tick_timer.period)
+        assert len(fired) >= 4
+        gaps = [b - a for a, b in zip(fired, fired[1:])]
+        assert all(gap == 2 for gap in gaps)
+
+    def test_disarm_stops_firing(self, baseline):
+        platform, kernel, loader = baseline
+        fired = []
+
+        def callback(k, t):
+            fired.append(1)
+            t.disarm()
+
+        timer = kernel.timer_service.create(1, callback, periodic=True)
+        timer.arm(kernel.tick_count)
+
+        def idle(k, task):
+            while True:
+                yield NativeCall.delay_cycles(10_000)
+
+        kernel.create_native_task("idle", 1, idle)
+        kernel.run(max_cycles=8 * platform.tick_timer.period)
+        assert fired == [1]
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(SchedulerError):
+            SoftwareTimer(0, lambda k, t: None)
+
+    def test_service_bookkeeping(self):
+        service = TimerService()
+        timer = service.create(5, lambda k, t: None)
+        assert service.armed_count() == 0
+        timer.arm(0)
+        assert service.armed_count() == 1
+        service.remove(timer)
+        assert service.armed_count() == 0

@@ -1,0 +1,99 @@
+"""Tests for the first-fit task RAM allocator."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.rtos.heap import FirstFitAllocator
+
+
+def make():
+    return FirstFitAllocator(0x1000, 0x1000, align=16)
+
+
+class TestAllocate:
+    def test_first_allocation_at_base(self):
+        assert make().allocate(64) == 0x1000
+
+    def test_sequential_allocations_dont_overlap(self):
+        heap = make()
+        a = heap.allocate(100)
+        b = heap.allocate(100)
+        assert b >= a + 100
+
+    def test_alignment(self):
+        heap = make()
+        heap.allocate(10)
+        assert heap.allocate(10) % 16 == 0
+
+    def test_exhaustion_raises(self):
+        heap = make()
+        heap.allocate(0x800)
+        heap.allocate(0x700)
+        with pytest.raises(LoaderError):
+            heap.allocate(0x200)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(LoaderError):
+            make().allocate(0)
+
+
+class TestFree:
+    def test_free_enables_reuse(self):
+        heap = make()
+        a = heap.allocate(0x800)
+        heap.allocate(0x700)
+        heap.free(a)
+        assert heap.allocate(0x800) == a
+
+    def test_first_fit_reuses_earliest_hole(self):
+        heap = make()
+        a = heap.allocate(0x100)
+        heap.allocate(0x100)
+        c = heap.allocate(0x100)
+        heap.free(a)
+        heap.free(c)
+        assert heap.allocate(0x80) == a
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(LoaderError):
+            make().free(0x1234)
+
+    def test_double_free_raises(self):
+        heap = make()
+        a = heap.allocate(64)
+        heap.free(a)
+        with pytest.raises(LoaderError):
+            heap.free(a)
+
+
+class TestIntrospection:
+    def test_accounting(self):
+        heap = make()
+        heap.allocate(64)
+        assert heap.allocated_bytes() == 64
+        assert heap.free_bytes() == 0x1000 - 64
+
+    def test_holes(self):
+        heap = make()
+        a = heap.allocate(0x100)
+        heap.allocate(0x100)
+        heap.free(a)
+        holes = heap.holes()
+        assert holes[0] == (0x1000, 0x100)
+
+    def test_owns(self):
+        heap = make()
+        a = heap.allocate(64)
+        assert heap.owns(a)
+        assert heap.owns(a + 63)
+        assert not heap.owns(a + 64)
+
+    def test_reload_gets_new_base_after_fragmentation(self):
+        """The property that makes relocation necessary (Section 4)."""
+        heap = make()
+        a = heap.allocate(0x200)
+        heap.allocate(0x100)  # pins memory after a
+        heap.free(a)
+        heap.allocate(0x80)  # now occupies part of a's old hole
+        again = heap.allocate(0x200)
+        assert again != a

@@ -1,0 +1,308 @@
+"""Tests for the kernel: dispatch, syscalls, context switching, ticks.
+
+These run on the plain-FreeRTOS baseline (no TyTAN components), which is
+itself a deliverable: the paper's comparison baseline.
+"""
+
+from repro.hw.registers import Reg
+from repro.rtos.kernel import FRAME_BYTES
+from repro.rtos.queues import RTQueue
+from repro.rtos.task import NativeCall, TaskState
+
+from conftest import COUNTER_TASK, EXIT_TASK, read_counter
+
+
+def load_isa(kernel, loader, source, name="t", priority=3, secure=False):
+    from repro.isa.assembler import assemble
+    from repro.image.linker import link
+
+    image = link(assemble(source, name), name=name, stack_size=256)
+    result = loader.load_synchronously(
+        image, secure=secure, priority=priority, name=name
+    )
+    return result.task
+
+
+class TestIsaTasks:
+    def test_exit_task_runs_and_exits(self, baseline):
+        platform, kernel, loader = baseline
+        task = load_isa(kernel, loader, EXIT_TASK)
+        kernel.run(max_cycles=1_000_000)
+        assert task.tid not in kernel.scheduler.tasks
+        assert not kernel.faulted
+
+    def test_counter_task_periodic(self, baseline):
+        platform, kernel, loader = baseline
+        task = load_isa(kernel, loader, COUNTER_TASK)
+        kernel.run(max_cycles=320_000)
+        count = read_counter(kernel, task)
+        assert 9 <= count <= 11  # ~10 periods of 32k cycles
+
+    def test_two_tasks_share_cpu(self, baseline):
+        platform, kernel, loader = baseline
+        a = load_isa(kernel, loader, COUNTER_TASK, "a")
+        b = load_isa(kernel, loader, COUNTER_TASK, "b")
+        kernel.run(max_cycles=320_000)
+        assert abs(read_counter(kernel, a) - read_counter(kernel, b)) <= 1
+
+    def test_priority_preemption(self, baseline):
+        """A long-running low-priority task must not starve a periodic
+        high-priority one."""
+        platform, kernel, loader = baseline
+        spin = "\n".join(
+            [
+                ".global start",
+                "start:",
+                "    jmp start",  # infinite busy loop
+            ]
+        )
+        load_isa(kernel, loader, spin, "spinner", priority=1)
+        high = load_isa(kernel, loader, COUNTER_TASK, "high", priority=5)
+        kernel.run(max_cycles=320_000)
+        assert read_counter(kernel, high) >= 9
+
+    def test_faulting_task_contained(self, baseline):
+        """An illegal instruction kills only the offending task."""
+        platform, kernel, loader = baseline
+        bad = "\n".join(
+            [
+                ".global start",
+                "start:",
+                "    movi ebx, 0x00F00208",  # reads counter reg: fine
+                "    movi ebx, 0",
+                "    ld eax, [ebx]",  # 0x0 is IDT.. mapped; use unmapped:
+                "    hlt",
+            ]
+        )
+        # Use an actually-unmapped address to force a MemoryFault.
+        bad = bad.replace("movi ebx, 0\n", "movi ebx, 0x7F000000\n")
+        victim = load_isa(kernel, loader, bad, "bad")
+        good = load_isa(kernel, loader, COUNTER_TASK, "good")
+        kernel.run(max_cycles=320_000)
+        assert victim in kernel.faulted
+        assert read_counter(kernel, good) >= 9
+
+
+class TestSyscalls:
+    def test_get_time(self, baseline):
+        platform, kernel, loader = baseline
+        src = "\n".join(
+            [
+                ".global start",
+                "start:",
+                "    movi eax, 3        ; GET_TIME",
+                "    int 0x20",
+                "    movi ebx, out",
+                "    st [ebx], eax",
+                "    movi eax, 2        ; EXIT",
+                "    int 0x20",
+                ".section .data",
+                "out:",
+                "    .word 0",
+            ]
+        )
+        task = load_isa(kernel, loader, src)
+        kernel.run(max_cycles=200_000)
+        stamp = read_counter(kernel, task)
+        assert 0 < stamp < 200_000 + task.base  # sane 32-bit cycle stamp
+
+    def test_yield_round_robins(self, baseline):
+        platform, kernel, loader = baseline
+        src = "\n".join(
+            [
+                ".global start",
+                "start:",
+                "    movi esi, c",
+                "again:",
+                "    ld eax, [esi]",
+                "    addi eax, 1",
+                "    st [esi], eax",
+                "    movi eax, 0        ; YIELD",
+                "    int 0x20",
+                "    jmp again",
+                ".section .data",
+                "c:",
+                "    .word 0",
+            ]
+        )
+        a = load_isa(kernel, loader, src, "a")
+        b = load_isa(kernel, loader, src, "b")
+        kernel.run(max_cycles=100_000)
+        assert read_counter(kernel, a) > 5
+        assert read_counter(kernel, b) > 5
+
+    def test_suspend_self(self, baseline):
+        platform, kernel, loader = baseline
+        src = "\n".join(
+            [
+                ".global start",
+                "start:",
+                "    movi esi, c",
+                "    ld eax, [esi]",
+                "    addi eax, 1",
+                "    st [esi], eax",
+                "    movi eax, 4        ; SUSPEND_SELF",
+                "    int 0x20",
+                "    jmp start",
+                ".section .data",
+                "c:",
+                "    .word 0",
+            ]
+        )
+        task = load_isa(kernel, loader, src)
+        kernel.run(max_cycles=200_000)
+        assert task.state == TaskState.SUSPENDED
+        assert read_counter(kernel, task) == 1
+        kernel.resume_task(task)
+        kernel.run(max_cycles=200_000)
+        assert read_counter(kernel, task) == 2
+
+    def test_unknown_syscall_returns_error(self, baseline):
+        platform, kernel, loader = baseline
+        src = "\n".join(
+            [
+                ".global start",
+                "start:",
+                "    movi eax, 99",
+                "    int 0x20",
+                "    movi ebx, out",
+                "    st [ebx], eax",
+                "    movi eax, 2",
+                "    int 0x20",
+                ".section .data",
+                "out:",
+                "    .word 0",
+            ]
+        )
+        task = load_isa(kernel, loader, src)
+        kernel.run(max_cycles=200_000)
+        assert read_counter(kernel, task) == 0xFFFFFFFF
+
+
+class TestNativeTasks:
+    def test_charge_and_exit(self, baseline):
+        platform, kernel, loader = baseline
+        ran = []
+
+        def body(k, task):
+            yield NativeCall.charge(1_000)
+            ran.append(k.clock.now)
+            return "done"
+
+        task = kernel.create_native_task("svc", 3, body)
+        kernel.run(max_cycles=100_000)
+        assert ran
+        assert task.result is None or task.result == "done"
+
+    def test_delay_until_periodic(self, baseline):
+        platform, kernel, loader = baseline
+        stamps = []
+
+        def body(k, task):
+            deadline = k.clock.now + 10_000
+            for _ in range(5):
+                stamps.append(k.clock.now)
+                yield NativeCall.charge(500)
+                yield NativeCall.delay_until(deadline)
+                deadline += 10_000
+
+        kernel.create_native_task("periodic", 3, body)
+        kernel.run(max_cycles=100_000)
+        assert len(stamps) == 5
+        gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+        assert all(9_000 <= gap <= 12_000 for gap in gaps)
+
+    def test_block_and_wake(self, baseline):
+        platform, kernel, loader = baseline
+        log = []
+
+        def waiter(k, task):
+            log.append("waiting")
+            yield NativeCall.block("the-event")
+            log.append("woken")
+
+        def waker(k, task):
+            yield NativeCall.delay_cycles(5_000)
+            k.wake("the-event")
+            log.append("waked")
+
+        kernel.create_native_task("waiter", 3, waiter)
+        kernel.create_native_task("waker", 2, waker)
+        kernel.run(max_cycles=100_000)
+        assert log == ["waiting", "waked", "woken"]
+
+    def test_native_preempted_by_higher_priority(self, baseline):
+        platform, kernel, loader = baseline
+        order = []
+
+        def grinder(k, task):
+            for _ in range(100):
+                order.append("g")
+                yield NativeCall.charge(2_000)
+
+        def urgent(k, task):
+            yield NativeCall.delay_cycles(10_000)
+            order.append("URGENT")
+
+        kernel.create_native_task("grinder", 1, grinder)
+        kernel.create_native_task("urgent", 6, urgent)
+        kernel.run(max_cycles=250_000)
+        index = order.index("URGENT")
+        assert 0 < index < len(order) - 1  # fired mid-grind
+
+    def test_queue_send_receive(self, baseline):
+        platform, kernel, loader = baseline
+        queue = RTQueue(4)
+        received = []
+
+        def producer(k, task):
+            for item in range(3):
+                k.queue_send(task, queue, item)
+                yield NativeCall.charge(100)
+
+        def consumer(k, task):
+            while len(received) < 3:
+                ok, item = k.queue_receive(task, queue)
+                if ok:
+                    received.append(item)
+                    yield NativeCall.charge(100)
+                else:
+                    yield NativeCall.block(queue.not_empty)
+
+        kernel.create_native_task("consumer", 4, consumer)
+        kernel.create_native_task("producer", 3, producer)
+        kernel.run(max_cycles=300_000)
+        assert received == [0, 1, 2]
+
+
+class TestContextFrames:
+    def test_frame_roundtrip(self, baseline):
+        platform, kernel, loader = baseline
+        task = load_isa(kernel, loader, EXIT_TASK)
+        regs = platform.cpu.regs
+        regs.esp = task.stack_top
+        for index in range(Reg.COUNT):
+            regs.write(index, 0x100 + index)
+        regs.esp = task.stack_top  # ESP is overwritten by loop above
+        kernel.push_gpr_frame(task, actor=kernel.os_actor)
+        saved_esp = regs.esp
+        regs.wipe_gprs()
+        task_saved = task.saved_esp
+        assert task_saved == saved_esp
+        kernel.pop_gpr_frame(task, actor=kernel.os_actor)
+        for index in range(Reg.COUNT):
+            if index == Reg.ESP:
+                continue
+            assert regs.read(index) == 0x100 + index
+
+    def test_initial_stack_layout(self, baseline):
+        platform, kernel, loader = baseline
+        task = load_isa(kernel, loader, COUNTER_TASK)
+        # Loader prepares the frame: 8 GPRs + EIP + EFLAGS below stack top.
+        assert task.saved_esp == task.stack_top - FRAME_BYTES
+
+    def test_tick_count_advances(self, baseline):
+        platform, kernel, loader = baseline
+        load_isa(kernel, loader, COUNTER_TASK)
+        kernel.run(max_cycles=160_000)
+        assert kernel.tick_count >= 9  # 16k tick period

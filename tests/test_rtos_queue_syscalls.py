@@ -1,0 +1,202 @@
+"""ISA-level blocking queue syscalls and stack-overflow detection."""
+
+import pytest
+
+from repro.errors import StackOverflow
+from repro.rtos.queues import RTQueue
+from repro.rtos.task import NativeCall
+
+from conftest import read_counter
+
+
+def producer_source(qid, count):
+    return """
+.section .text
+.global start
+start:
+    movi edi, 0
+next:
+    movi eax, 8          ; QUEUE_SEND (blocks while full)
+    movi ebx, %d
+    mov ecx, edi
+    int 0x20
+    addi edi, 1
+    cmpi edi, %d
+    jnz next
+    movi eax, 2          ; EXIT
+    int 0x20
+""" % (qid, count)
+
+
+def consumer_source(qid, count):
+    return """
+.section .text
+.global start
+start:
+    movi edi, 0
+next:
+    movi eax, 9          ; QUEUE_RECV (blocks while empty)
+    movi ebx, %d
+    int 0x20
+    movi esi, total
+    ld ecx, [esi]
+    add ecx, eax
+    st [esi], ecx
+    addi edi, 1
+    cmpi edi, %d
+    jnz next
+    movi eax, 2          ; EXIT
+    int 0x20
+.section .data
+total:
+    .word 0
+""" % (qid, count)
+
+
+class TestQueueSyscalls:
+    def test_producer_consumer_pipeline(self, system):
+        queue = RTQueue(2)
+        qid = system.kernel.register_queue(queue)
+        count = 8
+        consumer = system.load_source(
+            consumer_source(qid, count), "consumer", secure=True, priority=3
+        )
+        producer = system.load_source(
+            producer_source(qid, count), "producer", secure=True, priority=3
+        )
+        system.run(max_cycles=3_000_000)
+        # Both exited cleanly; the consumer summed 0..7 = 28.
+        assert producer.tid not in system.kernel.scheduler.tasks
+        assert consumer.tid not in system.kernel.scheduler.tasks
+        assert not system.kernel.faulted
+        total = system.kernel.memory.read_u32(
+            consumer.base + len(consumer.image.blob) - 4,
+            actor=system.rtm.base,
+        )
+        assert total == sum(range(count))
+
+    def test_send_blocks_on_full_queue(self, system):
+        """A producer into a 1-slot queue with no consumer parks."""
+        queue = RTQueue(1)
+        qid = system.kernel.register_queue(queue)
+        producer = system.load_source(
+            producer_source(qid, 5), "producer", secure=True, priority=3
+        )
+        system.run(max_cycles=400_000)
+        from repro.rtos.task import TaskState
+
+        assert producer.state == TaskState.BLOCKED
+        assert len(queue) == 1  # one item landed, then it blocked
+
+    def test_recv_blocks_then_drains_native_feed(self, system):
+        queue = RTQueue(4)
+        qid = system.kernel.register_queue(queue)
+        consumer = system.load_source(
+            consumer_source(qid, 3), "consumer", secure=True, priority=4
+        )
+
+        def feeder(kernel, task):
+            for value in (100, 200, 300):
+                yield NativeCall.delay_cycles(20_000)
+                kernel.queue_send(task, queue, value)
+
+        system.create_service_task("feeder", 2, feeder, protect=False)
+        system.run(max_cycles=2_000_000)
+        total = system.kernel.memory.read_u32(
+            consumer.base + len(consumer.image.blob) - 4,
+            actor=system.rtm.base,
+        )
+        assert total == 600
+        assert consumer.tid not in system.kernel.scheduler.tasks
+
+    def test_unknown_queue_id_errors(self, system):
+        src = """
+.global start
+start:
+    movi eax, 8
+    movi ebx, 9999
+    movi ecx, 1
+    int 0x20
+    movi esi, out
+    st [esi], eax
+    movi eax, 2
+    int 0x20
+.section .data
+out:
+    .word 0
+"""
+        task = system.load_source(src, "lost", secure=True)
+        system.run(max_cycles=300_000)
+        assert read_counter(system, task) == 0xFFFFFFFF
+
+
+class TestStackOverflow:
+    def test_runaway_recursion_killed(self, system):
+        """Unbounded recursion is killed - by the save-time stack-floor
+        check if a context switch catches it mid-descent, or by the
+        EA-MPU once the stack pointer leaves the task's region."""
+        from repro.errors import ProtectionFault
+
+        src = """
+.global start
+start:
+    call start            ; pushes forever
+"""
+        task = system.load_source(src, "recurse", secure=True)
+        system.run(max_cycles=200_000)
+        fault = system.kernel.faulted.get(task)
+        assert isinstance(fault, (StackOverflow, ProtectionFault))
+
+    def test_floor_check_at_context_save(self, system):
+        """The FreeRTOS-style check itself: saving a frame below the
+        stack floor raises StackOverflow."""
+        from conftest import COUNTER_TASK
+
+        task = system.load_source(COUNTER_TASK, "victim", secure=True)
+        regs = system.platform.cpu.regs
+        floor = task.end - task.stack_size
+        regs.esp = floor + 8  # frame (32 bytes) would dip below floor
+        with pytest.raises(StackOverflow) as excinfo:
+            system.kernel.push_gpr_frame(task, actor=system.int_mux.base)
+        assert excinfo.value.task_name == "victim"
+        assert excinfo.value.floor == floor
+
+    def test_overflow_contained(self, system):
+        from conftest import COUNTER_TASK
+
+        bad = system.load_source(
+            ".global start\nstart:\n    call start", "recurse", secure=True
+        )
+        good = system.load_source(COUNTER_TASK, "good", secure=True)
+        system.run(max_cycles=300_000)
+        assert bad in system.kernel.faulted
+        assert read_counter(system, good) >= 6
+
+    def test_deep_but_bounded_recursion_ok(self, system):
+        """Recursion within the stack budget completes normally."""
+        src = """
+.global start
+start:
+    movi eax, 20          ; depth
+    call recurse
+    movi esi, out
+    st [esi], eax
+    movi eax, 2
+    int 0x20
+recurse:
+    cmpi eax, 0
+    jz done
+    subi eax, 1
+    push eax
+    call recurse
+    pop ecx
+done:
+    ret
+.section .data
+out:
+    .word 0
+"""
+        task = system.load_source(src, "bounded", secure=True)
+        system.run(max_cycles=300_000)
+        assert task not in system.kernel.faulted
+        assert read_counter(system, task) == 0

@@ -1,0 +1,125 @@
+"""Tests for RT queues, semaphores, and priority-inheritance mutexes."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.rtos.queues import RTQueue
+from repro.rtos.sync import CountingSemaphore, Mutex
+from repro.rtos.task import TaskControlBlock
+
+
+def tcb(name, priority):
+    return TaskControlBlock(name, priority, entry=0x1000)
+
+
+class TestRTQueue:
+    def test_fifo_order(self):
+        queue = RTQueue(4)
+        for item in (1, 2, 3):
+            assert queue.try_send(item)
+        assert queue.try_receive() == (True, 1)
+        assert queue.try_receive() == (True, 2)
+
+    def test_capacity_bound(self):
+        queue = RTQueue(2)
+        assert queue.try_send("a")
+        assert queue.try_send("b")
+        assert not queue.try_send("c")
+        assert queue.full
+
+    def test_empty_receive(self):
+        queue = RTQueue(2)
+        assert queue.try_receive() == (False, None)
+        assert queue.empty
+
+    def test_peek(self):
+        queue = RTQueue(2)
+        assert queue.peek() is None
+        queue.try_send(9)
+        assert queue.peek() == 9
+        assert len(queue) == 1
+
+    def test_distinct_wait_tokens(self):
+        a, b = RTQueue(1), RTQueue(1)
+        assert a.not_empty != b.not_empty
+        assert a.not_empty != a.not_full
+
+    def test_bad_capacity(self):
+        with pytest.raises(SchedulerError):
+            RTQueue(0)
+
+
+class TestSemaphore:
+    def test_take_give(self):
+        sem = CountingSemaphore(initial=1)
+        assert sem.try_take()
+        assert not sem.try_take()
+        assert sem.give()
+        assert sem.try_take()
+
+    def test_counting(self):
+        sem = CountingSemaphore(initial=3)
+        assert all(sem.try_take() for _ in range(3))
+        assert not sem.try_take()
+
+    def test_maximum_clamped(self):
+        sem = CountingSemaphore(initial=1, maximum=1)
+        assert not sem.give()  # already at max: no waiter should wake
+        assert sem.count == 1
+
+    def test_bad_initial(self):
+        with pytest.raises(SchedulerError):
+            CountingSemaphore(initial=-1)
+        with pytest.raises(SchedulerError):
+            CountingSemaphore(initial=5, maximum=2)
+
+
+class TestMutex:
+    def test_take_release(self):
+        mutex = Mutex()
+        owner = tcb("owner", 2)
+        assert mutex.try_take(owner)
+        assert mutex.holder is owner
+        assert mutex.on_release(owner) is None
+        assert mutex.holder is None
+
+    def test_contended_take_fails(self):
+        mutex = Mutex()
+        a, b = tcb("a", 2), tcb("b", 2)
+        assert mutex.try_take(a)
+        assert not mutex.try_take(b)
+
+    def test_recursive_take_succeeds(self):
+        mutex = Mutex()
+        a = tcb("a", 2)
+        assert mutex.try_take(a)
+        assert mutex.try_take(a)
+
+    def test_priority_inheritance_boost(self):
+        mutex = Mutex()
+        low = tcb("low", 1)
+        high = tcb("high", 6)
+        mutex.try_take(low)
+        boost = mutex.on_block(high)
+        assert boost == 6
+        low.priority = boost  # kernel applies it
+        restored = mutex.on_release(low)
+        assert restored == 1
+
+    def test_no_boost_for_lower_waiter(self):
+        mutex = Mutex()
+        high = tcb("high", 6)
+        low = tcb("low", 1)
+        mutex.try_take(high)
+        assert mutex.on_block(low) is None
+
+    def test_release_by_nonholder_rejected(self):
+        mutex = Mutex()
+        a, b = tcb("a", 2), tcb("b", 2)
+        mutex.try_take(a)
+        with pytest.raises(SchedulerError):
+            mutex.on_release(b)
+
+    def test_block_on_free_mutex_rejected(self):
+        with pytest.raises(SchedulerError):
+            Mutex().on_block(tcb("a", 2))

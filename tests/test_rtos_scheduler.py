@@ -1,0 +1,166 @@
+"""Tests for the priority-based preemptive scheduler."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.rtos.scheduler import Scheduler
+from repro.rtos.task import TaskControlBlock, TaskState
+
+
+def tcb(name, priority):
+    return TaskControlBlock(name, priority, entry=0x1000)
+
+
+class TestReadyLists:
+    def test_highest_priority_wins(self):
+        sched = Scheduler()
+        low = sched.add_task(tcb("low", 1))
+        high = sched.add_task(tcb("high", 5))
+        assert sched.pick() is high
+
+    def test_fifo_within_priority(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 3))
+        b = sched.add_task(tcb("b", 3))
+        assert sched.dispatch() is a
+        sched.make_ready(a)
+        assert sched.dispatch() is b
+
+    def test_dispatch_marks_running(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        task = sched.dispatch()
+        assert task.state == TaskState.RUNNING
+        assert sched.current is task
+        assert task.activations == 1
+
+    def test_empty_pick_none(self):
+        assert Scheduler().pick() is None
+        assert Scheduler().dispatch() is None
+
+    def test_priority_range_validated(self):
+        sched = Scheduler()
+        with pytest.raises(SchedulerError):
+            sched.add_task(tcb("bad", 99))
+
+
+class TestDelays:
+    def test_delay_until_blocks(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.delay_until(a, 5_000)
+        assert a.state == TaskState.BLOCKED
+        assert sched.pick() is None
+        assert sched.next_wake() == 5_000
+
+    def test_wake_sleepers_in_deadline_order(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        b = sched.add_task(tcb("b", 2))
+        sched.delay_until(a, 9_000)
+        sched.delay_until(b, 4_000)
+        woken = sched.wake_sleepers(5_000)
+        assert woken == [b]
+        assert sched.wake_sleepers(10_000) == [a]
+
+    def test_wake_sleepers_ignores_future(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.delay_until(a, 9_000)
+        assert sched.wake_sleepers(8_999) == []
+
+    def test_delayed_count(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.delay_until(a, 100)
+        assert sched.delayed_count() == 1
+
+
+class TestBlocking:
+    def test_block_and_wake_waiters(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.block(a, ("queue", 1))
+        assert sched.pick() is None
+        woken = sched.wake_waiters(("queue", 1))
+        assert woken == [a]
+        assert a.state == TaskState.READY
+
+    def test_wake_waiters_limit(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        b = sched.add_task(tcb("b", 2))
+        sched.block(a, "obj")
+        sched.block(b, "obj")
+        assert len(sched.wake_waiters("obj", limit=1)) == 1
+
+    def test_wake_waiters_wrong_object(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.block(a, "obj-1")
+        assert sched.wake_waiters("obj-2") == []
+
+
+class TestSuspend:
+    def test_suspend_resume(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.suspend(a)
+        assert a.state == TaskState.SUSPENDED
+        assert sched.pick() is None
+        sched.make_ready(a)
+        assert sched.pick() is a
+
+    def test_suspended_not_woken_by_sleeper_scan(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.suspend(a)
+        assert sched.wake_sleepers(10**9) == []
+
+
+class TestRemoval:
+    def test_remove_task(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.remove_task(a)
+        assert a.state == TaskState.DELETED
+        assert sched.pick() is None
+        assert a.tid not in sched.tasks
+
+    def test_cannot_ready_deleted(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.remove_task(a)
+        with pytest.raises(SchedulerError):
+            sched.make_ready(a)
+
+    def test_remove_running_clears_current(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.dispatch()
+        sched.remove_task(a)
+        assert sched.current is None
+
+
+class TestPreemptionQueries:
+    def test_preempt_pending(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.dispatch()
+        assert not sched.preempt_pending()
+        sched.add_task(tcb("b", 5))
+        assert sched.preempt_pending()
+
+    def test_equal_priority_not_preempt(self):
+        sched = Scheduler()
+        a = sched.add_task(tcb("a", 2))
+        sched.dispatch()
+        sched.add_task(tcb("b", 2))
+        assert not sched.preempt_pending()
+        assert sched.round_robin_pending()
+
+    def test_ready_count(self):
+        sched = Scheduler()
+        sched.add_task(tcb("a", 1))
+        sched.add_task(tcb("b", 2))
+        assert sched.ready_count() == 2

@@ -1,0 +1,262 @@
+"""The paper's Section 5 security claims, tested end-to-end.
+
+Each test here corresponds to a property listed in DESIGN.md section 6.
+"""
+
+import pytest
+
+from repro.errors import (
+    EntryPointFault,
+    MPUSlotError,
+    ProtectionFault,
+)
+from repro.rtos.task import NativeCall
+
+from conftest import COUNTER_TASK, read_counter
+
+
+class TestIsolation:
+    """Property 1: nobody but the owner (and trusted components)
+    touches a secure task's memory."""
+
+    def test_os_cannot_read_or_write_secure_task(self, system):
+        task = system.load_task(system.build_image(COUNTER_TASK, "s"), secure=True)
+        memory = system.kernel.memory
+        with pytest.raises(ProtectionFault):
+            memory.read_u32(task.base, actor=system.kernel.os_actor)
+        with pytest.raises(ProtectionFault):
+            memory.write_u32(task.base, 0, actor=system.kernel.os_actor)
+
+    def test_task_cannot_touch_other_task(self, system):
+        a = system.load_task(system.build_image(COUNTER_TASK, "a"), secure=True)
+        b = system.load_task(system.build_image(COUNTER_TASK, "b"), secure=True)
+        with pytest.raises(ProtectionFault):
+            system.kernel.memory.read_u32(b.base, actor=a.base)
+
+    def test_os_can_touch_normal_task(self, system):
+        task = system.load_task(system.build_image(COUNTER_TASK, "n"), secure=False)
+        value = system.kernel.memory.read_u32(task.base, actor=system.kernel.os_actor)
+        assert isinstance(value, int)
+
+    def test_normal_task_cannot_touch_other_normal_task(self, system):
+        a = system.load_task(system.build_image(COUNTER_TASK, "a"), secure=False)
+        b = system.load_task(system.build_image(COUNTER_TASK, "b"), secure=False)
+        with pytest.raises(ProtectionFault):
+            system.kernel.memory.read_u32(b.base, actor=a.base)
+
+    def test_trusted_components_reach_task_memory(self, system):
+        task = system.load_task(system.build_image(COUNTER_TASK, "s"), secure=True)
+        memory = system.kernel.memory
+        # RTM may read; Int Mux and IPC proxy may write.
+        memory.read_u32(task.base, actor=system.rtm.base)
+        memory.write_u32(task.inbox_base, 0, actor=system.ipc.base)
+        memory.write_u32(task.stack_top - 4, 0, actor=system.int_mux.base)
+        # ... but the RTM is read-only: measurement must not mutate.
+        with pytest.raises(ProtectionFault):
+            memory.write_u32(task.base, 0, actor=system.rtm.base)
+
+    def test_task_cannot_write_os_data(self, system):
+        task = system.load_task(system.build_image(COUNTER_TASK, "s"), secure=True)
+        os_data = system.platform.config.os_data_base
+        with pytest.raises(ProtectionFault):
+            system.kernel.memory.write_u32(os_data, 0xBAD, actor=task.base)
+
+    def test_task_cannot_read_firmware_pages(self, system):
+        task = system.load_task(system.build_image(COUNTER_TASK, "s"), secure=True)
+        with pytest.raises(ProtectionFault):
+            system.kernel.memory.read_u32(system.rtm.base, actor=task.base)
+
+
+class TestEntryPointEnforcement:
+    """Property 2: secure tasks are enterable only at the entry point."""
+
+    def test_jump_into_secure_task_mid_body_faults(self, system):
+        victim = system.load_task(system.build_image(COUNTER_TASK, "v"), secure=True)
+        attacker_src = "\n".join(
+            [
+                ".global start",
+                "start:",
+                "    jmp 0x%X" % (victim.entry + 8),
+            ]
+        )
+        attacker = system.load_task(
+            system.build_image(attacker_src, "atk"), secure=False
+        )
+        system.run(max_cycles=100_000)
+        fault = system.kernel.faulted.get(attacker)
+        assert isinstance(fault, EntryPointFault)
+        # The victim is unharmed and still scheduled.
+        assert victim.tid in system.kernel.scheduler.tasks
+
+    def test_entry_point_jump_allowed_by_mpu(self, system):
+        victim = system.load_task(system.build_image(COUNTER_TASK, "v"), secure=True)
+        # The transfer check itself allows landing exactly on the entry.
+        system.platform.mpu.check_transfer(0x40000, victim.entry)
+
+
+class TestIdtIntegrity:
+    """Section 4: the IDT's integrity is protected by the EA-MPU."""
+
+    def test_task_cannot_rewrite_idt(self, system):
+        task = system.load_task(system.build_image(COUNTER_TASK, "s"), secure=True)
+        with pytest.raises(ProtectionFault):
+            system.kernel.memory.write_u32(
+                system.platform.config.idt_base, 0xDEAD, actor=task.base
+            )
+
+    def test_os_cannot_rewrite_idt(self, system):
+        with pytest.raises(ProtectionFault):
+            system.kernel.memory.write_u32(
+                system.platform.config.idt_base, 0xDEAD, actor=system.kernel.os_actor
+            )
+
+    def test_idt_readable(self, system):
+        value = system.kernel.memory.read_u32(
+            system.platform.config.idt_base, actor=system.kernel.os_actor
+        )
+        assert value == system.int_mux.base
+
+
+class TestRegisterWiping:
+    """Property 4: handlers observe only wiped registers of secure tasks."""
+
+    def test_secure_context_wiped_on_interrupt(self, system):
+        src = "\n".join(
+            [
+                ".global start",
+                "start:",
+                "    movi eax, 0xSECRET",
+                "spin:",
+                "    jmp spin",
+            ]
+        ).replace("0xSECRET", "0x5EC4E7")
+        task = system.load_task(system.build_image(src, "s"), secure=True)
+        system.run(max_cycles=40_000)  # spins until a tick preempts it
+        regs = system.platform.cpu.regs
+        # After the Int Mux save, every GPR the handler can see is zero.
+        assert all(value == 0 for value in regs.gpr)
+        assert system.int_mux.saves >= 1
+
+    def test_normal_context_not_wiped(self):
+        from repro import build_freertos_baseline
+        from repro.isa.assembler import assemble
+        from repro.image.linker import link
+
+        platform, kernel, loader = build_freertos_baseline()
+        src = ".global start\nstart:\n    movi eax, 0x77\nspin:\n    jmp spin"
+        image = link(assemble(src, "n"), stack_size=128)
+        task = loader.load_synchronously(image, secure=False).task
+        kernel.run(max_cycles=40_000)
+        assert platform.cpu.regs.read(0) == 0x77
+
+    def test_secret_restored_after_preemption(self, system):
+        """Wiping must not lose the task's state: it comes back intact."""
+        src = "\n".join(
+            [
+                ".global start",
+                "start:",
+                "    movi eax, 0x123456",
+                "    movi ebx, 0",
+                "wait:",
+                "    movi ecx, 2000",
+                "inner:",
+                "    subi ecx, 1",
+                "    cmpi ecx, 0",
+                "    jnz inner",
+                "    addi ebx, 1",
+                "    cmpi ebx, 5",
+                "    jnz wait",
+                "    movi esi, out",
+                "    st [esi], eax",
+                "    movi eax, 2",
+                "    int 0x20",
+                ".section .data",
+                "out:",
+                "    .word 0",
+            ]
+        )
+        task = system.load_task(system.build_image(src, "s"), secure=True)
+        base, blob_len = task.base, len(task.image.blob)
+        system.run(max_cycles=300_000)
+        assert task.preemptions >= 1  # it really was interrupted
+        value = system.kernel.memory.read_u32(
+            base + blob_len - 4, actor=system.rtm.base
+        )
+        assert value == 0x123456
+
+
+class TestAccessControlOnServices:
+    """Property 3: only designated components hold the capabilities."""
+
+    def test_only_driver_programs_mpu(self, system):
+        from repro.hw.ea_mpu import MpuRule, Perm
+
+        rule = MpuRule("evil", None, None, 0x500000, 0x500100, Perm.RWX)
+        with pytest.raises(ProtectionFault):
+            system.platform.mpu.program_slot(
+                17, rule, actor=system.kernel.os_actor
+            )
+
+    def test_locked_boot_rules_immutable_even_for_driver(self, system):
+        from repro.hw.ea_mpu import MpuRule, Perm
+
+        rule = MpuRule("evil", None, None, 0x500000, 0x500100, Perm.RWX)
+        with pytest.raises(MPUSlotError):
+            system.platform.mpu.program_slot(
+                0, rule, actor=system.mpu_driver.base
+            )
+
+
+class TestAvailability:
+    """Section 5: a malicious task cannot disturb other components."""
+
+    def test_runaway_task_cannot_starve_higher_priority(self, system):
+        evil = ".global start\nstart:\n    jmp start"
+        system.load_task(system.build_image(evil, "evil"), secure=False, priority=1)
+        good = system.load_task(
+            system.build_image(COUNTER_TASK, "good"), secure=True, priority=5
+        )
+        system.run(max_cycles=320_000)
+        assert read_counter(system, good) >= 9
+
+    def test_faulting_secure_task_contained(self, system):
+        bad_src = "\n".join(
+            [
+                ".global start",
+                "start:",
+                "    movi ebx, 0x50000   ; OS data: forbidden",
+                "    st [ebx], eax",
+                "    hlt",
+            ]
+        )
+        bad = system.load_task(system.build_image(bad_src, "bad"), secure=True)
+        good = system.load_task(
+            system.build_image(COUNTER_TASK, "good"), secure=True
+        )
+        system.run(max_cycles=160_000)
+        assert bad in system.kernel.faulted
+        assert read_counter(system, good) >= 4
+
+    def test_ipc_flood_cannot_forge_sender(self, system):
+        """A task hammering IPC still cannot impersonate another task;
+        receivers always see the flooder's true identity."""
+        received = []
+
+        def sink(kernel, task):
+            while True:
+                message = system.ipc.read_inbox(task)
+                if message is not None:
+                    received.append(message[1])
+                yield NativeCall.delay_cycles(1_000)
+
+        receiver = system.create_service_task("sink", 5, sink)
+        rid = system.rtm.register_service(receiver, "sink")[:8]
+        from repro.sim.workloads import periodic_sender_source
+
+        flooder_src = periodic_sender_source(
+            system.platform.pedal_base, rid, period_cycles=4_000
+        )
+        flooder = system.load_source(flooder_src, "flood", secure=True)
+        system.run(max_cycles=200_000)
+        assert received
+        assert set(received) == {flooder.identity[:8]}

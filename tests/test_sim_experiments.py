@@ -1,0 +1,77 @@
+"""Tests for the programmatic experiment drivers and the bench CLI."""
+
+import io
+
+from repro.sim.experiments import (
+    EXPERIMENTS,
+    measure_ipc,
+    measure_table2,
+    measure_table3,
+    measure_table5,
+    measure_table6,
+    measure_table7,
+    measure_table8,
+)
+from repro.tools import bench
+
+
+def deltas(rows):
+    return {
+        label: abs(measured - paper) / paper
+        for label, paper, measured in rows
+        if paper
+    }
+
+
+class TestDrivers:
+    def test_registry_complete(self):
+        for name in (
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "ipc",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_table2_exact(self):
+        assert all(d == 0 for d in deltas(measure_table2()).values())
+
+    def test_table3_exact(self):
+        assert all(d == 0 for d in deltas(measure_table3()).values())
+
+    def test_table5_close(self):
+        assert all(d < 0.03 for d in deltas(measure_table5()).values())
+
+    def test_table6_exact(self):
+        assert all(d == 0 for d in deltas(measure_table6()).values())
+
+    def test_table7_close(self):
+        assert all(d < 0.01 for d in deltas(measure_table7()).values())
+
+    def test_table8_exact(self):
+        assert all(d == 0 for d in deltas(measure_table8()).values())
+
+    def test_ipc_exact(self):
+        assert all(d == 0 for d in deltas(measure_ipc()).values())
+
+
+class TestBenchCli:
+    def test_list(self):
+        out = io.StringIO()
+        assert bench.main(["--list"], out=out) == 0
+        assert "table7" in out.getvalue()
+
+    def test_selected_experiment(self):
+        out = io.StringIO()
+        assert bench.main(["table8"], out=out) == 0
+        text = out.getvalue()
+        assert "215,617" in text
+        assert "+0.0%" in text
+
+    def test_unknown_experiment(self):
+        assert bench.main(["tableX"]) == 2

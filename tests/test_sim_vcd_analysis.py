@@ -1,0 +1,121 @@
+"""Tests for VCD export and schedule analysis."""
+
+import pytest
+
+from repro.sim.analysis import (
+    cpu_shares,
+    jitter_stats,
+    response_times,
+    utilization_bound_rm,
+)
+from repro.sim.vcd import VcdRecorder
+
+from conftest import COUNTER_TASK
+
+
+class TestVcd:
+    def test_records_task_states(self, system):
+        recorder = VcdRecorder(system.kernel)
+        task = system.load_source(COUNTER_TASK, "waves", secure=True)
+        system.run(max_cycles=100_000)
+        names = recorder.signal_names()
+        assert any("task_waves" in name for name in names)
+        signal = next(name for name in names if "task_waves" in name)
+        changes = recorder.changes(signal)
+        values = {value for _, value in changes}
+        # The task was at least ready (1), running (2), and blocked (3).
+        assert {1, 2, 3} <= values
+
+    def test_dump_format(self, system, tmp_path):
+        recorder = VcdRecorder(system.kernel)
+        system.load_source(COUNTER_TASK, "waves", secure=True)
+        system.run(max_cycles=50_000)
+        path = tmp_path / "trace.vcd"
+        text = recorder.dump(path)
+        assert path.exists()
+        assert "$timescale" in text
+        assert "$enddefinitions $end" in text
+        assert "$var wire 3" in text
+        # Timestamps are monotone.
+        stamps = [
+            int(line[1:]) for line in text.splitlines() if line.startswith("#")
+        ]
+        assert stamps == sorted(stamps)
+
+    def test_irq_wires(self, system):
+        recorder = VcdRecorder(system.kernel)
+        from repro.hw.exceptions import Vector
+
+        system.load_source(COUNTER_TASK, "waves", secure=True)
+        system.platform.engine.controller.raise_irq(Vector.DEVICE_BASE + 1)
+        system.run(max_cycles=50_000)
+        assert any(name.startswith("irq_") for name in recorder.signal_names())
+
+    def test_no_duplicate_consecutive_values(self, system):
+        recorder = VcdRecorder(system.kernel)
+        system.load_source(COUNTER_TASK, "waves", secure=True)
+        system.run(max_cycles=100_000)
+        for name in recorder.signal_names():
+            changes = recorder.changes(name)
+            for (c1, v1), (c2, v2) in zip(changes, changes[1:]):
+                assert v1 != v2 or c1 != c2
+
+
+class TestAnalysis:
+    def test_cpu_shares_sum_below_one(self, system):
+        system.load_source(COUNTER_TASK, "a", secure=True)
+        system.load_source(COUNTER_TASK, "b", secure=True)
+        system.run(max_cycles=200_000)
+        shares = cpu_shares(system.kernel)
+        assert all(0 <= share <= 1 for share in shares.values())
+        assert sum(shares.values()) <= 1.0
+
+    def test_jitter_stats(self):
+        stamps = [0, 32_000, 64_100, 95_900, 128_000]
+        stats = jitter_stats(stamps, 32_000)
+        assert stats["count"] == 4
+        assert stats["max_abs"] == 200
+        assert stats["worst_gap"] == 32_100
+
+    def test_jitter_empty(self):
+        assert jitter_stats([], 32_000)["count"] == 0
+        assert jitter_stats([5], 32_000)["count"] == 0
+
+    def test_response_times(self):
+        requests = [0, 100, 200]
+        completions = [50, 180, 230]
+        stats = response_times(requests, completions)
+        assert stats["count"] == 3
+        assert stats["max"] == 80
+        assert stats["mean"] == pytest.approx((50 + 80 + 30) / 3)
+
+    def test_response_times_empty(self):
+        assert response_times([], [])["count"] == 0
+
+    def test_rm_bound(self):
+        assert utilization_bound_rm(1) == pytest.approx(1.0)
+        assert utilization_bound_rm(2) == pytest.approx(0.8284, abs=1e-3)
+        assert utilization_bound_rm(0) == 0.0
+        # The bound decreases toward ln 2.
+        assert 0.69 < utilization_bound_rm(50) < 0.70
+
+    def test_jitter_of_real_periodic_task(self, system):
+        """End-to-end: a native 1.5 kHz task's jitter stays tiny on an
+        otherwise idle system."""
+        from repro.rtos.task import NativeCall
+
+        stamps = []
+
+        def periodic(kernel, task):
+            deadline = kernel.clock.now + 32_000
+            while True:
+                stamps.append(kernel.clock.now)
+                yield NativeCall.charge(300)
+                yield NativeCall.delay_until(deadline)
+                deadline += 32_000
+
+        system.create_service_task("hf", 5, periodic)
+        system.run(max_cycles=640_000)
+        stats = jitter_stats(stamps, 32_000)
+        assert stats["count"] >= 15
+        assert stats["max_abs"] < 2_000  # well under 7% of the period

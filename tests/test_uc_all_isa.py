@@ -1,0 +1,177 @@
+"""Figure 2 with ALL THREE tasks as real ISA binaries.
+
+The paper's device "runs three secure tasks"; the main use-case module
+implements t0/t1 as native services for clarity.  This test rebuilds
+the whole topology out of genuine binaries - t0 (engine control,
+inbox-draining, control law in assembly), t1 (pedal monitor), t2 (radar
+monitor, loaded on demand) - and verifies the same Table 1 behaviour:
+the control loop keeps producing output at its period while t2's load
+is in flight, with message flow over the real ``int 0x21`` path.
+"""
+
+import pytest
+
+from repro.core.identity import identity_of_image
+from repro.sim.workloads import periodic_sender_source
+
+PERIOD = 32_000
+
+#: t0: drain the inbox (pedal from t1, radar from t2), compute
+#: throttle = min(pedal, radar * 2 if radar known), write the actuator.
+T0_SOURCE = """
+.section .text
+.global start
+start:
+    movi ebp, 0xDEC0DE      ; inbox base (patched after load)
+loop:
+    movi eax, 5             ; IPC_POLL
+    int 0x20
+    cmpi eax, 0
+    jz compute
+    ; One pending entry batch: read slot 0's first word as the sample.
+    ; Sender identity word 0 distinguishes pedal vs radar via the
+    ; provisioning table below.
+    ld ecx, [ebp+8]         ; message word 0
+    ld edx, [ebp+24]        ; sender id low word
+    movi esi, pedal_id_lo
+    ld eax, [esi]
+    cmp edx, eax
+    jnz not_pedal
+    movi esi, pedal_value
+    st [esi], ecx
+    jmp consumed
+not_pedal:
+    movi esi, radar_value
+    st [esi], ecx
+consumed:
+    movi eax, 6             ; IPC_CLEAR
+    int 0x20
+    jmp loop                ; drain until empty
+compute:
+    movi esi, pedal_value
+    ld eax, [esi]           ; throttle = pedal
+    movi esi, radar_value
+    ld ecx, [esi]
+    cmpi ecx, 0
+    jz apply                ; no radar data yet
+    movi edx, 2
+    mul ecx, edx            ; ceiling = radar * 2
+    cmp eax, ecx
+    jle apply
+    mov eax, ecx            ; clamp to ceiling
+apply:
+    movi esi, 0x00F00500    ; engine actuator MMIO
+    st [esi], eax
+    movi eax, 7             ; DELAY_CYCLES
+    movi ebx, 32000
+    int 0x20
+    jmp loop
+.section .data
+pedal_id_lo:
+    .word 0                 ; patched: t1's identity64 low word
+pedal_value:
+    .word 0
+radar_value:
+    .word 0
+"""
+
+
+def patch_word(system, task, placeholder, value):
+    memory = system.kernel.memory
+    for offset in range(len(task.image.blob) - 4):
+        raw = memory.read(task.base + offset, 4, actor=system.rtm.base)
+        if int.from_bytes(raw, "little") == placeholder:
+            memory.write_raw(task.base + offset, value.to_bytes(4, "little"))
+            return task.base + offset
+    raise AssertionError("placeholder 0x%X not found" % placeholder)
+
+
+@pytest.fixture
+def all_isa(system):
+    # t0 first (its identity provisioned into t1/t2 at build time).
+    t0_image = system.build_image(T0_SOURCE, "t0-isa", stack_size=512)
+    t0 = system.load_task(t0_image, secure=True, priority=5)
+    patch_word(system, t0, 0xDEC0DE, t0.inbox_base)
+
+    # t1: pedal monitor, provisioned with t0's identity.
+    t1 = system.load_source(
+        periodic_sender_source(
+            system.platform.pedal_base, t0.identity[:8], period_cycles=PERIOD
+        ),
+        "t1-isa",
+        secure=True,
+        priority=4,
+    )
+    # Tell t0 which sender is the pedal (identity64 low word).
+    pedal_lo = int.from_bytes(t1.identity[:4], "little")
+    # The patched placeholder is 0 in .data; find it by position: the
+    # first data word after code.  Use the symbol layout instead: the
+    # three data words are the blob's last 12 bytes.
+    memory = system.kernel.memory
+    data_base = t0.base + len(t0.image.blob) - 12
+    memory.write_raw(data_base, pedal_lo.to_bytes(4, "little"))
+    return system, t0, t1
+
+
+class TestAllIsaTopology:
+    def test_pedal_to_throttle_flow(self, all_isa):
+        system, t0, t1 = all_isa
+        system.run(max_cycles=20 * PERIOD)
+        engine = system.platform.engine_actuator
+        assert engine.last_command == 300  # default pedal trace value
+        assert len(engine.history) >= 15
+        assert not system.kernel.faulted
+
+    def test_radar_task_loaded_on_demand_caps_throttle(self, all_isa):
+        system, t0, t1 = all_isa
+        system.platform.pedal.trace = [(0, 800)]
+        system.platform.radar.trace = [(0, 100)]  # close: ceiling 200
+        system.run(max_cycles=10 * PERIOD)
+        assert system.platform.engine_actuator.last_command == 800
+
+        t2_image = system.build_image(
+            periodic_sender_source(
+                system.platform.radar_base,
+                t0.identity[:8],
+                period_cycles=PERIOD,
+                pad_words=400,
+                pad_relocs=6,
+            ),
+            "t2-isa",
+            stack_size=512,
+        )
+        result = system.load_task_async(t2_image, secure=True, priority=3)
+        system.run(until=lambda: result.done)
+        system.run(max_cycles=20 * PERIOD)
+        assert system.platform.engine_actuator.last_command == 200
+        assert not system.kernel.faulted
+
+    def test_control_output_continues_during_load(self, all_isa):
+        system, t0, t1 = all_isa
+        system.run(max_cycles=5 * PERIOD)
+        t2_image = system.build_image(
+            periodic_sender_source(
+                system.platform.radar_base,
+                t0.identity[:8],
+                period_cycles=PERIOD,
+                pad_words=1_500,
+                pad_relocs=12,
+            ),
+            "t2-isa",
+            stack_size=512,
+        )
+        result = system.load_task_async(t2_image, secure=True, priority=3)
+        system.run(until=lambda: result.done)
+        window = (result.started_at, result.finished_at)
+        commands = system.platform.engine_actuator.commands_between(*window)
+        expected = (window[1] - window[0]) / PERIOD
+        assert expected > 10  # the load really spanned many periods
+        assert len(commands) >= 0.8 * expected
+        gaps = [b - a for (a, _), (b, _) in zip(commands, commands[1:])]
+        assert max(gaps) < 1.3 * PERIOD
+
+    def test_all_three_are_measured_secure_binaries(self, all_isa):
+        system, t0, t1 = all_isa
+        for task in (t0, t1):
+            assert task.is_secure and not task.is_native
+            assert task.identity == identity_of_image(task.image)

@@ -1,0 +1,125 @@
+"""Tests for the industrial (PLC) control scenario."""
+
+import pytest
+
+from repro import TyTAN
+from repro.uc.industrial import (
+    CONTROL_PERIOD_CYCLES,
+    HIGH_LIMIT,
+    SETPOINT,
+    IndustrialControlSystem,
+)
+
+
+def build(pressure_trace):
+    system = TyTAN()
+    system.platform.speed.trace = pressure_trace
+    plant = IndustrialControlSystem(system)
+    return system, plant
+
+
+class TestControlLoop:
+    def test_holds_pressure_near_setpoint(self):
+        system, plant = build([(0, SETPOINT)])
+        system.run(max_cycles=20 * CONTROL_PERIOD_CYCLES)
+        assert plant.pump.last_command == 500  # zero error -> mid drive
+        assert not plant.emergency_stopped
+
+    def test_proportional_response(self):
+        system, plant = build([(0, SETPOINT - 50)])  # under-pressure
+        system.run(max_cycles=5 * CONTROL_PERIOD_CYCLES)
+        assert plant.pump.last_command == 650  # 500 + 3*50
+
+    def test_command_rate_matches_period(self):
+        system, plant = build([(0, SETPOINT)])
+        start = system.clock.now
+        system.run(max_cycles=20 * CONTROL_PERIOD_CYCLES)
+        commands = plant.pump.commands_between(start, system.clock.now)
+        assert 18 <= len(commands) <= 22
+
+    def test_command_clamped(self):
+        from repro.uc.industrial import LOW_LIMIT
+
+        # Strong under-pressure, but inside the safety band: the
+        # proportional term saturates and must clamp at full drive.
+        system, plant = build([(0, LOW_LIMIT + 10)])
+        system.run(max_cycles=3 * CONTROL_PERIOD_CYCLES)
+        assert plant.pump.last_command == 1000
+        assert not plant.emergency_stopped
+
+    def test_low_pressure_breach_stops_pump_immediately(self):
+        system, plant = build([(0, 0)])  # broken transmitter / burst pipe
+        system.run(max_cycles=3 * CONTROL_PERIOD_CYCLES)
+        # The monitor (higher priority) latches the e-stop before the
+        # controller's very first drive command.
+        assert plant.pump.history[0][1] == 0
+        assert plant.emergency_stopped
+
+
+class TestSafetyMonitor:
+    def test_overpressure_triggers_estop(self):
+        hz = 48_000_000
+        trace = [(0, SETPOINT), (int(0.01 * hz), HIGH_LIMIT + 100)]
+        system, plant = build(trace)
+        system.run(max_cycles=30 * CONTROL_PERIOD_CYCLES)
+        assert plant.estops
+        assert plant.emergency_stopped
+        assert plant.pump.last_command == 0  # pump driven to stop
+
+    def test_estop_latency_bounded(self):
+        """The monitor reacts within two control periods."""
+        hz = 48_000_000
+        breach_at = int(0.010 * hz)
+        trace = [(0, SETPOINT), (breach_at - 1, SETPOINT), (breach_at, HIGH_LIMIT + 100)]
+        system, plant = build(trace)
+        system.run(max_cycles=30 * CONTROL_PERIOD_CYCLES)
+        stop_cycle = plant.estops[0][0]
+        assert stop_cycle - breach_at <= 2 * CONTROL_PERIOD_CYCLES
+
+    def test_no_estop_in_band(self):
+        system, plant = build([(0, SETPOINT + 50)])
+        system.run(max_cycles=20 * CONTROL_PERIOD_CYCLES)
+        assert not plant.estops
+        assert not plant.emergency_stopped
+
+    def test_monitor_isolated_from_controller(self):
+        """The stakeholder split: neither secure task can touch the
+        other's memory."""
+        from repro.errors import ProtectionFault
+
+        system, plant = build([(0, SETPOINT)])
+        with pytest.raises(ProtectionFault):
+            system.kernel.memory.read_u32(
+                plant.monitor.base, actor=plant.controller.base
+            )
+        with pytest.raises(ProtectionFault):
+            system.kernel.memory.write_u32(
+                plant.controller.base, 0, actor=plant.monitor.base
+            )
+
+
+class TestOperatorAttestation:
+    def test_genuine_controller_attests(self):
+        system, plant = build([(0, SETPOINT)])
+        station = plant.make_operator_station()
+        system.run(max_cycles=5 * CONTROL_PERIOD_CYCLES)
+        assert plant.attestation_round(station)
+        assert plant.attestation_log[-1][1] is True
+
+    def test_tampered_controller_detected(self):
+        """Replace the controller's registered identity (modelling a
+        swapped binary): the operator's next round fails."""
+        system, plant = build([(0, SETPOINT)])
+        station = plant.make_operator_station()
+        assert plant.attestation_round(station)
+        # The "attack": a different binary now answers as controller.
+        system.rtm.register_service(plant.controller, "evil-controller")
+        assert not plant.attestation_round(station)
+
+    def test_periodic_rounds_log(self):
+        system, plant = build([(0, SETPOINT)])
+        station = plant.make_operator_station()
+        for _ in range(3):
+            system.run(max_cycles=5 * CONTROL_PERIOD_CYCLES)
+            plant.attestation_round(station)
+        assert [ok for _, ok in plant.attestation_log] == [True, True, True]
