@@ -9,25 +9,54 @@ resume path (IRET) and the trusted Int Mux restore are privileged.
 Interrupts are taken **between** instructions when EFLAGS.IF is set -
 the core never blocks interrupts for longer than one instruction, which
 is the hardware half of TyTAN's real-time story.
+
+The interpreter has a fast-path layer (``fastpath=True``, the default)
+that never changes simulated semantics - faults, fault logs, hooks, and
+cycle accounting are identical with it on or off:
+
+* a decoded-instruction cache keyed by EIP, invalidated when any write
+  (checked or raw) lands in cached code bytes;
+* the EA-MPU's allow-verdict memo (see
+  :class:`repro.perf.decision_cache.MPUDecisionCache`), which turns the
+  per-instruction execute check into a dict hit;
+* a sequential-advance shortcut that skips the transfer check while
+  execution provably stays inside one entry-point coverage cell;
+* precomputed dispatch tables replacing the opcode ``if``/``elif``
+  chain and the condition-code decoder.
 """
 
 from __future__ import annotations
 
 from repro import cycles
 from repro.errors import IllegalInstruction, TyTANError
-from repro.hw.memory import u32
+from repro.hw.memory import RamRegion, u32
 from repro.hw.registers import Flag, RegisterFile
 from repro.isa.encoding import decode
 from repro.isa.opcodes import BASE_CYCLES, Op
+from repro.perf.insn_cache import DecodedInsnCache
 
 #: Longest instruction encoding; fetch reads this many bytes.
 MAX_INSN_BYTES = 6
+
+#: opcode -> predicate over the raw EFLAGS word (conditional branches).
+_CONDITIONS = {
+    Op.JZ: lambda f: f & Flag.ZF != 0,
+    Op.JNZ: lambda f: f & Flag.ZF == 0,
+    Op.JC: lambda f: f & Flag.CF != 0,
+    Op.JNC: lambda f: f & Flag.CF == 0,
+    Op.JS: lambda f: f & Flag.SF != 0,
+    Op.JNS: lambda f: f & Flag.SF == 0,
+    Op.JG: lambda f: f & Flag.ZF == 0 and bool(f & Flag.SF) == bool(f & Flag.OF),
+    Op.JL: lambda f: bool(f & Flag.SF) != bool(f & Flag.OF),
+    Op.JGE: lambda f: bool(f & Flag.SF) == bool(f & Flag.OF),
+    Op.JLE: lambda f: f & Flag.ZF != 0 or bool(f & Flag.SF) != bool(f & Flag.OF),
+}
 
 
 class CPU:
     """The simulated Siskiyou Peak core."""
 
-    def __init__(self, memory, clock):
+    def __init__(self, memory, clock, fastpath=True):
         self.memory = memory
         self.clock = clock
         self.regs = RegisterFile()
@@ -45,10 +74,38 @@ class CPU:
         #: may raise a :class:`~repro.errors.HardwareFault` to kill the
         #: offending task.
         self.transfer_hook = None
+        #: Whether the core-side caches are active (wall-clock only;
+        #: simulated behaviour is identical either way).
+        self.fastpath = bool(fastpath)
+        self._insn_cache = None
+        #: ``(lo, hi, epoch)`` coverage cell the sequential-advance
+        #: shortcut is valid in, or ``None``.
+        self._advance_cell = None
+        if self.fastpath:
+            self._insn_cache = DecodedInsnCache()
+            memory.add_write_listener(self._insn_cache.note_write)
 
     def attach_engine(self, engine):
         """Wire the exception engine (done by the Platform)."""
         self.engine = engine
+
+    # -- fast-path introspection --------------------------------------------
+
+    @property
+    def insn_cache(self):
+        """The decoded-instruction cache (``None`` when fastpath is off)."""
+        return self._insn_cache
+
+    def cache_stats(self):
+        """Hit/miss snapshots of every cache on the execution path."""
+        stats = {"region": self.memory.map.stats.snapshot()}
+        if self._insn_cache is not None:
+            stats["insn"] = self._insn_cache.stats.snapshot()
+        mpu = self.memory.mpu
+        if mpu is not None and mpu.decisions is not None:
+            stats["mpu_access"] = mpu.decisions.access_stats.snapshot()
+            stats["mpu_transfer"] = mpu.decisions.transfer_stats.snapshot()
+        return stats
 
     # -- interrupt intake ---------------------------------------------------
 
@@ -83,8 +140,35 @@ class CPU:
             return 1
         before = self.clock.now
         eip = self.regs.eip
-        self.memory.check_execute(eip, eip)
-        insn = self._fetch(eip)
+        memory = self.memory
+        mpu = memory.mpu
+        cache = self._insn_cache
+        if cache is not None:
+            entry = cache.get(eip)
+            if entry is not None:
+                if mpu is None or entry[1] == mpu.epoch:
+                    # Same rule-table epoch: the execute check is
+                    # provably still the allow it was when cached.
+                    insn = entry[0]
+                else:
+                    memory.check_execute(eip, eip)
+                    entry[1] = mpu.epoch
+                    insn = entry[0]
+            else:
+                memory.check_execute(eip, eip)
+                insn = self._fetch(eip)
+                # Only RAM-backed code is cached: RAM bytes change only
+                # through the bus (which the cache snoops), whereas MMIO
+                # windows may mutate behind it.
+                if isinstance(memory.map.try_find(eip, insn.length), RamRegion):
+                    cache.put(
+                        eip,
+                        insn,
+                        mpu.epoch if mpu is not None else cache.NO_MPU_EPOCH,
+                    )
+        else:
+            memory.check_execute(eip, eip)
+            insn = self._fetch(eip)
         if self.trace_hook is not None:
             self.trace_hook(self, insn)
         self._execute(insn)
@@ -170,185 +254,294 @@ class CPU:
 
         Region boundaries are still subject to the entry-point check:
         falling off the end of public code into a protected region is a
-        control transfer like any other.
+        control transfer like any other.  The fast path skips the check
+        while source and target provably lie inside the same coverage
+        cell (no entry-point rule boundary between them) at the current
+        rule-table epoch.
         """
-        target = self.regs.eip + insn.length
-        if self.memory.mpu is not None:
-            self.memory.mpu.check_transfer(self.regs.eip, target, False)
+        eip = self.regs.eip
+        target = eip + insn.length
+        mpu = self.memory.mpu
+        if mpu is not None:
+            cell = self._advance_cell
+            if (
+                cell is not None
+                and cell[2] == mpu.epoch
+                and cell[0] <= eip
+                and target < cell[1]
+            ):
+                pass  # provably no entry-point boundary is crossed
+            else:
+                mpu.check_transfer(eip, target, False)
+                if self.fastpath and mpu.decisions is not None:
+                    self._advance_cell = mpu.decisions.cell_bounds(eip)
         self.regs.eip = u32(target)
 
     # -- condition evaluation ----------------------------------------------
 
     def _condition(self, opcode):
-        regs = self.regs
-        zf = regs.get_flag(Flag.ZF)
-        cf = regs.get_flag(Flag.CF)
-        sf = regs.get_flag(Flag.SF)
-        of = regs.get_flag(Flag.OF)
-        if opcode == Op.JZ:
-            return zf
-        if opcode == Op.JNZ:
-            return not zf
-        if opcode == Op.JC:
-            return cf
-        if opcode == Op.JNC:
-            return not cf
-        if opcode == Op.JS:
-            return sf
-        if opcode == Op.JNS:
-            return not sf
-        if opcode == Op.JG:
-            return not zf and sf == of
-        if opcode == Op.JL:
-            return sf != of
-        if opcode == Op.JGE:
-            return sf == of
-        if opcode == Op.JLE:
-            return zf or sf != of
-        raise AssertionError("not a condition: %02X" % opcode)
+        predicate = _CONDITIONS.get(opcode)
+        if predicate is None:
+            raise AssertionError("not a condition: %02X" % opcode)
+        return predicate(self.regs.eflags)
 
     # -- the interpreter ------------------------------------------------------
 
     def _execute(self, insn):
-        op = insn.opcode
-        regs = self.regs
-        self.clock.charge(BASE_CYCLES[op])
+        entry = _DISPATCH.get(insn.opcode)
+        if entry is None:  # pragma: no cover - opcode table is closed
+            raise TyTANError("unhandled opcode 0x%02X" % insn.opcode)
+        self.clock.charge(entry[1])
+        entry[0](self, insn)
 
-        if op == Op.NOP:
+    # -- per-opcode handlers (dispatched via _DISPATCH) ---------------------
+
+    def _op_nop(self, insn):
+        self._advance(insn)
+
+    def _op_hlt(self, insn):
+        self.halted = True
+        self._advance(insn)
+
+    def _op_cli(self, insn):
+        self.regs.set_flag(Flag.IF, False)
+        self._advance(insn)
+
+    def _op_sti(self, insn):
+        self.regs.set_flag(Flag.IF, True)
+        self._advance(insn)
+
+    def _op_ret(self, insn):
+        self._jump(self.pop())
+
+    def _op_iret(self, insn):
+        # The hardware half of interrupt return: pop EIP/EFLAGS and
+        # resume the interrupted stream (privileged transfer).
+        self.engine.hw_return(self)
+
+    def _op_mov(self, insn):
+        self.regs.write(insn.reg, self.regs.read(insn.reg2))
+        self._advance(insn)
+
+    def _op_add(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_add(regs.read(insn.reg), regs.read(insn.reg2)))
+        self._advance(insn)
+
+    def _op_sub(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_sub(regs.read(insn.reg), regs.read(insn.reg2)))
+        self._advance(insn)
+
+    def _op_and(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) & regs.read(insn.reg2)))
+        self._advance(insn)
+
+    def _op_or(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) | regs.read(insn.reg2)))
+        self._advance(insn)
+
+    def _op_xor(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) ^ regs.read(insn.reg2)))
+        self._advance(insn)
+
+    def _op_cmp(self, insn):
+        self._alu_sub(self.regs.read(insn.reg), self.regs.read(insn.reg2))
+        self._advance(insn)
+
+    def _op_shl(self, insn):
+        regs = self.regs
+        shift = regs.read(insn.reg2) & 0x1F
+        regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) << shift))
+        self._advance(insn)
+
+    def _op_shr(self, insn):
+        regs = self.regs
+        shift = regs.read(insn.reg2) & 0x1F
+        regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) >> shift))
+        self._advance(insn)
+
+    def _op_mul(self, insn):
+        regs = self.regs
+        raw = regs.read(insn.reg) * regs.read(insn.reg2)
+        regs.write(insn.reg, u32(raw))
+        regs.set_flag(Flag.CF, raw > 0xFFFFFFFF)
+        regs.set_flag(Flag.OF, raw > 0xFFFFFFFF)
+        self._set_zsf(u32(raw))
+        self._advance(insn)
+
+    def _op_div(self, insn):
+        regs = self.regs
+        divisor = regs.read(insn.reg2)
+        if divisor == 0:
             self._advance(insn)
-        elif op == Op.HLT:
-            self.halted = True
-            self._advance(insn)
-        elif op == Op.CLI:
-            regs.set_flag(Flag.IF, False)
-            self._advance(insn)
-        elif op == Op.STI:
-            regs.set_flag(Flag.IF, True)
-            self._advance(insn)
-        elif op == Op.RET:
-            target = self.pop()
-            self._jump(target)
-        elif op == Op.IRET:
-            # The hardware half of interrupt return: pop EIP/EFLAGS and
-            # resume the interrupted stream (privileged transfer).
-            self.engine.hw_return(self)
-        elif op == Op.MOV:
-            regs.write(insn.reg, regs.read(insn.reg2))
-            self._advance(insn)
-        elif op == Op.ADD:
-            regs.write(insn.reg, self._alu_add(regs.read(insn.reg), regs.read(insn.reg2)))
-            self._advance(insn)
-        elif op == Op.SUB:
-            regs.write(insn.reg, self._alu_sub(regs.read(insn.reg), regs.read(insn.reg2)))
-            self._advance(insn)
-        elif op == Op.AND:
-            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) & regs.read(insn.reg2)))
-            self._advance(insn)
-        elif op == Op.OR:
-            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) | regs.read(insn.reg2)))
-            self._advance(insn)
-        elif op == Op.XOR:
-            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) ^ regs.read(insn.reg2)))
-            self._advance(insn)
-        elif op == Op.CMP:
-            self._alu_sub(regs.read(insn.reg), regs.read(insn.reg2))
-            self._advance(insn)
-        elif op == Op.SHL:
-            shift = regs.read(insn.reg2) & 0x1F
-            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) << shift))
-            self._advance(insn)
-        elif op == Op.SHR:
-            shift = regs.read(insn.reg2) & 0x1F
-            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) >> shift))
-            self._advance(insn)
-        elif op == Op.MUL:
-            raw = regs.read(insn.reg) * regs.read(insn.reg2)
-            regs.write(insn.reg, u32(raw))
-            regs.set_flag(Flag.CF, raw > 0xFFFFFFFF)
-            regs.set_flag(Flag.OF, raw > 0xFFFFFFFF)
-            self._set_zsf(u32(raw))
-            self._advance(insn)
-        elif op == Op.DIV:
-            divisor = regs.read(insn.reg2)
-            if divisor == 0:
-                self._advance(insn)
-                self.engine.deliver(self, 0x00)  # divide error
-                return
-            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) // divisor))
-            self._advance(insn)
-        elif op == Op.MOVI:
-            regs.write(insn.reg, insn.imm)
-            self._advance(insn)
-        elif op == Op.ADDI:
-            regs.write(insn.reg, self._alu_add(regs.read(insn.reg), u32(insn.imm)))
-            self._advance(insn)
-        elif op == Op.SUBI:
-            regs.write(insn.reg, self._alu_sub(regs.read(insn.reg), u32(insn.imm)))
-            self._advance(insn)
-        elif op == Op.ANDI:
-            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) & insn.imm))
-            self._advance(insn)
-        elif op == Op.ORI:
-            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) | insn.imm))
-            self._advance(insn)
-        elif op == Op.XORI:
-            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) ^ insn.imm))
-            self._advance(insn)
-        elif op == Op.CMPI:
-            self._alu_sub(regs.read(insn.reg), u32(insn.imm))
-            self._advance(insn)
-        elif op == Op.SHLI:
-            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) << (insn.imm & 0x1F)))
-            self._advance(insn)
-        elif op == Op.SHRI:
-            regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) >> (insn.imm & 0x1F)))
-            self._advance(insn)
-        elif op == Op.LD:
-            address = u32(regs.read(insn.reg2) + insn.imm)
-            regs.write(insn.reg, self._load(address, 4))
-            self._advance(insn)
-        elif op == Op.ST:
-            address = u32(regs.read(insn.reg2) + insn.imm)
-            self._store(address, regs.read(insn.reg), 4)
-            self._advance(insn)
-        elif op == Op.LDB:
-            address = u32(regs.read(insn.reg2) + insn.imm)
-            regs.write(insn.reg, self._load(address, 1))
-            self._advance(insn)
-        elif op == Op.STB:
-            address = u32(regs.read(insn.reg2) + insn.imm)
-            self._store(address, regs.read(insn.reg), 1)
-            self._advance(insn)
-        elif op == Op.JMP:
+            self.engine.deliver(self, 0x00)  # divide error
+            return
+        regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) // divisor))
+        self._advance(insn)
+
+    def _op_movi(self, insn):
+        self.regs.write(insn.reg, insn.imm)
+        self._advance(insn)
+
+    def _op_addi(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_add(regs.read(insn.reg), u32(insn.imm)))
+        self._advance(insn)
+
+    def _op_subi(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_sub(regs.read(insn.reg), u32(insn.imm)))
+        self._advance(insn)
+
+    def _op_andi(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) & insn.imm))
+        self._advance(insn)
+
+    def _op_ori(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) | insn.imm))
+        self._advance(insn)
+
+    def _op_xori(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) ^ insn.imm))
+        self._advance(insn)
+
+    def _op_cmpi(self, insn):
+        self._alu_sub(self.regs.read(insn.reg), u32(insn.imm))
+        self._advance(insn)
+
+    def _op_shli(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) << (insn.imm & 0x1F)))
+        self._advance(insn)
+
+    def _op_shri(self, insn):
+        regs = self.regs
+        regs.write(insn.reg, self._alu_logic(regs.read(insn.reg) >> (insn.imm & 0x1F)))
+        self._advance(insn)
+
+    def _op_ld(self, insn):
+        regs = self.regs
+        address = u32(regs.read(insn.reg2) + insn.imm)
+        regs.write(insn.reg, self._load(address, 4))
+        self._advance(insn)
+
+    def _op_st(self, insn):
+        regs = self.regs
+        address = u32(regs.read(insn.reg2) + insn.imm)
+        self._store(address, regs.read(insn.reg), 4)
+        self._advance(insn)
+
+    def _op_ldb(self, insn):
+        regs = self.regs
+        address = u32(regs.read(insn.reg2) + insn.imm)
+        regs.write(insn.reg, self._load(address, 1))
+        self._advance(insn)
+
+    def _op_stb(self, insn):
+        regs = self.regs
+        address = u32(regs.read(insn.reg2) + insn.imm)
+        self._store(address, regs.read(insn.reg), 1)
+        self._advance(insn)
+
+    def _op_jmp(self, insn):
+        self._jump(insn.imm)
+
+    def _op_call(self, insn):
+        self.push(self.regs.eip + insn.length)
+        self._jump(insn.imm)
+
+    def _op_jcc(self, insn):
+        if _CONDITIONS[insn.opcode](self.regs.eflags):
             self._jump(insn.imm)
-        elif op == Op.CALL:
-            self.push(self.regs.eip + insn.length)
-            self._jump(insn.imm)
-        elif op in (
-            Op.JZ, Op.JNZ, Op.JC, Op.JNC, Op.JS,
-            Op.JNS, Op.JG, Op.JL, Op.JGE, Op.JLE,
-        ):
-            if self._condition(op):
-                self._jump(insn.imm)
-            else:
-                self._advance(insn)
-        elif op == Op.PUSH:
-            self.push(regs.read(insn.reg))
+        else:
             self._advance(insn)
-        elif op == Op.POP:
-            regs.write(insn.reg, self.pop())
-            self._advance(insn)
-        elif op == Op.PUSHI:
-            self.push(insn.imm)
-            self._advance(insn)
-        elif op == Op.NOT:
-            regs.write(insn.reg, self._alu_logic(~regs.read(insn.reg)))
-            self._advance(insn)
-        elif op == Op.NEG:
-            regs.write(insn.reg, self._alu_sub(0, regs.read(insn.reg)))
-            self._advance(insn)
-        elif op == Op.INT:
-            self._advance(insn)
-            self.engine.deliver(self, insn.imm, charge=False)
-        else:  # pragma: no cover - opcode table is closed
-            raise TyTANError("unhandled opcode 0x%02X" % op)
+
+    def _op_push(self, insn):
+        self.push(self.regs.read(insn.reg))
+        self._advance(insn)
+
+    def _op_pop(self, insn):
+        self.regs.write(insn.reg, self.pop())
+        self._advance(insn)
+
+    def _op_pushi(self, insn):
+        self.push(insn.imm)
+        self._advance(insn)
+
+    def _op_not(self, insn):
+        self.regs.write(insn.reg, self._alu_logic(~self.regs.read(insn.reg)))
+        self._advance(insn)
+
+    def _op_neg(self, insn):
+        self.regs.write(insn.reg, self._alu_sub(0, self.regs.read(insn.reg)))
+        self._advance(insn)
+
+    def _op_int(self, insn):
+        self._advance(insn)
+        self.engine.deliver(self, insn.imm, charge=False)
+
+
+#: opcode -> unbound handler; expanded below into ``_DISPATCH`` entries
+#: of ``(handler, base_cycles)`` so ``_execute`` pays one dict hit
+#: instead of a 40-arm ``if``/``elif`` chain plus a cycle-table lookup.
+_HANDLERS = {
+    Op.NOP: CPU._op_nop,
+    Op.HLT: CPU._op_hlt,
+    Op.CLI: CPU._op_cli,
+    Op.STI: CPU._op_sti,
+    Op.RET: CPU._op_ret,
+    Op.IRET: CPU._op_iret,
+    Op.MOV: CPU._op_mov,
+    Op.ADD: CPU._op_add,
+    Op.SUB: CPU._op_sub,
+    Op.AND: CPU._op_and,
+    Op.OR: CPU._op_or,
+    Op.XOR: CPU._op_xor,
+    Op.CMP: CPU._op_cmp,
+    Op.SHL: CPU._op_shl,
+    Op.SHR: CPU._op_shr,
+    Op.MUL: CPU._op_mul,
+    Op.DIV: CPU._op_div,
+    Op.MOVI: CPU._op_movi,
+    Op.ADDI: CPU._op_addi,
+    Op.SUBI: CPU._op_subi,
+    Op.ANDI: CPU._op_andi,
+    Op.ORI: CPU._op_ori,
+    Op.XORI: CPU._op_xori,
+    Op.CMPI: CPU._op_cmpi,
+    Op.SHLI: CPU._op_shli,
+    Op.SHRI: CPU._op_shri,
+    Op.LD: CPU._op_ld,
+    Op.ST: CPU._op_st,
+    Op.LDB: CPU._op_ldb,
+    Op.STB: CPU._op_stb,
+    Op.JMP: CPU._op_jmp,
+    Op.CALL: CPU._op_call,
+    Op.JZ: CPU._op_jcc,
+    Op.JNZ: CPU._op_jcc,
+    Op.JC: CPU._op_jcc,
+    Op.JNC: CPU._op_jcc,
+    Op.JS: CPU._op_jcc,
+    Op.JNS: CPU._op_jcc,
+    Op.JG: CPU._op_jcc,
+    Op.JL: CPU._op_jcc,
+    Op.JGE: CPU._op_jcc,
+    Op.JLE: CPU._op_jcc,
+    Op.PUSH: CPU._op_push,
+    Op.POP: CPU._op_pop,
+    Op.PUSHI: CPU._op_pushi,
+    Op.NOT: CPU._op_not,
+    Op.NEG: CPU._op_neg,
+    Op.INT: CPU._op_int,
+}
+
+#: opcode -> (handler, base cycle cost); the interpreter's single-lookup
+#: dispatch table.
+_DISPATCH = {op: (handler, BASE_CYCLES[op]) for op, handler in _HANDLERS.items()}

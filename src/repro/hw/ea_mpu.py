@@ -37,6 +37,7 @@ from repro.errors import (
     ProtectionFault,
 )
 from repro.hw.memory import PhysicalMemory
+from repro.perf.decision_cache import MPUDecisionCache
 
 
 class Perm:
@@ -164,7 +165,7 @@ class EAMPU:
     manages the dynamic remainder.
     """
 
-    def __init__(self, slot_count=cycles.EAMPU_SLOTS):
+    def __init__(self, slot_count=cycles.EAMPU_SLOTS, decision_cache=True):
         self.slot_count = slot_count
         self.slots = [None] * slot_count
         self._locked = [False] * slot_count
@@ -172,6 +173,14 @@ class EAMPU:
         #: Optional driver code range; once set, only accesses from inside
         #: it (or hardware) may program slots.
         self._driver_range = None
+        #: Rule-table generation: bumped by every successful
+        #: ``program_slot``/``clear_slot``.  Cached allow verdicts are
+        #: valid for exactly one epoch.
+        self.epoch = 0
+        #: Memoized allow verdicts (``None`` disables the fast path;
+        #: denials are never cached, so faults and ``fault_log`` are
+        #: identical either way).
+        self.decisions = MPUDecisionCache(self) if decision_cache else None
 
     # -- configuration ------------------------------------------------------
 
@@ -203,6 +212,7 @@ class EAMPU:
         if self._locked[index]:
             raise MPUSlotError("slot %d is locked" % index)
         self.slots[index] = rule
+        self.epoch += 1
         if lock:
             self._locked[index] = True
 
@@ -214,6 +224,7 @@ class EAMPU:
         if self._locked[index]:
             raise MPUSlotError("slot %d is locked" % index)
         self.slots[index] = None
+        self.epoch += 1
 
     def is_locked(self, index):
         """Whether slot ``index`` was locked by secure boot."""
@@ -235,7 +246,16 @@ class EAMPU:
         An address covered by at least one rule's object range is
         protected: some matching rule must allow the access.  Uncovered
         addresses form the public background region.
+
+        Allow verdicts are memoized per rule-table epoch in
+        :attr:`decisions`; denials always re-run the full scan so the
+        fault is raised and logged on every occurrence.
         """
+        decisions = self.decisions
+        if decisions is not None:
+            key = (kind, address, size, eip)
+            if decisions.lookup_access(key):
+                return
         covered = False
         for rule in self.slots:
             if rule is None:
@@ -244,8 +264,12 @@ class EAMPU:
                 continue
             covered = True
             if rule.allows(kind, address, size, eip):
+                if decisions is not None:
+                    decisions.store_access(key)
                 return
         if not covered:
+            if decisions is not None:
+                decisions.store_access(key)
             return
         fault = ProtectionFault(address, kind, eip)
         self.fault_log.append(fault)
@@ -258,8 +282,15 @@ class EAMPU:
         outside that region*, the target must equal the entry point.
         ``privileged`` marks the trusted resume path used by the Int Mux
         and the hardware IRET into an interrupted task.
+
+        Transfers proven allowed (same coverage cell, or previously
+        allowed this epoch) skip the slot scan; denials always re-run
+        it so the fault is raised and logged every time.
         """
         if privileged:
+            return
+        decisions = self.decisions
+        if decisions is not None and decisions.lookup_transfer(from_eip, to_eip):
             return
         for rule in self.slots:
             if rule is None or rule.entry_point is None:
@@ -270,6 +301,8 @@ class EAMPU:
                 fault = EntryPointFault(to_eip, from_eip, rule.entry_point)
                 self.fault_log.append(fault)
                 raise fault
+        if decisions is not None:
+            decisions.store_transfer(from_eip, to_eip)
 
     def covering_rules(self, address):
         """Rules whose object range covers ``address`` (diagnostics)."""

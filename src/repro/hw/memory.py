@@ -11,7 +11,10 @@ platform.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 from repro.errors import ConfigurationError, MemoryFault
+from repro.perf.counters import HitMissCounter
 
 MASK32 = 0xFFFFFFFF
 
@@ -63,8 +66,7 @@ class RamRegion:
 
     def fill(self, value=0):
         """Overwrite the whole region with ``value`` (for wipes)."""
-        for i in range(self.size):
-            self.data[i] = value
+        self.data[:] = bytes([value & 0xFF]) * self.size
 
     def __repr__(self):
         return "RamRegion(%s, 0x%08X..0x%08X)" % (self.name, self.base, self.end)
@@ -81,6 +83,12 @@ class MemoryMap:
 
     def __init__(self):
         self._regions = []
+        self._bases = []
+        #: Last region a lookup resolved to (cleared on :meth:`add`).
+        self._last = None
+        #: Disable the last-hit memo (the bench's uncached baseline).
+        self.cache_enabled = True
+        self.stats = HitMissCounter("region")
 
     def add(self, region):
         """Register ``region``, refusing overlaps with existing regions."""
@@ -91,24 +99,46 @@ class MemoryMap:
                 )
         self._regions.append(region)
         self._regions.sort(key=lambda r: r.base)
+        self._bases = [r.base for r in self._regions]
+        self._last = None
         return region
+
+    def _locate(self, address, size):
+        """The region containing the range, or ``None``.
+
+        Fast path: the last region any lookup resolved to (instruction
+        streams and data accesses are strongly region-local).  Fallback
+        is a binary search on the sorted, non-overlapping region bases -
+        only the region with the greatest ``base <= address`` can
+        contain the range.
+        """
+        last = self._last
+        if last is not None and last.contains(address, size):
+            self.stats.hits += 1
+            return last
+        self.stats.misses += 1
+        index = bisect_right(self._bases, address) - 1
+        if index >= 0:
+            region = self._regions[index]
+            if region.contains(address, size):
+                if self.cache_enabled:
+                    self._last = region
+                return region
+        return None
 
     def find(self, address, size=1):
         """Return the region containing ``[address, address + size)``.
 
         Raises :class:`MemoryFault` if no region contains the full range.
         """
-        for region in self._regions:
-            if region.contains(address, size):
-                return region
-        raise MemoryFault(address, size)
+        region = self._locate(address, size)
+        if region is None:
+            raise MemoryFault(address, size)
+        return region
 
     def try_find(self, address, size=1):
         """Like :meth:`find` but returns ``None`` instead of raising."""
-        for region in self._regions:
-            if region.contains(address, size):
-                return region
-        return None
+        return self._locate(address, size)
 
     def regions(self):
         """All regions, ordered by base address."""
@@ -141,6 +171,7 @@ class PhysicalMemory:
         self.map = memory_map if memory_map is not None else MemoryMap()
         self.mpu = None
         self._watchpoints = []
+        self._write_listeners = []
 
     def attach_mpu(self, mpu):
         """Install the EA-MPU; all subsequent accesses are checked."""
@@ -149,6 +180,16 @@ class PhysicalMemory:
     def add_watchpoint(self, callback):
         """Register ``callback(kind, address, size, actor)`` for tracing."""
         self._watchpoints.append(callback)
+
+    def add_write_listener(self, callback):
+        """Register ``callback(address, size)`` run after **every** write.
+
+        Both checked and raw writes funnel through :meth:`write_raw`, so
+        listeners observe loader writes, hardware pushes, and MMIO
+        stores too.  This is the snoop port the decoded-instruction
+        cache uses to invalidate on stores into code.
+        """
+        self._write_listeners.append(callback)
 
     # -- raw (unchecked) accessors used by loaders and device models -----
 
@@ -159,8 +200,12 @@ class PhysicalMemory:
 
     def write_raw(self, address, payload):
         """Write without an MPU check (hardware/bootloader privilege)."""
-        region = self.map.find(address, len(payload))
+        size = len(payload)
+        region = self.map.find(address, size)
         region.write(address, bytes(payload))
+        if self._write_listeners:
+            for callback in self._write_listeners:
+                callback(address, size)
 
     # -- checked accessors -------------------------------------------------
 

@@ -38,12 +38,16 @@ class MachineConfig:
     OS, and 1 MiB of task RAM.
     """
 
-    def __init__(self, hz=DEFAULT_HZ, tick_period=16_000, mpu_slots=None):
+    def __init__(self, hz=DEFAULT_HZ, tick_period=16_000, mpu_slots=None, fastpath=True):
         self.hz = hz
         #: Cycles between scheduler ticks (16,000 @ 48 MHz = 3 kHz).
         self.tick_period = tick_period
         #: EA-MPU rule slots; None = the paper's 18.
         self.mpu_slots = mpu_slots
+        #: Enable the fast-path caches (decoded instructions, EA-MPU
+        #: verdict memo, region last-hit).  Wall-clock only; simulated
+        #: behaviour is identical either way.
+        self.fastpath = fastpath
 
         self.idt_base = 0x0000_0000
         self.idt_size = 0x400
@@ -131,7 +135,11 @@ class Platform:
 
         self.clock = CycleClock(cfg.hz)
         self.memory = PhysicalMemory(MemoryMap())
-        self.mpu = EAMPU() if cfg.mpu_slots is None else EAMPU(cfg.mpu_slots)
+        self.memory.map.cache_enabled = cfg.fastpath
+        if cfg.mpu_slots is None:
+            self.mpu = EAMPU(decision_cache=cfg.fastpath)
+        else:
+            self.mpu = EAMPU(cfg.mpu_slots, decision_cache=cfg.fastpath)
         self.memory.attach_mpu(self.mpu)
 
         # -- RAM regions ----------------------------------------------------
@@ -152,7 +160,7 @@ class Platform:
         self.memory.map.add(RamRegion("key-fuses", cfg.key_base, KEY_BYTES))
 
         # -- CPU and exception engine ----------------------------------------
-        self.cpu = CPU(self.memory, self.clock)
+        self.cpu = CPU(self.memory, self.clock, fastpath=cfg.fastpath)
         self.engine = ExceptionEngine(self.memory, cfg.idt_base)
         self.cpu.attach_engine(self.engine)
 

@@ -9,7 +9,7 @@ assembler, and the disassembler.
 from __future__ import annotations
 
 from repro.errors import IllegalInstruction
-from repro.isa.opcodes import FORMATS, LENGTHS, MNEMONICS, OpFormat
+from repro.isa.opcodes import FORMATS, LENGTHS, MNEMONICS, OP_LENGTHS, OpFormat
 
 
 class Instruction:
@@ -36,7 +36,7 @@ class Instruction:
         self.reg = reg
         self.reg2 = reg2
         self.imm = imm
-        self.length = LENGTHS[FORMATS[opcode]]
+        self.length = OP_LENGTHS[opcode]
 
     @property
     def mnemonic(self):

@@ -159,6 +159,11 @@ OPCODES_BY_NAME = {name: op for op, (name, _, _) in _TABLE.items()}
 #: opcode -> base cycle cost
 BASE_CYCLES = {op: cost for op, (_, _, cost) in _TABLE.items()}
 
+#: opcode -> encoded length in bytes, precomputed so decode and
+#: ``Instruction.__init__`` resolve length with a single dict lookup
+#: instead of chaining ``LENGTHS[FORMATS[opcode]]``.
+OP_LENGTHS = {op: LENGTHS[fmt] for op, (_, fmt, _) in _TABLE.items()}
+
 #: opcodes whose IMM32 operand is a code or data *address* (and therefore
 #: needs a relocation entry when the operand is a symbol).
 ADDRESS_IMM_OPS = frozenset(
@@ -190,4 +195,4 @@ CONDITIONAL_BRANCHES = frozenset(
 
 def instruction_length(opcode):
     """Encoded length in bytes of ``opcode``'s format."""
-    return LENGTHS[FORMATS[opcode]]
+    return OP_LENGTHS[opcode]

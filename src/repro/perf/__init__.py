@@ -1,0 +1,32 @@
+"""Fast-path caching layer for the simulator's per-instruction hot path.
+
+The simulator's value is running TyTAN workloads (attestation, IPC,
+real-time latency benches) at scale, so the per-instruction enforcement
+path must be cached rather than recomputed.  This package holds the
+cache structures shared by the CPU, the EA-MPU, and the memory map:
+
+* :class:`~repro.perf.insn_cache.DecodedInsnCache` - decoded
+  instructions keyed by EIP, invalidated when any write (checked or
+  raw) lands in a cached code range;
+* :class:`~repro.perf.decision_cache.MPUDecisionCache` - memoized
+  EA-MPU *allow* verdicts for data accesses and control transfers,
+  invalidated by the MPU's epoch counter (bumped on every
+  ``program_slot``/``clear_slot``);
+* :class:`~repro.perf.counters.HitMissCounter` - hit/miss/invalidation
+  counters exposed to tests and benches.
+
+The invariant all of these preserve: **caches change wall-clock speed
+only, never simulated semantics**.  Faults, fault logs, trace and
+transfer hooks, and cycle accounting are bit-for-bit identical with
+caches on or off (``tests/test_perf_equivalence.py`` asserts this).
+"""
+
+from repro.perf.counters import HitMissCounter
+from repro.perf.decision_cache import MPUDecisionCache
+from repro.perf.insn_cache import DecodedInsnCache
+
+__all__ = [
+    "DecodedInsnCache",
+    "HitMissCounter",
+    "MPUDecisionCache",
+]

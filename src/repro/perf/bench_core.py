@@ -1,0 +1,178 @@
+"""CPU-core throughput bench: fast path vs. uncached baseline.
+
+Runs the same straight-line ALU workload through two identically
+configured rigs - one with every fast-path cache enabled, one with the
+caches off - and reports wall-clock instructions/sec for both, the
+speedup, and the cache hit rates.  The result is written to
+``BENCH_cpu_core.json`` so the performance trajectory is tracked from
+PR to PR.
+
+The rig is deliberately representative of a real TyTAN machine: a
+multi-region memory map, an 18-slot EA-MPU with locked code/stack rules
+plus decoy task rules (so the uncached path pays the genuine linear
+slot scans), and an entry-point-protected code region (so the transfer
+check is live on every sequential advance).
+
+The two runs must also be *architecturally identical* - same retired
+count, same simulated cycle count - which the bench asserts before
+reporting numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.hw.clock import CycleClock
+from repro.hw.cpu import CPU
+from repro.hw.ea_mpu import EAMPU, MpuRule, Perm
+from repro.hw.memory import MemoryMap, PhysicalMemory, RamRegion
+from repro.image.linker import link
+from repro.isa.assembler import assemble
+
+CODE_BASE = 0x1000
+STACK_BASE = 0x3000
+DATA_BASE = 0x6000
+OTHER_BASE = 0x8000
+
+#: ALU block repeated inside the loop body (straight-line hot path).
+_ALU_BLOCK = """\
+addi eax, 1
+xori ebx, 0x55AA
+andi edx, 0xFFFF
+ori esi, 3
+subi edi, 1
+shli ebp, 1
+add eax, ebx
+xor edx, esi
+"""
+
+
+def _workload_source(block_repeats=6):
+    """A long straight-line ALU body in an effectively infinite loop."""
+    body = _ALU_BLOCK * block_repeats
+    return "start:\nmovi ecx, 0x7FFFFFFF\nloop:\n%ssubi ecx, 1\njnz loop\nhlt\n" % body
+
+
+def build_rig(fastpath, source=None):
+    """Assemble the workload into a CPU+EA-MPU rig; returns the CPU."""
+    memory = PhysicalMemory(MemoryMap())
+    memory.map.cache_enabled = fastpath
+    memory.map.add(RamRegion("idt", 0x0, 0x400))
+    memory.map.add(RamRegion("code", CODE_BASE, 0x1000))
+    memory.map.add(RamRegion("stack", STACK_BASE, 0x1000))
+    memory.map.add(RamRegion("data", DATA_BASE, 0x1000))
+    memory.map.add(RamRegion("other", OTHER_BASE, 0x1000))
+    mpu = EAMPU(decision_cache=fastpath)
+    memory.attach_mpu(mpu)
+    clock = CycleClock()
+    cpu = CPU(memory, clock, fastpath=fastpath)
+
+    image = link(assemble(source or _workload_source()), stack_size=64)
+    blob = bytearray(image.blob)
+    for offset in image.relocations:
+        value = int.from_bytes(blob[offset : offset + 4], "little")
+        blob[offset : offset + 4] = ((value + CODE_BASE) & 0xFFFFFFFF).to_bytes(
+            4, "little"
+        )
+    memory.write_raw(CODE_BASE, bytes(blob))
+    entry = CODE_BASE + image.entry
+
+    # Representative rule table: locked code + stack rules, a data rule,
+    # and decoy task rules so every uncached check scans real slots.
+    code = (CODE_BASE, CODE_BASE + 0x1000)
+    mpu.program_slot(
+        0,
+        MpuRule("bench:code", code[0], code[1], code[0], code[1], Perm.RX, entry_point=entry),
+        lock=True,
+    )
+    mpu.program_slot(
+        1,
+        MpuRule("bench:stack", code[0], code[1], STACK_BASE, STACK_BASE + 0x1000, Perm.RW),
+        lock=True,
+    )
+    mpu.program_slot(
+        2,
+        MpuRule("bench:data", code[0], code[1], DATA_BASE, DATA_BASE + 0x1000, Perm.RW),
+    )
+    for slot in range(3, 7):
+        base = OTHER_BASE + (slot - 3) * 0x100
+        mpu.program_slot(
+            slot,
+            MpuRule(
+                "bench:decoy%d" % slot,
+                base,
+                base + 0x100,
+                base,
+                base + 0x100,
+                Perm.RX,
+                entry_point=base,
+            ),
+        )
+
+    cpu.regs.eip = entry
+    cpu.regs.esp = STACK_BASE + 0x1000
+    return cpu
+
+
+def _run(cpu, instructions):
+    """Execute ``instructions`` steps; returns (seconds, cycles)."""
+    step = cpu.step
+    target = instructions
+    start = time.perf_counter()
+    while cpu.retired < target:
+        step()
+    elapsed = time.perf_counter() - start
+    return elapsed, cpu.clock.now
+
+
+def run_bench(instructions=150_000):
+    """Run both modes and return the result dict (see module docstring)."""
+    baseline_cpu = build_rig(fastpath=False)
+    base_seconds, base_cycles = _run(baseline_cpu, instructions)
+
+    fast_cpu = build_rig(fastpath=True)
+    fast_seconds, fast_cycles = _run(fast_cpu, instructions)
+
+    if baseline_cpu.retired != fast_cpu.retired or base_cycles != fast_cycles:
+        raise AssertionError(
+            "cached and uncached runs diverged: retired %d/%d cycles %d/%d"
+            % (baseline_cpu.retired, fast_cpu.retired, base_cycles, fast_cycles)
+        )
+
+    return {
+        "bench": "cpu_core",
+        "workload": "straight-line ALU loop, EA-MPU live (%d insns)" % instructions,
+        "instructions": instructions,
+        "simulated_cycles": fast_cycles,
+        "baseline": {
+            "seconds": round(base_seconds, 6),
+            "insns_per_sec": round(instructions / base_seconds, 1),
+        },
+        "fastpath": {
+            "seconds": round(fast_seconds, 6),
+            "insns_per_sec": round(instructions / fast_seconds, 1),
+            "cache_stats": fast_cpu.cache_stats(),
+        },
+        "speedup": round(base_seconds / fast_seconds, 2),
+    }
+
+
+def write_report(path="BENCH_cpu_core.json", instructions=150_000, out=None):
+    """Run the bench and write the JSON report to ``path``."""
+    result = run_bench(instructions)
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if out is not None:
+        print(
+            "cpu_core throughput: %.0f -> %.0f insns/sec (%.2fx), report %s"
+            % (
+                result["baseline"]["insns_per_sec"],
+                result["fastpath"]["insns_per_sec"],
+                result["speedup"],
+                path,
+            ),
+            file=out,
+        )
+    return result

@@ -1,0 +1,54 @@
+"""Hit/miss bookkeeping shared by every fast-path cache."""
+
+from __future__ import annotations
+
+
+class HitMissCounter:
+    """Counts cache hits, misses, and invalidation events.
+
+    The counters are plain attributes so the hot path pays a single
+    integer increment; everything derived (totals, rates) is computed on
+    demand by tests and benches.
+    """
+
+    __slots__ = ("name", "hits", "misses", "invalidations")
+
+    def __init__(self, name):
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @property
+    def total(self):
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        total = self.total
+        return self.hits / total if total else 0.0
+
+    def reset(self):
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def snapshot(self):
+        """Plain-dict view for JSON benches and assertions."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+    def __repr__(self):
+        return "HitMissCounter(%s, hits=%d, misses=%d, inval=%d)" % (
+            self.name,
+            self.hits,
+            self.misses,
+            self.invalidations,
+        )

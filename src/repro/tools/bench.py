@@ -5,6 +5,10 @@ Usage::
     python -m repro.tools.bench               # every experiment
     python -m repro.tools.bench table7 ipc    # selected experiments
     python -m repro.tools.bench --list
+    python -m repro.tools.bench --throughput  # CPU-core insns/sec bench
+
+The throughput mode runs the fast-path-vs-baseline CPU bench
+(:mod:`repro.perf.bench_core`) and writes ``BENCH_cpu_core.json``.
 """
 
 from __future__ import annotations
@@ -27,6 +31,24 @@ def build_parser():
         help="experiment names (default: all); see --list",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--throughput",
+        action="store_true",
+        help="run the CPU-core throughput bench (cached vs. uncached)",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=150_000,
+        metavar="N",
+        help="instructions per throughput run (default 150000)",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_cpu_core.json",
+        metavar="PATH",
+        help="throughput report path (default BENCH_cpu_core.json)",
+    )
     return parser
 
 
@@ -60,6 +82,11 @@ def main(argv=None, out=None):
     """Entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    if args.throughput:
+        from repro.perf.bench_core import write_report
+
+        write_report(path=args.json, instructions=args.instructions, out=out)
+        return 0
     if args.list:
         for name, (description, _) in EXPERIMENTS.items():
             print("%-8s %s" % (name, description), file=out)

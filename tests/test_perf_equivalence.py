@@ -1,0 +1,169 @@
+"""Caches change wall-clock speed only, never simulated semantics.
+
+The same adversarial workload - ALU/memory loop, a legal entry-point
+call, repeated ProtectionFaults, repeated EntryPointFaults, and a live
+EA-MPU reconfiguration - runs once with every fast-path cache enabled
+and once with them all disabled.  Retired-instruction count, simulated
+cycle count, the full fault log, and the final register file must be
+bit-for-bit identical.
+"""
+
+import pytest
+
+from repro.errors import EntryPointFault, ProtectionFault
+from repro.hw.clock import CycleClock
+from repro.hw.cpu import CPU
+from repro.hw.ea_mpu import EAMPU, MpuRule, Perm
+from repro.hw.memory import MemoryMap, PhysicalMemory, RamRegion
+from repro.image.linker import link
+from repro.isa.assembler import assemble
+
+CODE_BASE = 0x1000
+PROT_BASE = 0x2000
+STACK_TOP = 0x3800
+DATA_BASE = 0x6000
+
+TASK_SOURCE = """\
+start:
+    movi ebx, 0x6000
+    movi ecx, 3
+loop:
+    movi eax, 0x11
+    st eax, [ebx+0]
+    ld edx, [ebx+0]
+    addi eax, 1
+    subi ecx, 1
+    jnz loop
+    call 0x2000          ; legal transfer to the dedicated entry point
+    movi esi, 0xAA
+    st esi, [ebx+32]
+    hlt
+bad_store:
+    st eax, [ebx+72]     ; 0x6048: covered, not granted -> ProtectionFault
+    hlt
+bad_jump:
+    jmp 0x2050           ; mid-region target -> EntryPointFault
+    hlt
+after_clear:
+    st eax, [ebx+0]      ; faults once the task's data rule is cleared
+    hlt
+"""
+
+PROT_SOURCE = """\
+start:
+    movi edi, 99
+    ret
+"""
+
+
+def _load(memory, base, source):
+    """Assemble ``source``, place it at ``base``; returns {label: addr}."""
+    obj = assemble(source)
+    image = link(obj, stack_size=64)
+    blob = bytearray(image.blob)
+    for offset in image.relocations:
+        value = int.from_bytes(blob[offset : offset + 4], "little")
+        blob[offset : offset + 4] = ((value + base) & 0xFFFFFFFF).to_bytes(4, "little")
+    memory.write_raw(base, bytes(blob))
+    return {
+        name: base + sym.offset
+        for name, sym in obj.symbols.items()
+        if sym.section == ".text"
+    }
+
+
+def run_scenario(fastpath):
+    memory = PhysicalMemory(MemoryMap())
+    memory.map.cache_enabled = fastpath
+    memory.map.add(RamRegion("ram", 0x0, 0x10000))
+    mpu = EAMPU(decision_cache=fastpath)
+    memory.attach_mpu(mpu)
+    cpu = CPU(memory, CycleClock(), fastpath=fastpath)
+
+    labels = _load(memory, CODE_BASE, TASK_SOURCE)
+    _load(memory, PROT_BASE, PROT_SOURCE)
+
+    prot = (PROT_BASE, PROT_BASE + 0x100)
+    code = (CODE_BASE, CODE_BASE + 0x200)
+    mpu.program_slot(
+        0,
+        MpuRule("prot", prot[0], prot[1], prot[0], prot[1], Perm.RX, entry_point=PROT_BASE),
+    )
+    mpu.program_slot(
+        1, MpuRule("task-data", code[0], code[1], DATA_BASE, DATA_BASE + 0x40, Perm.RW)
+    )
+    mpu.program_slot(
+        2,
+        MpuRule("other-data", 0x4000, 0x4100, DATA_BASE, DATA_BASE + 0x80, Perm.RW),
+    )
+
+    cpu.regs.eip = labels["start"]
+    cpu.regs.esp = STACK_TOP
+
+    def run_to_halt():
+        steps = 0
+        while not cpu.halted:
+            cpu.step()
+            steps += 1
+            assert steps < 10_000
+
+    # 1. the legal main line: loop, call/ret through the entry point.
+    run_to_halt()
+
+    # 2. repeated ProtectionFaults: denial must recur on every retry.
+    cpu.halted = False
+    cpu.regs.eip = labels["bad_store"]
+    for _ in range(2):
+        with pytest.raises(ProtectionFault):
+            cpu.step()
+
+    # 3. repeated EntryPointFaults.
+    cpu.regs.eip = labels["bad_jump"]
+    for _ in range(2):
+        with pytest.raises(EntryPointFault):
+            cpu.step()
+
+    # 4. live reconfiguration: the store that succeeded in the loop
+    #    must fault after its rule is cleared, succeed when restored.
+    mpu.clear_slot(1)
+    cpu.regs.eip = labels["after_clear"]
+    with pytest.raises(ProtectionFault):
+        cpu.step()
+    mpu.program_slot(
+        1, MpuRule("task-data", code[0], code[1], DATA_BASE, DATA_BASE + 0x40, Perm.RW)
+    )
+    run_to_halt()
+
+    if fastpath:
+        assert cpu.insn_cache.stats.hits > 0
+        assert mpu.decisions.access_stats.hits > 0
+
+    return {
+        "retired": cpu.retired,
+        "cycles": cpu.clock.now,
+        "faults": [
+            (
+                type(fault).__name__,
+                tuple(sorted(vars(fault).items())) if vars(fault) else repr(fault),
+            )
+            for fault in mpu.fault_log
+        ],
+        "gpr": list(cpu.regs.gpr),
+        "eip": cpu.regs.eip,
+        "eflags": cpu.regs.eflags,
+        "memory": memory.read_raw(DATA_BASE, 0x40),
+    }
+
+
+class TestCacheEquivalence:
+    def test_fastpath_and_baseline_are_bit_identical(self):
+        fast = run_scenario(fastpath=True)
+        slow = run_scenario(fastpath=False)
+        assert fast == slow
+
+    def test_scenario_exercises_every_fault_kind(self):
+        result = run_scenario(fastpath=True)
+        kinds = {name for name, _ in result["faults"]}
+        assert kinds == {"ProtectionFault", "EntryPointFault"}
+        # bad_store x2, bad_jump x2, one post-reconfiguration denial.
+        assert len(result["faults"]) == 5
