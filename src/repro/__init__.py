@@ -26,13 +26,42 @@ Quickstart::
 
     system = TyTAN()
     task = system.load_source(SOURCE, "my-task", secure=True)
-    system.run(max_cycles=1_000_000)
+    result = system.run(max_cycles=1_000_000)
+    print(result.stop_reason, result.retired)
     print(system.local_attest(task).hex())
+
+Stable public surface
+---------------------
+
+Import from ``repro`` directly rather than deep-importing submodules;
+everything in ``__all__`` below is covered by compatibility guarantees:
+
+* :class:`TyTAN`, :func:`build_freertos_baseline`,
+  :class:`MachineConfig` - system construction;
+* :class:`RunResult` - what ``TyTAN.run`` / ``Kernel.run`` return;
+* :class:`Verifier` - the off-device attestation verifier;
+* :mod:`repro.obs` (re-exported as ``obs``) with :class:`Event` and
+  :class:`EventBus` - the unified observability bus; every system
+  exposes one at ``system.obs`` / ``platform.obs``.
 """
 
+from repro import obs
+from repro.core.remote_attest import Verifier
 from repro.core.system import TyTAN, build_freertos_baseline
 from repro.hw.platform import MachineConfig
+from repro.obs import Event, EventBus
+from repro.rtos.kernel import RunResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["TyTAN", "build_freertos_baseline", "MachineConfig", "__version__"]
+__all__ = [
+    "Event",
+    "EventBus",
+    "MachineConfig",
+    "RunResult",
+    "TyTAN",
+    "Verifier",
+    "build_freertos_baseline",
+    "obs",
+    "__version__",
+]

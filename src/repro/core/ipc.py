@@ -68,6 +68,12 @@ class IPCProxy(FirmwareComponent):
         #: Active shared-memory windows: (task_a, task_b) -> slot.
         self._shared_windows = {}
 
+    def _publish(self, kind, task=None, **data):
+        """Publish a proxy event on the observability bus."""
+        bus = self.kernel.obs
+        if bus is not None:
+            bus.publish("tc", kind, task=task, component=self.NAME, **data)
+
     # -- trap entry (ISA tasks) ---------------------------------------------
 
     def handle_trap(self, kernel, sender_task, sync=False):
@@ -122,6 +128,12 @@ class IPCProxy(FirmwareComponent):
         entry = self.rtm.lookup64(receiver_id64)
         if entry is None:
             self.last_send = {"status": "unknown-receiver", "cycles": clock.now - start}
+            self._publish(
+                "ipc-send",
+                task=sender_task.name,
+                status="unknown-receiver",
+                cycles=clock.now - start,
+            )
             return IpcAbi.STATUS_UNKNOWN_RECEIVER, None
         receiver = entry.task
 
@@ -133,6 +145,13 @@ class IPCProxy(FirmwareComponent):
         write_index = memory.read_u32(inbox + INBOX_WR, actor=self.base)
         if (write_index - read_index) & 0xFFFFFFFF >= INBOX_SLOTS:
             self.last_send = {"status": "inbox-full", "cycles": clock.now - start}
+            self._publish(
+                "ipc-send",
+                task=sender_task.name,
+                status="inbox-full",
+                receiver=receiver.name,
+                cycles=clock.now - start,
+            )
             return IpcAbi.STATUS_INBOX_FULL, receiver
         entry = (
             inbox + INBOX_ENTRIES + (write_index % INBOX_SLOTS) * INBOX_ENTRY_BYTES
@@ -163,6 +182,15 @@ class IPCProxy(FirmwareComponent):
             "cycles": clock.now - start,
             "receiver": receiver.name,
         }
+        self._publish(
+            "ipc-send",
+            task=sender_task.name,
+            status="ok",
+            receiver=receiver.name,
+            words=len(message_words),
+            sync=sync,
+            cycles=clock.now - start,
+        )
         return IpcAbi.STATUS_OK, receiver
 
     def _authenticate_sender(self, sender_task):
@@ -263,6 +291,7 @@ class IPCProxy(FirmwareComponent):
         memory.write_u32(
             inbox + INBOX_RD, (read_index + 1) & 0xFFFFFFFF, actor=actor
         )
+        self._publish("ipc-recv", task=task.name, sender=sender.hex())
         return words, sender
 
     # -- shared memory ------------------------------------------------------

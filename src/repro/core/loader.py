@@ -71,6 +71,12 @@ class TaskLoader:
         #: Breakdown of the most recent completed load (Table 4 hook).
         self.last_breakdown = None
 
+    def _publish(self, kind, task=None, **data):
+        """Publish a loader event on the observability bus."""
+        bus = self.kernel.obs
+        if bus is not None:
+            bus.publish("tc", kind, task=task, component="task-loader", **data)
+
     # -- the six steps, as an interruptible generator ------------------------
 
     def load(
@@ -101,6 +107,13 @@ class TaskLoader:
         result.started_at = clock.now
         breakdown = result.breakdown
         task_name = name if name is not None else image.name
+        self._publish(
+            "load-begin",
+            task=task_name,
+            secure=secure,
+            measure=measure,
+            bytes=len(image.blob),
+        )
 
         # -- (1) allocate memory ------------------------------------------------
         mark = clock.now
@@ -150,6 +163,12 @@ class TaskLoader:
         mark = clock.now
         if measure:
             yield from self.rtm.measure(task, charge_invoke=True)
+            self._publish(
+                "task-measured",
+                task=task.name,
+                identity=task.identity.hex()[:16] if task.identity else None,
+                cycles=clock.now - mark,
+            )
         breakdown["rtm"] = clock.now - mark
 
         # -- (6) notify the scheduler ---------------------------------------------

@@ -77,6 +77,12 @@ class RemoteAttest(FirmwareComponent):
         #: Reports issued (diagnostics).
         self.reports_issued = 0
 
+    def _publish(self, kind, task=None, **data):
+        """Publish an attestation event on the observability bus."""
+        bus = self.kernel.obs
+        if bus is not None:
+            bus.publish("tc", kind, task=task, component=self.NAME, **data)
+
     def attestation_key(self, provider=b""):
         """Derive K_a from K_p (EA-MPU gated read of the key fuses)."""
         platform_key = self.key_store.read_key(actor=self.base)
@@ -92,6 +98,7 @@ class RemoteAttest(FirmwareComponent):
         self.kernel.clock.charge(cycles.ATTEST_MAC)
         mac = hmac_sha1(key, entry.identity + bytes(nonce))
         self.reports_issued += 1
+        self._publish("attest", task=task.name, identity=entry.identity.hex()[:16])
         return AttestationReport(entry.identity, nonce, mac)
 
     def attest_identity(self, identity, nonce, provider=b""):
@@ -102,6 +109,7 @@ class RemoteAttest(FirmwareComponent):
         self.kernel.clock.charge(cycles.ATTEST_MAC)
         mac = hmac_sha1(key, bytes(identity) + bytes(nonce))
         self.reports_issued += 1
+        self._publish("attest", identity=bytes(identity).hex()[:16])
         return AttestationReport(identity, nonce, mac)
 
 

@@ -52,6 +52,12 @@ class SecureStorage(FirmwareComponent):
         self._vault = {}
         self._nonce_counter = 0
 
+    def _publish(self, kind, task=None, **data):
+        """Publish a storage event on the observability bus."""
+        bus = self.kernel.obs
+        if bus is not None:
+            bus.publish("tc", kind, task=task, component=self.NAME, **data)
+
     # -- key handling ----------------------------------------------------------
 
     def task_key(self, identity):
@@ -89,6 +95,9 @@ class SecureStorage(FirmwareComponent):
             ciphertext,
             tag,
         )
+        self._publish(
+            "storage-store", task=task.name, slot=slot_name, bytes=len(payload)
+        )
 
     def retrieve(self, task, slot_name):
         """Decrypt and return the caller's blob for ``slot_name``.
@@ -111,6 +120,12 @@ class SecureStorage(FirmwareComponent):
             raise SecureStorageError("blob %r failed integrity check" % slot_name)
         blocks = (len(ciphertext) + 7) // 8
         self.kernel.clock.charge(blocks * cycles.XTEA_PER_BLOCK)
+        self._publish(
+            "storage-retrieve",
+            task=task.name,
+            slot=slot_name,
+            bytes=len(ciphertext),
+        )
         return xtea_ctr(key[:16], nonce, ciphertext)
 
     def delete(self, task, slot_name):

@@ -279,13 +279,19 @@ class TyTAN:
     # -- execution ----------------------------------------------------------------
 
     def run(self, max_cycles=None, until=None):
-        """Run the kernel."""
-        self.kernel.run(max_cycles=max_cycles, until=until)
+        """Run the kernel; returns a
+        :class:`~repro.rtos.kernel.RunResult`."""
+        return self.kernel.run(max_cycles=max_cycles, until=until)
 
     @property
     def clock(self):
         """The platform cycle clock."""
         return self.platform.clock
+
+    @property
+    def obs(self):
+        """The platform's observability bus (:mod:`repro.obs`)."""
+        return self.platform.obs
 
     # -- ISA trap handlers for attest / storage -----------------------------------
 

@@ -181,6 +181,9 @@ class EAMPU:
         #: denials are never cached, so faults and ``fault_log`` are
         #: identical either way).
         self.decisions = MPUDecisionCache(self) if decision_cache else None
+        #: Observability bus (set by the platform); denials publish
+        #: ``mpu-denial`` / ``mpu-entry-fault`` events here.
+        self.obs = None
 
     # -- configuration ------------------------------------------------------
 
@@ -273,6 +276,10 @@ class EAMPU:
             return
         fault = ProtectionFault(address, kind, eip)
         self.fault_log.append(fault)
+        if self.obs is not None:
+            self.obs.publish(
+                "hw", "mpu-denial", access=kind, address=address, size=size, eip=eip
+            )
         raise fault
 
     def check_transfer(self, from_eip, to_eip, privileged=False):
@@ -300,6 +307,14 @@ class EAMPU:
             if inside_to and not inside_from and to_eip != rule.entry_point:
                 fault = EntryPointFault(to_eip, from_eip, rule.entry_point)
                 self.fault_log.append(fault)
+                if self.obs is not None:
+                    self.obs.publish(
+                        "hw",
+                        "mpu-entry-fault",
+                        to_eip=to_eip,
+                        from_eip=from_eip,
+                        entry_point=rule.entry_point,
+                    )
                 raise fault
         if decisions is not None:
             decisions.store_transfer(from_eip, to_eip)

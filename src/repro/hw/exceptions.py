@@ -94,6 +94,9 @@ class ExceptionEngine:
         self.last_origin = None
         #: Vector most recently delivered (diagnostics).
         self.last_vector = None
+        #: Observability bus (set by the platform); each delivery
+        #: publishes an ``exception`` event.
+        self.obs = None
 
     # -- IDT management (boot-time only) -----------------------------------
 
@@ -132,6 +135,10 @@ class ExceptionEngine:
         regs.eip = handler
         if charge:
             cpu.clock.charge(cycles.EXCEPTION_ENTRY)
+        if self.obs is not None:
+            self.obs.publish(
+                "hw", "exception", vector=vector, origin=self.last_origin
+            )
         return handler
 
     def hw_return(self, cpu):

@@ -28,6 +28,7 @@ from repro.hw.memory import MemoryMap, PhysicalMemory, RamRegion
 from repro.hw.mmio import MmioRegion
 from repro.hw.platform_key import KEY_BYTES, PlatformKeyStore
 from repro.hw.timer import RealTimeClock, TickTimer
+from repro.obs.bus import DEFAULT_CAPACITY, EventBus
 
 
 class MachineConfig:
@@ -38,7 +39,15 @@ class MachineConfig:
     OS, and 1 MiB of task RAM.
     """
 
-    def __init__(self, hz=DEFAULT_HZ, tick_period=16_000, mpu_slots=None, fastpath=True):
+    def __init__(
+        self,
+        hz=DEFAULT_HZ,
+        tick_period=16_000,
+        mpu_slots=None,
+        fastpath=True,
+        obs_enabled=True,
+        obs_capacity=DEFAULT_CAPACITY,
+    ):
         self.hz = hz
         #: Cycles between scheduler ticks (16,000 @ 48 MHz = 3 kHz).
         self.tick_period = tick_period
@@ -48,6 +57,11 @@ class MachineConfig:
         #: verdict memo, region last-hit).  Wall-clock only; simulated
         #: behaviour is identical either way.
         self.fastpath = fastpath
+        #: Enable the observability bus (repro.obs).  Observation only;
+        #: simulated behaviour is bit-identical either way.
+        self.obs_enabled = obs_enabled
+        #: Event-ring capacity of the observability bus.
+        self.obs_capacity = obs_capacity
 
         self.idt_base = 0x0000_0000
         self.idt_size = 0x400
@@ -134,6 +148,11 @@ class Platform:
         cfg = self.config
 
         self.clock = CycleClock(cfg.hz)
+        #: The unified observability bus: hardware, kernel, and trusted
+        #: components all publish here (see repro.obs).
+        self.obs = EventBus(
+            clock=self.clock, capacity=cfg.obs_capacity, enabled=cfg.obs_enabled
+        )
         self.memory = PhysicalMemory(MemoryMap())
         self.memory.map.cache_enabled = cfg.fastpath
         if cfg.mpu_slots is None:
@@ -163,6 +182,17 @@ class Platform:
         self.cpu = CPU(self.memory, self.clock, fastpath=cfg.fastpath)
         self.engine = ExceptionEngine(self.memory, cfg.idt_base)
         self.cpu.attach_engine(self.engine)
+
+        # -- observability wiring: hardware publishers and the counter
+        #    registry absorbing the fast-path cache stats ------------------
+        self.mpu.obs = self.obs
+        self.engine.obs = self.obs
+        self.obs.counters.register(self.memory.map.stats)
+        if self.cpu.insn_cache is not None:
+            self.obs.counters.register(self.cpu.insn_cache.stats)
+        if self.mpu.decisions is not None:
+            self.obs.counters.register(self.mpu.decisions.access_stats)
+            self.obs.counters.register(self.mpu.decisions.transfer_stats)
 
         # -- devices ------------------------------------------------------------
         self.tick_timer = TickTimer(self.engine.controller, cfg.tick_period)

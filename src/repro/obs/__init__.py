@@ -1,0 +1,51 @@
+"""repro.obs - the unified observability bus.
+
+One structured event stream for the whole stack, with bounded memory,
+per-kind filtering, per-task cycle accounting, a machine-wide counter
+registry, and three exporters (JSONL, Chrome trace-event/Perfetto,
+plain-text summary).  See ``docs/OBSERVABILITY.md`` for the design and
+the event taxonomy.
+
+Typical use::
+
+    from repro import TyTAN
+    from repro.obs import write_chrome_trace
+
+    system = TyTAN()
+    ...
+    system.run(max_cycles=1_000_000)
+    write_chrome_trace(system.obs.events, "trace.json",
+                       hz=system.platform.config.hz)
+
+Every :class:`~repro.hw.platform.Platform` owns a bus
+(``platform.obs``); the kernel, the hardware, and the trusted
+components publish to it.  Disable it wholesale with
+``MachineConfig(obs_enabled=False)`` or at runtime via
+``bus.enabled = False``.
+"""
+
+from repro.obs.accounting import TaskAccounting
+from repro.obs.bus import DEFAULT_CAPACITY, Event, EventBus
+from repro.obs.counters import Counter, CounterRegistry, HitMissCounter
+from repro.obs.exporters import (
+    chrome_trace,
+    read_jsonl,
+    summary_text,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "CounterRegistry",
+    "DEFAULT_CAPACITY",
+    "Event",
+    "EventBus",
+    "HitMissCounter",
+    "TaskAccounting",
+    "chrome_trace",
+    "read_jsonl",
+    "summary_text",
+    "write_chrome_trace",
+    "write_jsonl",
+]

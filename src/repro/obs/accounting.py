@@ -1,0 +1,70 @@
+"""Per-task cycle and event accounting, fed by the event bus.
+
+The kernel publishes a ``slice-begin``/``slice-end`` pair around every
+scheduling slice; :class:`TaskAccounting` folds those (plus every other
+task-attributed event) into per-task totals.  It is wired into
+:class:`~repro.obs.bus.EventBus` as a built-in observer, so the numbers
+are always available without registering anything:
+
+    system.obs.accounting.report()
+    system.obs.accounting.cycles_of("sensor")
+"""
+
+from __future__ import annotations
+
+
+class TaskAccounting:
+    """Accumulated per-task activity derived from bus events.
+
+    Unlike the bounded event ring, the totals here never drop history -
+    they are O(tasks), not O(events).
+    """
+
+    def __init__(self):
+        #: task name -> {"cycles", "slices", "events"}
+        self._tasks = {}
+
+    def observe(self, event):
+        """Fold one :class:`~repro.obs.bus.Event` into the totals."""
+        task = event.task
+        if task is None:
+            return
+        entry = self._tasks.get(task)
+        if entry is None:
+            entry = self._tasks[task] = {"cycles": 0, "slices": 0, "events": 0}
+        entry["events"] += 1
+        if event.kind == "slice-end":
+            entry["slices"] += 1
+            entry["cycles"] += event.data.get("cycles", 0)
+
+    # -- queries ------------------------------------------------------------
+
+    def tasks(self):
+        """All task names seen, sorted."""
+        return sorted(self._tasks)
+
+    def cycles_of(self, name):
+        """Total cycles ``name`` spent running (0 when unseen)."""
+        entry = self._tasks.get(name)
+        return entry["cycles"] if entry else 0
+
+    def slices_of(self, name):
+        """Number of scheduling slices ``name`` ran."""
+        entry = self._tasks.get(name)
+        return entry["slices"] if entry else 0
+
+    def events_of(self, name):
+        """Number of bus events attributed to ``name``."""
+        entry = self._tasks.get(name)
+        return entry["events"] if entry else 0
+
+    def report(self):
+        """``{task: {"cycles", "slices", "events"}}`` copy of the totals."""
+        return {name: dict(entry) for name, entry in self._tasks.items()}
+
+    def clear(self):
+        """Drop all accumulated totals."""
+        self._tasks = {}
+
+    def __repr__(self):
+        return "TaskAccounting(%d tasks)" % len(self._tasks)

@@ -1,0 +1,231 @@
+"""Exporters: JSONL, Chrome trace-event JSON (Perfetto), plain text.
+
+Three views of one :class:`~repro.obs.bus.EventBus` stream:
+
+* :func:`write_jsonl` / :func:`read_jsonl` - one JSON object per line,
+  lossless round trip (``read_jsonl(write_jsonl(events)) == events``);
+* :func:`chrome_trace` / :func:`write_chrome_trace` - the Chrome
+  trace-event format: open the file in https://ui.perfetto.dev or
+  ``chrome://tracing``.  Scheduling slices become duration events on
+  one track per task; trusted-component and hardware events become
+  instants on their own tracks;
+* :func:`summary_text` - a terminal-friendly digest (event histogram,
+  per-task cycle table, counter snapshot).
+
+Timestamps: the simulator counts cycles; Chrome wants microseconds.
+``ts = cycle * 1e6 / hz`` converts using the machine's clock rate, so
+the Perfetto timeline reads in real simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.hw.clock import DEFAULT_HZ
+from repro.obs.bus import Event
+
+#: The single simulated process id in exported traces.
+TRACE_PID = 1
+
+
+# -- JSONL -----------------------------------------------------------------
+
+
+def write_jsonl(events, path_or_fp):
+    """Write events as JSON Lines; returns the number written."""
+    if hasattr(path_or_fp, "write"):
+        return _write_jsonl_fp(events, path_or_fp)
+    with open(path_or_fp, "w") as handle:
+        return _write_jsonl_fp(events, handle)
+
+
+def _write_jsonl_fp(events, handle):
+    count = 0
+    for event in events:
+        handle.write(json.dumps(event.to_dict(), sort_keys=True))
+        handle.write("\n")
+        count += 1
+    return count
+
+
+def read_jsonl(path_or_fp):
+    """Parse a JSONL export back into :class:`Event` objects."""
+    if hasattr(path_or_fp, "read"):
+        lines = path_or_fp.read().splitlines()
+    else:
+        with open(path_or_fp) as handle:
+            lines = handle.read().splitlines()
+    return [Event.from_dict(json.loads(line)) for line in lines if line.strip()]
+
+
+# -- Chrome trace-event format --------------------------------------------
+
+
+def _track_key(event):
+    """The (group, label) track an event renders on.
+
+    One track per task, one per trusted component, one shared track per
+    remaining source ("hw", "rtos") - so Perfetto shows scheduling
+    slices per task with hardware/kernel instants alongside.
+    """
+    if event.source == "tc":
+        return ("tc", event.data.get("component", "trusted"))
+    if event.task is not None:
+        return ("task", event.task)
+    return ("sys", event.source)
+
+
+def chrome_trace(events, hz=DEFAULT_HZ, process_name="tytan"):
+    """Render events as a Chrome trace dict (``{"traceEvents": [...]}``).
+
+    ``slice-begin``/``slice-end`` pairs become ``B``/``E`` duration
+    events on the owning task's track; everything else becomes an
+    instant (``ph: "i"``).  A dangling ``B`` (run aborted mid-slice) is
+    closed at the final timestamp so viewers never see an open stack.
+    """
+    scale = 1e6 / float(hz)
+    trace_events = []
+    tids = {}
+    open_slices = {}
+    last_ts = 0.0
+
+    def tid_for(key):
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "ts": 0,
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": {"name": "%s:%s" % key},
+                }
+            )
+        return tid
+
+    trace_events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "ts": 0,
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    )
+
+    for event in events:
+        ts = round(event.cycle * scale, 3)
+        last_ts = max(last_ts, ts)
+        tid = tid_for(_track_key(event))
+        if event.kind == "slice-begin":
+            trace_events.append(
+                {
+                    "ph": "B",
+                    "name": event.task,
+                    "cat": event.source,
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "ts": ts,
+                    "args": dict(event.data),
+                }
+            )
+            open_slices[tid] = event.task
+        elif event.kind == "slice-end":
+            if open_slices.pop(tid, None) is not None:
+                trace_events.append(
+                    {
+                        "ph": "E",
+                        "name": event.task,
+                        "cat": event.source,
+                        "pid": TRACE_PID,
+                        "tid": tid,
+                        "ts": ts,
+                        "args": dict(event.data),
+                    }
+                )
+        else:
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": event.kind,
+                    "cat": event.source,
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "ts": ts,
+                    "args": dict(event.data),
+                }
+            )
+
+    for tid, task in sorted(open_slices.items()):
+        trace_events.append(
+            {
+                "ph": "E",
+                "name": task,
+                "cat": "rtos",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "ts": last_ts,
+                "args": {},
+            }
+        )
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events, path, hz=DEFAULT_HZ, process_name="tytan"):
+    """Write :func:`chrome_trace` output to ``path``; returns the dict."""
+    trace = chrome_trace(events, hz=hz, process_name=process_name)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return trace
+
+
+# -- plain-text summary ----------------------------------------------------
+
+
+def summary_text(events, accounting=None, counters=None):
+    """A terminal digest: event histogram, per-task cycles, counters."""
+    events = list(events)
+    lines = ["%d events" % len(events)]
+
+    histogram = {}
+    for event in events:
+        key = (event.source, event.kind)
+        histogram[key] = histogram.get(key, 0) + 1
+    if histogram:
+        lines.append("")
+        lines.append("events by kind:")
+        for (source, kind), count in sorted(
+            histogram.items(), key=lambda item: (-item[1], item[0])
+        ):
+            lines.append("  %-6s %-22s %8d" % (source, kind, count))
+
+    if accounting is not None and accounting.tasks():
+        lines.append("")
+        lines.append("per-task accounting:")
+        lines.append(
+            "  %-20s %12s %8s %8s" % ("task", "cycles", "slices", "events")
+        )
+        report = accounting.report()
+        for name in sorted(report, key=lambda n: -report[n]["cycles"]):
+            entry = report[name]
+            lines.append(
+                "  %-20s %12d %8d %8d"
+                % (name, entry["cycles"], entry["slices"], entry["events"])
+            )
+
+    if counters is not None and len(counters):
+        lines.append("")
+        lines.append("counters:")
+        for name, snapshot in counters.snapshot().items():
+            detail = ", ".join(
+                "%s=%s" % (key, value) for key, value in sorted(snapshot.items())
+            )
+            lines.append("  %-20s %s" % (name, detail))
+
+    return "\n".join(lines) + "\n"

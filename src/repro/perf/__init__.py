@@ -12,8 +12,9 @@ cache structures shared by the CPU, the EA-MPU, and the memory map:
   EA-MPU *allow* verdicts for data accesses and control transfers,
   invalidated by the MPU's epoch counter (bumped on every
   ``program_slot``/``clear_slot``);
-* :class:`~repro.perf.counters.HitMissCounter` - hit/miss/invalidation
-  counters exposed to tests and benches.
+* :class:`~repro.obs.counters.HitMissCounter` - hit/miss/invalidation
+  counters (now part of :mod:`repro.obs`; re-exported here), registered
+  with each platform's ``obs.counters`` registry for tests and benches.
 
 The invariant all of these preserve: **caches change wall-clock speed
 only, never simulated semantics**.  Faults, fault logs, trace and

@@ -1,54 +1,15 @@
-"""Hit/miss bookkeeping shared by every fast-path cache."""
+"""Hit/miss bookkeeping shared by every fast-path cache.
+
+:class:`HitMissCounter` moved to :mod:`repro.obs.counters` when the
+observability bus absorbed the counters layer; this module re-exports
+it so existing imports keep working.  New code should import from
+:mod:`repro.obs` and register counters with a
+:class:`~repro.obs.counters.CounterRegistry` (every platform exposes
+one at ``platform.obs.counters``).
+"""
 
 from __future__ import annotations
 
+from repro.obs.counters import HitMissCounter
 
-class HitMissCounter:
-    """Counts cache hits, misses, and invalidation events.
-
-    The counters are plain attributes so the hot path pays a single
-    integer increment; everything derived (totals, rates) is computed on
-    demand by tests and benches.
-    """
-
-    __slots__ = ("name", "hits", "misses", "invalidations")
-
-    def __init__(self, name):
-        self.name = name
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-
-    @property
-    def total(self):
-        """Total lookups observed."""
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self):
-        """Fraction of lookups served from the cache (0.0 when idle)."""
-        total = self.total
-        return self.hits / total if total else 0.0
-
-    def reset(self):
-        """Zero all counters."""
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-
-    def snapshot(self):
-        """Plain-dict view for JSON benches and assertions."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "hit_rate": round(self.hit_rate, 6),
-        }
-
-    def __repr__(self):
-        return "HitMissCounter(%s, hits=%d, misses=%d, inval=%d)" % (
-            self.name,
-            self.hits,
-            self.misses,
-            self.invalidations,
-        )
+__all__ = ["HitMissCounter"]

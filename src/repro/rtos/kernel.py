@@ -23,6 +23,8 @@ tasks through the trusted Int Mux and entry routine.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro import cycles
 from repro.errors import (
     HardwareFault,
@@ -50,6 +52,31 @@ from repro.rtos.task import (
 FRAME_GPR_BYTES = 4 * 8
 #: Full context frame: 8 GPRs + EIP + EFLAGS.
 FRAME_BYTES = FRAME_GPR_BYTES + 8
+
+#: Event kinds whose natural source is not the RTOS layer (the kernel
+#: emits them on behalf of hardware or a trusted component).
+_KIND_SOURCES = {
+    "irq": "hw",
+    "task-loaded": "tc",
+    "task-unloaded": "tc",
+    "task-updated": "tc",
+    "cfi-violation": "tc",
+    "secure-boot": "tc",
+}
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Kernel.run` / ``TyTAN.run`` call.
+
+    ``retired`` and ``cycles`` are deltas for this call, not machine
+    totals; ``stop_reason`` is one of ``"max-cycles"``, ``"until"``,
+    ``"stopped"``, or ``"idle"`` (nothing can ever run again).
+    """
+
+    retired: int
+    cycles: int
+    stop_reason: str
 
 
 class OsTrapGate(FirmwareComponent):
@@ -118,6 +145,9 @@ class Kernel:
         self.platform = platform
         self.clock = platform.clock
         self.memory = platform.memory
+        #: The platform's observability bus (repro.obs); every kernel
+        #: event is published here alongside the legacy sinks.
+        self.obs = platform.obs
         self.scheduler = Scheduler()
         self.timer_service = TimerService()
         cfg = platform.config
@@ -152,11 +182,25 @@ class Kernel:
     # -- events -----------------------------------------------------------
 
     def add_event_sink(self, sink):
-        """Register a trace sink ``sink(cycle, kind, data_dict)``."""
+        """Register a trace sink ``sink(cycle, kind, data_dict)``.
+
+        .. deprecated::
+            Subscribe to the observability bus instead:
+            ``kernel.obs.subscribe(callback)`` receives structured
+            :class:`~repro.obs.bus.Event` objects from *every* layer
+            (hardware, kernel, trusted components), not just the
+            kernel.  Legacy sinks keep working and see exactly the
+            kernel-emitted event stream.
+        """
         self._event_sinks.append(sink)
 
     def emit(self, kind, **data):
-        """Emit a trace event to all sinks."""
+        """Emit a trace event to the observability bus and all sinks."""
+        bus = self.obs
+        if bus is not None and bus.enabled:
+            bus.publish(
+                _KIND_SOURCES.get(kind, "rtos"), kind, task=data.get("name"), **data
+            )
         for sink in self._event_sinks:
             sink(self.clock.now, kind, data)
 
@@ -320,24 +364,37 @@ class Kernel:
         self._stopped = True
 
     def run(self, max_cycles=None, until=None):
-        """Run the system.
+        """Run the system; returns a :class:`RunResult`.
 
         Stops when ``max_cycles`` elapse, when ``until()`` returns true
         (checked at dispatch points), when :meth:`stop` is called, or
-        when no task can ever run again.
+        when no task can ever run again.  The result carries the
+        retired-instruction and cycle deltas for this call plus the
+        stop reason.
         """
         if self._in_run:
             raise KernelPanic("kernel run loop re-entered")
         self._in_run = True
         self._stopped = False
+        start_cycle = self.clock.now
+        start_retired = self.platform.cpu.retired
         deadline = None if max_cycles is None else self.clock.now + max_cycles
         if not self.platform.tick_timer.enabled:
             self.platform.tick_timer.start(self.clock.now)
+        bus = self.obs
+        if bus is not None and bus.enabled:
+            bus.publish("rtos", "run-begin", max_cycles=max_cycles)
+        reason = "idle"
         try:
-            while not self._stopped:
+            while True:
+                if self._stopped:
+                    reason = "stopped"
+                    break
                 if deadline is not None and self.clock.now >= deadline:
+                    reason = "max-cycles"
                     break
                 if until is not None and until():
+                    reason = "until"
                     break
                 self.service_interrupts()
                 task = self.scheduler.dispatch()
@@ -352,6 +409,20 @@ class Kernel:
                 self._run_slice(task, deadline)
         finally:
             self._in_run = False
+        result = RunResult(
+            retired=self.platform.cpu.retired - start_retired,
+            cycles=self.clock.now - start_cycle,
+            stop_reason=reason,
+        )
+        if bus is not None and bus.enabled:
+            bus.publish(
+                "rtos",
+                "run-end",
+                reason=result.stop_reason,
+                retired=result.retired,
+                cycles=result.cycles,
+            )
+        return result
 
     def _idle_wait(self, deadline):
         """No ready task: fast-forward to the next event.
@@ -431,11 +502,38 @@ class Kernel:
     # -- slice execution -------------------------------------------------------
 
     def _run_slice(self, task, deadline):
-        """Resume ``task`` and run it until it blocks or is preempted."""
-        if task.is_native:
-            self._run_native_slice(task, deadline)
-        else:
-            self._run_isa_slice(task, deadline)
+        """Resume ``task`` and run it until it blocks or is preempted.
+
+        Publishes a ``slice-begin``/``slice-end`` pair on the bus (per
+        task, with the cycles consumed) - the backbone of the Perfetto
+        per-task tracks and the per-task cycle accounting.
+        """
+        bus = self.obs
+        observed = bus is not None and bus.enabled
+        if observed:
+            bus.publish(
+                "rtos",
+                "slice-begin",
+                task=task.name,
+                tid=task.tid,
+                priority=task.priority,
+                flavor="native" if task.is_native else "isa",
+            )
+        start = self.clock.now
+        try:
+            if task.is_native:
+                self._run_native_slice(task, deadline)
+            else:
+                self._run_isa_slice(task, deadline)
+        finally:
+            if observed:
+                bus.publish(
+                    "rtos",
+                    "slice-end",
+                    task=task.name,
+                    tid=task.tid,
+                    cycles=self.clock.now - start,
+                )
 
     # .. ISA tasks ...........................................................
 

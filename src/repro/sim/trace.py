@@ -1,7 +1,13 @@
 """Event tracing.
 
-:class:`EventTrace` plugs into :meth:`repro.rtos.kernel.Kernel.add_event_sink`
-and records ``(cycle, kind, data)`` tuples with query helpers.
+:class:`EventTrace` records ``(cycle, kind, data)`` tuples with query
+helpers.  It is now a thin compatibility shim over the unified
+observability bus (:mod:`repro.obs`): given a kernel it subscribes to
+``kernel.obs`` and therefore sees events from *every* layer (hardware,
+kernel, trusted components), not just the kernel's own emissions.  New
+code should use the bus directly - ``kernel.obs.subscribe`` /
+``kernel.obs.of_kind`` - and the :mod:`repro.obs.exporters` for output.
+
 :class:`ActivationRecorder` timestamps task activations for rate
 analysis (the Table 1 experiment measures whether 1.5 kHz tasks hold
 their frequency while a load is in flight).
@@ -11,14 +17,23 @@ from __future__ import annotations
 
 
 class EventTrace:
-    """An in-memory kernel event log."""
+    """An in-memory event log (compatibility shim over the bus)."""
 
-    def __init__(self, kernel=None, keep=None):
+    def __init__(self, kernel=None, keep=None, bus=None):
         self.events = []
         #: Optional whitelist of event kinds to keep.
         self.keep = set(keep) if keep is not None else None
-        if kernel is not None:
+        if bus is None and kernel is not None:
+            bus = getattr(kernel, "obs", None)
+        if bus is not None and bus.enabled:
+            bus.subscribe(self._on_bus_event)
+        elif kernel is not None:
+            # Bus absent or disabled: fall back to the legacy sink so
+            # the trace still fills from kernel emissions.
             kernel.add_event_sink(self)
+
+    def _on_bus_event(self, event):
+        self(event.cycle, event.kind, event.data)
 
     def __call__(self, cycle, kind, data):
         if self.keep is None or kind in self.keep:

@@ -1,0 +1,174 @@
+"""``repro-trace``: run a workload and export an observability trace.
+
+Usage::
+
+    python -m repro.tools.trace --demo --out trace.json
+    python -m repro.tools.trace task.img [more.img ...] --ms 10 \
+        --out trace.json --jsonl trace.jsonl --summary
+
+Runs task images (or, with ``--demo`` / no images, a built-in demo
+workload: two secure periodic tasks, a normal compute task, an
+attestation and a secure-storage round trip) on a booted TyTAN and
+exports the event-bus stream:
+
+* ``--out`` - Chrome trace-event JSON: open it at
+  https://ui.perfetto.dev or in ``chrome://tracing`` (one track per
+  task, one per trusted component);
+* ``--jsonl`` - raw events, one JSON object per line;
+* ``--summary`` - print the plain-text digest (event histogram,
+  per-task cycle accounting, counter registry).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import TyTAN
+from repro.errors import ImageFormatError, TyTANError
+from repro.image.telf import TaskImage
+from repro.obs import summary_text, write_chrome_trace, write_jsonl
+from repro.sim.workloads import busy_loop_source, counter_task_source
+
+
+def build_parser():
+    """The tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Trace a TyTAN run and export it for Perfetto.",
+    )
+    parser.add_argument(
+        "images", nargs="*", help="task image files (.img); empty = demo workload"
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the built-in demo workload (default when no images given)",
+    )
+    parser.add_argument(
+        "--ms", type=float, default=10.0, help="simulated milliseconds to run"
+    )
+    parser.add_argument(
+        "--normal", action="store_true", help="load images as normal (not secure) tasks"
+    )
+    parser.add_argument("--priority", type=int, default=3, help="task priority")
+    parser.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="PATH",
+        help="Chrome trace-event JSON output (default trace.json)",
+    )
+    parser.add_argument(
+        "--jsonl", metavar="PATH", help="also write raw events as JSON Lines"
+    )
+    parser.add_argument(
+        "--summary", action="store_true", help="print the plain-text summary"
+    )
+    return parser
+
+
+def _load_demo(system):
+    """Load the demo workload; returns the loaded tasks."""
+    sensor = system.load_source(
+        counter_task_source(period_ticks=1, store_symbol="ticks"),
+        "sensor",
+        secure=True,
+        priority=4,
+    )
+    logger = system.load_source(
+        counter_task_source(period_ticks=3, store_symbol="lines"),
+        "logger",
+        secure=True,
+        priority=3,
+    )
+    cruncher = system.load_source(
+        busy_loop_source(5_000), "cruncher", secure=False, priority=1
+    )
+    return [sensor, logger, cruncher]
+
+
+def _demo_trusted_round_trip(system, tasks):
+    """Exercise attestation and secure storage so the trace shows the
+    trusted-component tracks."""
+    for task in tasks:
+        if task.identity is None or task.tid not in system.kernel.scheduler.tasks:
+            continue
+        verifier = system.make_verifier()
+        verifier.expect(task.identity)
+        nonce = verifier.fresh_nonce()
+        report = system.remote_attest_task(task, nonce)
+        verifier.verify(report, nonce)
+        system.store(task, "trace-demo", b"observability")
+        system.retrieve(task, "trace-demo")
+
+
+def main(argv=None, out=None):
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+
+    system = TyTAN()
+    tasks = []
+    if args.images:
+        for path in args.images:
+            try:
+                image = TaskImage.from_bytes(Path(path).read_bytes())
+            except (OSError, ImageFormatError) as exc:
+                print("repro-trace: %s: %s" % (path, exc), file=sys.stderr)
+                return 2
+            try:
+                tasks.append(
+                    system.load_task(
+                        image, secure=not args.normal, priority=args.priority
+                    )
+                )
+            except TyTANError as exc:
+                print(
+                    "repro-trace: loading %s failed: %s" % (path, exc),
+                    file=sys.stderr,
+                )
+                return 1
+    if args.demo or not args.images:
+        tasks.extend(_load_demo(system))
+
+    budget = int(args.ms * system.platform.config.hz / 1000)
+    result = system.run(max_cycles=budget)
+    if args.demo or not args.images:
+        _demo_trusted_round_trip(system, tasks)
+
+    bus = system.obs
+    events = list(bus.events)
+    write_chrome_trace(
+        events, args.out, hz=system.platform.config.hz, process_name="tytan"
+    )
+    print(
+        "ran %.2f ms simulated (%d cycles, %d insns, stop: %s)"
+        % (
+            system.clock.cycles_to_ms(result.cycles),
+            result.cycles,
+            result.retired,
+            result.stop_reason,
+        ),
+        file=out,
+    )
+    print(
+        "%d events captured (%d dropped) -> %s  [open in https://ui.perfetto.dev]"
+        % (len(events), bus.dropped, args.out),
+        file=out,
+    )
+    if args.jsonl:
+        count = write_jsonl(events, args.jsonl)
+        print("%d events -> %s (JSONL)" % (count, args.jsonl), file=out)
+    if args.summary:
+        print("", file=out)
+        print(
+            summary_text(events, accounting=bus.accounting, counters=bus.counters),
+            file=out,
+            end="",
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())
