@@ -52,7 +52,7 @@ from repro.hw.platform import MachineConfig
 from repro.obs import Event, EventBus
 from repro.rtos.kernel import RunResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Event",

@@ -1,0 +1,158 @@
+"""WCET soundness experiments: static bound vs. dynamic measurement.
+
+Each workload is assembled twice over: once for the static verifier
+(with loop-bound annotations resolved from its labels) and once into
+the standalone CPU+EA-MPU rig of :mod:`repro.perf.bench_core`, which
+runs it to the ``hlt`` and reports the exact cycles the core charged.
+A sound bound satisfies ``static >= dynamic`` - the static model
+assumes every branch takes the expensive direction and every loop runs
+to its annotated bound, so it may only ever over-approximate.
+
+Exposed through ``repro.tools.bench --wcet`` and asserted by
+``tests/test_analysis_wcet.py`` (an ISSUE acceptance criterion: at
+least two benchmark workloads with ``static >= dynamic``).
+
+The workloads end in ``hlt`` because the rig has no exception engine
+(no OS to service an EXIT syscall); the verifier policy therefore runs
+with ``privileged=True``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.verifier import VerifyPolicy, verify_image
+from repro.image.linker import link
+from repro.isa.assembler import assemble
+from repro.perf.bench_core import build_rig
+
+#: Iteration counts for the workload loops.
+COUNT_ITERS = 100
+OUTER_ITERS = 12
+INNER_ITERS = 8
+FILTER_SAMPLES = 32
+
+_COUNT_LOOP = """
+.section .text
+.global start
+start:
+    movi ecx, %(iters)d
+    movi eax, 0
+loop:
+    addi eax, 1
+    subi ecx, 1
+    cmpi ecx, 0
+    jnz loop
+    hlt
+""" % {"iters": COUNT_ITERS}
+
+_NESTED_CALLS = """
+.section .text
+.global start
+start:
+    movi edi, 0
+    movi ecx, %(outer)d
+outer:
+    movi edx, %(inner)d
+inner:
+    call bump
+    subi edx, 1
+    cmpi edx, 0
+    jnz inner
+    subi ecx, 1
+    cmpi ecx, 0
+    jnz outer
+    hlt
+bump:
+    addi edi, 1
+    ret
+""" % {"outer": OUTER_ITERS, "inner": INNER_ITERS}
+
+_BRANCHY_FILTER = """
+; Data-dependent control flow: the static bound must cover the
+; expensive (taken) direction of every sample's comparison.
+.section .text
+.global start
+start:
+    movi ecx, %(samples)d
+    movi eax, 0          ; accumulator
+    movi ebx, 7          ; rolling "sample"
+loop:
+    addi ebx, 13
+    andi ebx, 0xFF
+    cmpi ebx, 0x80
+    jl small
+    addi eax, 2
+    jmp next
+small:
+    addi eax, 1
+next:
+    subi ecx, 1
+    cmpi ecx, 0
+    jnz loop
+    hlt
+""" % {"samples": FILTER_SAMPLES}
+
+#: (name, source, {label: bound}) - bounds are per-loop-entry header
+#: execution counts keyed by label, resolved to blob offsets below.
+WORKLOADS = (
+    ("count-loop", _COUNT_LOOP, {"loop": COUNT_ITERS}),
+    (
+        "nested-calls",
+        _NESTED_CALLS,
+        {"outer": OUTER_ITERS, "inner": INNER_ITERS},
+    ),
+    ("branchy-filter", _BRANCHY_FILTER, {"loop": FILTER_SAMPLES}),
+)
+
+#: Step cap for the dynamic runs (every workload halts well before it).
+MAX_STEPS = 1_000_000
+
+
+def resolve_loop_bounds(obj, bounds_by_label):
+    """Map ``{label: bound}`` to ``{blob_offset: bound}`` via symbols."""
+    resolved = {}
+    for label, bound in bounds_by_label.items():
+        symbol = obj.symbols[label]
+        if symbol.section != ".text":
+            raise ValueError("loop label %r is not code" % label)
+        resolved[symbol.offset] = bound
+    return resolved
+
+
+def run_workload(name, source, bounds_by_label):
+    """One experiment: returns the static/dynamic comparison dict."""
+    obj = assemble(source, name)
+    loop_bounds = resolve_loop_bounds(obj, bounds_by_label)
+    image = link(obj, name=name, stack_size=64)
+    report = verify_image(
+        image, VerifyPolicy(privileged=True, loop_bounds=loop_bounds)
+    )
+
+    cpu = build_rig(fastpath=True, source=source)
+    steps = 0
+    while not cpu.halted:
+        cpu.step()
+        steps += 1
+        if steps > MAX_STEPS:
+            raise RuntimeError("workload %r did not halt" % name)
+    dynamic = cpu.clock.now
+
+    static = report.wcet.cycles if report.wcet.bounded else None
+    return {
+        "workload": name,
+        "static_wcet": static,
+        "dynamic_cycles": dynamic,
+        "retired": cpu.retired,
+        "sound": static is not None and static >= dynamic,
+        "slack_pct": (
+            round(100.0 * (static - dynamic) / dynamic, 1)
+            if static is not None and dynamic
+            else None
+        ),
+    }
+
+
+def wcet_experiments():
+    """Run every workload; returns the list of comparison dicts."""
+    return [
+        run_workload(name, source, bounds) for name, source, bounds in WORKLOADS
+    ]

@@ -1,0 +1,518 @@
+"""Static decoding model and control-flow graph of a task image.
+
+The verifier sees a task the way the TyTAN loader does: a
+:class:`~repro.image.telf.TaskImage` blob laid out at link base 0 with a
+flat relocation table.  Two complementary decodings are built:
+
+* a **linear sweep** from offset 0, which stops at the first byte that
+  does not decode (in TELF images that is normally the start of the
+  data section) - this approximates the *intended* code region and is
+  used for coverage statistics and mid-instruction checks;
+* a **recursive descent** from the entry point, following fall-through,
+  direct branches, and call targets - this is the set of instructions
+  that can actually execute, and every analysis pass judges the image
+  on it (data bytes that happen to decode are never false positives).
+
+Branch and address immediates are classified by the relocation table:
+an IMM32 whose byte offset appears in ``image.relocations`` is a
+link-base-0 *address* (the loader rebases it), so its target is known
+statically; an unrelocated immediate used as a branch target cannot be
+proven safe and is surfaced as a decode-soundness finding.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IllegalInstruction
+from repro.isa.encoding import decode
+from repro.isa.opcodes import (
+    CONDITIONAL_BRANCHES,
+    FORMATS,
+    OP_LENGTHS,
+    Op,
+    OpFormat,
+)
+
+#: Opcodes that end a basic block with a direct transfer.
+DIRECT_BRANCHES = frozenset({Op.JMP}) | CONDITIONAL_BRANCHES
+
+#: Privileged / platform-control opcodes an unprivileged task must not use.
+PRIVILEGED_OPS = frozenset({Op.CLI, Op.STI, Op.IRET, Op.HLT})
+
+#: Memory-operand opcodes (the MPU-safety pass checks these).
+LOAD_OPS = frozenset({Op.LD, Op.LDB})
+STORE_OPS = frozenset({Op.ST, Op.STB})
+
+#: Opcodes that overwrite their ``reg`` operand (constant tracking).
+REG_WRITERS = frozenset(
+    {
+        Op.MOV,
+        Op.ADD,
+        Op.SUB,
+        Op.AND,
+        Op.OR,
+        Op.XOR,
+        Op.SHL,
+        Op.SHR,
+        Op.MUL,
+        Op.DIV,
+        Op.MOVI,
+        Op.ADDI,
+        Op.SUBI,
+        Op.ANDI,
+        Op.ORI,
+        Op.XORI,
+        Op.SHLI,
+        Op.SHRI,
+        Op.LD,
+        Op.LDB,
+        Op.POP,
+        Op.NOT,
+        Op.NEG,
+    }
+)
+
+#: How the successor of an instruction was reached (for error reporting).
+ORIGIN_ENTRY = "entry"
+ORIGIN_FALLTHROUGH = "fallthrough"
+ORIGIN_BRANCH = "branch-target"
+ORIGIN_CALL = "call-target"
+ORIGIN_INT = "int-fallthrough"
+
+
+def _imm32_offset(offset, fmt):
+    """Blob offset of the 32-bit immediate of an instruction at ``offset``."""
+    if fmt == OpFormat.IMM32:
+        return offset + 1
+    if fmt == OpFormat.REG_IMM32:
+        return offset + 2
+    return None
+
+
+class InsnView:
+    """One reachable instruction plus its static metadata."""
+
+    __slots__ = ("offset", "insn", "relocated_imm", "target")
+
+    def __init__(self, offset, insn, relocated_imm=False, target=None):
+        self.offset = offset
+        self.insn = insn
+        #: Whether the instruction's IMM32 is rebased by the loader
+        #: (i.e. it is a link-base-0 address, not a plain constant).
+        self.relocated_imm = relocated_imm
+        #: Resolved branch/call target (link-base-0 offset) or ``None``.
+        self.target = target
+
+    @property
+    def end(self):
+        """Offset one past this instruction's encoding."""
+        return self.offset + self.insn.length
+
+    def __repr__(self):
+        return "InsnView(0x%X, %s)" % (self.offset, self.insn.mnemonic)
+
+
+class DecodeError:
+    """A decode failure discovered during recursive descent."""
+
+    __slots__ = ("offset", "reason", "origin", "source")
+
+    def __init__(self, offset, reason, origin, source=None):
+        self.offset = offset
+        self.reason = reason  # "unknown-opcode" | "truncated"
+        self.origin = origin  # one of the ORIGIN_* tags
+        self.source = source  # offset of the instruction that led here
+
+    def __repr__(self):
+        return "DecodeError(0x%X, %s via %s)" % (self.offset, self.reason, self.origin)
+
+
+class CodeModel:
+    """Everything the passes need to know about one image's code."""
+
+    def __init__(self, image):
+        self.image = image
+        self.reloc_set = frozenset(image.relocations)
+        #: Linear sweep from 0: offset -> Instruction.
+        self.sweep = {}
+        self.sweep_end = 0
+        #: ``(offset, remaining_bytes)`` when the sweep ended on a
+        #: truncated final instruction, else ``None``.
+        self.sweep_truncated = None
+        #: Recursive descent from the entry: offset -> InsnView.
+        self.reachable = {}
+        self.decode_errors = []
+        #: Offsets of branches whose IMM32 is not relocated.
+        self.unrelocated_branches = []
+        #: Call targets (function entries besides ``image.entry``).
+        self.call_targets = set()
+        #: Branch/jump targets (block leaders).
+        self.branch_targets = set()
+        #: Offsets of ``int`` instructions (syscall sites).
+        self.int_sites = []
+        self._linear_sweep()
+        self._descend()
+
+    # -- linear sweep -------------------------------------------------------
+
+    def _linear_sweep(self):
+        blob = self.image.blob
+        offset = 0
+        while offset < len(blob):
+            opcode = blob[offset]
+            fmt = FORMATS.get(opcode)
+            if fmt is None:
+                break
+            if offset + OP_LENGTHS[opcode] > len(blob):
+                self.sweep_truncated = (offset, len(blob) - offset)
+                break
+            self.sweep[offset] = decode(blob, offset)
+            offset += OP_LENGTHS[opcode]
+        self.sweep_end = offset
+
+    def sweep_insn_covering(self, offset):
+        """The sweep instruction whose encoding spans ``offset``, when
+        ``offset`` is not itself a sweep instruction start."""
+        for back in range(1, 6):
+            insn = self.sweep.get(offset - back)
+            if insn is not None and insn.length > back:
+                return offset - back, insn
+        return None
+
+    # -- recursive descent ---------------------------------------------------
+
+    def _decode_at(self, offset, origin, source):
+        blob = self.image.blob
+        if offset >= len(blob) or offset < 0:
+            self.decode_errors.append(
+                DecodeError(offset, "outside-blob", origin, source)
+            )
+            return None
+        opcode = blob[offset]
+        if FORMATS.get(opcode) is None:
+            self.decode_errors.append(
+                DecodeError(offset, "unknown-opcode", origin, source)
+            )
+            return None
+        if offset + OP_LENGTHS[opcode] > len(blob):
+            self.decode_errors.append(
+                DecodeError(offset, "truncated", origin, source)
+            )
+            return None
+        try:
+            return decode(blob, offset)
+        except IllegalInstruction:  # pragma: no cover - covered above
+            self.decode_errors.append(
+                DecodeError(offset, "unknown-opcode", origin, source)
+            )
+            return None
+
+    def _descend(self):
+        entry = self.image.entry
+        worklist = [(entry, ORIGIN_ENTRY, None)]
+        seen_queued = {entry}
+        while worklist:
+            offset, origin, source = worklist.pop()
+            if offset in self.reachable:
+                continue
+            insn = self._decode_at(offset, origin, source)
+            if insn is None:
+                if origin == ORIGIN_INT:
+                    # ``int`` may be a no-return service call (e.g. the
+                    # EXIT syscall); falling into undecodable bytes after
+                    # it is not a soundness finding.
+                    self.decode_errors.pop()
+                continue
+            opcode = insn.opcode
+            fmt = FORMATS[opcode]
+            imm_at = _imm32_offset(offset, fmt)
+            relocated = imm_at is not None and imm_at in self.reloc_set
+            target = None
+            if opcode in DIRECT_BRANCHES or opcode == Op.CALL:
+                if relocated:
+                    target = insn.imm
+                else:
+                    self.unrelocated_branches.append(offset)
+            view = InsnView(offset, insn, relocated, target)
+            self.reachable[offset] = view
+            if opcode == Op.INT:
+                self.int_sites.append(offset)
+
+            def queue(next_offset, next_origin):
+                if next_offset not in self.reachable:
+                    worklist.append((next_offset, next_origin, offset))
+                    seen_queued.add(next_offset)
+
+            if opcode in (Op.RET, Op.HLT):
+                continue
+            if opcode == Op.JMP:
+                if target is not None:
+                    self.branch_targets.add(target)
+                    queue(target, ORIGIN_BRANCH)
+                continue
+            if opcode in CONDITIONAL_BRANCHES:
+                if target is not None:
+                    self.branch_targets.add(target)
+                    queue(target, ORIGIN_BRANCH)
+                queue(view.end, ORIGIN_FALLTHROUGH)
+                continue
+            if opcode == Op.CALL:
+                if target is not None:
+                    self.call_targets.add(target)
+                    queue(target, ORIGIN_CALL)
+                queue(view.end, ORIGIN_FALLTHROUGH)
+                continue
+            if opcode == Op.INT:
+                queue(view.end, ORIGIN_INT)
+                continue
+            queue(view.end, ORIGIN_FALLTHROUGH)
+
+    # -- successor helpers (intra-procedural: call edges excluded) ----------
+
+    def successors(self, view):
+        """Intra-procedural successor offsets of one instruction.
+
+        Call instructions contribute only their fall-through (the callee
+        is accounted separately); ``int`` falls through when the next
+        offset decoded, else acts as a terminator.
+        """
+        opcode = view.insn.opcode
+        if opcode in (Op.RET, Op.HLT):
+            return ()
+        if opcode == Op.JMP:
+            return (view.target,) if view.target is not None else ()
+        if opcode in CONDITIONAL_BRANCHES:
+            out = [view.end] if view.end in self.reachable else []
+            if view.target is not None:
+                out.append(view.target)
+            return tuple(out)
+        if view.end in self.reachable:
+            return (view.end,)
+        return ()
+
+
+class BasicBlock:
+    """A maximal straight-line run of reachable instructions."""
+
+    __slots__ = ("start", "insns", "succ")
+
+    def __init__(self, start, insns):
+        self.start = start
+        self.insns = insns
+        self.succ = ()
+
+    @property
+    def last(self):
+        """The block's terminator instruction view."""
+        return self.insns[-1]
+
+    def __repr__(self):
+        return "BasicBlock(0x%X, %d insns)" % (self.start, len(self.insns))
+
+
+class FunctionCFG:
+    """The intra-procedural CFG of one function (entry or call target)."""
+
+    def __init__(self, model, entry):
+        self.model = model
+        self.entry = entry
+        self.blocks = {}
+        #: Offsets of call instructions inside this function -> target.
+        self.calls = []
+        self._build()
+        self._dominators()
+        self._find_loops()
+
+    # -- construction -------------------------------------------------------
+
+    def _function_insns(self):
+        """Instructions reachable from the entry without call edges."""
+        model = self.model
+        seen = {}
+        stack = [self.entry]
+        while stack:
+            offset = stack.pop()
+            view = model.reachable.get(offset)
+            if view is None or offset in seen:
+                continue
+            seen[offset] = view
+            if view.insn.opcode == Op.CALL and view.target is not None:
+                self.calls.append((offset, view.target))
+            for succ in model.successors(view):
+                if succ not in seen:
+                    stack.append(succ)
+        return seen
+
+    def _build(self):
+        model = self.model
+        insns = self._function_insns()
+        if not insns:
+            return
+        leaders = {self.entry}
+        for view in insns.values():
+            succs = model.successors(view)
+            opcode = view.insn.opcode
+            if opcode in DIRECT_BRANCHES or opcode in (Op.CALL, Op.RET, Op.HLT):
+                leaders.update(succs)
+            elif len(succs) != 1:
+                leaders.update(succs)
+        for target in model.branch_targets:
+            if target in insns:
+                leaders.add(target)
+        for leader in sorted(leaders):
+            run = []
+            offset = leader
+            while offset in insns:
+                view = insns[offset]
+                run.append(view)
+                succs = model.successors(view)
+                nxt = view.end
+                if (
+                    len(succs) == 1
+                    and succs[0] == nxt
+                    and nxt not in leaders
+                    and nxt in insns
+                ):
+                    offset = nxt
+                    continue
+                break
+            if run:
+                self.blocks[leader] = BasicBlock(leader, run)
+        for block in self.blocks.values():
+            succs = []
+            for offset in self.model.successors(block.last):
+                if offset in self.blocks:
+                    succs.append(offset)
+            block.succ = tuple(succs)
+
+    # -- dominators / loops --------------------------------------------------
+
+    def _rpo(self):
+        """Reverse post-order of block starts from the entry."""
+        order = []
+        seen = set()
+
+        def visit(start):
+            stack = [(start, iter(self.blocks[start].succ))]
+            seen.add(start)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.blocks[succ].succ)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        if self.entry in self.blocks:
+            visit(self.entry)
+        order.reverse()
+        return order
+
+    def _dominators(self):
+        """Iterative dominator computation (Cooper/Harvey/Kennedy)."""
+        self.rpo = self._rpo()
+        index = {node: i for i, node in enumerate(self.rpo)}
+        preds = {node: [] for node in self.rpo}
+        for node in self.rpo:
+            for succ in self.blocks[node].succ:
+                if succ in preds:
+                    preds[succ].append(node)
+        idom = {self.entry: self.entry} if self.rpo else {}
+
+        def intersect(a, b):
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]
+                while index[b] > index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in self.rpo:
+                if node == self.entry:
+                    continue
+                new = None
+                for pred in preds[node]:
+                    if pred in idom:
+                        new = pred if new is None else intersect(new, pred)
+                if new is not None and idom.get(node) != new:
+                    idom[node] = new
+                    changed = True
+        self.idom = idom
+        self.preds = preds
+
+    def dominates(self, a, b):
+        """Whether block ``a`` dominates block ``b``."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom.get(node)
+            if parent is None or parent == node:
+                return False
+            node = parent
+
+    def _find_loops(self):
+        """Natural loops via back edges; flags irreducible regions.
+
+        A retreating edge whose target does not dominate its source
+        makes the CFG irreducible - no loop-bound annotation can make
+        such a region's WCET computable here.
+        """
+        self.back_edges = []
+        self.irreducible = False
+        index = {node: i for i, node in enumerate(self.rpo)}
+        for node in self.rpo:
+            for succ in self.blocks[node].succ:
+                if succ in index and index[succ] <= index[node]:
+                    if self.dominates(succ, node):
+                        self.back_edges.append((node, succ))
+                    else:
+                        self.irreducible = True
+        #: loop header block start -> set of member block starts.
+        self.loops = {}
+        for tail, header in self.back_edges:
+            body = self.loops.setdefault(header, {header})
+            stack = [tail]
+            while stack:
+                node = stack.pop()
+                if node in body:
+                    continue
+                body.add(node)
+                stack.extend(self.preds.get(node, ()))
+
+    def loop_multiplier(self, block_start, bounds):
+        """Product of enclosing-loop bounds for one block.
+
+        ``bounds`` maps loop-header block starts to the maximum number
+        of times that header executes per entry of its loop.  Returns
+        ``None`` when an enclosing loop has no bound.
+        """
+        product = 1
+        for header, body in self.loops.items():
+            if block_start in body:
+                bound = bounds.get(header)
+                if bound is None:
+                    return None
+                product *= bound
+        return product
+
+
+def build_functions(model):
+    """Build a :class:`FunctionCFG` per function entry.
+
+    The task entry point is always a function; every resolved call
+    target adds another.
+    """
+    entries = {model.image.entry} | set(model.call_targets)
+    return {
+        entry: FunctionCFG(model, entry)
+        for entry in sorted(entries)
+        if entry in model.reachable
+    }

@@ -1,0 +1,284 @@
+"""Verifier corpora: known-bad fixtures and the shipped clean set.
+
+Three collections, consumed by the test suite and by the
+``repro.tools.verify --builtin`` regression gate:
+
+* :func:`rejection_fixtures` - one deliberately bad image per analysis
+  pass; each must be rejected (the pass's finding must fire);
+* :func:`clean_entries` - every shipped runnable image (use-case t2,
+  the workload generators, the benign example tasks); each must verify
+  with zero findings;
+* :func:`attacker_entries` - the deliberately malicious tasks from
+  ``examples/malware_containment.py``; the verifier flags statically
+  what the EA-MPU contains dynamically, so each must produce findings.
+
+The example sources live outside the package (``examples/*.py`` at the
+repo root); they are loaded by path and skipped gracefully when the
+directory is absent (e.g. an installed wheel without the examples).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+from repro.analysis.verifier import VerifyPolicy
+from repro.hw.platform import MachineConfig
+from repro.image.linker import link
+from repro.image.telf import TaskImage
+from repro.isa.assembler import assemble
+from repro.sim.workloads import (
+    busy_loop_source,
+    counter_task_source,
+    periodic_sender_source,
+)
+
+
+class CorpusEntry:
+    """One image plus the policy it should be verified under."""
+
+    __slots__ = ("name", "image", "policy", "pass_name")
+
+    def __init__(self, name, image, policy=None, pass_name=None):
+        self.name = name
+        self.image = image
+        self.policy = policy if policy is not None else VerifyPolicy()
+        #: For rejection fixtures: the pass expected to flag the image.
+        self.pass_name = pass_name
+
+    def __repr__(self):
+        return "CorpusEntry(%s)" % self.name
+
+
+def build_image(source, name, stack_size=512):
+    """Assemble + link one source into a named task image."""
+    return link(assemble(source, name), name=name, stack_size=stack_size)
+
+
+def mmio_window(config=None):
+    """The absolute-address window tasks may legitimately touch (MMIO)."""
+    cfg = config or MachineConfig()
+    return [(cfg.mmio_base, cfg.mmio_base + 0x1000)]
+
+
+def default_platform_policy(config=None, **overrides):
+    """The policy the loader gate applies on a default platform."""
+    return VerifyPolicy(
+        allowed_absolute_ranges=mmio_window(config), **overrides
+    )
+
+
+# -- known-bad fixtures --------------------------------------------------------
+
+_MID_INSN_JUMP = """
+.section .text
+.global start
+start:
+    movi eax, 1
+    jmp start+2          ; lands inside the movi encoding
+"""
+
+_PRIVILEGED = """
+.section .text
+.global start
+start:
+    cli
+    sti
+    hlt
+"""
+
+_MPU_WILD_LOAD = """
+.section .text
+.global start
+start:
+    movi esi, buf+0x4000 ; relocated pointer far past the footprint
+    ld eax, [esi]
+    movi eax, 2          ; EXIT
+    int 0x20
+.section .bss
+buf:
+    .space 16
+"""
+
+_STACK_RUNAWAY = """
+.section .text
+.global start
+start:
+    pushi 1
+    jmp start            ; pushes forever, never pops
+"""
+
+_WCET_UNBOUNDED = """
+.section .text
+.global start
+start:
+    movi ecx, 10
+spin:
+    subi ecx, 1
+    jnz spin             ; no loop-bound annotation supplied
+    movi eax, 2
+    int 0x20
+"""
+
+
+def rejection_fixtures():
+    """One known-bad :class:`CorpusEntry` per analysis pass."""
+    entries = [
+        CorpusEntry(
+            "bad-decode-unknown-opcode",
+            TaskImage("bad-opcode", bytes([0xFF, 0x00, 0x00]), 0, [], stack_size=64),
+            pass_name="decode",
+        ),
+        CorpusEntry(
+            "bad-decode-truncated",
+            # A movi needs 6 bytes; the blob ends after 2.
+            TaskImage("truncated", bytes([0x20, 0x00]), 0, [], stack_size=64),
+            pass_name="decode",
+        ),
+        CorpusEntry(
+            "bad-decode-mid-instruction",
+            build_image(_MID_INSN_JUMP, "mid-insn-jump"),
+            pass_name="decode",
+        ),
+        CorpusEntry(
+            "bad-privileged-opcodes",
+            build_image(_PRIVILEGED, "privileged"),
+            pass_name="privilege",
+        ),
+        CorpusEntry(
+            "bad-mpu-wild-load",
+            build_image(_MPU_WILD_LOAD, "wild-load"),
+            pass_name="mpu",
+        ),
+        CorpusEntry(
+            "bad-stack-runaway",
+            build_image(_STACK_RUNAWAY, "stack-runaway", stack_size=64),
+            pass_name="stack",
+        ),
+        CorpusEntry(
+            "bad-wcet-unbounded",
+            build_image(_WCET_UNBOUNDED, "wcet-unbounded"),
+            policy=VerifyPolicy(wcet_budget=100_000),
+            pass_name="wcet",
+        ),
+    ]
+    return entries
+
+
+# -- the shipped clean set -----------------------------------------------------
+
+
+def _repo_root():
+    here = os.path.abspath(__file__)
+    # src/repro/analysis/corpus.py -> repo root is four levels up.
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(here))))
+
+
+def _load_example_module(name):
+    """Import ``examples/<name>.py`` by path; ``None`` when unavailable."""
+    path = os.path.join(_repo_root(), "examples", "%s.py" % name)
+    if not os.path.exists(path):
+        return None
+    spec = importlib.util.spec_from_file_location("_verify_example_%s" % name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _workload_entries(config):
+    policy = default_platform_policy(config)
+    cruise = None
+    try:
+        from repro.uc.cruise_control import T2_PAD_RELOCS, T2_PAD_WORDS
+
+        cruise = build_image(
+            periodic_sender_source(
+                config.mmio_base + 3 * 0x100,  # the radar device slot
+                bytes(8),
+                period_cycles=32_000,
+                pad_words=T2_PAD_WORDS,
+                pad_relocs=T2_PAD_RELOCS,
+            ),
+            "uc-cruise-t2",
+        )
+    except ImportError:  # pragma: no cover - uc module always ships
+        pass
+    entries = [
+        CorpusEntry(
+            "workload-counter", build_image(counter_task_source(), "counter"), policy
+        ),
+        CorpusEntry(
+            "workload-busy-loop",
+            build_image(busy_loop_source(1_000), "busy-loop"),
+            policy,
+        ),
+        CorpusEntry(
+            "workload-periodic-sender",
+            build_image(
+                periodic_sender_source(config.mmio_base + 3 * 0x100, bytes(8)),
+                "periodic-sender",
+            ),
+            policy,
+        ),
+    ]
+    if cruise is not None:
+        entries.append(CorpusEntry("uc-cruise-t2", cruise, policy))
+    return entries
+
+
+def _example_entries(config):
+    policy = default_platform_policy(config)
+    entries = []
+    sources = []
+    quickstart = _load_example_module("quickstart")
+    if quickstart is not None:
+        sources.append(("example-quickstart-heartbeat", quickstart.TASK_SOURCE))
+    live_update = _load_example_module("live_update")
+    if live_update is not None:
+        sources.append(("example-live-update-v1", live_update.V1))
+        sources.append(("example-live-update-v2", live_update.V2))
+    attest = _load_example_module("multi_stakeholder_attestation")
+    if attest is not None:
+        sources.append(("example-supplier-task", attest.SUPPLIER_TASK))
+        sources.append(("example-oem-task", attest.OEM_TASK))
+    malware = _load_example_module("malware_containment")
+    if malware is not None:
+        sources.append(("example-malware-victim", malware.VICTIM))
+        sources.append(("example-malware-control", malware.CONTROL))
+        sources.append(("example-malware-hog", malware.HOG))
+    for name, source in sources:
+        entries.append(CorpusEntry(name, build_image(source, name), policy))
+    return entries
+
+
+def clean_entries(config=None):
+    """Every shipped image; each must verify with zero findings."""
+    cfg = config or MachineConfig()
+    return _workload_entries(cfg) + _example_entries(cfg)
+
+
+def attacker_entries(config=None):
+    """The malware-containment attackers; each must produce findings."""
+    cfg = config or MachineConfig()
+    policy = default_platform_policy(cfg)
+    malware = _load_example_module("malware_containment")
+    if malware is None:
+        return []
+    victim_base = cfg.task_ram_base + 0x1000
+    return [
+        CorpusEntry(
+            "attacker-snooper",
+            build_image(malware.snooper(victim_base), "snooper"),
+            policy,
+        ),
+        CorpusEntry(
+            "attacker-tamperer",
+            build_image(malware.tamperer(cfg.os_data_base), "tamperer"),
+            policy,
+        ),
+        CorpusEntry(
+            "attacker-code-reuser",
+            build_image(malware.code_reuser(victim_base + 0x40), "code-reuser"),
+            policy,
+        ),
+    ]

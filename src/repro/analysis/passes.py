@@ -1,0 +1,428 @@
+"""The verifier's analysis passes.
+
+Each pass is a function ``(model, functions, policy) -> [Finding]``
+over the shared :class:`~repro.analysis.cfg.CodeModel` and the
+per-function CFGs.  A finding is a *violation*: an image with zero
+findings is admissible.  Verdicts that are informative rather than
+damning (e.g. "no static WCET because a loop has no bound annotation")
+live in the report, not in the findings list, unless the policy turns
+them into requirements (``wcet_budget``).
+
+The five shipped passes mirror the ISSUE pipeline:
+
+1. ``decode_soundness`` - unknown opcodes, truncated instructions,
+   branches landing mid-instruction / outside the code region, and
+   branch immediates that are not relocation-backed (their runtime
+   target is unknowable at link base 0).
+2. ``privilege_policy`` - CLI / STI / IRET / HLT in unprivileged tasks.
+3. ``mpu_safety`` - statically resolvable memory operands checked
+   against the task's own footprint (relocated bases) or the policy's
+   allowed absolute windows (unrelocated bases), plus stores into the
+   task's own reachable code.
+4. ``stack_depth`` - maximum push/call depth over the CFG versus the
+   image's declared stack size.
+5. ``wcet_bound`` - longest-path cycle bound (see
+   :mod:`repro.analysis.wcet`) versus the policy budget.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import wcet as wcet_mod
+from repro.analysis.cfg import (
+    LOAD_OPS,
+    PRIVILEGED_OPS,
+    REG_WRITERS,
+    STORE_OPS,
+)
+from repro.isa.disassembler import format_instruction
+from repro.isa.opcodes import Op
+from repro.rtos.task import INBOX_BYTES
+
+#: Bytes of headroom the stack pass demands beyond the computed maximum
+#: depth: the exception hardware frame (8 bytes) plus a full register
+#: save (8 x 4 bytes), so a preemption at peak depth still fits.
+DEFAULT_STACK_RESERVE = 48
+
+
+class Finding:
+    """One verifier violation, anchored to a blob offset."""
+
+    __slots__ = ("pass_name", "code", "offset", "message", "detail")
+
+    def __init__(self, pass_name, code, offset, message, **detail):
+        self.pass_name = pass_name
+        self.code = code
+        self.offset = offset
+        self.message = message
+        self.detail = detail
+
+    def to_dict(self):
+        """JSON-ready representation."""
+        out = {
+            "pass": self.pass_name,
+            "code": self.code,
+            "offset": self.offset,
+            "message": self.message,
+        }
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+    def render(self):
+        """One human-readable report line."""
+        where = "0x%04X" % self.offset if self.offset is not None else "-"
+        return "[%s] %s %s: %s" % (self.pass_name, where, self.code, self.message)
+
+    def __repr__(self):
+        return "Finding(%s)" % self.render()
+
+
+# -- 1. decode soundness ------------------------------------------------------
+
+
+def decode_soundness(model, functions, policy):
+    """Flag reachable code that does not decode to well-formed flow."""
+    findings = []
+    for err in model.decode_errors:
+        findings.append(
+            Finding(
+                "decode",
+                err.reason,
+                err.offset,
+                "reachable offset fails to decode (%s, reached via %s%s)"
+                % (
+                    err.reason,
+                    err.origin,
+                    " from 0x%X" % err.source if err.source is not None else "",
+                ),
+                origin=err.origin,
+            )
+        )
+    for offset in sorted(model.unrelocated_branches):
+        view = model.reachable[offset]
+        findings.append(
+            Finding(
+                "decode",
+                "unrelocated-branch-target",
+                offset,
+                "`%s` takes a literal address with no relocation entry; "
+                "its runtime target cannot be determined statically"
+                % format_instruction(view.insn),
+            )
+        )
+    targets = sorted(model.branch_targets | model.call_targets)
+    for target in targets:
+        if target in model.sweep:
+            continue
+        covering = model.sweep_insn_covering(target)
+        if covering is not None:
+            start, insn = covering
+            findings.append(
+                Finding(
+                    "decode",
+                    "mid-instruction-target",
+                    target,
+                    "branch target splits the `%s` at 0x%X"
+                    % (format_instruction(insn), start),
+                    splits=start,
+                )
+            )
+        elif target >= model.sweep_end:
+            findings.append(
+                Finding(
+                    "decode",
+                    "target-outside-code",
+                    target,
+                    "branch target lies past the decodable code region "
+                    "(ends at 0x%X)" % model.sweep_end,
+                )
+            )
+    return findings
+
+
+# -- 2. privilege policy ------------------------------------------------------
+
+
+def privilege_policy(model, functions, policy):
+    """Flag privileged opcodes unless the policy marks the task privileged."""
+    if policy.privileged:
+        return []
+    findings = []
+    for offset in sorted(model.reachable):
+        view = model.reachable[offset]
+        if view.insn.opcode in PRIVILEGED_OPS:
+            findings.append(
+                Finding(
+                    "privilege",
+                    "privileged-instruction",
+                    offset,
+                    "`%s` is reachable in an unprivileged task"
+                    % view.insn.mnemonic,
+                )
+            )
+    return findings
+
+
+# -- 3. MPU safety -------------------------------------------------------------
+
+
+def _access_width(opcode):
+    return 1 if opcode in (Op.LDB, Op.STB) else 4
+
+
+def mpu_safety(model, functions, policy):
+    """Check statically resolvable memory operands against the layout.
+
+    A per-block constant propagation tracks registers loaded by ``movi``
+    (values forgotten at block boundaries and on any redefinition), so
+    only operands whose base is *provably* a specific constant are
+    judged.  Relocation entries split the address spaces: a relocated
+    ``movi`` immediate is a task-relative offset (the loader rebases
+    it), checked against the task's own footprint of
+    ``blob + bss + inbox + stack`` bytes; an unrelocated immediate is an
+    absolute runtime address, checked against
+    ``policy.allowed_absolute_ranges`` when the policy declares any.
+    """
+    image = model.image
+    footprint = (
+        len(image.blob) + image.bss_size + INBOX_BYTES + image.stack_size
+    )
+    code_bytes = set()
+    for view in model.reachable.values():
+        code_bytes.update(range(view.offset, view.end))
+    findings = []
+    reported = set()
+
+    def report(code, view, message, **detail):
+        key = (code, view.offset)
+        if key in reported:
+            return
+        reported.add(key)
+        findings.append(Finding("mpu", code, view.offset, message, **detail))
+
+    for fn in functions.values():
+        for block in fn.blocks.values():
+            known = {}
+            for view in block.insns:
+                insn = view.insn
+                opcode = insn.opcode
+                if opcode == Op.MOVI:
+                    known[insn.reg] = (insn.imm, view.relocated_imm)
+                    continue
+                if opcode in LOAD_OPS or opcode in STORE_OPS:
+                    resolved = known.get(insn.reg2)
+                    if resolved is not None:
+                        value, relocated = resolved
+                        addr = (value + insn.imm) & 0xFFFFFFFF
+                        width = _access_width(opcode)
+                        is_store = opcode in STORE_OPS
+                        if relocated:
+                            if addr + width > footprint:
+                                report(
+                                    "task-relative-out-of-range",
+                                    view,
+                                    "`%s` resolves to task offset 0x%X, "
+                                    "outside the %d-byte task footprint"
+                                    % (format_instruction(insn), addr, footprint),
+                                    address=addr,
+                                    footprint=footprint,
+                                )
+                            elif is_store and addr in code_bytes:
+                                report(
+                                    "store-into-code",
+                                    view,
+                                    "`%s` writes task offset 0x%X inside "
+                                    "the task's own code"
+                                    % (format_instruction(insn), addr),
+                                    address=addr,
+                                )
+                        elif policy.allowed_absolute_ranges is not None:
+                            ok = any(
+                                lo <= addr and addr + width <= hi
+                                for lo, hi in policy.allowed_absolute_ranges
+                            )
+                            if not ok:
+                                report(
+                                    "absolute-out-of-range",
+                                    view,
+                                    "`%s` touches absolute address 0x%X, "
+                                    "outside every allowed window"
+                                    % (format_instruction(insn), addr),
+                                    address=addr,
+                                )
+                if opcode in REG_WRITERS:
+                    known.pop(insn.reg, None)
+    return findings
+
+
+# -- 4. stack depth ------------------------------------------------------------
+
+
+def _block_stack_profile(block, callee_depth):
+    """``(net_delta, peak)`` of one block, given per-callee max depths.
+
+    ``peak`` is the highest depth above the block's entry depth reached
+    *inside* the block, including transient callee frames (return
+    address plus the callee's own maximum depth).
+    """
+    depth = 0
+    peak = 0
+    for view in block.insns:
+        opcode = view.insn.opcode
+        if opcode in (Op.PUSH, Op.PUSHI):
+            depth += 4
+            peak = max(peak, depth)
+        elif opcode == Op.POP:
+            depth -= 4
+        elif opcode == Op.CALL:
+            callee = 0
+            if view.target is not None:
+                callee = callee_depth.get(view.target, 0)
+                if callee is None:
+                    return None, None
+            peak = max(peak, depth + 4 + callee)
+    return depth, peak
+
+
+def _function_max_depth(fn, callee_depth):
+    """Maximum stack depth of one function, or ``None`` if unbounded."""
+    if fn.entry not in fn.blocks:
+        return 0
+    profiles = {}
+    for start, block in fn.blocks.items():
+        net, peak = _block_stack_profile(block, callee_depth)
+        if net is None:
+            return None
+        profiles[start] = (net, peak)
+    # Longest-path relaxation on entry depths; a relaxation still firing
+    # after |blocks| rounds means a cycle with positive net growth.
+    depth_in = {fn.entry: 0}
+    for round_index in range(len(fn.blocks) + 1):
+        changed = False
+        for start in fn.rpo:
+            if start not in depth_in:
+                continue
+            net, _ = profiles[start]
+            out = depth_in[start] + net
+            for succ in fn.blocks[start].succ:
+                if out > depth_in.get(succ, -1):
+                    depth_in[succ] = out
+                    changed = True
+        if not changed:
+            break
+    else:
+        changed = True
+    if changed:
+        return None
+    best = 0
+    for start, entry_depth in depth_in.items():
+        _, peak = profiles[start]
+        best = max(best, entry_depth + peak)
+    return best
+
+
+def compute_max_stack_depth(model, functions):
+    """``(depth_or_None, reason)`` for the whole task."""
+    order, recursive = wcet_mod.call_order(functions)
+    if recursive:
+        return None, "recursive call cycle"
+    callee_depth = {}
+    for entry in order:
+        depth = _function_max_depth(functions[entry], callee_depth)
+        if depth is None:
+            return None, (
+                "stack grows along a cycle in function 0x%X" % entry
+            )
+        callee_depth[entry] = depth
+    entry_fn = model.image.entry
+    return callee_depth.get(entry_fn, 0), None
+
+
+def stack_depth(model, functions, policy):
+    """Flag stacks that can provably outgrow the image's allocation."""
+    depth, reason = compute_max_stack_depth(model, functions)
+    if depth is None:
+        return [
+            Finding(
+                "stack",
+                "unbounded-stack",
+                model.image.entry,
+                "stack depth has no static bound: %s" % reason,
+            )
+        ]
+    required = depth + policy.stack_reserve
+    if required > model.image.stack_size:
+        return [
+            Finding(
+                "stack",
+                "stack-overflow-risk",
+                model.image.entry,
+                "maximum stack depth %d + reserve %d exceeds the "
+                "declared stack of %d bytes"
+                % (depth, policy.stack_reserve, model.image.stack_size),
+                depth=depth,
+                reserve=policy.stack_reserve,
+                stack_size=model.image.stack_size,
+            )
+        ]
+    return []
+
+
+# -- 5. WCET bound -------------------------------------------------------------
+
+
+def wcet_bound(model, functions, policy):
+    """Flag tasks that miss the policy's cycle budget (when one is set).
+
+    Without a budget the WCET verdict is informational only - it is
+    always published in the report - because long-running tasks (e.g.
+    periodic servers structured as infinite loops) are legitimate.
+    """
+    result = wcet_mod.compute_wcet(model, functions, policy.loop_bounds)
+    if policy.wcet_budget is None:
+        return []
+    if not result.bounded:
+        return [
+            Finding(
+                "wcet",
+                "no-static-wcet",
+                model.image.entry,
+                "a WCET budget of %d cycles is required but no static "
+                "bound exists: %s" % (policy.wcet_budget, result.reason),
+            )
+        ]
+    if result.cycles > policy.wcet_budget:
+        return [
+            Finding(
+                "wcet",
+                "wcet-budget-exceeded",
+                model.image.entry,
+                "static WCET of %d cycles exceeds the budget of %d"
+                % (result.cycles, policy.wcet_budget),
+                wcet=result.cycles,
+                budget=policy.wcet_budget,
+            )
+        ]
+    return []
+
+
+#: The default pipeline, in ISSUE order.
+DEFAULT_PASSES = (
+    ("decode", decode_soundness),
+    ("privilege", privilege_policy),
+    ("mpu", mpu_safety),
+    ("stack", stack_depth),
+    ("wcet", wcet_bound),
+)
+
+__all__ = [
+    "DEFAULT_PASSES",
+    "DEFAULT_STACK_RESERVE",
+    "Finding",
+    "compute_max_stack_depth",
+    "decode_soundness",
+    "mpu_safety",
+    "privilege_policy",
+    "stack_depth",
+    "wcet_bound",
+]

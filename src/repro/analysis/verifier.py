@@ -1,0 +1,166 @@
+"""The static task-image verifier: policy, report, and driver.
+
+``verify_image(image, policy)`` decodes the image
+(:class:`~repro.analysis.cfg.CodeModel`), builds per-function CFGs, and
+runs the pass pipeline of :mod:`repro.analysis.passes`.  The resulting
+:class:`Report` carries every finding plus the always-computed stack
+and WCET verdicts and serialises to JSON (``to_dict``) or a plain-text
+report (``render_text``) for the ``repro.tools.verify`` CLI.
+
+The loader consumes this through its ``verify=`` gate (see
+:meth:`repro.core.loader.TaskLoader.load`): ``"reject"`` refuses images
+with findings, ``"warn"`` admits them but publishes the findings on the
+observability bus, ``"off"`` skips analysis entirely.  Verification is
+modelled as *off-line* tooling - it charges zero simulated cycles,
+matching a deployment where images are vetted before distribution.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import wcet as wcet_mod
+from repro.analysis.cfg import CodeModel, build_functions
+from repro.analysis.passes import (
+    DEFAULT_PASSES,
+    DEFAULT_STACK_RESERVE,
+    compute_max_stack_depth,
+)
+
+#: The loader gate's accepted modes.
+VERIFY_MODES = ("off", "warn", "reject")
+
+
+class VerifyPolicy:
+    """What the verifier demands of an image.
+
+    Attributes
+    ----------
+    privileged:
+        Whether CLI/STI/IRET/HLT are acceptable (platform-owned tasks).
+    allowed_absolute_ranges:
+        ``[(lo, hi), ...]`` half-open windows of absolute addresses the
+        task may touch with unrelocated pointers (typically the MMIO
+        window), or ``None`` to accept any absolute access - absolute
+        addresses outside the task are the EA-MPU's public background
+        region, so tolerance is the safe default when the platform
+        layout is unknown.
+    loop_bounds:
+        Loop-bound annotations: header blob offset -> maximum header
+        executions per loop entry (see ``docs/ANALYSIS.md``).
+    wcet_budget:
+        Cycle budget the static WCET must fit in, or ``None`` for no
+        requirement (the WCET verdict is still reported).
+    stack_reserve:
+        Headroom in bytes added to the computed maximum stack depth
+        before comparing against the image's declared stack.
+    """
+
+    __slots__ = (
+        "privileged",
+        "allowed_absolute_ranges",
+        "loop_bounds",
+        "wcet_budget",
+        "stack_reserve",
+    )
+
+    def __init__(
+        self,
+        privileged=False,
+        allowed_absolute_ranges=None,
+        loop_bounds=None,
+        wcet_budget=None,
+        stack_reserve=DEFAULT_STACK_RESERVE,
+    ):
+        self.privileged = privileged
+        self.allowed_absolute_ranges = allowed_absolute_ranges
+        self.loop_bounds = dict(loop_bounds or {})
+        self.wcet_budget = wcet_budget
+        self.stack_reserve = stack_reserve
+
+
+class Report:
+    """The verifier's verdict on one image."""
+
+    def __init__(self, image, findings, stats, wcet, stack):
+        self.image_name = image.name
+        self.findings = findings
+        self.stats = stats
+        self.wcet = wcet
+        self.stack = stack
+
+    @property
+    def ok(self):
+        """Whether the image is admissible (no findings)."""
+        return not self.findings
+
+    def to_dict(self):
+        """JSON-ready representation (the CLI's ``--json`` output)."""
+        return {
+            "image": self.image_name,
+            "ok": self.ok,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "stats": dict(self.stats),
+            "wcet": self.wcet.to_dict(),
+            "stack": dict(self.stack),
+        }
+
+    def render_text(self):
+        """Multi-line human-readable report."""
+        lines = []
+        verdict = "PASS" if self.ok else "FAIL (%d findings)" % len(self.findings)
+        lines.append("%s: %s" % (self.image_name, verdict))
+        lines.append(
+            "  code: %(reachable_insns)d reachable insns in "
+            "%(blocks)d blocks across %(functions)d functions "
+            "(%(coverage).0f%% of swept code reachable)" % self.stats
+        )
+        if self.wcet.bounded:
+            lines.append("  wcet: %d cycles (static bound)" % self.wcet.cycles)
+        else:
+            lines.append("  wcet: no static bound (%s)" % self.wcet.reason)
+        if self.stack["bounded"]:
+            lines.append(
+                "  stack: max depth %d + reserve %d of %d bytes declared"
+                % (
+                    self.stack["max_depth"],
+                    self.stack["reserve"],
+                    self.stack["stack_size"],
+                )
+            )
+        else:
+            lines.append("  stack: no static bound (%s)" % self.stack["reason"])
+        for finding in self.findings:
+            lines.append("  " + finding.render())
+        return "\n".join(lines)
+
+
+def verify_image(image, policy=None, passes=None):
+    """Run the pass pipeline over ``image``; returns a :class:`Report`."""
+    if policy is None:
+        policy = VerifyPolicy()
+    model = CodeModel(image)
+    functions = build_functions(model)
+    findings = []
+    for _name, pass_fn in passes if passes is not None else DEFAULT_PASSES:
+        findings.extend(pass_fn(model, functions, policy))
+    findings.sort(key=lambda f: (f.offset if f.offset is not None else -1, f.code))
+
+    swept = len(model.sweep)
+    reachable = len(model.reachable)
+    stats = {
+        "blob_bytes": len(image.blob),
+        "swept_insns": swept,
+        "reachable_insns": reachable,
+        "blocks": sum(len(fn.blocks) for fn in functions.values()),
+        "functions": len(functions),
+        "coverage": (100.0 * reachable / swept) if swept else 0.0,
+    }
+    wcet = wcet_mod.compute_wcet(model, functions, policy.loop_bounds)
+    depth, reason = compute_max_stack_depth(model, functions)
+    stack = {
+        "bounded": depth is not None,
+        "max_depth": depth,
+        "reason": reason,
+        "reserve": policy.stack_reserve,
+        "stack_size": image.stack_size,
+    }
+    return Report(image, findings, stats, wcet, stack)

@@ -38,6 +38,9 @@ ALLOC_COST = 2_000
 TCB_STACK_COST = 3_791
 SCHEDULE_COST = 1_000
 
+#: Accepted values of the loader's ``verify=`` admission gate.
+VERIFY_MODES = ("off", "warn", "reject")
+
 
 class LoadResult:
     """Mutable handle filled in as a load completes."""
@@ -64,18 +67,80 @@ class LoadResult:
 class TaskLoader:
     """The dynamic task loader (an OS extension in the paper)."""
 
-    def __init__(self, kernel, mpu_driver=None, rtm=None):
+    def __init__(self, kernel, mpu_driver=None, rtm=None, verify="off"):
         self.kernel = kernel
         self.mpu_driver = mpu_driver
         self.rtm = rtm
         #: Breakdown of the most recent completed load (Table 4 hook).
         self.last_breakdown = None
+        #: Default admission gate ("off" / "warn" / "reject"); each load
+        #: may override it via ``load(..., verify=...)``.
+        self.verify = verify
+        #: Default :class:`repro.analysis.verifier.VerifyPolicy`;
+        #: ``None`` derives one from the platform's MMIO window.
+        self.verify_policy = None
+        #: The verifier report of the most recent gated load.
+        self.last_report = None
 
     def _publish(self, kind, task=None, **data):
         """Publish a loader event on the observability bus."""
         bus = self.kernel.obs
         if bus is not None:
             bus.publish("tc", kind, task=task, component="task-loader", **data)
+
+    # -- the static admission gate -------------------------------------------
+
+    def _verify_gate(self, image, task_name, verify, verify_policy):
+        """Run the static verifier per the ``verify`` mode; may raise.
+
+        The report (including the WCET and stack verdicts) is published
+        as an ``analysis-report`` event; each finding additionally gets
+        its own ``analysis-finding`` event so warn-mode admissions stay
+        auditable on the bus.
+        """
+        mode = verify if verify is not None else self.verify
+        if mode not in VERIFY_MODES:
+            raise LoaderError("unknown verify mode %r" % mode)
+        if mode == "off":
+            return
+        # Imported lazily: the analysis subsystem is optional tooling
+        # for loads with the gate off, and it must not cycle with core.
+        from repro.analysis.corpus import default_platform_policy
+        from repro.analysis.verifier import verify_image
+
+        policy = verify_policy if verify_policy is not None else self.verify_policy
+        if policy is None:
+            policy = default_platform_policy(self.kernel.platform.config)
+        report = verify_image(image, policy)
+        self.last_report = report
+        self._publish(
+            "analysis-report",
+            task=task_name,
+            ok=report.ok,
+            mode=mode,
+            findings=len(report.findings),
+            wcet_bounded=report.wcet.bounded,
+            wcet_cycles=report.wcet.cycles,
+            stack_bounded=report.stack["bounded"],
+            stack_depth=report.stack["max_depth"],
+        )
+        for finding in report.findings:
+            self._publish(
+                "analysis-finding",
+                task=task_name,
+                pass_name=finding.pass_name,
+                code=finding.code,
+                offset=finding.offset,
+                message=finding.message,
+            )
+        if not report.ok and mode == "reject":
+            raise LoaderError(
+                "image %r rejected by the static verifier: %s"
+                % (
+                    image.name,
+                    "; ".join(f.render() for f in report.findings[:4]),
+                )
+            )
 
     # -- the six steps, as an interruptible generator ------------------------
 
@@ -87,6 +152,8 @@ class TaskLoader:
         name=None,
         result=None,
         measure=None,
+        verify=None,
+        verify_policy=None,
     ):
         """Generator performing one task load; yields preemption points.
 
@@ -94,6 +161,14 @@ class TaskLoader:
         required for normal tasks"); pass ``True`` to measure a normal
         task anyway.  The filled :class:`LoadResult` is also the
         generator's return value.
+
+        ``verify`` selects the static-analysis admission gate:
+        ``"reject"`` refuses images with verifier findings, ``"warn"``
+        admits them but publishes every finding on the observability
+        bus, ``"off"`` (the default) skips analysis.  ``None`` falls
+        back to the loader-wide :attr:`verify` default.  Verification
+        charges no simulated cycles - images are vetted off-line,
+        before distribution, not by the device.
         """
         if secure and (self.mpu_driver is None or self.rtm is None):
             raise LoaderError("secure loading requires the EA-MPU driver and RTM")
@@ -114,6 +189,9 @@ class TaskLoader:
             measure=measure,
             bytes=len(image.blob),
         )
+
+        # -- (0) static admission gate (off-line analysis, zero cycles) ---
+        self._verify_gate(image, task_name, verify, verify_policy)
 
         # -- (1) allocate memory ------------------------------------------------
         mark = clock.now

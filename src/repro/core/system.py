@@ -143,14 +143,34 @@ class TyTAN:
         """Assemble and link ``source`` into a loadable task image."""
         return link(assemble(source, name), name=name, stack_size=stack_size)
 
-    def load_task(self, image, secure=True, priority=1, name=None, measure=None):
-        """Load a task image synchronously; returns the TCB."""
+    def load_task(
+        self,
+        image,
+        secure=True,
+        priority=1,
+        name=None,
+        measure=None,
+        verify=None,
+        verify_policy=None,
+    ):
+        """Load a task image synchronously; returns the TCB.
+
+        ``verify`` selects the loader's static admission gate
+        (``"reject"`` / ``"warn"`` / ``"off"``); ``None`` uses the
+        loader default.  See :mod:`repro.analysis`.
+        """
         result = self.loader.load_synchronously(
-            image, secure=secure, priority=priority, name=name, measure=measure
+            image,
+            secure=secure,
+            priority=priority,
+            name=name,
+            measure=measure,
+            verify=verify,
+            verify_policy=verify_policy,
         )
         return result.task
 
-    def load_task_async(self, image, secure=True, priority=1, name=None, measure=None, loader_priority=0):
+    def load_task_async(self, image, secure=True, priority=1, name=None, measure=None, loader_priority=0, verify=None, verify_policy=None):
         """Start an interruptible background load; returns a LoadResult."""
         return self.loader.spawn_load_task(
             image,
@@ -159,12 +179,27 @@ class TyTAN:
             priority=priority,
             name=name,
             measure=measure,
+            verify=verify,
+            verify_policy=verify_policy,
         )
 
-    def load_source(self, source, name, secure=True, priority=1, stack_size=512):
+    def load_source(
+        self,
+        source,
+        name,
+        secure=True,
+        priority=1,
+        stack_size=512,
+        verify=None,
+        verify_policy=None,
+    ):
         """Assemble, link, and load in one call; returns the TCB."""
         return self.load_task(
-            self.build_image(source, name, stack_size), secure=secure, priority=priority
+            self.build_image(source, name, stack_size),
+            secure=secure,
+            priority=priority,
+            verify=verify,
+            verify_policy=verify_policy,
         )
 
     def unload_task(self, task):

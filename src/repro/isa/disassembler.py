@@ -9,7 +9,11 @@ from __future__ import annotations
 from repro.errors import IllegalInstruction
 from repro.hw.registers import Reg
 from repro.isa.encoding import decode
-from repro.isa.opcodes import FORMATS, OpFormat
+from repro.isa.opcodes import FORMATS, OP_LENGTHS, OpFormat
+
+#: Placeholder mnemonic for a truncated final instruction: the opcode
+#: byte is known but the blob ends before its operands.
+TRUNCATED_MNEMONIC = "??"
 
 
 def format_instruction(insn):
@@ -43,7 +47,18 @@ def format_instruction(insn):
 
 
 def disassemble_one(blob, offset=0):
-    """Decode and format one instruction; returns (text, length)."""
+    """Decode and format one instruction; returns (text, length).
+
+    A *truncated* final instruction - a known opcode whose operand
+    bytes run past the end of the blob - yields the well-defined record
+    ``("??", remaining)`` covering the leftover bytes, so callers can
+    render partial code regions without special-casing the tail.
+    Unknown opcodes still raise :class:`IllegalInstruction`.
+    """
+    if offset < len(blob):
+        opcode = blob[offset]
+        if opcode in FORMATS and offset + OP_LENGTHS[opcode] > len(blob):
+            return TRUNCATED_MNEMONIC, len(blob) - offset
     insn = decode(blob, offset)
     return format_instruction(insn), insn.length
 

@@ -6,9 +6,13 @@ Usage::
     python -m repro.tools.bench table7 ipc    # selected experiments
     python -m repro.tools.bench --list
     python -m repro.tools.bench --throughput  # CPU-core insns/sec bench
+    python -m repro.tools.bench --wcet        # static vs dynamic WCET
 
 The throughput mode runs the fast-path-vs-baseline CPU bench
 (:mod:`repro.perf.bench_core`) and writes ``BENCH_cpu_core.json``.
+The WCET mode runs the static-analysis soundness experiments
+(:mod:`repro.analysis.bench`): each benchmark workload's statically
+computed cycle bound next to the cycles the core actually charged.
 """
 
 from __future__ import annotations
@@ -49,7 +53,41 @@ def build_parser():
         metavar="PATH",
         help="throughput report path (default BENCH_cpu_core.json)",
     )
+    parser.add_argument(
+        "--wcet",
+        action="store_true",
+        help="run the static-vs-dynamic WCET soundness experiments",
+    )
     return parser
+
+
+def render_wcet(results, out):
+    """Print the WCET soundness table; returns unsound-result count."""
+    print(
+        "\nWCET soundness - static bound vs. measured cycles", file=out
+    )
+    print(
+        "  %-16s %12s %12s %8s %8s"
+        % ("workload", "static", "dynamic", "slack", "sound"),
+        file=out,
+    )
+    unsound = 0
+    for row in results:
+        static = row["static_wcet"]
+        if not row["sound"]:
+            unsound += 1
+        print(
+            "  %-16s %12s %12s %8s %8s"
+            % (
+                row["workload"],
+                _fmt(static) if static is not None else "-",
+                _fmt(row["dynamic_cycles"]),
+                "%s%%" % row["slack_pct"] if row["slack_pct"] is not None else "-",
+                "yes" if row["sound"] else "NO",
+            ),
+            file=out,
+        )
+    return unsound
 
 
 def render(name, description, rows, out):
@@ -82,6 +120,11 @@ def main(argv=None, out=None):
     """Entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    if args.wcet:
+        from repro.analysis.bench import wcet_experiments
+
+        unsound = render_wcet(wcet_experiments(), out)
+        return 0 if unsound == 0 else 1
     if args.throughput:
         from repro.perf.bench_core import write_report
 

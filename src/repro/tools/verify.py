@@ -1,0 +1,224 @@
+"""``repro-verify``: statically verify task images before deployment.
+
+Usage::
+
+    python -m repro.tools.verify task.img             # text report
+    python -m repro.tools.verify task.img --json      # JSON report
+    python -m repro.tools.verify task.s               # assemble + verify
+    python -m repro.tools.verify --builtin            # shipped-corpus gate
+
+Policy knobs::
+
+    --privileged                 allow cli/sti/iret/hlt
+    --wcet-budget N              require a static WCET <= N cycles
+    --loop-bound OFFSET=N        annotate a loop header (repeatable)
+    --allow LO:HI                allowed absolute window (repeatable)
+
+``--builtin`` is the CI regression gate: every shipped clean image
+(use-case, workloads, benign examples) must verify with zero findings,
+every known-bad fixture must be rejected by its pass, and every
+malware-containment attacker must produce findings.  Exit code 0 only
+when all three hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import TyTANError
+from repro.image.telf import IMG_MAGIC, TaskImage
+
+
+def build_parser():
+    """The tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Static task-image verifier (CFG, WCET, MPU safety).",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="task images (.img) or assembly sources to verify",
+    )
+    parser.add_argument(
+        "--builtin",
+        action="store_true",
+        help="verify the shipped corpus (clean images, fixtures, attackers)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON reports")
+    parser.add_argument(
+        "--privileged",
+        action="store_true",
+        help="allow privileged opcodes (cli/sti/iret/hlt)",
+    )
+    parser.add_argument(
+        "--wcet-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="require a static WCET of at most N cycles",
+    )
+    parser.add_argument(
+        "--loop-bound",
+        action="append",
+        default=[],
+        metavar="OFFSET=N",
+        help="loop-bound annotation (header blob offset = max iterations)",
+    )
+    parser.add_argument(
+        "--allow",
+        action="append",
+        default=[],
+        metavar="LO:HI",
+        help="allowed absolute address window (half-open; repeatable)",
+    )
+    return parser
+
+
+def _parse_int(text):
+    return int(text, 0)
+
+
+def build_policy(args):
+    """Translate CLI knobs into a :class:`VerifyPolicy`."""
+    from repro.analysis.verifier import VerifyPolicy
+
+    loop_bounds = {}
+    for item in args.loop_bound:
+        offset, _, bound = item.partition("=")
+        loop_bounds[_parse_int(offset)] = _parse_int(bound)
+    windows = None
+    if args.allow:
+        windows = []
+        for item in args.allow:
+            lo, _, hi = item.partition(":")
+            windows.append((_parse_int(lo), _parse_int(hi)))
+    return VerifyPolicy(
+        privileged=args.privileged,
+        allowed_absolute_ranges=windows,
+        loop_bounds=loop_bounds,
+        wcet_budget=args.wcet_budget,
+    )
+
+
+def load_input(path):
+    """Load one CLI input: a serialised image or assembly source."""
+    raw = Path(path).read_bytes()
+    if raw[:4] == IMG_MAGIC:
+        return TaskImage.from_bytes(raw)
+    # Anything else is treated as assembly source.
+    from repro.image.linker import link
+    from repro.isa.assembler import assemble
+
+    name = Path(path).stem
+    return link(assemble(raw.decode("utf-8"), name), name=name)
+
+
+def verify_files(paths, policy, as_json, out):
+    """Verify each file; returns the number of failing images."""
+    from repro.analysis.verifier import verify_image
+
+    failures = 0
+    reports = []
+    for path in paths:
+        image = load_input(path)
+        report = verify_image(image, policy)
+        reports.append(report)
+        if not report.ok:
+            failures += 1
+        if not as_json:
+            print(report.render_text(), file=out)
+    if as_json:
+        payload = [report.to_dict() for report in reports]
+        json.dump(payload[0] if len(payload) == 1 else payload, out, indent=2)
+        out.write("\n")
+    return failures
+
+
+def verify_builtin(as_json, out):
+    """The shipped-corpus regression gate; returns failure count."""
+    from repro.analysis.corpus import (
+        attacker_entries,
+        clean_entries,
+        rejection_fixtures,
+    )
+    from repro.analysis.verifier import verify_image
+
+    failures = 0
+    results = []
+
+    for entry in clean_entries():
+        report = verify_image(entry.image, entry.policy)
+        ok = report.ok
+        results.append(("clean", entry.name, ok, report))
+        failures += 0 if ok else 1
+    for entry in rejection_fixtures():
+        report = verify_image(entry.image, entry.policy)
+        ok = any(f.pass_name == entry.pass_name for f in report.findings)
+        results.append(("fixture", entry.name, ok, report))
+        failures += 0 if ok else 1
+    for entry in attacker_entries():
+        report = verify_image(entry.image, entry.policy)
+        ok = not report.ok
+        results.append(("attacker", entry.name, ok, report))
+        failures += 0 if ok else 1
+
+    if as_json:
+        payload = [
+            {
+                "kind": kind,
+                "name": name,
+                "expected": (
+                    "zero findings" if kind == "clean" else "findings"
+                ),
+                "ok": ok,
+                "report": report.to_dict(),
+            }
+            for kind, name, ok, report in results
+        ]
+        json.dump(payload, out, indent=2)
+        out.write("\n")
+    else:
+        for kind, name, ok, report in results:
+            status = "ok" if ok else "UNEXPECTED"
+            detail = (
+                "clean"
+                if report.ok
+                else "%d findings" % len(report.findings)
+            )
+            print(
+                "%-8s %-34s %-10s (%s)" % (kind, name, status, detail),
+                file=out,
+            )
+        print(
+            "builtin corpus: %d entries, %d unexpected"
+            % (len(results), failures),
+            file=out,
+        )
+    return failures
+
+
+def main(argv=None, out=None):
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if not args.builtin and not args.files:
+        build_parser().print_usage(sys.stderr)
+        return 2
+    try:
+        failures = 0
+        if args.builtin:
+            failures += verify_builtin(args.json, out)
+        if args.files:
+            failures += verify_files(args.files, build_policy(args), args.json, out)
+    except (OSError, TyTANError) as exc:
+        print("repro-verify: %s" % exc, file=sys.stderr)
+        return 2
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""The analysis code model: decoding, basic blocks, dominators, loops."""
+
+from repro.analysis.cfg import CodeModel, build_functions
+from repro.image.linker import link
+from repro.image.telf import TaskImage
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Op
+
+
+def model_of(source, stack_size=512, name="t"):
+    image = link(assemble(source, name), name=name, stack_size=stack_size)
+    return CodeModel(image)
+
+
+STRAIGHT = """
+.section .text
+.global start
+start:
+    movi eax, 1
+    addi eax, 2
+    hlt
+"""
+
+LOOPY = """
+.section .text
+.global start
+start:
+    movi ecx, 5
+loop:
+    subi ecx, 1
+    cmpi ecx, 0
+    jnz loop
+    hlt
+"""
+
+CALLS = """
+.section .text
+.global start
+start:
+    call helper
+    hlt
+helper:
+    movi eax, 7
+    ret
+"""
+
+DIAMOND = """
+.section .text
+.global start
+start:
+    cmpi eax, 0
+    jz left
+    addi eax, 1
+    jmp join
+left:
+    addi eax, 2
+join:
+    hlt
+"""
+
+IRREDUCIBLE = """
+.section .text
+.global start
+start:
+    cmpi eax, 0
+    jz mid
+head:
+    addi eax, 1
+mid:
+    subi ecx, 1
+    cmpi ecx, 0
+    jnz head
+    hlt
+"""
+
+
+class TestDecoding:
+    def test_straight_line_reachable_set(self):
+        model = model_of(STRAIGHT)
+        assert sorted(model.reachable) == [0, 6, 12]
+        assert not model.decode_errors
+        assert model.sweep_end == len(model.image.blob)
+
+    def test_data_after_code_not_reachable(self):
+        model = model_of(LOOPY + ".section .data\ntable:\n    .word 0x05050505\n")
+        # The data word is swept (it may happen to decode) but is not in
+        # the recursive-descent reachable set.
+        code_end = 6 + 6 + 6 + 5 + 1
+        assert max(model.reachable) < code_end
+        assert not model.decode_errors
+
+    def test_unknown_opcode_is_a_decode_error(self):
+        image = TaskImage("bad", bytes([0xFE, 0x00]), 0, [], stack_size=64)
+        model = CodeModel(image)
+        assert not model.reachable
+        assert model.decode_errors[0].reason == "unknown-opcode"
+
+    def test_truncated_reachable_instruction(self):
+        image = TaskImage("trunc", bytes([0x20, 0x00]), 0, [], stack_size=64)
+        model = CodeModel(image)
+        assert model.decode_errors[0].reason == "truncated"
+        assert model.sweep_truncated == (0, 2)
+
+    def test_unrelocated_branch_is_recorded(self):
+        image = link(
+            assemble(".section .text\n.global start\nstart:\n    jmp 0x1234\n"),
+            name="t",
+        )
+        model = CodeModel(image)
+        assert model.unrelocated_branches == [0]
+        assert model.reachable[0].target is None
+
+    def test_int_fallthrough_off_the_end_is_tolerated(self):
+        # ``int 0x20`` (EXIT) as the last instruction: the fall-through
+        # lands outside the blob but produces no decode error.
+        source = ".section .text\n.global start\nstart:\n    movi eax, 2\n    int 0x20\n"
+        model = model_of(source)
+        assert not model.decode_errors
+
+
+class TestBlocksAndLoops:
+    def test_loop_blocks_and_back_edge(self):
+        model = model_of(LOOPY)
+        functions = build_functions(model)
+        fn = functions[model.image.entry]
+        loop_start = 6  # after the 6-byte movi
+        assert loop_start in fn.blocks
+        assert fn.back_edges and fn.back_edges[0][1] == loop_start
+        assert not fn.irreducible
+        assert fn.loops[loop_start] == {loop_start}
+        assert fn.loop_multiplier(loop_start, {loop_start: 9}) == 9
+        assert fn.loop_multiplier(loop_start, {}) is None
+
+    def test_call_creates_second_function(self):
+        model = model_of(CALLS)
+        functions = build_functions(model)
+        assert len(functions) == 2
+        helper_entry = next(e for e in functions if e != model.image.entry)
+        assert functions[helper_entry].calls == []
+        assert functions[model.image.entry].calls == [(0, helper_entry)]
+
+    def test_diamond_dominators(self):
+        model = model_of(DIAMOND)
+        functions = build_functions(model)
+        fn = functions[model.image.entry]
+        # Four blocks: entry, two arms, join; entry dominates all, the
+        # arms do not dominate the join.
+        assert len(fn.blocks) == 4
+        join = max(fn.blocks)
+        arms = [
+            start
+            for start in fn.blocks
+            if start not in (fn.entry, join)
+        ]
+        for arm in arms:
+            assert fn.dominates(fn.entry, arm)
+            assert not fn.dominates(arm, join)
+        assert fn.dominates(fn.entry, join)
+        assert not fn.back_edges and not fn.irreducible
+
+    def test_irreducible_region_is_flagged(self):
+        model = model_of(IRREDUCIBLE)
+        functions = build_functions(model)
+        fn = functions[model.image.entry]
+        assert fn.irreducible
+
+    def test_blocks_partition_reachable_insns(self):
+        for source in (STRAIGHT, LOOPY, CALLS, DIAMOND):
+            model = model_of(source)
+            functions = build_functions(model)
+            covered = set()
+            for fn in functions.values():
+                for block in fn.blocks.values():
+                    for view in block.insns:
+                        covered.add(view.offset)
+            assert covered == set(model.reachable)
+
+
+class TestSweepHelpers:
+    def test_mid_instruction_cover_lookup(self):
+        model = model_of(STRAIGHT)
+        start, insn = model.sweep_insn_covering(3)
+        assert start == 0 and insn.opcode == Op.MOVI
+        # An instruction *start* is not covered by a predecessor.
+        assert model.sweep_insn_covering(6) is None

@@ -1,0 +1,157 @@
+"""The verifier pipeline: pass findings, corpora, and report schema.
+
+Covers the ISSUE acceptance criterion: every analysis pass has at
+least one fixture image it rejects, and the verifier passes all
+shipped use-case / example images with zero findings.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import VerifyPolicy, verify_image
+from repro.analysis.corpus import (
+    attacker_entries,
+    build_image,
+    clean_entries,
+    default_platform_policy,
+    rejection_fixtures,
+)
+
+FIXTURES = rejection_fixtures()
+CLEAN = clean_entries()
+ATTACKERS = attacker_entries()
+
+#: Every pass must be represented in the rejection corpus.
+ALL_PASSES = {"decode", "privilege", "mpu", "stack", "wcet"}
+
+
+class TestRejectionCorpus:
+    def test_every_pass_has_a_fixture(self):
+        assert {entry.pass_name for entry in FIXTURES} == ALL_PASSES
+
+    @pytest.mark.parametrize("entry", FIXTURES, ids=lambda e: e.name)
+    def test_fixture_is_rejected_by_its_pass(self, entry):
+        report = verify_image(entry.image, entry.policy)
+        assert not report.ok
+        assert any(f.pass_name == entry.pass_name for f in report.findings), (
+            "expected a %r finding, got %r"
+            % (entry.pass_name, [f.code for f in report.findings])
+        )
+
+
+class TestCleanCorpus:
+    def test_corpus_is_populated(self):
+        # Use-case image + workloads + example tasks all present.
+        names = {entry.name for entry in CLEAN}
+        assert "uc-cruise-t2" in names
+        assert "workload-counter" in names
+        assert any(name.startswith("example-") for name in names)
+
+    @pytest.mark.parametrize("entry", CLEAN, ids=lambda e: e.name)
+    def test_shipped_image_verifies_clean(self, entry):
+        report = verify_image(entry.image, entry.policy)
+        assert report.ok, "\n" + report.render_text()
+
+
+class TestAttackerCorpus:
+    @pytest.mark.parametrize("entry", ATTACKERS, ids=lambda e: e.name)
+    def test_attacker_is_flagged(self, entry):
+        report = verify_image(entry.image, entry.policy)
+        assert not report.ok
+
+    def test_code_reuser_flagged_for_unrelocated_jump(self):
+        entry = next(e for e in ATTACKERS if e.name == "attacker-code-reuser")
+        report = verify_image(entry.image, entry.policy)
+        assert any(
+            f.code == "unrelocated-branch-target" for f in report.findings
+        )
+
+
+class TestPassBehaviour:
+    def test_privileged_policy_silences_privilege_pass(self):
+        entry = next(e for e in FIXTURES if e.name == "bad-privileged-opcodes")
+        report = verify_image(entry.image, VerifyPolicy(privileged=True))
+        assert not any(f.pass_name == "privilege" for f in report.findings)
+
+    def test_absolute_access_tolerated_without_windows(self):
+        source = """
+.section .text
+.global start
+start:
+    movi ebx, 0x00F00300
+    ld eax, [ebx]
+    movi eax, 2
+    int 0x20
+"""
+        image = build_image(source, "mmio-reader")
+        assert verify_image(image, VerifyPolicy()).ok
+        assert verify_image(image, default_platform_policy()).ok
+        tight = VerifyPolicy(allowed_absolute_ranges=[(0x1000, 0x2000)])
+        report = verify_image(image, tight)
+        assert any(f.code == "absolute-out-of-range" for f in report.findings)
+
+    def test_store_into_own_code_is_flagged(self):
+        source = """
+.section .text
+.global start
+start:
+    movi esi, start
+    movi eax, 0x90
+    st [esi], eax
+    movi eax, 2
+    int 0x20
+"""
+        report = verify_image(build_image(source, "self-writer"), VerifyPolicy())
+        assert any(f.code == "store-into-code" for f in report.findings)
+
+    def test_stack_overflow_risk_vs_declared_stack(self):
+        pushes = "\n".join("    pushi %d" % i for i in range(8))
+        source = (
+            ".section .text\n.global start\nstart:\n%s\n    movi eax, 2\n    int 0x20\n"
+            % pushes
+        )
+        # 8 pushes = 32 bytes depth; + 48 reserve = 80.
+        small = build_image(source, "deep-stack", stack_size=64)
+        report = verify_image(small, VerifyPolicy())
+        assert any(f.code == "stack-overflow-risk" for f in report.findings)
+        assert report.stack["max_depth"] == 32
+        big = build_image(source, "deep-stack-ok", stack_size=128)
+        assert verify_image(big, VerifyPolicy()).ok
+
+    def test_wcet_budget_pass_and_fail(self):
+        source = """
+.section .text
+.global start
+start:
+    movi eax, 1
+    addi eax, 2
+    movi eax, 2
+    int 0x20
+"""
+        image = build_image(source, "tiny")
+        ok = verify_image(image, VerifyPolicy(wcet_budget=1_000))
+        assert ok.ok and ok.wcet.bounded
+        tight = verify_image(image, VerifyPolicy(wcet_budget=1))
+        assert any(f.code == "wcet-budget-exceeded" for f in tight.findings)
+
+
+class TestReportSchema:
+    def test_report_roundtrips_through_json(self):
+        entry = next(e for e in FIXTURES if e.name == "bad-mpu-wild-load")
+        report = verify_image(entry.image, entry.policy)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["image"] == entry.image.name
+        assert payload["ok"] is False
+        assert payload["findings"][0]["pass"] == "mpu"
+        assert {"stats", "wcet", "stack"} <= set(payload)
+
+    def test_render_text_mentions_verdict_and_findings(self):
+        entry = next(e for e in FIXTURES if e.name == "bad-privileged-opcodes")
+        text = verify_image(entry.image, entry.policy).render_text()
+        assert "FAIL" in text and "privileged-instruction" in text
+
+    def test_clean_report_renders_pass(self):
+        entry = CLEAN[0]
+        text = verify_image(entry.image, entry.policy).render_text()
+        assert text.splitlines()[0].endswith("PASS")

@@ -1,0 +1,130 @@
+"""Static WCET: exact composition and dynamic soundness.
+
+The soundness tests implement the ISSUE acceptance criterion: for at
+least two benchmark workloads the statically computed cycle bound must
+be >= the dynamically measured retired-cycle count.
+"""
+
+import pytest
+
+from repro import cycles
+from repro.analysis import VerifyPolicy, verify_image
+from repro.analysis.bench import (
+    WORKLOADS,
+    resolve_loop_bounds,
+    run_workload,
+    wcet_experiments,
+)
+from repro.analysis.cfg import CodeModel, build_functions
+from repro.analysis.corpus import build_image
+from repro.analysis.wcet import compute_wcet
+from repro.isa.assembler import assemble
+
+
+def wcet_of(source, loop_bounds_by_label=None, name="t"):
+    obj = assemble(source, name)
+    bounds = resolve_loop_bounds(obj, loop_bounds_by_label or {})
+    from repro.image.linker import link
+
+    image = link(obj, name=name, stack_size=64)
+    model = CodeModel(image)
+    return compute_wcet(model, build_functions(model), bounds)
+
+
+class TestExactComposition:
+    def test_straight_line_sum(self):
+        # movi(1) + addi(1) + hlt(1) = 3 cycles.
+        result = wcet_of(
+            ".section .text\n.global start\nstart:\n"
+            "    movi eax, 1\n    addi eax, 2\n    hlt\n"
+        )
+        assert result.bounded and result.cycles == 3
+
+    def test_do_while_loop_formula(self):
+        # Pre: 2x movi = 2.  Body: addi+subi+cmpi (3) + jnz taken (1+2)
+        # = 6 per iteration.  Tail: hlt = 1.  Total = 3 + 6 N.
+        n = 17
+        source = (
+            ".section .text\n.global start\nstart:\n"
+            "    movi ecx, %d\n    movi eax, 0\nloop:\n"
+            "    addi eax, 1\n    subi ecx, 1\n    cmpi ecx, 0\n"
+            "    jnz loop\n    hlt\n" % n
+        )
+        result = wcet_of(source, {"loop": n})
+        assert result.bounded and result.cycles == 3 + 6 * n
+
+    def test_call_composes_callee_bound(self):
+        # helper: movi(1) + ret(3+2) = 6.
+        # start: call (3+2 + 6) + hlt(1) = 12.
+        result = wcet_of(
+            ".section .text\n.global start\nstart:\n"
+            "    call helper\n    hlt\nhelper:\n    movi eax, 7\n    ret\n"
+        )
+        assert result.bounded and result.cycles == 12
+        assert len(result.per_function) == 2
+        assert 6 in result.per_function.values()
+
+    def test_branch_surcharge_matches_cycles_constant(self):
+        # jmp = base 1 + INSN_BRANCH_TAKEN.
+        result = wcet_of(
+            ".section .text\n.global start\nstart:\n    jmp done\ndone:\n    hlt\n"
+        )
+        assert result.cycles == 1 + cycles.INSN_BRANCH_TAKEN + 1
+
+
+class TestUnboundedVerdicts:
+    def test_missing_loop_bound(self):
+        source = (
+            ".section .text\n.global start\nstart:\nloop:\n"
+            "    subi ecx, 1\n    jnz loop\n    hlt\n"
+        )
+        result = wcet_of(source)
+        assert not result.bounded
+        assert "no bound annotation" in result.reason
+
+    def test_recursion_has_no_bound(self):
+        source = (
+            ".section .text\n.global start\nstart:\n    call f\n    hlt\n"
+            "f:\n    call f\n    ret\n"
+        )
+        result = wcet_of(source)
+        assert not result.bounded and "recursive" in result.reason
+
+    def test_irreducible_region_has_no_bound(self):
+        source = (
+            ".section .text\n.global start\nstart:\n"
+            "    cmpi eax, 0\n    jz mid\nhead:\n    addi eax, 1\n"
+            "mid:\n    subi ecx, 1\n    cmpi ecx, 0\n    jnz head\n    hlt\n"
+        )
+        result = wcet_of(source)
+        assert not result.bounded and "irreducible" in result.reason
+
+    def test_unbounded_is_verdict_not_finding_without_budget(self):
+        image = build_image(
+            ".section .text\n.global start\nstart:\n    jmp start\n", "spin"
+        )
+        report = verify_image(image, VerifyPolicy())
+        assert report.ok  # no findings...
+        assert not report.wcet.bounded  # ...but the verdict says so
+
+
+class TestDynamicSoundness:
+    """Static bound >= actual charged cycles (acceptance criterion)."""
+
+    def test_at_least_two_benchmark_workloads(self):
+        assert len(WORKLOADS) >= 2
+
+    @pytest.mark.parametrize(
+        "spec", WORKLOADS, ids=lambda spec: spec[0]
+    )
+    def test_static_bound_covers_dynamic_run(self, spec):
+        name, source, bounds = spec
+        row = run_workload(name, source, bounds)
+        assert row["static_wcet"] is not None
+        assert row["sound"], row
+        assert row["static_wcet"] >= row["dynamic_cycles"]
+
+    def test_experiments_are_reasonably_tight(self):
+        # The bound must not be vacuous: within 2x of the measurement.
+        for row in wcet_experiments():
+            assert row["static_wcet"] <= 2 * row["dynamic_cycles"], row

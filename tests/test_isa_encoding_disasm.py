@@ -139,3 +139,35 @@ class TestDisassembler:
             "int 0x20",
             "hlt",
         ]
+
+
+class TestTruncatedDisassembly:
+    """Regression: a truncated final instruction yields a record, not a raise."""
+
+    def test_disassemble_one_truncated_tail(self):
+        blob = encode(Instruction(Op.MOVI, reg=0, imm=1))[:3]
+        text, length = disassemble_one(blob)
+        assert text == "??"
+        assert length == 3  # covers every remaining byte
+
+    def test_disassemble_one_truncated_at_offset(self):
+        blob = encode(Instruction(Op.NOP)) + encode(
+            Instruction(Op.JMP, imm=0x40)
+        )[:2]
+        text, length = disassemble_one(blob, 1)
+        assert (text, length) == ("??", 2)
+
+    def test_disassemble_stream_with_truncated_tail(self):
+        blob = encode(Instruction(Op.HLT)) + encode(
+            Instruction(Op.MOVI, reg=0, imm=5)
+        )[:4]
+        listing = disassemble(blob)
+        assert listing == [(0, "hlt"), (1, "??")]
+
+    def test_unknown_opcode_still_raises(self):
+        with pytest.raises(IllegalInstruction):
+            disassemble_one(b"\xFE")
+
+    def test_decode_still_raises_on_truncation(self):
+        with pytest.raises(IllegalInstruction):
+            decode(encode(Instruction(Op.MOVI, reg=0, imm=1))[:3])

@@ -1,0 +1,118 @@
+"""Tests for the ``repro-verify`` CLI and ``repro-bench --wcet``."""
+
+import io
+import json
+
+import pytest
+
+from repro.tools import verify
+
+GOOD_SOURCE = """
+.section .text
+.global start
+start:
+    movi eax, 0
+    addi eax, 1
+    movi eax, 2
+    int 0x20
+"""
+
+BAD_SOURCE = """
+.section .text
+.global start
+start:
+    cli
+    hlt
+"""
+
+
+@pytest.fixture
+def sources(tmp_path):
+    good = tmp_path / "good.s"
+    good.write_text(GOOD_SOURCE)
+    bad = tmp_path / "bad.s"
+    bad.write_text(BAD_SOURCE)
+    return good, bad
+
+
+class TestVerifyFiles:
+    def test_good_source_passes(self, sources):
+        good, _ = sources
+        out = io.StringIO()
+        assert verify.main([str(good)], out=out) == 0
+        assert "good: PASS" in out.getvalue()
+
+    def test_bad_source_fails_with_findings(self, sources):
+        _, bad = sources
+        out = io.StringIO()
+        assert verify.main([str(bad)], out=out) == 1
+        text = out.getvalue()
+        assert "bad: FAIL" in text
+        assert "privileged-instruction" in text
+
+    def test_privileged_flag_accepts_bad_source(self, sources):
+        _, bad = sources
+        out = io.StringIO()
+        assert verify.main([str(bad), "--privileged"], out=out) == 0
+
+    def test_json_report_parses(self, sources):
+        good, _ = sources
+        out = io.StringIO()
+        assert verify.main([str(good), "--json"], out=out) == 0
+        payload = json.loads(out.getvalue())
+        assert payload["image"] == "good"
+        assert payload["ok"] is True
+        assert payload["wcet"]["bounded"] is True
+
+    def test_wcet_budget_enforced(self, sources):
+        good, _ = sources
+        out = io.StringIO()
+        assert verify.main([str(good), "--wcet-budget", "10000"], out=out) == 0
+        out = io.StringIO()
+        assert verify.main([str(good), "--wcet-budget", "1"], out=out) == 1
+        assert "wcet-budget-exceeded" in out.getvalue()
+
+    def test_serialised_image_input(self, sources, tmp_path):
+        good, _ = sources
+        from repro.image.linker import link
+        from repro.isa.assembler import assemble
+
+        image = link(assemble(GOOD_SOURCE, "good"), name="good")
+        path = tmp_path / "good.img"
+        path.write_bytes(image.to_bytes())
+        out = io.StringIO()
+        assert verify.main([str(path)], out=out) == 0
+
+    def test_missing_file_is_a_usage_error(self, tmp_path):
+        assert verify.main([str(tmp_path / "nope.img")], out=io.StringIO()) == 2
+
+    def test_no_arguments_prints_usage(self):
+        assert verify.main([], out=io.StringIO()) == 2
+
+
+class TestBuiltinGate:
+    def test_builtin_corpus_is_green(self):
+        out = io.StringIO()
+        assert verify.main(["--builtin"], out=out) == 0
+        text = out.getvalue()
+        assert "0 unexpected" in text
+        assert "UNEXPECTED" not in text
+
+    def test_builtin_json(self):
+        out = io.StringIO()
+        assert verify.main(["--builtin", "--json"], out=out) == 0
+        payload = json.loads(out.getvalue())
+        assert all(row["ok"] for row in payload)
+        kinds = {row["kind"] for row in payload}
+        assert kinds == {"clean", "fixture", "attacker"}
+
+
+class TestBenchWcet:
+    def test_wcet_table_is_sound(self):
+        from repro.tools import bench
+
+        out = io.StringIO()
+        assert bench.main(["--wcet"], out=out) == 0
+        text = out.getvalue()
+        assert "count-loop" in text
+        assert "unsound" not in text.lower() or "0 unsound" in text.lower()
