@@ -10,6 +10,9 @@ that as possible *before* admission:
   privilege policy, MPU safety, stack-depth bound;
 * :mod:`repro.analysis.wcet` - static worst-case execution time via
   longest path over the reducible CFG with loop-bound annotations;
+* :mod:`repro.analysis.summary` - per-block memory-access summaries
+  (which operands fold to constant addresses - the static mirror of the
+  block translator's hoisted EA-MPU windows);
 * :mod:`repro.analysis.verifier` - policy, report, and the
   :func:`verify_image` driver;
 * :mod:`repro.analysis.corpus` - known-bad fixtures and the shipped
@@ -29,17 +32,20 @@ Quickstart::
 
 from repro.analysis.cfg import CodeModel, build_functions
 from repro.analysis.passes import DEFAULT_PASSES, Finding
+from repro.analysis.summary import AccessRecord, access_summary, summarize_image
 from repro.analysis.verifier import Report, VerifyPolicy, verify_image
 from repro.analysis.wcet import WcetResult, compute_wcet
 
 __all__ = [
+    "AccessRecord",
     "CodeModel",
     "DEFAULT_PASSES",
     "Finding",
     "Report",
     "VerifyPolicy",
     "WcetResult",
+    "access_summary",
     "build_functions",
     "compute_wcet",
-    "verify_image",
+    "summarize_image",
 ]

@@ -1,0 +1,47 @@
+"""Per-block constant propagation shared by the analysis passes.
+
+Both the MPU-safety pass and the access-summary exporter need the same
+question answered: *which memory operands resolve to a provable constant
+address inside one basic block?*  The walk is deliberately conservative:
+
+* only ``movi`` defines a known register value (recorded together with
+  whether the immediate is relocation-backed);
+* any other opcode that writes its ``reg`` operand forgets that
+  register;
+* knowledge never crosses a block boundary.
+
+:func:`resolved_accesses` is a generator so callers keep their own
+control flow (the safety pass reports findings, the summary exporter
+collects rows) while the propagation logic lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import LOAD_OPS, REG_WRITERS, STORE_OPS
+from repro.isa.opcodes import Op
+
+
+def access_width(opcode):
+    """Bytes moved by a load/store opcode (1 for the byte forms)."""
+    return 1 if opcode in (Op.LDB, Op.STB) else 4
+
+
+def resolved_accesses(block):
+    """Yield ``(view, resolved)`` for each load/store in ``block``.
+
+    ``resolved`` is ``(value, relocated)`` when the base register is
+    provably the result of a ``movi`` still in effect, else ``None``.
+    ``value`` is the raw ``movi`` immediate (the caller adds the
+    displacement); ``relocated`` says whether the loader rebases it.
+    """
+    known = {}
+    for view in block.insns:
+        insn = view.insn
+        opcode = insn.opcode
+        if opcode == Op.MOVI:
+            known[insn.reg] = (insn.imm, view.relocated_imm)
+            continue
+        if opcode in LOAD_OPS or opcode in STORE_OPS:
+            yield view, known.get(insn.reg2)
+        if opcode in REG_WRITERS:
+            known.pop(insn.reg, None)

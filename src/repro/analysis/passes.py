@@ -28,12 +28,8 @@ The five shipped passes mirror the ISSUE pipeline:
 from __future__ import annotations
 
 from repro.analysis import wcet as wcet_mod
-from repro.analysis.cfg import (
-    LOAD_OPS,
-    PRIVILEGED_OPS,
-    REG_WRITERS,
-    STORE_OPS,
-)
+from repro.analysis.cfg import PRIVILEGED_OPS, STORE_OPS
+from repro.analysis.constprop import access_width, resolved_accesses
 from repro.isa.disassembler import format_instruction
 from repro.isa.opcodes import Op
 from repro.rtos.task import INBOX_BYTES
@@ -166,10 +162,6 @@ def privilege_policy(model, functions, policy):
 # -- 3. MPU safety -------------------------------------------------------------
 
 
-def _access_width(opcode):
-    return 1 if opcode in (Op.LDB, Op.STB) else 4
-
-
 def mpu_safety(model, functions, policy):
     """Check statically resolvable memory operands against the layout.
 
@@ -202,56 +194,49 @@ def mpu_safety(model, functions, policy):
 
     for fn in functions.values():
         for block in fn.blocks.values():
-            known = {}
-            for view in block.insns:
+            for view, resolved in resolved_accesses(block):
+                if resolved is None:
+                    continue
                 insn = view.insn
                 opcode = insn.opcode
-                if opcode == Op.MOVI:
-                    known[insn.reg] = (insn.imm, view.relocated_imm)
-                    continue
-                if opcode in LOAD_OPS or opcode in STORE_OPS:
-                    resolved = known.get(insn.reg2)
-                    if resolved is not None:
-                        value, relocated = resolved
-                        addr = (value + insn.imm) & 0xFFFFFFFF
-                        width = _access_width(opcode)
-                        is_store = opcode in STORE_OPS
-                        if relocated:
-                            if addr + width > footprint:
-                                report(
-                                    "task-relative-out-of-range",
-                                    view,
-                                    "`%s` resolves to task offset 0x%X, "
-                                    "outside the %d-byte task footprint"
-                                    % (format_instruction(insn), addr, footprint),
-                                    address=addr,
-                                    footprint=footprint,
-                                )
-                            elif is_store and addr in code_bytes:
-                                report(
-                                    "store-into-code",
-                                    view,
-                                    "`%s` writes task offset 0x%X inside "
-                                    "the task's own code"
-                                    % (format_instruction(insn), addr),
-                                    address=addr,
-                                )
-                        elif policy.allowed_absolute_ranges is not None:
-                            ok = any(
-                                lo <= addr and addr + width <= hi
-                                for lo, hi in policy.allowed_absolute_ranges
-                            )
-                            if not ok:
-                                report(
-                                    "absolute-out-of-range",
-                                    view,
-                                    "`%s` touches absolute address 0x%X, "
-                                    "outside every allowed window"
-                                    % (format_instruction(insn), addr),
-                                    address=addr,
-                                )
-                if opcode in REG_WRITERS:
-                    known.pop(insn.reg, None)
+                value, relocated = resolved
+                addr = (value + insn.imm) & 0xFFFFFFFF
+                width = access_width(opcode)
+                is_store = opcode in STORE_OPS
+                if relocated:
+                    if addr + width > footprint:
+                        report(
+                            "task-relative-out-of-range",
+                            view,
+                            "`%s` resolves to task offset 0x%X, "
+                            "outside the %d-byte task footprint"
+                            % (format_instruction(insn), addr, footprint),
+                            address=addr,
+                            footprint=footprint,
+                        )
+                    elif is_store and addr in code_bytes:
+                        report(
+                            "store-into-code",
+                            view,
+                            "`%s` writes task offset 0x%X inside "
+                            "the task's own code"
+                            % (format_instruction(insn), addr),
+                            address=addr,
+                        )
+                elif policy.allowed_absolute_ranges is not None:
+                    ok = any(
+                        lo <= addr and addr + width <= hi
+                        for lo, hi in policy.allowed_absolute_ranges
+                    )
+                    if not ok:
+                        report(
+                            "absolute-out-of-range",
+                            view,
+                            "`%s` touches absolute address 0x%X, "
+                            "outside every allowed window"
+                            % (format_instruction(insn), addr),
+                            address=addr,
+                        )
     return findings
 
 

@@ -1,0 +1,142 @@
+"""Per-block memory-access summaries for task images.
+
+The block-translation tier (:mod:`repro.perf.translate`) hoists one
+EA-MPU window per memory instruction; this module exports the *static*
+view of the same information so rule authors and the benches can see,
+per basic block, which accesses resolve to constant addresses (and will
+therefore fold to literal windows at translation time) and which stay
+register-relative.  Built on the same per-block constant propagation
+the MPU-safety pass uses (:mod:`repro.analysis.constprop`), so the two
+never disagree about what is "statically resolvable".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CodeModel, STORE_OPS, build_functions
+from repro.analysis.constprop import access_width, resolved_accesses
+from repro.hw.registers import Reg
+
+
+class AccessRecord:
+    """One load/store inside a basic block, as statically understood."""
+
+    __slots__ = (
+        "offset",
+        "kind",
+        "width",
+        "base_reg",
+        "disp",
+        "address",
+        "relocated",
+    )
+
+    def __init__(self, offset, kind, width, base_reg, disp, address, relocated):
+        self.offset = offset
+        #: ``'load'`` or ``'store'``.
+        self.kind = kind
+        #: Bytes moved (1 or 4).
+        self.width = width
+        #: Name of the base register.
+        self.base_reg = base_reg
+        #: Constant displacement added to the base register.
+        self.disp = disp
+        #: Resolved absolute/task-relative address, or ``None`` when the
+        #: base register is not a provable constant in this block.
+        self.address = address
+        #: Whether the resolved base immediate is relocation-backed
+        #: (a task-relative offset the loader rebases), ``None`` when
+        #: unresolved.
+        self.relocated = relocated
+
+    @property
+    def resolved(self):
+        """Whether the access folds to a constant address."""
+        return self.address is not None
+
+    def to_dict(self):
+        """JSON-ready representation."""
+        return {
+            "offset": self.offset,
+            "kind": self.kind,
+            "width": self.width,
+            "base_reg": self.base_reg,
+            "disp": self.disp,
+            "address": self.address,
+            "relocated": self.relocated,
+        }
+
+    def __repr__(self):
+        where = (
+            "0x%X%s" % (self.address, " (reloc)" if self.relocated else "")
+            if self.address is not None
+            else "%s%+d" % (self.base_reg, self.disp)
+        )
+        return "AccessRecord(0x%04X %s%d %s)" % (
+            self.offset,
+            self.kind,
+            self.width,
+            where,
+        )
+
+
+def block_accesses(block):
+    """The :class:`AccessRecord` list for one basic block."""
+    records = []
+    for view, resolved in resolved_accesses(block):
+        insn = view.insn
+        opcode = insn.opcode
+        if resolved is None:
+            address = relocated = None
+        else:
+            value, relocated = resolved
+            address = (value + insn.imm) & 0xFFFFFFFF
+        records.append(
+            AccessRecord(
+                view.offset,
+                "store" if opcode in STORE_OPS else "load",
+                access_width(opcode),
+                Reg.name(insn.reg2),
+                insn.imm,
+                address,
+                relocated,
+            )
+        )
+    return records
+
+
+def access_summary(model, functions):
+    """Per-block access summaries over already-built CFGs.
+
+    Returns a list of dicts, one per basic block that performs at least
+    one memory access, ordered by function entry then block start::
+
+        {"function": 0x..., "block": 0x..., "end": 0x...,
+         "accesses": [AccessRecord.to_dict(), ...],
+         "resolved": <count>, "unresolved": <count>}
+    """
+    out = []
+    for entry in sorted(functions):
+        fn = functions[entry]
+        for start in sorted(fn.blocks):
+            block = fn.blocks[start]
+            records = block_accesses(block)
+            if not records:
+                continue
+            resolved = sum(1 for r in records if r.resolved)
+            out.append(
+                {
+                    "function": entry,
+                    "block": start,
+                    "end": block.insns[-1].end if block.insns else start,
+                    "accesses": [r.to_dict() for r in records],
+                    "resolved": resolved,
+                    "unresolved": len(records) - resolved,
+                }
+            )
+    return out
+
+
+def summarize_image(image):
+    """Build the CFGs for ``image`` and return its access summary."""
+    model = CodeModel(image)
+    return access_summary(model, build_functions(model))

@@ -23,6 +23,7 @@ class CycleClock:
         self.hz = hz
         self.now = 0
         self._listeners = []
+        self._event_sources = []
 
     def charge(self, count):
         """Advance time by ``count`` cycles and notify listeners."""
@@ -40,6 +41,40 @@ class CycleClock:
     def remove_listener(self, callback):
         """Unregister a listener previously added."""
         self._listeners.remove(callback)
+
+    def add_event_source(self, source):
+        """Register a future-event source for :meth:`next_event_horizon`.
+
+        ``source()`` must return the earliest absolute cycle at which
+        that component can next make an interrupt pending (a timer fire,
+        an RTC alarm, a scheduler slice deadline, ...), or ``None`` when
+        it has no pending future event.  Sources must be conservative:
+        reporting an event *earlier* than it can really occur is safe,
+        later is not.
+        """
+        self._event_sources.append(source)
+
+    def remove_event_source(self, source):
+        """Unregister an event source previously added."""
+        self._event_sources.remove(source)
+
+    def next_event_horizon(self):
+        """Earliest absolute cycle at which any IRQ can become pending.
+
+        Returns ``None`` when no registered source has a scheduled
+        event - time is then free of asynchronous interrupts and the
+        block-execution tier may run arbitrarily far.  Otherwise a
+        multi-instruction block may only be entered if its entire
+        static cycle cost fits strictly before the horizon; anything
+        longer falls back to single-step so interrupt delivery happens
+        at exactly the same instruction boundary as an uncached run.
+        """
+        horizon = None
+        for source in self._event_sources:
+            when = source()
+            if when is not None and (horizon is None or when < horizon):
+                horizon = when
+        return horizon
 
     def cycles_to_seconds(self, count):
         """Convert a cycle count to seconds at the platform frequency."""

@@ -23,6 +23,14 @@ cycle accounting are identical with it on or off:
   execution provably stays inside one entry-point coverage cell;
 * precomputed dispatch tables replacing the opcode ``if``/``elif``
   chain and the condition-code decoder.
+
+On top of the fast path sits an optional *block-translation tier*
+(:meth:`CPU.enable_blocks`): hot straight-line runs are compiled into
+single Python closures with hoisted EA-MPU checks and one batched
+cycle-counter update, and a block only runs when its whole static
+cycle cost fits before the next event horizon - so interrupts are
+still delivered on exactly the same instruction boundary as
+single-stepping (see :mod:`repro.perf.blocks`).
 """
 
 from __future__ import annotations
@@ -81,6 +89,8 @@ class CPU:
         #: ``(lo, hi, epoch)`` coverage cell the sequential-advance
         #: shortcut is valid in, or ``None``.
         self._advance_cell = None
+        #: Block-translation engine (``None`` until ``enable_blocks``).
+        self._blocks = None
         if self.fastpath:
             self._insn_cache = DecodedInsnCache()
             memory.add_write_listener(self._insn_cache.note_write)
@@ -96,6 +106,27 @@ class CPU:
         """The decoded-instruction cache (``None`` when fastpath is off)."""
         return self._insn_cache
 
+    @property
+    def block_engine(self):
+        """The block-translation engine (``None`` unless enabled)."""
+        return self._blocks
+
+    def enable_blocks(self, horizon=None):
+        """Turn on the block-translation tier.
+
+        ``horizon`` is an optional callable returning the earliest
+        absolute cycle at which an IRQ can become pending (usually
+        :meth:`repro.hw.clock.CycleClock.next_event_horizon`); a block
+        whose static cycle cost does not fit before it falls back to
+        single-stepping.  With no horizon, blocks always run - only
+        correct when nothing raises IRQs between instructions, which is
+        the caller's contract (bench rigs without timers).
+        """
+        from repro.perf.translate import BlockEngine
+
+        self._blocks = BlockEngine(self, horizon=horizon)
+        return self._blocks
+
     def cache_stats(self):
         """Hit/miss snapshots of every cache on the execution path."""
         stats = {"region": self.memory.map.stats.snapshot()}
@@ -105,6 +136,8 @@ class CPU:
         if mpu is not None and mpu.decisions is not None:
             stats["mpu_access"] = mpu.decisions.access_stats.snapshot()
             stats["mpu_transfer"] = mpu.decisions.transfer_stats.snapshot()
+        if self._blocks is not None:
+            stats["block"] = self._blocks.snapshot()
         return stats
 
     # -- interrupt intake ---------------------------------------------------
@@ -138,6 +171,10 @@ class CPU:
         if self.halted:
             self.clock.charge(1)
             return 1
+        if self._blocks is not None:
+            charged = self._blocks.try_execute(self)
+            if charged is not None:
+                return charged
         before = self.clock.now
         eip = self.regs.eip
         memory = self.memory

@@ -282,6 +282,26 @@ class EAMPU:
             )
         raise fault
 
+    def probe(self, kind, address, size, eip):
+        """Pure allow/deny query: no fault, no log, no obs, no memo.
+
+        The block-translation engine uses this at discovery time to ask
+        whether an instruction *would* pass :meth:`check` without
+        producing any architecturally visible side effect - a denial
+        must only ever be raised and logged when the single-step path
+        actually reaches the instruction.
+        """
+        covered = False
+        for rule in self.slots:
+            if rule is None:
+                continue
+            if not rule.object_overlaps(address, address + size):
+                continue
+            covered = True
+            if rule.allows(kind, address, size, eip):
+                return True
+        return not covered
+
     def check_transfer(self, from_eip, to_eip, privileged=False):
         """Enforce entry-point rules on a control transfer.
 

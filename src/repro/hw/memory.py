@@ -181,6 +181,14 @@ class PhysicalMemory:
         """Register ``callback(kind, address, size, actor)`` for tracing."""
         self._watchpoints.append(callback)
 
+    def has_watchpoints(self):
+        """Whether any tracing watchpoint is attached.
+
+        The block-execution tier refuses to run while one is: its raw
+        fast-path accesses would otherwise be invisible to tracers.
+        """
+        return bool(self._watchpoints)
+
     def add_write_listener(self, callback):
         """Register ``callback(address, size)`` run after **every** write.
 

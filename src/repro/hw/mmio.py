@@ -36,6 +36,13 @@ class MmioDevice:
     def tick(self, now):
         """Advance device state to absolute cycle ``now``; optional."""
 
+    def next_event(self):
+        """Earliest absolute cycle at which this device can raise an
+        IRQ, or ``None``.  The base device never interrupts; timers
+        override this, and the clock's ``next_event_horizon`` takes the
+        minimum over all registered sources."""
+        return None
+
 
 class MmioRegion:
     """Adapter exposing an :class:`MmioDevice` as a memory-map region.

@@ -45,6 +45,7 @@ class MachineConfig:
         tick_period=16_000,
         mpu_slots=None,
         fastpath=True,
+        blocks=True,
         obs_enabled=True,
         obs_capacity=DEFAULT_CAPACITY,
     ):
@@ -57,6 +58,11 @@ class MachineConfig:
         #: verdict memo, region last-hit).  Wall-clock only; simulated
         #: behaviour is identical either way.
         self.fastpath = fastpath
+        #: Enable the block-translation tier on top of the fast path
+        #: (superblock execution with hoisted EA-MPU checks, bounded by
+        #: the event horizon).  Wall-clock only; simulated behaviour is
+        #: bit-identical either way.  Ignored when ``fastpath`` is off.
+        self.blocks = blocks
         #: Enable the observability bus (repro.obs).  Observation only;
         #: simulated behaviour is bit-identical either way.
         self.obs_enabled = obs_enabled
@@ -183,6 +189,15 @@ class Platform:
         self.engine = ExceptionEngine(self.memory, cfg.idt_base)
         self.cpu.attach_engine(self.engine)
 
+        # -- block-translation tier: superblocks may only run inside the
+        #    event horizon (earliest device event or the current slice
+        #    deadline), so interrupt delivery lands on exactly the same
+        #    instruction boundary as single-stepping ---------------------
+        self._slice_deadline = None
+        self.clock.add_event_source(lambda: self._slice_deadline)
+        if cfg.fastpath and cfg.blocks:
+            self.cpu.enable_blocks(self.clock.next_event_horizon)
+
         # -- observability wiring: hardware publishers and the counter
         #    registry absorbing the fast-path cache stats ------------------
         self.mpu.obs = self.obs
@@ -193,6 +208,10 @@ class Platform:
         if self.mpu.decisions is not None:
             self.obs.counters.register(self.mpu.decisions.access_stats)
             self.obs.counters.register(self.mpu.decisions.transfer_stats)
+        if self.cpu.block_engine is not None:
+            self.cpu.block_engine.obs = self.obs
+            for counter in self.cpu.block_engine.counters():
+                self.obs.counters.register(counter)
 
         # -- devices ------------------------------------------------------------
         self.tick_timer = TickTimer(self.engine.controller, cfg.tick_period)
@@ -215,6 +234,7 @@ class Platform:
             base = cfg.mmio_base + index * 0x100
             self.memory.map.add(MmioRegion(device, base))
             self._devices.append(device)
+            self.clock.add_event_source(device.next_event)
             setattr(self, "%s_base" % device.name.replace("-", "_"), base)
 
         # -- platform key ----------------------------------------------------
@@ -265,10 +285,7 @@ class Platform:
         """Earliest future device event, or ``None``."""
         events = []
         for device in self._devices:
-            next_event = getattr(device, "next_event", None)
-            if next_event is None:
-                continue
-            when = next_event()
+            when = device.next_event()
             if when is not None:
                 events.append(when)
         return min(events) if events else None
@@ -284,23 +301,30 @@ class Platform:
         or ``max_cycles`` elapses.
         """
         deadline = None if max_cycles is None else self.clock.now + max_cycles
-        while True:
-            # A halted core ends the slice immediately - before any
-            # pending interrupt can "wake" it into the bytes after the
-            # hlt (which are usually data).
-            if self.cpu.halted:
-                return FirmwareEntry("halt", address=self.cpu.regs.eip)
-            self.poll_devices()
-            self.cpu.maybe_take_interrupt()
-            eip = self.cpu.regs.eip
-            if self.in_firmware(eip):
-                return FirmwareEntry(
-                    "firmware",
-                    component=self.firmware_at(eip),
-                    address=eip,
-                    vector=self.engine.last_vector,
-                )
-            self.cpu.step()
-            if deadline is not None and self.clock.now >= deadline:
-                return FirmwareEntry("halt", address=self.cpu.regs.eip)
+        # The slice deadline caps the event horizon while this loop
+        # runs: a superblock may not carry execution past the point
+        # where single-stepping would have ended the slice.
+        self._slice_deadline = deadline
+        try:
+            while True:
+                # A halted core ends the slice immediately - before any
+                # pending interrupt can "wake" it into the bytes after
+                # the hlt (which are usually data).
+                if self.cpu.halted:
+                    return FirmwareEntry("halt", address=self.cpu.regs.eip)
+                self.poll_devices()
+                self.cpu.maybe_take_interrupt()
+                eip = self.cpu.regs.eip
+                if self.in_firmware(eip):
+                    return FirmwareEntry(
+                        "firmware",
+                        component=self.firmware_at(eip),
+                        address=eip,
+                        vector=self.engine.last_vector,
+                    )
+                self.cpu.step()
+                if deadline is not None and self.clock.now >= deadline:
+                    return FirmwareEntry("halt", address=self.cpu.regs.eip)
+        finally:
+            self._slice_deadline = None
 

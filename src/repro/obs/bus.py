@@ -24,7 +24,11 @@ Event taxonomy - ``source`` is one of:
 * ``"hw"`` - the simulated hardware (EA-MPU, exception engine, IRQs);
 * ``"rtos"`` - the kernel (scheduling, syscalls, task lifecycle);
 * ``"tc"`` - a trusted component (loader, IPC proxy, remote attest,
-  secure storage, updater); ``data["component"]`` names it.
+  secure storage, updater); ``data["component"]`` names it;
+* ``"perf"`` - the simulator's own fast-path machinery (block-tier
+  translate/flush lifecycle).  These describe the *host-side* engine,
+  not the simulated machine, and are excluded from cache-on/off
+  equivalence comparisons - the only source with that exemption.
 """
 
 from __future__ import annotations

@@ -14,12 +14,19 @@ cache structures shared by the CPU, the EA-MPU, and the memory map:
   ``program_slot``/``clear_slot``);
 * :class:`~repro.obs.counters.HitMissCounter` - hit/miss/invalidation
   counters (now part of :mod:`repro.obs`; re-exported here), registered
-  with each platform's ``obs.counters`` registry for tests and benches.
+  with each platform's ``obs.counters`` registry for tests and benches;
+* :mod:`repro.perf.blocks` / :mod:`repro.perf.translate` - the
+  block-translation tier: hot straight-line superblocks compiled to
+  single Python closures with hoisted EA-MPU checks and batched cycle
+  charging, admitted only when they fit inside the event horizon
+  (``CycleClock.next_event_horizon``).  Exposed lazily here to keep the
+  package import-light (``repro.hw.memory`` imports this package).
 
 The invariant all of these preserve: **caches change wall-clock speed
 only, never simulated semantics**.  Faults, fault logs, trace and
 transfer hooks, and cycle accounting are bit-for-bit identical with
-caches on or off (``tests/test_perf_equivalence.py`` asserts this).
+caches on or off (``tests/test_perf_equivalence.py`` and
+``tests/test_perf_blocks.py`` assert this).
 """
 
 from repro.perf.counters import HitMissCounter
@@ -27,7 +34,24 @@ from repro.perf.decision_cache import MPUDecisionCache
 from repro.perf.insn_cache import DecodedInsnCache
 
 __all__ = [
+    "BlockCache",
+    "BlockEngine",
     "DecodedInsnCache",
     "HitMissCounter",
     "MPUDecisionCache",
+    "SuperBlock",
 ]
+
+
+def __getattr__(name):
+    # Lazy exports: repro.hw.memory imports this package, and the block
+    # modules import repro.hw.memory, so eager imports here would cycle.
+    if name in ("BlockCache", "SuperBlock"):
+        from repro.perf import blocks
+
+        return getattr(blocks, name)
+    if name == "BlockEngine":
+        from repro.perf.translate import BlockEngine
+
+        return BlockEngine
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -1,32 +1,47 @@
-"""CPU-core throughput bench: fast path vs. uncached baseline.
+"""CPU-core throughput bench: baseline vs. fast path vs. block tier.
 
-Runs the same straight-line ALU workload through two identically
-configured rigs - one with every fast-path cache enabled, one with the
-caches off - and reports wall-clock instructions/sec for both, the
-speedup, and the cache hit rates.  The result is written to
-``BENCH_cpu_core.json`` so the performance trajectory is tracked from
-PR to PR.
+Runs three self-terminating workloads through three identically
+configured rigs each and reports wall-clock instructions/sec, the
+speedups, and the cache hit rates:
 
-The rig is deliberately representative of a real TyTAN machine: a
-multi-region memory map, an 18-slot EA-MPU with locked code/stack rules
-plus decoy task rules (so the uncached path pays the genuine linear
-slot scans), and an entry-point-protected code region (so the transfer
-check is live on every sequential advance).
+* ``alu`` - a long straight-line ALU loop: the block translator's best
+  case (one superblock per iteration, all flag writes dead except the
+  loop counter's).
+* ``mem`` - a load/store-heavy loop: every iteration pays data-access
+  EA-MPU checks, so this is the workload that exercises the
+  ``mpu_access`` decision memo (the ALU loop never touches it: fetches
+  go through the *transfer* memo and the instruction cache's epoch
+  check, not the access memo) and the block tier's hoisted windows.
+* ``irq`` - the ALU body under a live tick timer whose handler counts
+  ticks: blocks may only run inside the event horizon, so this measures
+  the tier with real interrupt batching (and proves delivery lands on
+  the same instruction boundary in every mode).
 
-The two runs must also be *architecturally identical* - same retired
-count, same simulated cycle count - which the bench asserts before
-reporting numbers.
+The three modes are ``baseline`` (every cache off), ``fastpath``
+(PR 1's caches), and ``blocks`` (fast path plus the superblock tier).
+All runs of one workload must be *architecturally identical* - same
+retired count, same simulated cycles, same registers, memory, fault
+log, and timer ticks - which the bench asserts before reporting
+numbers.
+
+Reports are cumulative: ``BENCH_cpu_core.json`` keeps a timestamped
+``history`` list so the performance trajectory is tracked from PR to
+PR (a pre-existing report in the old single-workload schema is folded
+into the history rather than discarded).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 
 from repro.hw.clock import CycleClock
 from repro.hw.cpu import CPU
 from repro.hw.ea_mpu import EAMPU, MpuRule, Perm
+from repro.hw.exceptions import ExceptionEngine, Vector
 from repro.hw.memory import MemoryMap, PhysicalMemory, RamRegion
+from repro.hw.timer import TickTimer
 from repro.image.linker import link
 from repro.isa.assembler import assemble
 
@@ -34,6 +49,14 @@ CODE_BASE = 0x1000
 STACK_BASE = 0x3000
 DATA_BASE = 0x6000
 OTHER_BASE = 0x8000
+IDT_BASE = 0x0
+
+#: The three execution modes, cheapest-configured first.
+MODES = ("baseline", "fastpath", "blocks")
+
+#: Cycles between tick interrupts in the ``irq`` workload - short
+#: enough that the event horizon genuinely constrains block admission.
+IRQ_TICK_PERIOD = 400
 
 #: ALU block repeated inside the loop body (straight-line hot path).
 _ALU_BLOCK = """\
@@ -47,18 +70,84 @@ add eax, ebx
 xor edx, esi
 """
 
+#: Instructions per iteration of each workload's loop (used to size the
+#: iteration count from the requested instruction budget).
+_ALU_REPEATS = 6
+_ALU_PER_ITER = 8 * _ALU_REPEATS + 2
+_MEM_PER_ITER = 14
 
-def _workload_source(block_repeats=6):
-    """A long straight-line ALU body in an effectively infinite loop."""
-    body = _ALU_BLOCK * block_repeats
-    return "start:\nmovi ecx, 0x7FFFFFFF\nloop:\n%ssubi ecx, 1\njnz loop\nhlt\n" % body
+
+def _alu_source(iterations):
+    """Straight-line ALU body looped ``iterations`` times, then halt."""
+    body = _ALU_BLOCK * _ALU_REPEATS
+    return "start:\nmovi ecx, %d\nloop:\n%ssubi ecx, 1\njnz loop\nhlt\n" % (
+        iterations,
+        body,
+    )
+
+
+def _mem_source(iterations):
+    """Load/store-heavy loop: word and byte traffic plus stack pushes."""
+    return """\
+start:
+movi ebx, %d
+movi ecx, %d
+loop:
+ld eax, [ebx+0]
+addi eax, 1
+st [ebx+0], eax
+ld edx, [ebx+8]
+xor edx, eax
+st [ebx+8], edx
+ldb esi, [ebx+4]
+stb esi, [ebx+5]
+push eax
+push edx
+pop edx
+pop eax
+subi ecx, 1
+jnz loop
+hlt
+""" % (DATA_BASE, iterations)
+
+
+def _irq_source(ticks):
+    """ALU work polled against a tick counter the IRQ handler bumps.
+
+    The handler lives in the same code region as the task; hardware
+    delivery and IRET are privileged transfers, so no extra EA-MPU
+    rules are needed.  The main loop spins on the tick counter at
+    ``DATA_BASE`` and exits after ``ticks`` interrupts.
+    """
+    return """\
+start:
+movi ebx, %d
+st [ebx+0], eax
+sti
+loop:
+%sld esi, [ebx+0]
+cmpi esi, %d
+jl loop
+cli
+hlt
+irq_handler:
+push eax
+push ebx
+movi ebx, %d
+ld eax, [ebx+0]
+addi eax, 1
+st [ebx+0], eax
+pop ebx
+pop eax
+iret
+""" % (DATA_BASE, _ALU_BLOCK, ticks, DATA_BASE)
 
 
 def build_rig(fastpath, source=None):
     """Assemble the workload into a CPU+EA-MPU rig; returns the CPU."""
     memory = PhysicalMemory(MemoryMap())
     memory.map.cache_enabled = fastpath
-    memory.map.add(RamRegion("idt", 0x0, 0x400))
+    memory.map.add(RamRegion("idt", IDT_BASE, 0x400))
     memory.map.add(RamRegion("code", CODE_BASE, 0x1000))
     memory.map.add(RamRegion("stack", STACK_BASE, 0x1000))
     memory.map.add(RamRegion("data", DATA_BASE, 0x1000))
@@ -68,7 +157,7 @@ def build_rig(fastpath, source=None):
     clock = CycleClock()
     cpu = CPU(memory, clock, fastpath=fastpath)
 
-    image = link(assemble(source or _workload_source()), stack_size=64)
+    image = link(assemble(source or _alu_source(3000)), stack_size=64)
     blob = bytearray(image.blob)
     for offset in image.relocations:
         value = int.from_bytes(blob[offset : offset + 4], "little")
@@ -115,64 +204,234 @@ def build_rig(fastpath, source=None):
     return cpu
 
 
-def _run(cpu, instructions):
-    """Execute ``instructions`` steps; returns (seconds, cycles)."""
+def _build_mode_rig(source, mode, irq=False):
+    """A ``build_rig`` CPU configured for one mode; returns (cpu, timer)."""
+    cpu = build_rig(fastpath=mode != "baseline", source=source)
+    timer = None
+    if irq:
+        engine = ExceptionEngine(cpu.memory, IDT_BASE)
+        cpu.attach_engine(engine)
+        timer = TickTimer(engine.controller, IRQ_TICK_PERIOD)
+        cpu.clock.add_event_source(timer.next_event)
+        handler = CODE_BASE + link(
+            assemble(source), entry_symbol="irq_handler", stack_size=64
+        ).entry
+        engine.install_handler(Vector.TIMER, handler)
+        timer.start(cpu.clock.now)
+    if mode == "blocks":
+        cpu.enable_blocks(cpu.clock.next_event_horizon)
+    return cpu, timer
+
+
+def _run(cpu, timer):
+    """Run the rig to completion (halt); returns wall-clock seconds.
+
+    Mirrors the platform's slice loop: poll the timer, take a pending
+    interrupt, step - so interrupt latency is at most one instruction
+    (or one horizon-admitted block, which is the same boundary).
+    """
     step = cpu.step
-    target = instructions
     start = time.perf_counter()
-    while cpu.retired < target:
-        step()
-    elapsed = time.perf_counter() - start
-    return elapsed, cpu.clock.now
+    if timer is None:
+        while not cpu.halted:
+            step()
+    else:
+        clock = cpu.clock
+        tick = timer.tick
+        take = cpu.maybe_take_interrupt
+        while not cpu.halted:
+            tick(clock.now)
+            take()
+            step()
+    return time.perf_counter() - start
 
 
-def run_bench(instructions=150_000):
-    """Run both modes and return the result dict (see module docstring)."""
-    baseline_cpu = build_rig(fastpath=False)
-    base_seconds, base_cycles = _run(baseline_cpu, instructions)
+def _snapshot(cpu, timer):
+    """Everything architectural a run produced (for equivalence checks)."""
+    memory = cpu.memory
+    snap = {
+        "retired": cpu.retired,
+        "cycles": cpu.clock.now,
+        "gpr": list(cpu.regs.gpr),
+        "eip": cpu.regs.eip,
+        "eflags": cpu.regs.eflags,
+        "data_sha": hashlib.sha256(memory.read_raw(DATA_BASE, 0x1000)).hexdigest(),
+        "stack_sha": hashlib.sha256(memory.read_raw(STACK_BASE, 0x1000)).hexdigest(),
+        "faults": [str(fault) for fault in memory.mpu.fault_log],
+    }
+    if timer is not None:
+        snap["ticks"] = timer.ticks
+    return snap
 
-    fast_cpu = build_rig(fastpath=True)
-    fast_seconds, fast_cycles = _run(fast_cpu, instructions)
 
-    if baseline_cpu.retired != fast_cpu.retired or base_cycles != fast_cycles:
-        raise AssertionError(
-            "cached and uncached runs diverged: retired %d/%d cycles %d/%d"
-            % (baseline_cpu.retired, fast_cpu.retired, base_cycles, fast_cycles)
-        )
+def _workloads(instructions):
+    """The bench's workload table, sized to the instruction budget."""
+    alu_iters = max(1, instructions // _ALU_PER_ITER)
+    mem_iters = max(1, instructions // _MEM_PER_ITER)
+    irq_ticks = max(8, instructions // 200)
+    return [
+        (
+            "alu",
+            "straight-line ALU loop, EA-MPU live (%d iterations)" % alu_iters,
+            _alu_source(alu_iters),
+            False,
+        ),
+        (
+            "mem",
+            "load/store-heavy loop: word+byte+stack traffic (%d iterations)"
+            % mem_iters,
+            _mem_source(mem_iters),
+            False,
+        ),
+        (
+            "irq",
+            "ALU loop under a %d-cycle tick timer (%d ticks)"
+            % (IRQ_TICK_PERIOD, irq_ticks),
+            _irq_source(irq_ticks),
+            True,
+        ),
+    ]
 
+
+def run_bench(instructions=150_000, blocks=True):
+    """Run every workload in every mode; returns the result dict.
+
+    Raises :class:`AssertionError` if any two modes of one workload
+    disagree on any architectural outcome.
+    """
+    modes = MODES if blocks else MODES[:2]
+    workloads = {}
+    for name, description, source, irq in _workloads(instructions):
+        reference = None
+        entry = {"description": description, "modes": {}}
+        for mode in modes:
+            cpu, timer = _build_mode_rig(source, mode, irq=irq)
+            seconds = _run(cpu, timer)
+            snap = _snapshot(cpu, timer)
+            if reference is None:
+                reference = (modes[0], snap)
+            elif snap != reference[1]:
+                diverged = sorted(
+                    key for key in snap if snap[key] != reference[1][key]
+                )
+                raise AssertionError(
+                    "%s: modes %r and %r diverged on %s"
+                    % (name, reference[0], mode, ", ".join(diverged))
+                )
+            result = {
+                "seconds": round(seconds, 6),
+                "insns_per_sec": round(snap["retired"] / seconds, 1),
+            }
+            if mode != "baseline":
+                result["cache_stats"] = cpu.cache_stats()
+            entry["modes"][mode] = result
+        entry["retired"] = reference[1]["retired"]
+        entry["simulated_cycles"] = reference[1]["cycles"]
+        if irq:
+            entry["timer_ticks"] = reference[1]["ticks"]
+        per = {m: entry["modes"][m]["insns_per_sec"] for m in modes}
+        entry["speedups"] = {
+            "fastpath_vs_baseline": round(per["fastpath"] / per["baseline"], 2)
+        }
+        if blocks:
+            entry["speedups"]["blocks_vs_fastpath"] = round(
+                per["blocks"] / per["fastpath"], 2
+            )
+            entry["speedups"]["blocks_vs_baseline"] = round(
+                per["blocks"] / per["baseline"], 2
+            )
+        workloads[name] = entry
     return {
         "bench": "cpu_core",
-        "workload": "straight-line ALU loop, EA-MPU live (%d insns)" % instructions,
         "instructions": instructions,
-        "simulated_cycles": fast_cycles,
-        "baseline": {
-            "seconds": round(base_seconds, 6),
-            "insns_per_sec": round(instructions / base_seconds, 1),
-        },
-        "fastpath": {
-            "seconds": round(fast_seconds, 6),
-            "insns_per_sec": round(instructions / fast_seconds, 1),
-            "cache_stats": fast_cpu.cache_stats(),
-        },
-        "speedup": round(base_seconds / fast_seconds, 2),
+        "modes": list(modes),
+        "workloads": workloads,
     }
 
 
-def write_report(path="BENCH_cpu_core.json", instructions=150_000, out=None):
-    """Run the bench and write the JSON report to ``path``."""
-    result = run_bench(instructions)
+def _history_entry(result):
+    """Compact trajectory record appended to the report's history."""
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "instructions": result["instructions"],
+        "workloads": {
+            name: {
+                "insns_per_sec": {
+                    mode: entry["modes"][mode]["insns_per_sec"]
+                    for mode in entry["modes"]
+                },
+                "speedups": entry["speedups"],
+            }
+            for name, entry in result["workloads"].items()
+        },
+    }
+
+
+def _legacy_history_entry(old):
+    """Fold a pre-block-tier (single-workload) report into the history."""
+    return {
+        "timestamp": "(before run-history tracking)",
+        "instructions": old.get("instructions"),
+        "workloads": {
+            "alu": {
+                "insns_per_sec": {
+                    "baseline": old["baseline"]["insns_per_sec"],
+                    "fastpath": old["fastpath"]["insns_per_sec"],
+                },
+                "speedups": {"fastpath_vs_baseline": old["speedup"]},
+            }
+        },
+    }
+
+
+def _load_history(path):
+    """The history list of an existing report, in either schema."""
+    try:
+        with open(path) as handle:
+            old = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    if isinstance(old.get("history"), list):
+        return old["history"]
+    if "baseline" in old and "fastpath" in old:
+        try:
+            return [_legacy_history_entry(old)]
+        except (KeyError, TypeError):
+            return []
+    return []
+
+
+def write_report(
+    path="BENCH_cpu_core.json", instructions=150_000, out=None, blocks=True
+):
+    """Run the bench and write the JSON report to ``path``.
+
+    The report carries a cumulative timestamped ``history`` of past
+    runs (read back from any existing report at ``path``), so repeated
+    bench runs track the trajectory instead of overwriting it.
+    """
+    result = run_bench(instructions, blocks=blocks)
+    result["history"] = _load_history(path) + [_history_entry(result)]
     with open(path, "w") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)
         handle.write("\n")
     if out is not None:
-        print(
-            "cpu_core throughput: %.0f -> %.0f insns/sec (%.2fx), report %s"
-            % (
-                result["baseline"]["insns_per_sec"],
-                result["fastpath"]["insns_per_sec"],
-                result["speedup"],
-                path,
-            ),
-            file=out,
-        )
+        for name, entry in sorted(result["workloads"].items()):
+            per = entry["modes"]
+            line = "cpu_core %-3s: %8.0f" % (
+                name,
+                per["baseline"]["insns_per_sec"],
+            )
+            line += " -> %8.0f (%.2fx fastpath)" % (
+                per["fastpath"]["insns_per_sec"],
+                entry["speedups"]["fastpath_vs_baseline"],
+            )
+            if "blocks" in per:
+                line += " -> %8.0f (%.2fx blocks)" % (
+                    per["blocks"]["insns_per_sec"],
+                    entry["speedups"]["blocks_vs_baseline"],
+                )
+            line += " insns/sec"
+            print(line, file=out)
+        print("report: %s" % path, file=out)
     return result

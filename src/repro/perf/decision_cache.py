@@ -42,6 +42,7 @@ class MPUDecisionCache:
         "_access",
         "_transfer",
         "_bounds",
+        "_data_bounds",
         "access_stats",
         "transfer_stats",
     )
@@ -55,6 +56,10 @@ class MPUDecisionCache:
         self._transfer = set()
         #: Sorted entry-point rule boundaries (built lazily per epoch).
         self._bounds = None
+        #: Sorted object-range boundaries of *all* rules (lazy, per
+        #: epoch); partitions the address space into data cells inside
+        #: which every rule's object membership is constant.
+        self._data_bounds = None
         self.access_stats = HitMissCounter("mpu-access")
         self.transfer_stats = HitMissCounter("mpu-transfer")
 
@@ -68,6 +73,7 @@ class MPUDecisionCache:
             self._access.clear()
             self._transfer.clear()
             self._bounds = None
+            self._data_bounds = None
             self.access_stats.invalidations += 1
             self.transfer_stats.invalidations += 1
 
@@ -123,6 +129,38 @@ class MPUDecisionCache:
         bounds = sorted(edges)
         self._bounds = bounds
         return bounds
+
+    def _rebuild_data_bounds(self):
+        edges = set()
+        for rule in self._mpu.slots:
+            if rule is not None:
+                edges.add(rule.data_start)
+                edges.add(rule.data_end)
+        bounds = sorted(edges)
+        self._data_bounds = bounds
+        return bounds
+
+    def allow_window(self, address):
+        """``(lo, hi)``: the data cell containing ``address``.
+
+        The object ranges of **all** programmed rules partition the
+        address space; within ``[lo, hi)`` every rule's object
+        membership is constant, so an *allow* verdict for one access
+        ``(kind, size, eip)`` at ``address`` holds for the same access
+        at any address whose whole ``size``-byte span stays inside the
+        cell.  The block-translation engine hoists one full
+        :meth:`~repro.hw.ea_mpu.EAMPU.check` per memory instruction
+        into such a window (further clamped to the backing RAM region)
+        and re-validates it only when the rule-table epoch moves.
+        """
+        self._sync()
+        bounds = self._data_bounds
+        if bounds is None:
+            bounds = self._rebuild_data_bounds()
+        index = bisect_right(bounds, address)
+        lo = bounds[index - 1] if index > 0 else 0
+        hi = bounds[index] if index < len(bounds) else _TOP
+        return lo, hi
 
     def cell_bounds(self, address):
         """``(lo, hi, epoch)``: the coverage cell containing ``address``.

@@ -8,8 +8,14 @@ Usage::
     python -m repro.tools.bench --throughput  # CPU-core insns/sec bench
     python -m repro.tools.bench --wcet        # static vs dynamic WCET
 
-The throughput mode runs the fast-path-vs-baseline CPU bench
-(:mod:`repro.perf.bench_core`) and writes ``BENCH_cpu_core.json``.
+The throughput mode runs the CPU bench (:mod:`repro.perf.bench_core`):
+three workloads (alu / mem / irq), each in baseline, fast-path, and
+block-translation mode, appending to the run history in
+``BENCH_cpu_core.json``.  ``--no-blocks`` skips the block tier;
+``--check`` turns the run into a CI gate that fails when the block
+tier is slower than the plain fast path on any workload (the
+architectural-equivalence check is always on: any divergence between
+modes raises before a report is written).
 The WCET mode runs the static-analysis soundness experiments
 (:mod:`repro.analysis.bench`): each benchmark workload's statically
 computed cycle bound next to the cycles the core actually charged.
@@ -58,7 +64,35 @@ def build_parser():
         action="store_true",
         help="run the static-vs-dynamic WCET soundness experiments",
     )
+    parser.add_argument(
+        "--no-blocks",
+        dest="blocks",
+        action="store_false",
+        help="skip the block-translation mode of the throughput bench",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if the block tier is slower than the plain "
+        "fast path on any throughput workload",
+    )
     return parser
+
+
+def check_throughput(result, out):
+    """CI gate over a throughput result; returns offending workloads."""
+    slower = []
+    for name in sorted(result["workloads"]):
+        entry = result["workloads"][name]
+        ratio = entry["speedups"].get("blocks_vs_fastpath")
+        if ratio is not None and ratio < 1.0:
+            slower.append(name)
+            print(
+                "check: %s: block tier is SLOWER than fast path (%.2fx)"
+                % (name, ratio),
+                file=out,
+            )
+    return slower
 
 
 def render_wcet(results, out):
@@ -128,7 +162,17 @@ def main(argv=None, out=None):
     if args.throughput:
         from repro.perf.bench_core import write_report
 
-        write_report(path=args.json, instructions=args.instructions, out=out)
+        result = write_report(
+            path=args.json,
+            instructions=args.instructions,
+            out=out,
+            blocks=args.blocks,
+        )
+        if args.check:
+            if not args.blocks:
+                print("check: nothing to gate without the block tier", file=out)
+                return 2
+            return 1 if check_throughput(result, out) else 0
         return 0
     if args.list:
         for name, (description, _) in EXPERIMENTS.items():
