@@ -47,14 +47,25 @@ class AttestationReport:
 
     @classmethod
     def from_bytes(cls, blob):
-        """Parse the wire format."""
+        """Parse the wire format.
+
+        Raises :class:`AttestationError` for any blob that is not an
+        exact, well-formed report: truncated headers, short identity or
+        MAC slices, and trailing garbage are all rejected (a raw
+        ``struct.error`` or a silently short identity would otherwise
+        leak out of the wire layer).
+        """
         blob = bytes(blob)
+        if len(blob) < 22:
+            raise AttestationError(
+                "truncated attestation report (%d bytes)" % len(blob)
+            )
         identity = blob[:20]
         (nonce_len,) = struct.unpack("<H", blob[20:22])
+        if len(blob) != 22 + nonce_len + 20:
+            raise AttestationError("malformed attestation report")
         nonce = blob[22 : 22 + nonce_len]
         mac = blob[22 + nonce_len :]
-        if len(mac) != 20:
-            raise AttestationError("malformed attestation report")
         return cls(identity, nonce, mac)
 
     def __repr__(self):
@@ -125,21 +136,39 @@ class Verifier:
         self._key = derive_key(bytes(platform_key), b"attest", provider)
         self.expected = set()
         self._nonce_counter = 0
+        #: Nonces handed out by :meth:`fresh_nonce`, not yet consumed.
+        self._issued = set()
+        #: Nonces a report has already verified against - single-use.
+        self._consumed = set()
 
     def expect(self, identity):
         """Whitelist an identity (e.g. from the provider's signed image)."""
         self.expected.add(bytes(identity))
 
     def fresh_nonce(self):
-        """A unique challenge nonce."""
+        """A unique challenge nonce (tracked for single-use checking)."""
         self._nonce_counter += 1
-        return struct.pack("<Q", self._nonce_counter)
+        nonce = struct.pack("<Q", self._nonce_counter)
+        self._issued.add(nonce)
+        return nonce
 
     def verify(self, report, nonce):
-        """Check ``report`` against ``nonce``; returns True/False."""
-        if bytes(nonce) != report.nonce:
+        """Check ``report`` against ``nonce``; returns True/False.
+
+        Nonces are single-use: the first successful verification
+        consumes the nonce, so a captured report replayed against the
+        same challenge is rejected even though its MAC still checks.
+        """
+        nonce = bytes(nonce)
+        if nonce in self._consumed:
+            return False
+        if nonce != report.nonce:
             return False
         expected_mac = hmac_sha1(self._key, report.identity + report.nonce)
         if not constant_time_equal(expected_mac, report.mac):
             return False
-        return report.identity in self.expected
+        if report.identity not in self.expected:
+            return False
+        self._issued.discard(nonce)
+        self._consumed.add(nonce)
+        return True

@@ -149,6 +149,12 @@ class AttestationError(TyTANError):
     """Local or remote attestation failed verification."""
 
 
+class NetworkError(TyTANError):
+    """The simulated network fabric was misused (unknown endpoint,
+    invalid link profile) - distinct from in-band faults like loss,
+    which the fabric models rather than raises."""
+
+
 class SecureStorageError(TyTANError):
     """Secure storage rejected a request (wrong identity, corrupt blob)."""
 

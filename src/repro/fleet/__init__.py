@@ -1,0 +1,29 @@
+"""repro.fleet - multi-device attestation orchestration.
+
+* :mod:`repro.fleet.device` - one TyTAN machine behind a NIC, speaking
+  the attestation wire protocol.
+* :mod:`repro.fleet.executors` - serial and multiprocessing-pool
+  device stepping.
+* :mod:`repro.fleet.service` - the verifier service: fresh nonces with
+  expiry, retry/backoff, quarantine, health reporting.
+* :mod:`repro.fleet.orchestrator` - :class:`Fleet`, the end-to-end
+  deterministic fleet run.
+"""
+
+from repro.fleet.device import (
+    FleetDevice,
+    device_platform_key,
+    expected_fleet_identity,
+    fleet_task_image,
+)
+from repro.fleet.orchestrator import Fleet
+from repro.fleet.service import VerifierService
+
+__all__ = [
+    "Fleet",
+    "FleetDevice",
+    "VerifierService",
+    "device_platform_key",
+    "expected_fleet_identity",
+    "fleet_task_image",
+]

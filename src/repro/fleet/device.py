@@ -1,0 +1,120 @@
+"""One fleet member: a full TyTAN machine behind a NIC.
+
+Every :class:`FleetDevice` boots an independent
+:class:`~repro.core.system.TyTAN` (secure boot, trusted components,
+EA-MPU rules) with a *per-device* platform key derived from the fleet
+seed, attaches a :class:`~repro.hw.nic.NetworkInterface`, and loads the
+fleet agent task whose identity the verifier whitelists.  Challenges
+arrive as framed datagrams through the NIC; the device decodes them,
+asks its Remote Attest component for a report (charging the machine's
+own cycle clock), and queues the response frame on the NIC.
+
+A *rogue* device models a compromised member: it runs a tampered agent
+binary, so its reports carry an identity the verifier will not accept -
+the MAC is valid under the device's key, but the measurement is wrong.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.identity import identity_of_image
+from repro.core.system import TyTAN
+from repro.crypto.kdf import derive_key
+from repro.crypto.sha1 import SHA1
+from repro.errors import AttestationError
+from repro.hw.platform import MachineConfig
+from repro.net.wire import Challenge, Response, decode_message
+from repro.sim.workloads import synthetic_image
+
+#: Name under which every device loads the fleet agent task.
+AGENT_NAME = "fleet-agent"
+#: Image seed of the genuine agent binary.
+AGENT_SEED = 11
+#: Image seed of the tampered (rogue) agent binary.
+ROGUE_SEED = 13
+
+
+def fleet_task_image(rogue=False):
+    """The agent task image (tampered when ``rogue``)."""
+    return synthetic_image(
+        blocks=3,
+        relocations=1,
+        name=AGENT_NAME,
+        seed=ROGUE_SEED if rogue else AGENT_SEED,
+    )
+
+
+def expected_fleet_identity():
+    """The agent identity a verifier whitelists (provider-side oracle)."""
+    return identity_of_image(fleet_task_image())
+
+
+def device_platform_key(fleet_seed, device_id):
+    """The per-device fused platform key K_p.
+
+    Derived from a fleet master secret so device machines and the
+    verifier registry agree without shipping key material around -
+    this models the out-of-band K_p sharing of the paper's symmetric
+    scheme at fleet scale.
+    """
+    master = SHA1(b"tytan-fleet-%d" % fleet_seed).digest()
+    return derive_key(master, b"device", struct.pack("<I", device_id))
+
+
+class FleetDevice:
+    """A booted TyTAN machine speaking the attestation wire protocol."""
+
+    def __init__(self, device_id, fleet_seed=0, rogue=False, provider=b""):
+        self.device_id = int(device_id)
+        self.provider = bytes(provider)
+        self.rogue = bool(rogue)
+        config = MachineConfig(
+            obs_enabled=False,
+            platform_key=device_platform_key(fleet_seed, device_id),
+        )
+        self.machine = TyTAN(config)
+        self.nic = self.machine.platform.attach_nic()
+        self.task = self.machine.load_task(
+            fleet_task_image(rogue), secure=True, name=AGENT_NAME
+        )
+        #: Challenges answered.
+        self.handled = 0
+        #: Frames that failed to decode.
+        self.malformed = 0
+        #: Well-formed frames addressed to another device (dropped).
+        self.misaddressed = 0
+
+    def handle_frame(self, payload):
+        """Process one datagram; returns ``(response bytes | None, cycles)``.
+
+        ``cycles`` is the simulated compute cost the machine charged
+        while producing the response (key derivation + MAC); the
+        orchestrator converts it into fabric time.
+        """
+        self.nic.deliver(payload)
+        start = self.machine.clock.now
+        frame = self.nic.take_frame()
+        try:
+            message = decode_message(frame)
+        except AttestationError:
+            self.malformed += 1
+            return None, self.machine.clock.now - start
+        if not isinstance(message, Challenge) or message.device_id != self.device_id:
+            self.misaddressed += 1
+            return None, self.machine.clock.now - start
+        report = self.machine.remote_attest.attest(
+            self.task, message.nonce, self.provider
+        )
+        self.nic.transmit(
+            Response(self.device_id, message.seq, report).to_bytes()
+        )
+        self.handled += 1
+        return self.nic.pop_outgoing(), self.machine.clock.now - start
+
+    def __repr__(self):
+        return "FleetDevice(%d%s, %d handled)" % (
+            self.device_id,
+            ", rogue" if self.rogue else "",
+            self.handled,
+        )

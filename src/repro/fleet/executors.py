@@ -1,0 +1,133 @@
+"""Device executors: who steps the fleet's machines.
+
+The orchestrator hands an executor batches of ``(device_id, payload)``
+datagrams and gets back ``(device_id, response | None, cycles)``
+triples.  Responses are pure functions of the device state and the
+challenge, so both executors produce byte-identical results - they
+differ only in *who* does the work:
+
+* :class:`SerialExecutor` - every machine lives in this process and is
+  stepped one after another (one compute lane).
+* :class:`PoolExecutor` - a ``multiprocessing`` worker pool; each
+  worker boots and caches the machines it is handed and steps its
+  batch share, giving ``workers`` concurrent compute lanes (and real
+  host parallelism on multi-core machines).
+
+The executor's ``lanes`` count is what the orchestrator uses to model
+simulated compute concurrency, so fleet throughput comparisons are
+deterministic and host-independent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.fleet.device import FleetDevice
+
+
+class SerialExecutor:
+    """All devices in-process, stepped sequentially."""
+
+    def __init__(self, device_ids, fleet_seed=0, rogue=(), provider=b""):
+        self.device_ids = list(device_ids)
+        self.fleet_seed = fleet_seed
+        self.rogue = frozenset(rogue)
+        self.provider = bytes(provider)
+        self.devices = None
+
+    @property
+    def lanes(self):
+        """Concurrent compute lanes this executor models."""
+        return 1
+
+    def start(self):
+        """Boot every device machine."""
+        self.devices = {
+            device_id: FleetDevice(
+                device_id,
+                self.fleet_seed,
+                rogue=device_id in self.rogue,
+                provider=self.provider,
+            )
+            for device_id in self.device_ids
+        }
+
+    def process(self, batch):
+        """Step each addressed device through its datagram."""
+        results = []
+        for device_id, payload in batch:
+            response, cycles = self.devices[device_id].handle_frame(payload)
+            results.append((device_id, response, cycles))
+        return results
+
+    def close(self):
+        """Release the devices."""
+        self.devices = None
+
+
+#: Per-worker state: the booted device cache and the fleet parameters.
+_WORKER = {"config": None, "devices": {}}
+
+
+def _worker_init(fleet_seed, rogue, provider):
+    """Pool initializer: record the fleet parameters for lazy boots."""
+    _WORKER["config"] = (fleet_seed, frozenset(rogue), bytes(provider))
+    _WORKER["devices"] = {}
+
+
+def _worker_handle(item):
+    """Step one datagram in a worker, booting the device on first use.
+
+    Devices are cached per worker process; a device whose retries land
+    on a different worker is simply booted again there - responses are
+    pure functions of (seed, device_id, challenge), so placement never
+    changes the bytes, only host-side wall clock.
+    """
+    device_id, payload = item
+    fleet_seed, rogue, provider = _WORKER["config"]
+    device = _WORKER["devices"].get(device_id)
+    if device is None:
+        device = FleetDevice(
+            device_id, fleet_seed, rogue=device_id in rogue, provider=provider
+        )
+        _WORKER["devices"][device_id] = device
+    response, cycles = device.handle_frame(payload)
+    return device_id, response, cycles
+
+
+class PoolExecutor:
+    """A multiprocessing pool of device-stepping workers."""
+
+    def __init__(self, device_ids, fleet_seed=0, rogue=(), provider=b"", workers=4):
+        if workers < 2:
+            raise ValueError("a worker pool needs at least 2 workers")
+        self.device_ids = list(device_ids)
+        self.fleet_seed = fleet_seed
+        self.rogue = frozenset(rogue)
+        self.provider = bytes(provider)
+        self.workers = int(workers)
+        self._pool = None
+
+    @property
+    def lanes(self):
+        return self.workers
+
+    def start(self):
+        """Spin up the worker pool (devices boot lazily per worker)."""
+        self._pool = multiprocessing.Pool(
+            self.workers,
+            initializer=_worker_init,
+            initargs=(self.fleet_seed, self.rogue, self.provider),
+        )
+
+    def process(self, batch):
+        if not batch:
+            return []
+        chunksize = max(1, len(batch) // self.workers)
+        return self._pool.map(_worker_handle, batch, chunksize=chunksize)
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None

@@ -1,0 +1,265 @@
+"""The fleet orchestrator: N TyTAN machines vs. one verifier service.
+
+:class:`Fleet` wires everything together:
+
+* a :class:`~repro.net.fabric.NetworkFabric` with one endpoint per
+  device plus the verifier's, every link sharing the configured fault
+  profile (latency/jitter/loss/duplication/reordering, seeded RNG);
+* an executor (:mod:`repro.fleet.executors`) owning the device
+  machines - serial (one compute lane) or a multiprocessing worker
+  pool (``workers`` lanes);
+* a :class:`~repro.fleet.service.VerifierService` driving challenges,
+  retries, and quarantine.
+
+The run loop is event-driven over fabric time: advance to the next
+delivery or service deadline, step the addressed devices, and schedule
+their responses.  Device compute is charged in *simulated* time - each
+response occupies its executor lane for the cycles the machine's clock
+actually charged, converted to fabric microseconds - so fleet
+throughput (reports per simulated second) is deterministic and
+host-independent: a worker pool with K lanes genuinely overlaps K
+device computations where the serial executor must queue them.
+
+Everything in :meth:`Fleet.run`'s result dict is reproducible
+bit-for-bit for a given configuration and seed.
+"""
+
+from __future__ import annotations
+
+from repro import cycles
+from repro.fleet.device import device_platform_key, expected_fleet_identity
+from repro.fleet.executors import PoolExecutor, SerialExecutor
+from repro.fleet.service import VerifierService
+from repro.hw.clock import DEFAULT_HZ
+from repro.net.fabric import LinkProfile, NetworkFabric
+from repro.obs.bus import EventBus
+
+US_PER_SEC = 1_000_000
+
+#: Cycle cost of producing one report (key derivation + MAC), used only
+#: to size the default challenge timeout - the run loop charges the
+#: cycles each machine *actually* spent.
+_ATTEST_CYCLES = cycles.KEY_DERIVATION + cycles.ATTEST_MAC
+
+
+class Fleet:
+    """A simulated device fleet under one verifier service."""
+
+    def __init__(
+        self,
+        devices=8,
+        *,
+        seed=0,
+        loss=0.0,
+        latency_us=200,
+        jitter_us=50,
+        duplicate=0.0,
+        reorder=0.0,
+        workers=4,
+        rogue=(),
+        provider=b"",
+        timeout_us=None,
+        max_attempts=8,
+        max_rejects=3,
+        backoff_us=2_000,
+        obs_capacity=65_536,
+        hz=DEFAULT_HZ,
+    ):
+        if devices < 1:
+            raise ValueError("a fleet needs at least one device")
+        self.devices = int(devices)
+        self.seed = int(seed)
+        self.workers = int(workers) if workers else 0
+        self.rogue = frozenset(int(r) for r in rogue)
+        if self.rogue - set(range(self.devices)):
+            raise ValueError("rogue ids outside the fleet")
+        self.provider = bytes(provider)
+        self.hz = hz
+        self.profile = LinkProfile(
+            latency_us=latency_us,
+            jitter_us=jitter_us,
+            loss=loss,
+            duplicate=duplicate,
+            reorder=reorder,
+        )
+
+        self.fabric = NetworkFabric(seed=seed, default_profile=self.profile)
+        #: Fleet-wide observability bus, clocked by fabric time.
+        self.obs = EventBus(clock=self.fabric, capacity=obs_capacity)
+        self.fabric.obs = self.obs
+        self.event_counts = {}
+        self.obs.subscribe(self._count_event)
+
+        self.verifier_ep = self.fabric.attach("verifier")
+        self._device_eps = {}
+        self._device_of_addr = {}
+        for device_id in range(self.devices):
+            address = self._addr(device_id)
+            self._device_eps[device_id] = self.fabric.attach(address)
+            self._device_of_addr[address] = device_id
+
+        lanes = self.workers if self.workers else 1
+        if timeout_us is None:
+            # Worst case: a full fleet round queued behind the lanes,
+            # with 2x headroom, plus the round trip.
+            attest_us = self._cycles_to_us(_ATTEST_CYCLES)
+            per_round = -(-self.devices // lanes) * attest_us
+            timeout_us = 2 * (latency_us + jitter_us) + 2 * per_round + 10_000
+        self.timeout_us = int(timeout_us)
+
+        registry = {
+            device_id: device_platform_key(self.seed, device_id)
+            for device_id in range(self.devices)
+        }
+        self.service = VerifierService(
+            registry,
+            expected_fleet_identity(),
+            self.provider,
+            timeout_us=self.timeout_us,
+            max_attempts=max_attempts,
+            max_rejects=max_rejects,
+            backoff_us=backoff_us,
+            obs=self.obs,
+        )
+
+        if self.workers:
+            self.executor = PoolExecutor(
+                range(self.devices),
+                fleet_seed=self.seed,
+                rogue=self.rogue,
+                provider=self.provider,
+                workers=self.workers,
+            )
+        else:
+            self.executor = SerialExecutor(
+                range(self.devices),
+                fleet_seed=self.seed,
+                rogue=self.rogue,
+                provider=self.provider,
+            )
+        self.compute_cycles = 0
+        self.responses_sent = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _addr(device_id):
+        return "dev-%04d" % device_id
+
+    def _count_event(self, event):
+        self.event_counts[event.kind] = self.event_counts.get(event.kind, 0) + 1
+
+    def _cycles_to_us(self, cycle_count):
+        return max(1, (cycle_count * US_PER_SEC) // self.hz)
+
+    # -- the run loop -------------------------------------------------------
+
+    def run(self, max_time_us=600 * US_PER_SEC):
+        """Drive the protocol until every device settles.
+
+        Returns the deterministic result dict (configuration echo,
+        health report, fabric statistics, obs event histogram, and
+        throughput in reports per simulated second).
+        """
+        fabric = self.fabric
+        service = self.service
+        lanes = self.executor.lanes
+        lane_busy = [0] * lanes
+        self.executor.start()
+        try:
+            while True:
+                for device_id, frame in service.poll(fabric.now):
+                    self.verifier_ep.send(self._addr(device_id), frame)
+                if service.done:
+                    break
+                candidates = [
+                    t
+                    for t in (fabric.next_delivery(), service.next_wakeup())
+                    if t is not None
+                ]
+                if not candidates:
+                    break  # nothing in flight and nothing scheduled
+                target = max(fabric.now + 1, min(candidates))
+                if target > max_time_us:
+                    break
+                fabric.advance_to(target)
+
+                # Step every device that received traffic (sorted, so
+                # the fabric's RNG draw order is canonical).
+                batch = []
+                for device_id in range(self.devices):
+                    endpoint = self._device_eps[device_id]
+                    while True:
+                        item = endpoint.recv()
+                        if item is None:
+                            break
+                        batch.append((device_id, item[1]))
+                if batch:
+                    for device_id, response, spent in self.executor.process(batch):
+                        self.compute_cycles += spent
+                        if response is None:
+                            continue
+                        lane = device_id % lanes
+                        start = max(fabric.now, lane_busy[lane])
+                        done_at = start + self._cycles_to_us(spent)
+                        lane_busy[lane] = done_at
+                        self.responses_sent += 1
+                        self._device_eps[device_id].send(
+                            "verifier", response, at=done_at
+                        )
+
+                # Feed delivered responses to the verifier service.
+                while True:
+                    item = self.verifier_ep.recv()
+                    if item is None:
+                        break
+                    source, payload = item
+                    service.handle(
+                        self._device_of_addr.get(source), payload, fabric.now
+                    )
+        finally:
+            self.executor.close()
+        return self._result()
+
+    # -- results ------------------------------------------------------------
+
+    def _result(self):
+        health = self.service.report()
+        elapsed_us = self.fabric.now
+        reports_per_sec = (
+            round(health["attested"] * US_PER_SEC / elapsed_us, 2)
+            if elapsed_us
+            else 0.0
+        )
+        return {
+            "fleet": {
+                "devices": self.devices,
+                "seed": self.seed,
+                "mode": "pool" if self.workers else "serial",
+                "workers": self.workers,
+                "lanes": self.executor.lanes,
+                "loss": self.profile.loss,
+                "latency_us": self.profile.latency_us,
+                "jitter_us": self.profile.jitter_us,
+                "duplicate": self.profile.duplicate,
+                "reorder": self.profile.reorder,
+                "timeout_us": self.timeout_us,
+                "rogue": sorted(self.rogue),
+            },
+            "health": health,
+            "fabric": dict(self.fabric.stats),
+            "events": dict(sorted(self.event_counts.items())),
+            "compute": {
+                "cycles": self.compute_cycles,
+                "responses": self.responses_sent,
+            },
+            "sim_elapsed_us": elapsed_us,
+            "reports_per_sec": reports_per_sec,
+        }
+
+    def healthy(self, result=None):
+        """Whether every non-quarantined device attested."""
+        health = (result or self._result())["health"]
+        return health["pending"] == 0 and (
+            health["attested"] + health["quarantined"] == health["total"]
+        )

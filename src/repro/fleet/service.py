@@ -1,0 +1,317 @@
+"""The fleet verifier service.
+
+Drives the challenge-response protocol for every registered device:
+
+* **fresh-nonce issuance with expiry** - each challenge carries a nonce
+  from the device's :class:`~repro.core.remote_attest.Verifier` (which
+  enforces single use) and is only accepted before its deadline;
+* **retry with timeout and backoff** - an unanswered challenge times
+  out and is reissued with a fresh nonce after an exponentially growing
+  backoff, up to ``max_attempts``;
+* **quarantine** - devices that exhaust their retries, or whose reports
+  are affirmatively rejected ``max_rejects`` times (bad MAC or wrong
+  identity - a rogue binary), are quarantined and no longer challenged;
+* **health reporting** - per-state device counts, protocol counters,
+  and latency percentiles over challenge->attested round trips.
+
+The service is transport-agnostic: :meth:`poll` returns the frames to
+send, and the orchestrator feeds delivered datagrams to :meth:`handle`.
+Per-device state machine::
+
+    pending --poll--> awaiting --verify ok--> attested
+       ^                 |  \\--reject x max_rejects--> quarantined
+       |                 v
+       +----timeout/backoff   (attempts exhausted -> quarantined)
+"""
+
+from __future__ import annotations
+
+from repro.core.remote_attest import Verifier
+from repro.errors import AttestationError
+from repro.net.wire import Challenge, Response, decode_message
+
+#: Device protocol states.
+PENDING = "pending"
+AWAITING = "awaiting"
+ATTESTED = "attested"
+QUARANTINED = "quarantined"
+
+
+def _percentile(sorted_values, pct):
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return None
+    rank = max(1, -(-len(sorted_values) * pct // 100))  # ceil
+    return sorted_values[int(rank) - 1]
+
+
+class _DeviceRecord:
+    """Per-device protocol state."""
+
+    __slots__ = (
+        "status",
+        "attempts",
+        "rejects",
+        "next_at",
+        "seq",
+        "nonce",
+        "sent_at",
+        "expires_at",
+        "first_sent_at",
+        "latency_us",
+        "quarantine_reason",
+    )
+
+    def __init__(self):
+        self.status = PENDING
+        self.attempts = 0
+        self.rejects = 0
+        self.next_at = 0
+        self.seq = None
+        self.nonce = None
+        self.sent_at = None
+        self.expires_at = None
+        self.first_sent_at = None
+        self.latency_us = None
+        self.quarantine_reason = None
+
+
+class VerifierService:
+    """Challenge-response orchestration over a device registry.
+
+    Parameters
+    ----------
+    registry:
+        ``{device_id: platform_key}`` - the out-of-band key material.
+    expected_identity:
+        The agent identity every device must attest to.
+    timeout_us:
+        Challenge validity window (nonce expiry) in fabric microseconds.
+    max_attempts:
+        Challenges issued per device before quarantine.
+    max_rejects:
+        Affirmative verification failures before quarantine.
+    backoff_us / backoff_factor:
+        Retry backoff: ``backoff_us * factor**(attempt-1)``.
+    obs:
+        Optional event bus for ``fleet-*`` events.
+    """
+
+    def __init__(
+        self,
+        registry,
+        expected_identity,
+        provider=b"",
+        *,
+        timeout_us=50_000,
+        max_attempts=8,
+        max_rejects=3,
+        backoff_us=2_000,
+        backoff_factor=2,
+        obs=None,
+    ):
+        self.timeout_us = int(timeout_us)
+        self.max_attempts = int(max_attempts)
+        self.max_rejects = int(max_rejects)
+        self.backoff_us = int(backoff_us)
+        self.backoff_factor = backoff_factor
+        self.obs = obs
+        self._verifiers = {}
+        self._records = {}
+        for device_id in sorted(registry):
+            verifier = Verifier(registry[device_id], provider)
+            verifier.expect(expected_identity)
+            self._verifiers[device_id] = verifier
+            self._records[device_id] = _DeviceRecord()
+        # Protocol counters (all deterministic for a given run).
+        self.challenges = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.rejects = 0
+        self.stale = 0
+        self.malformed = 0
+        self.expired = 0
+        self._latencies = []
+        self._total_latencies = []
+
+    def _publish(self, kind, device_id, **data):
+        if self.obs is not None:
+            self.obs.publish("fleet", kind, device=device_id, **data)
+
+    def _backoff(self, attempts):
+        return self.backoff_us * int(self.backoff_factor ** max(0, attempts - 1))
+
+    def _quarantine(self, device_id, record, reason):
+        record.status = QUARANTINED
+        record.quarantine_reason = reason
+        self._publish("fleet-quarantine", device_id, reason=reason)
+
+    # -- outbound -----------------------------------------------------------
+
+    def poll(self, now):
+        """Protocol housekeeping at fabric time ``now``.
+
+        Expires outstanding challenges, quarantines exhausted devices,
+        and returns the challenge frames to send as a list of
+        ``(device_id, frame_bytes)``.
+        """
+        out = []
+        for device_id in self._records:
+            record = self._records[device_id]
+            if record.status == AWAITING and now >= record.expires_at:
+                self.timeouts += 1
+                self._publish(
+                    "fleet-timeout", device_id, attempt=record.attempts
+                )
+                record.status = PENDING
+                record.next_at = now + self._backoff(record.attempts)
+            if record.status != PENDING or now < record.next_at:
+                continue
+            if record.attempts >= self.max_attempts:
+                self._quarantine(device_id, record, "retries-exhausted")
+                continue
+            nonce = self._verifiers[device_id].fresh_nonce()
+            record.seq = record.attempts
+            record.attempts += 1
+            record.nonce = nonce
+            record.sent_at = now
+            record.expires_at = now + self.timeout_us
+            if record.first_sent_at is None:
+                record.first_sent_at = now
+            record.status = AWAITING
+            self.challenges += 1
+            if record.seq:
+                self.retries += 1
+                self._publish("fleet-retry", device_id, attempt=record.seq)
+            self._publish("fleet-challenge", device_id, attempt=record.seq)
+            out.append(
+                (device_id, Challenge(device_id, record.seq, nonce).to_bytes())
+            )
+        return out
+
+    def next_wakeup(self):
+        """Earliest fabric time the service needs a :meth:`poll`."""
+        times = []
+        for record in self._records.values():
+            if record.status == PENDING:
+                times.append(record.next_at)
+            elif record.status == AWAITING:
+                times.append(record.expires_at)
+        return min(times) if times else None
+
+    # -- inbound ------------------------------------------------------------
+
+    def handle(self, device_id, payload, now):
+        """Process one delivered datagram; returns a disposition string.
+
+        Dispositions: ``attested``, ``rejected``, ``stale`` (duplicate,
+        wrong attempt, or already-settled device), ``expired`` (correct
+        nonce but past its deadline), ``malformed``, ``unknown``.
+        """
+        record = self._records.get(device_id)
+        if record is None:
+            self.stale += 1
+            return "unknown"
+        try:
+            message = decode_message(payload)
+        except AttestationError:
+            self.malformed += 1
+            self._publish("fleet-malformed", device_id)
+            return "malformed"
+        if not isinstance(message, Response) or message.device_id != device_id:
+            self.malformed += 1
+            self._publish("fleet-malformed", device_id)
+            return "malformed"
+        if (
+            record.status != AWAITING
+            or message.seq != record.seq
+            or message.report.nonce != record.nonce
+        ):
+            # Duplicate delivery, a response to a superseded challenge,
+            # or traffic after the device settled: ignore.
+            self.stale += 1
+            return "stale"
+        if now > record.expires_at:
+            self.expired += 1
+            self._publish("fleet-expired", device_id, attempt=record.seq)
+            return "expired"
+        if self._verifiers[device_id].verify(message.report, record.nonce):
+            record.status = ATTESTED
+            record.latency_us = now - record.sent_at
+            self._latencies.append(record.latency_us)
+            self._total_latencies.append(now - record.first_sent_at)
+            self._publish(
+                "fleet-attested",
+                device_id,
+                attempt=record.seq,
+                latency_us=record.latency_us,
+            )
+            return "attested"
+        record.rejects += 1
+        self.rejects += 1
+        self._publish("fleet-reject", device_id, attempt=record.seq)
+        if record.rejects >= self.max_rejects:
+            self._quarantine(device_id, record, "verification-rejected")
+        else:
+            record.status = PENDING
+            record.next_at = now + self._backoff(record.attempts)
+        return "rejected"
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def done(self):
+        """Whether every device has settled (attested or quarantined)."""
+        return all(
+            record.status in (ATTESTED, QUARANTINED)
+            for record in self._records.values()
+        )
+
+    def statuses(self):
+        """``{device_id: status}`` for every registered device."""
+        return {
+            device_id: record.status
+            for device_id, record in self._records.items()
+        }
+
+    def report(self):
+        """The fleet health report (JSON-serialisable, deterministic)."""
+        by_status = {PENDING: 0, AWAITING: 0, ATTESTED: 0, QUARANTINED: 0}
+        quarantined = []
+        attempts_histogram = {}
+        for device_id, record in self._records.items():
+            by_status[record.status] += 1
+            if record.status == QUARANTINED:
+                quarantined.append(
+                    {"device": device_id, "reason": record.quarantine_reason}
+                )
+            elif record.status == ATTESTED:
+                key = str(record.attempts)
+                attempts_histogram[key] = attempts_histogram.get(key, 0) + 1
+        latencies = sorted(self._latencies)
+        latency = None
+        if latencies:
+            latency = {
+                "count": len(latencies),
+                "p50": _percentile(latencies, 50),
+                "p90": _percentile(latencies, 90),
+                "p99": _percentile(latencies, 99),
+                "max": latencies[-1],
+                "mean": round(sum(latencies) / len(latencies), 1),
+            }
+        return {
+            "total": len(self._records),
+            "attested": by_status[ATTESTED],
+            "pending": by_status[PENDING] + by_status[AWAITING],
+            "quarantined": by_status[QUARANTINED],
+            "quarantined_devices": quarantined,
+            "challenges": self.challenges,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "rejects": self.rejects,
+            "stale": self.stale,
+            "malformed": self.malformed,
+            "expired": self.expired,
+            "attempts_to_attest": attempts_histogram,
+            "latency_us": latency,
+        }

@@ -1,0 +1,116 @@
+"""The network interface: an MMIO frame FIFO.
+
+A :class:`NetworkInterface` is the device half of the fleet's
+verifier<->device channel.  The fabric side delivers whole framed
+datagrams with :meth:`deliver` and drains outbound frames with
+:meth:`pop_outgoing`; the machine side sees two word-granular FIFOs
+through MMIO registers, so an ISA task (or the HLE fleet agent) can
+read a received frame four bytes at a time and stage an outbound one
+the same way.
+
+Register map (word offsets within the device window):
+
+========  ====  =====================================================
+offset    dir   meaning
+========  ====  =====================================================
+``0x00``  r     frames waiting in the receive queue
+``0x04``  r     byte length of the head frame (0 when empty)
+``0x08``  r     next 4 bytes of the head frame, little-endian,
+                zero-padded; reading past the end pops the frame
+``0x0C``  w     append 4 bytes (little-endian) to the transmit staging
+``0x10``  w     commit the staged frame, truncated to the written
+                length (the register value)
+``0x14``  r     frames committed for transmission since reset
+========  ====  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.hw.mmio import MmioDevice
+
+
+class NetworkInterface(MmioDevice):
+    """A framed-datagram NIC with bounded receive buffering."""
+
+    REG_RX_COUNT = 0x00
+    REG_RX_LEN = 0x04
+    REG_RX_DATA = 0x08
+    REG_TX_DATA = 0x0C
+    REG_TX_COMMIT = 0x10
+    REG_TX_COUNT = 0x14
+
+    #: Receive-queue depth in frames; overflow drops (and counts).
+    RX_CAPACITY = 64
+
+    def __init__(self, name="nic"):
+        super().__init__(name)
+        self.rx = deque()
+        self._rx_cursor = 0
+        self.tx = deque()
+        self._tx_staging = bytearray()
+        #: Frames accepted into the receive queue.
+        self.rx_delivered = 0
+        #: Frames dropped because the receive queue was full.
+        self.rx_overflow = 0
+        #: Frames committed for transmission.
+        self.tx_frames = 0
+
+    # -- fabric side --------------------------------------------------------
+
+    def deliver(self, frame):
+        """Push a received frame; returns False when the queue is full."""
+        if len(self.rx) >= self.RX_CAPACITY:
+            self.rx_overflow += 1
+            return False
+        self.rx.append(bytes(frame))
+        self.rx_delivered += 1
+        return True
+
+    def take_frame(self):
+        """Pop the whole head frame (HLE receive path), or ``None``."""
+        if not self.rx:
+            return None
+        self._rx_cursor = 0
+        return self.rx.popleft()
+
+    def transmit(self, frame):
+        """Queue a frame for transmission (HLE send path)."""
+        self.tx.append(bytes(frame))
+        self.tx_frames += 1
+
+    def pop_outgoing(self):
+        """Drain the oldest outbound frame, or ``None``."""
+        return self.tx.popleft() if self.tx else None
+
+    # -- machine side -------------------------------------------------------
+
+    def reg_read(self, offset):
+        if offset == self.REG_RX_COUNT:
+            return len(self.rx)
+        if offset == self.REG_RX_LEN:
+            return len(self.rx[0]) if self.rx else 0
+        if offset == self.REG_RX_DATA:
+            if not self.rx:
+                return 0
+            frame = self.rx[0]
+            chunk = frame[self._rx_cursor : self._rx_cursor + 4]
+            self._rx_cursor += 4
+            if self._rx_cursor >= len(frame):
+                self.rx.popleft()
+                self._rx_cursor = 0
+            return int.from_bytes(chunk.ljust(4, b"\x00"), "little")
+        if offset == self.REG_TX_COUNT:
+            return self.tx_frames & 0xFFFFFFFF
+        return super().reg_read(offset)
+
+    def reg_write(self, offset, value):
+        if offset == self.REG_TX_DATA:
+            self._tx_staging += (value & 0xFFFFFFFF).to_bytes(4, "little")
+        elif offset == self.REG_TX_COMMIT:
+            length = min(value & 0xFFFFFFFF, len(self._tx_staging))
+            self.transmit(bytes(self._tx_staging[:length]))
+            self._tx_staging.clear()
+        else:
+            super().reg_write(offset, value)

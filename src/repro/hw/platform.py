@@ -48,6 +48,7 @@ class MachineConfig:
         blocks=True,
         obs_enabled=True,
         obs_capacity=DEFAULT_CAPACITY,
+        platform_key=None,
     ):
         self.hz = hz
         #: Cycles between scheduler ticks (16,000 @ 48 MHz = 3 kHz).
@@ -68,6 +69,10 @@ class MachineConfig:
         self.obs_enabled = obs_enabled
         #: Event-ring capacity of the observability bus.
         self.obs_capacity = obs_capacity
+        #: Fused platform key K_p; None = the deterministic default.
+        #: Fleets fuse a distinct per-device key here so every machine
+        #: derives distinct attestation/storage keys.
+        self.platform_key = platform_key
 
         self.idt_base = 0x0000_0000
         self.idt_size = 0x400
@@ -238,7 +243,12 @@ class Platform:
             setattr(self, "%s_base" % device.name.replace("-", "_"), base)
 
         # -- platform key ----------------------------------------------------
-        self.key_store = PlatformKeyStore(self.memory, cfg.key_base)
+        self.key_store = PlatformKeyStore(
+            self.memory, cfg.key_base, key=cfg.platform_key
+        )
+        #: Optional network interface (set by :meth:`attach_nic`).
+        self.nic = None
+        self.nic_base = None
 
         # -- firmware registry -------------------------------------------------
         self._firmware = []
@@ -272,6 +282,29 @@ class Platform:
     def firmware_components(self):
         """All registered components (inventory checks)."""
         return list(self._firmware)
+
+    # -- network ------------------------------------------------------------
+
+    def attach_nic(self, nic=None):
+        """Attach a network interface as the next MMIO device.
+
+        The NIC is optional - standalone machines have no network - so
+        it is attached on demand (the fleet orchestrator calls this for
+        every device machine) rather than in the constructor.  Returns
+        the :class:`repro.hw.nic.NetworkInterface`.
+        """
+        from repro.hw.nic import NetworkInterface
+
+        if self.nic is not None:
+            raise ConfigurationError("a NIC is already attached")
+        nic = nic if nic is not None else NetworkInterface()
+        base = self.config.mmio_base + len(self._devices) * 0x100
+        self.memory.map.add(MmioRegion(nic, base))
+        self._devices.append(nic)
+        self.clock.add_event_source(nic.next_event)
+        self.nic = nic
+        self.nic_base = base
+        return nic
 
     # -- device timekeeping --------------------------------------------------
 

@@ -1,0 +1,169 @@
+"""The attestation wire protocol.
+
+Challenge/response messages travel over the simulated fabric
+(:mod:`repro.net.fabric`) as *framed datagrams*: a fixed header (magic,
+version, message type, payload length) followed by a length-prefixed
+payload.  The framing is deliberately strict - every length field must
+agree with the bytes actually present, and any disagreement raises
+:class:`~repro.errors.AttestationError` (never a raw ``struct.error``
+or a silent short slice), so a lossy or hostile network cannot smuggle
+malformed state past the codec.
+
+Messages:
+
+* :class:`Challenge` - verifier -> device: ``(device_id, seq, nonce)``.
+  ``seq`` is the verifier's attempt counter for this device, so retries
+  are distinguishable on the wire (and in obs traces).
+* :class:`Response` - device -> verifier: ``(device_id, seq, report)``
+  where ``report`` is a full
+  :class:`~repro.core.remote_attest.AttestationReport`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.remote_attest import AttestationReport
+from repro.errors import AttestationError
+
+#: First byte of every frame.
+MAGIC = 0xA7
+#: Wire protocol version.
+VERSION = 1
+
+#: Frame types.
+T_CHALLENGE = 1
+T_RESPONSE = 2
+
+_FRAME_HEADER = struct.Struct("<BBBH")  # magic, version, type, payload length
+_MSG_HEADER = struct.Struct("<IHH")  # device_id, seq, body length
+
+#: Largest payload a frame can carry.
+MAX_PAYLOAD = 0xFFFF
+#: Largest nonce a challenge may carry (generous; reports use 8 bytes).
+MAX_NONCE = 256
+
+
+def encode_frame(frame_type, payload):
+    """Wrap ``payload`` in a framed datagram."""
+    payload = bytes(payload)
+    if len(payload) > MAX_PAYLOAD:
+        raise AttestationError("frame payload too large (%d bytes)" % len(payload))
+    return _FRAME_HEADER.pack(MAGIC, VERSION, frame_type, len(payload)) + payload
+
+
+def decode_frame(blob):
+    """Split a framed datagram into ``(frame_type, payload)``.
+
+    Raises :class:`AttestationError` on truncation, bad magic, unknown
+    version or type, length mismatch, or trailing bytes.
+    """
+    blob = bytes(blob)
+    if len(blob) < _FRAME_HEADER.size:
+        raise AttestationError("truncated frame (%d bytes)" % len(blob))
+    magic, version, frame_type, length = _FRAME_HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise AttestationError("bad frame magic 0x%02X" % magic)
+    if version != VERSION:
+        raise AttestationError("unsupported wire version %d" % version)
+    if frame_type not in (T_CHALLENGE, T_RESPONSE):
+        raise AttestationError("unknown frame type %d" % frame_type)
+    payload = blob[_FRAME_HEADER.size :]
+    if len(payload) != length:
+        raise AttestationError(
+            "frame length mismatch: header says %d, got %d" % (length, len(payload))
+        )
+    return frame_type, payload
+
+
+def _decode_msg_header(payload, what):
+    """The common ``(device_id, seq, body)`` prefix of both messages."""
+    if len(payload) < _MSG_HEADER.size:
+        raise AttestationError("truncated %s (%d bytes)" % (what, len(payload)))
+    device_id, seq, body_len = _MSG_HEADER.unpack_from(payload)
+    body = payload[_MSG_HEADER.size :]
+    if len(body) != body_len:
+        raise AttestationError(
+            "%s body length mismatch: header says %d, got %d"
+            % (what, body_len, len(body))
+        )
+    return device_id, seq, body
+
+
+class Challenge:
+    """A verifier's attestation challenge to one device."""
+
+    def __init__(self, device_id, seq, nonce):
+        self.device_id = int(device_id)
+        self.seq = int(seq)
+        self.nonce = bytes(nonce)
+        if len(self.nonce) > MAX_NONCE:
+            raise AttestationError("nonce too large (%d bytes)" % len(self.nonce))
+
+    def to_bytes(self):
+        """The framed wire form."""
+        payload = _MSG_HEADER.pack(self.device_id, self.seq, len(self.nonce))
+        return encode_frame(T_CHALLENGE, payload + self.nonce)
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Parse a challenge payload (frame already stripped)."""
+        device_id, seq, nonce = _decode_msg_header(payload, "challenge")
+        if len(nonce) > MAX_NONCE:
+            raise AttestationError("nonce too large (%d bytes)" % len(nonce))
+        return cls(device_id, seq, nonce)
+
+    def __eq__(self, other):
+        if not isinstance(other, Challenge):
+            return NotImplemented
+        return (self.device_id, self.seq, self.nonce) == (
+            other.device_id,
+            other.seq,
+            other.nonce,
+        )
+
+    def __repr__(self):
+        return "Challenge(dev=%d, seq=%d, nonce=%s)" % (
+            self.device_id,
+            self.seq,
+            self.nonce.hex(),
+        )
+
+
+class Response:
+    """A device's attestation response carrying a full report."""
+
+    def __init__(self, device_id, seq, report):
+        self.device_id = int(device_id)
+        self.seq = int(seq)
+        self.report = report
+
+    def to_bytes(self):
+        """The framed wire form."""
+        body = self.report.to_bytes()
+        payload = _MSG_HEADER.pack(self.device_id, self.seq, len(body))
+        return encode_frame(T_RESPONSE, payload + body)
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Parse a response payload (frame already stripped)."""
+        device_id, seq, body = _decode_msg_header(payload, "response")
+        return cls(device_id, seq, AttestationReport.from_bytes(body))
+
+    def __repr__(self):
+        return "Response(dev=%d, seq=%d, %r)" % (
+            self.device_id,
+            self.seq,
+            self.report,
+        )
+
+
+def decode_message(blob):
+    """Decode a datagram into a :class:`Challenge` or :class:`Response`.
+
+    Any malformation raises :class:`AttestationError`.
+    """
+    frame_type, payload = decode_frame(blob)
+    if frame_type == T_CHALLENGE:
+        return Challenge.from_payload(payload)
+    return Response.from_payload(payload)

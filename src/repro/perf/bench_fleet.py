@@ -1,0 +1,168 @@
+"""Fleet attestation throughput bench: serial vs. worker pool.
+
+For each device count the bench runs the identical fleet configuration
+twice - once on the serial executor (one compute lane) and once on the
+multiprocessing worker pool (``workers`` lanes) - and reports
+*reports per simulated second*: attested devices divided by the fabric
+time the full round took.  Device compute is charged in simulated time
+from each machine's own cycle clock, so the headline numbers are
+deterministic and host-independent; host wall-clock is recorded
+alongside for context (it depends on the runner's core count and is
+**not** gated).
+
+The bench asserts every device attests in every run (loss defaults to
+0 here - fault-model behaviour is the fleet CLI's and smoke tests'
+job; this bench isolates executor scaling).
+
+Reports are cumulative: ``BENCH_fleet.json`` keeps a timestamped
+``history`` list like ``BENCH_cpu_core.json`` does.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.fleet.orchestrator import Fleet
+
+#: Device counts swept by default (the last one is the gated point).
+DEFAULT_COUNTS = (4, 16, 64)
+
+#: Pool size used for the pool mode.
+DEFAULT_WORKERS = 4
+
+#: The CI gate: pool must be at least this much faster than serial at
+#: the largest device count.
+GATE_SPEEDUP = 2.0
+
+
+def bench_one(devices, workers, seed=7, loss=0.0):
+    """One fleet run; returns its throughput row.
+
+    Raises :class:`AssertionError` if any device fails to attest - a
+    bench over a sick fleet would measure the wrong thing.
+    """
+    started = time.perf_counter()
+    fleet = Fleet(
+        devices,
+        seed=seed,
+        loss=loss,
+        workers=workers,
+        jitter_us=0,
+    )
+    result = fleet.run()
+    wall = time.perf_counter() - started
+    health = result["health"]
+    if health["attested"] != devices:
+        raise AssertionError(
+            "fleet bench: %d/%d devices attested (mode %s)"
+            % (health["attested"], devices, result["fleet"]["mode"])
+        )
+    return {
+        "devices": devices,
+        "mode": result["fleet"]["mode"],
+        "lanes": result["fleet"]["lanes"],
+        "attested": health["attested"],
+        "sim_elapsed_us": result["sim_elapsed_us"],
+        "reports_per_sec": result["reports_per_sec"],
+        "latency_p50_us": health["latency_us"]["p50"],
+        "latency_p99_us": health["latency_us"]["p99"],
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def run_bench(device_counts=DEFAULT_COUNTS, seed=7, loss=0.0, workers=DEFAULT_WORKERS):
+    """Sweep serial vs. pool over ``device_counts``; returns the result."""
+    results = {}
+    for devices in device_counts:
+        serial = bench_one(devices, 0, seed=seed, loss=loss)
+        pool = bench_one(devices, workers, seed=seed, loss=loss)
+        results[str(devices)] = {
+            "serial": serial,
+            "pool": pool,
+            "speedup": round(
+                pool["reports_per_sec"] / serial["reports_per_sec"], 2
+            ),
+        }
+    return {
+        "bench": "fleet",
+        "seed": seed,
+        "loss": loss,
+        "workers": workers,
+        "device_counts": list(device_counts),
+        "results": results,
+    }
+
+
+def check_fleet(result, out):
+    """CI gate; returns True when the pool clears :data:`GATE_SPEEDUP`."""
+    top = str(max(int(count) for count in result["results"]))
+    speedup = result["results"][top]["speedup"]
+    if speedup < GATE_SPEEDUP:
+        print(
+            "check: fleet pool speedup %.2fx at %s devices is below the "
+            "%.1fx gate" % (speedup, top, GATE_SPEEDUP),
+            file=out,
+        )
+        return False
+    return True
+
+
+def _history_entry(result):
+    """Compact trajectory record appended to the report's history."""
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workers": result["workers"],
+        "reports_per_sec": {
+            count: {
+                "serial": entry["serial"]["reports_per_sec"],
+                "pool": entry["pool"]["reports_per_sec"],
+                "speedup": entry["speedup"],
+            }
+            for count, entry in result["results"].items()
+        },
+    }
+
+
+def _load_history(path):
+    """The history list of an existing report, if any."""
+    try:
+        with open(path) as handle:
+            old = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    history = old.get("history")
+    return history if isinstance(history, list) else []
+
+
+def write_report(
+    path="BENCH_fleet.json",
+    device_counts=DEFAULT_COUNTS,
+    seed=7,
+    loss=0.0,
+    workers=DEFAULT_WORKERS,
+    out=None,
+):
+    """Run the bench and write the cumulative JSON report to ``path``."""
+    result = run_bench(device_counts, seed=seed, loss=loss, workers=workers)
+    result["history"] = _load_history(path) + [_history_entry(result)]
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if out is not None:
+        for count in result["device_counts"]:
+            entry = result["results"][str(count)]
+            print(
+                "fleet %3d devices: %8.1f -> %8.1f reports/sec "
+                "(%.2fx pool, %d lanes)"
+                % (
+                    count,
+                    entry["serial"]["reports_per_sec"],
+                    entry["pool"]["reports_per_sec"],
+                    entry["speedup"],
+                    entry["pool"]["lanes"],
+                ),
+                file=out,
+            )
+        print("report: %s" % path, file=out)
+    return result

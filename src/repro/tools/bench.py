@@ -7,6 +7,7 @@ Usage::
     python -m repro.tools.bench --list
     python -m repro.tools.bench --throughput  # CPU-core insns/sec bench
     python -m repro.tools.bench --wcet        # static vs dynamic WCET
+    python -m repro.tools.bench --fleet       # fleet attestation bench
 
 The throughput mode runs the CPU bench (:mod:`repro.perf.bench_core`):
 three workloads (alu / mem / irq), each in baseline, fast-path, and
@@ -19,6 +20,11 @@ modes raises before a report is written).
 The WCET mode runs the static-analysis soundness experiments
 (:mod:`repro.analysis.bench`): each benchmark workload's statically
 computed cycle bound next to the cycles the core actually charged.
+The fleet mode runs the attestation-service scaling bench
+(:mod:`repro.perf.bench_fleet`): reports per simulated second vs.
+device count, serial executor vs. multiprocessing worker pool,
+appending to ``BENCH_fleet.json``; with ``--check`` it fails when the
+pool is less than 2x the serial executor at the largest device count.
 """
 
 from __future__ import annotations
@@ -55,14 +61,26 @@ def build_parser():
     )
     parser.add_argument(
         "--json",
-        default="BENCH_cpu_core.json",
+        default=None,
         metavar="PATH",
-        help="throughput report path (default BENCH_cpu_core.json)",
+        help="report path (default BENCH_cpu_core.json, or "
+        "BENCH_fleet.json with --fleet)",
     )
     parser.add_argument(
         "--wcet",
         action="store_true",
         help="run the static-vs-dynamic WCET soundness experiments",
+    )
+    parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="run the fleet attestation scaling bench (serial vs. pool)",
+    )
+    parser.add_argument(
+        "--fleet-devices",
+        default="4,16,64",
+        metavar="N,N,...",
+        help="device counts swept by the fleet bench (default 4,16,64)",
     )
     parser.add_argument(
         "--no-blocks",
@@ -159,11 +177,23 @@ def main(argv=None, out=None):
 
         unsound = render_wcet(wcet_experiments(), out)
         return 0 if unsound == 0 else 1
+    if args.fleet:
+        from repro.perf.bench_fleet import check_fleet, write_report
+
+        counts = [int(n) for n in args.fleet_devices.split(",") if n.strip()]
+        result = write_report(
+            path=args.json or "BENCH_fleet.json",
+            device_counts=counts,
+            out=out,
+        )
+        if args.check:
+            return 0 if check_fleet(result, out) else 1
+        return 0
     if args.throughput:
         from repro.perf.bench_core import write_report
 
         result = write_report(
-            path=args.json,
+            path=args.json or "BENCH_cpu_core.json",
             instructions=args.instructions,
             out=out,
             blocks=args.blocks,

@@ -93,6 +93,47 @@ class TestRemoteAttestation:
         with pytest.raises(AttestationError):
             AttestationReport.from_bytes(b"\x00" * 25)
 
+    def test_truncated_report_rejected(self, system):
+        """Every truncation of a valid report raises, never returning a
+        silently short identity/nonce/MAC."""
+        task, _ = loaded(system)
+        blob = system.remote_attest_task(task, b"\x0F" * 8).to_bytes()
+        for cut in range(len(blob)):
+            with pytest.raises(AttestationError):
+                AttestationReport.from_bytes(blob[:cut])
+
+    def test_report_with_trailing_garbage_rejected(self, system):
+        task, _ = loaded(system)
+        blob = system.remote_attest_task(task, b"\x0F" * 8).to_bytes()
+        with pytest.raises(AttestationError):
+            AttestationReport.from_bytes(blob + b"\x00")
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(AttestationError):
+            AttestationReport.from_bytes(b"")
+
+    def test_nonce_is_single_use(self, system):
+        """Replaying a captured report against its own (already
+        consumed) challenge is rejected."""
+        task, image = loaded(system)
+        verifier = system.make_verifier()
+        verifier.expect(identity_of_image(image))
+        nonce = verifier.fresh_nonce()
+        report = system.remote_attest_task(task, nonce)
+        assert verifier.verify(report, nonce)
+        assert not verifier.verify(report, nonce)  # replay
+
+    def test_failed_verify_does_not_consume_nonce(self, system):
+        """A bad report must not burn the outstanding challenge."""
+        task, image = loaded(system)
+        verifier = system.make_verifier()
+        verifier.expect(identity_of_image(image))
+        nonce = verifier.fresh_nonce()
+        report = system.remote_attest_task(task, nonce)
+        forged = AttestationReport(report.identity, nonce, bytes(20))
+        assert not verifier.verify(forged, nonce)
+        assert verifier.verify(report, nonce)  # genuine one still lands
+
     def test_platform_key_unreadable_by_os(self, system):
         with pytest.raises(ProtectionFault):
             system.platform.key_store.read_key(actor=system.kernel.os_actor)

@@ -1,0 +1,269 @@
+"""Tests for the fleet attestation service (repro.fleet + the NIC)."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.system import TyTAN
+from repro.errors import ConfigurationError
+from repro.fleet.device import (
+    FleetDevice,
+    device_platform_key,
+    expected_fleet_identity,
+)
+from repro.fleet.orchestrator import Fleet
+from repro.fleet.service import VerifierService
+from repro.hw.nic import NetworkInterface
+from repro.hw.platform import MachineConfig
+from repro.net.wire import Challenge, Response, decode_message
+from repro.tools import fleet as fleet_cli
+
+
+class TestNicMmio:
+    """The NIC's register file, driven through the machine's memory bus."""
+
+    def setup_method(self):
+        self.machine = TyTAN(MachineConfig(obs_enabled=False))
+        self.nic = self.machine.platform.attach_nic()
+        self.base = self.machine.platform.nic_base
+        self.memory = self.machine.kernel.memory
+
+    def read(self, offset):
+        return self.memory.read_u32(self.base + offset)
+
+    def write(self, offset, value):
+        self.memory.write_u32(self.base + offset, value)
+
+    def test_rx_registers_stream_a_frame(self):
+        assert self.read(NetworkInterface.REG_RX_COUNT) == 0
+        self.nic.deliver(b"abcdef")  # 6 bytes: one full word + 2
+        assert self.read(NetworkInterface.REG_RX_COUNT) == 1
+        assert self.read(NetworkInterface.REG_RX_LEN) == 6
+        first = self.read(NetworkInterface.REG_RX_DATA)
+        assert first.to_bytes(4, "little") == b"abcd"
+        second = self.read(NetworkInterface.REG_RX_DATA)
+        assert second.to_bytes(4, "little") == b"ef\x00\x00"
+        # Reading past the end popped the frame.
+        assert self.read(NetworkInterface.REG_RX_COUNT) == 0
+        assert self.read(NetworkInterface.REG_RX_LEN) == 0
+
+    def test_tx_registers_stage_and_commit(self):
+        self.write(
+            NetworkInterface.REG_TX_DATA,
+            int.from_bytes(b"wxyz", "little"),
+        )
+        self.write(
+            NetworkInterface.REG_TX_DATA,
+            int.from_bytes(b"12\x00\x00", "little"),
+        )
+        self.write(NetworkInterface.REG_TX_COMMIT, 6)
+        assert self.read(NetworkInterface.REG_TX_COUNT) == 1
+        assert self.nic.pop_outgoing() == b"wxyz12"
+        assert self.nic.pop_outgoing() is None
+
+    def test_rx_overflow_drops_and_counts(self):
+        for index in range(NetworkInterface.RX_CAPACITY):
+            assert self.nic.deliver(bytes([index & 0xFF]))
+        assert self.nic.deliver(b"overflow") is False
+        assert self.nic.rx_overflow == 1
+        assert self.nic.rx_delivered == NetworkInterface.RX_CAPACITY
+
+    def test_second_nic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.machine.platform.attach_nic()
+
+
+class TestFleetDevice:
+    def test_device_answers_its_challenge(self):
+        device = FleetDevice(3, fleet_seed=5)
+        challenge = Challenge(3, 0, b"\x01" * 8)
+        response_blob, spent = device.handle_frame(challenge.to_bytes())
+        assert spent > 0  # machine cycles were charged
+        message = decode_message(response_blob)
+        assert isinstance(message, Response)
+        assert (message.device_id, message.seq) == (3, 0)
+        assert message.report.nonce == b"\x01" * 8
+        assert message.report.identity == expected_fleet_identity()
+        assert device.handled == 1
+
+    def test_device_drops_misaddressed_and_malformed(self):
+        device = FleetDevice(3, fleet_seed=5)
+        blob, _ = device.handle_frame(Challenge(4, 0, b"n").to_bytes())
+        assert blob is None and device.misaddressed == 1
+        blob, _ = device.handle_frame(b"\xff garbage")
+        assert blob is None and device.malformed == 1
+
+    def test_rogue_device_reports_wrong_identity(self):
+        rogue = FleetDevice(0, fleet_seed=5, rogue=True)
+        blob, _ = rogue.handle_frame(Challenge(0, 0, b"n").to_bytes())
+        message = decode_message(blob)
+        assert message.report.identity != expected_fleet_identity()
+
+
+class TestVerifierService:
+    def make_service(self, device_ids=(0, 1), **kwargs):
+        registry = {i: device_platform_key(0, i) for i in device_ids}
+        return VerifierService(registry, expected_fleet_identity(), **kwargs)
+
+    def respond(self, device_id, frame, fleet_seed=0, rogue=False):
+        device = FleetDevice(device_id, fleet_seed=fleet_seed, rogue=rogue)
+        blob, _ = device.handle_frame(frame)
+        return blob
+
+    def test_happy_path_attests(self):
+        service = self.make_service((0,))
+        [(device_id, frame)] = service.poll(now=0)
+        assert service.poll(now=1) == []  # challenge outstanding
+        blob = self.respond(device_id, frame)
+        assert service.handle(device_id, blob, now=400) == "attested"
+        assert service.done
+        report = service.report()
+        assert report["attested"] == 1
+        assert report["latency_us"]["p50"] == 400
+
+    def test_timeout_backoff_and_retry(self):
+        service = self.make_service((0,), timeout_us=1_000, backoff_us=500)
+        [(_, first)] = service.poll(now=0)
+        # Expiry flips the device back to pending with backoff.
+        assert service.poll(now=1_000) == []
+        assert service.timeouts == 1
+        assert service.next_wakeup() == 1_500
+        [(_, second)] = service.poll(now=1_500)
+        assert second != first  # fresh nonce, bumped seq
+        assert service.retries == 1
+        # The late answer to the first challenge is stale now.
+        blob = self.respond(0, first)
+        assert service.handle(0, blob, now=1_600) == "stale"
+        blob = self.respond(0, second)
+        assert service.handle(0, blob, now=1_700) == "attested"
+
+    def test_retries_exhausted_quarantines(self):
+        service = self.make_service(
+            (0,), timeout_us=100, max_attempts=3, backoff_us=100
+        )
+        now = 0
+        challenges = 0
+        for _ in range(20):  # safety bound; quarantine ends the loop
+            challenges += len(service.poll(now))
+            if service.done:
+                break
+            now = service.next_wakeup() + 1
+        assert challenges == 3
+        report = service.report()
+        assert report["quarantined"] == 1
+        assert report["quarantined_devices"][0]["reason"] == "retries-exhausted"
+        assert service.done
+
+    def test_duplicate_response_is_stale(self):
+        service = self.make_service((0,))
+        [(_, frame)] = service.poll(now=0)
+        blob = self.respond(0, frame)
+        assert service.handle(0, blob, now=100) == "attested"
+        assert service.handle(0, blob, now=101) == "stale"
+
+    def test_rogue_reports_rejected_then_quarantined(self):
+        service = self.make_service((0,), max_rejects=2, backoff_us=10)
+        [(_, frame)] = service.poll(now=0)
+        blob = self.respond(0, frame, rogue=True)
+        assert service.handle(0, blob, now=50) == "rejected"
+        [(_, frame)] = service.poll(now=100)
+        blob = self.respond(0, frame, rogue=True)
+        assert service.handle(0, blob, now=150) == "rejected"
+        report = service.report()
+        assert report["quarantined_devices"] == [
+            {"device": 0, "reason": "verification-rejected"}
+        ]
+
+    def test_malformed_and_unknown(self):
+        service = self.make_service((0,))
+        service.poll(now=0)
+        assert service.handle(0, b"junk", now=1) == "malformed"
+        assert service.handle(99, b"junk", now=1) == "unknown"
+
+
+class TestFleetRuns:
+    def test_serial_clean_link_all_attest(self):
+        fleet = Fleet(4, seed=1, workers=0)
+        result = fleet.run()
+        assert fleet.healthy(result)
+        assert result["health"]["attested"] == 4
+        assert result["health"]["retries"] == 0
+        assert result["events"]["fleet-attested"] == 4
+        assert result["fabric"]["dropped"] == 0
+
+    def test_lossy_link_retries_and_recovers(self):
+        fleet = Fleet(6, seed=3, workers=0, loss=0.25)
+        result = fleet.run()
+        assert fleet.healthy(result)
+        assert result["health"]["attested"] == 6
+        # The retries the protocol performed are visible in the obs
+        # stream alongside the fabric's drops.
+        assert result["health"]["retries"] > 0
+        assert result["events"]["fleet-retry"] == result["health"]["retries"]
+        assert result["events"]["net-drop"] == result["fabric"]["dropped"] > 0
+
+    def test_rogue_device_quarantined_others_attest(self):
+        fleet = Fleet(4, seed=2, workers=0, rogue=(2,))
+        result = fleet.run()
+        assert fleet.healthy(result)
+        assert result["health"]["attested"] == 3
+        assert result["health"]["quarantined_devices"] == [
+            {"device": 2, "reason": "verification-rejected"}
+        ]
+
+    def test_serial_runs_are_deterministic(self):
+        first = Fleet(5, seed=9, workers=0, loss=0.2).run()
+        second = Fleet(5, seed=9, workers=0, loss=0.2).run()
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_pool_matches_serial_outcomes_and_is_faster(self):
+        serial = Fleet(4, seed=4, workers=0).run()
+        pool = Fleet(4, seed=4, workers=2).run()
+        assert pool["health"]["attested"] == serial["health"]["attested"] == 4
+        assert pool["fleet"]["lanes"] == 2
+        # Two compute lanes overlap device MACs the serial executor
+        # must queue, so simulated throughput strictly improves.
+        assert pool["reports_per_sec"] > serial["reports_per_sec"]
+
+    def test_rogue_id_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Fleet(2, rogue=(5,))
+
+
+class TestFleetCli:
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = fleet_cli.main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_json_output_deterministic_and_healthy(self):
+        args = ("--devices", "4", "--loss", "0.1", "--seed", "7", "--serial", "--json")
+        code_a, text_a = self.run_cli(*args)
+        code_b, text_b = self.run_cli(*args)
+        assert code_a == code_b == 0
+        assert text_a == text_b
+        result = json.loads(text_a)
+        assert result["health"]["attested"] == 4
+
+    def test_human_summary_mentions_quarantine(self):
+        code, text = self.run_cli(
+            "--devices", "3", "--seed", "1", "--serial", "--rogue", "1"
+        )
+        assert code == 0  # quarantining the rogue is a healthy outcome
+        assert "quarantined: device 1 (verification-rejected)" in text
+
+
+class TestFleetBench:
+    def test_bench_smoke_and_gate(self):
+        from repro.perf.bench_fleet import check_fleet, run_bench
+
+        result = run_bench(device_counts=(4,), workers=2)
+        entry = result["results"]["4"]
+        assert entry["serial"]["attested"] == entry["pool"]["attested"] == 4
+        assert entry["speedup"] > 1.0
+        # The gate reads the largest swept count.
+        out = io.StringIO()
+        assert check_fleet(result, out) == (entry["speedup"] >= 2.0)

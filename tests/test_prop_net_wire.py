@@ -1,0 +1,131 @@
+"""Property tests for the attestation wire format.
+
+Two invariants, fuzzed with hypothesis:
+
+1. **Roundtrip**: any well-formed report / challenge / response encodes
+   and decodes back to an equal value.
+2. **Total decoding**: feeding arbitrary (or corrupted) bytes into any
+   decoder either succeeds or raises :class:`AttestationError` - never
+   ``struct.error``, ``IndexError``, or a silently-truncated value.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.remote_attest import AttestationReport  # noqa: E402
+from repro.errors import AttestationError  # noqa: E402
+from repro.net.wire import (  # noqa: E402
+    MAX_NONCE,
+    Challenge,
+    Response,
+    decode_frame,
+    decode_message,
+    encode_frame,
+)
+
+device_ids = st.integers(min_value=0, max_value=0xFFFFFFFF)
+seqs = st.integers(min_value=0, max_value=0xFFFF)
+nonces = st.binary(max_size=MAX_NONCE)
+digests = st.binary(min_size=20, max_size=20)
+
+
+@st.composite
+def reports(draw):
+    return AttestationReport(
+        draw(digests), draw(st.binary(max_size=64)), draw(digests)
+    )
+
+
+class TestRoundtrip:
+    @given(identity=digests, nonce=st.binary(max_size=64), mac=digests)
+    def test_report_roundtrip(self, identity, nonce, mac):
+        report = AttestationReport(identity, nonce, mac)
+        parsed = AttestationReport.from_bytes(report.to_bytes())
+        assert (parsed.identity, parsed.nonce, parsed.mac) == (
+            identity,
+            nonce,
+            mac,
+        )
+
+    @given(device_id=device_ids, seq=seqs, nonce=nonces)
+    def test_challenge_roundtrip(self, device_id, seq, nonce):
+        challenge = Challenge(device_id, seq, nonce)
+        parsed = decode_message(challenge.to_bytes())
+        assert isinstance(parsed, Challenge)
+        assert parsed == challenge
+
+    @given(device_id=device_ids, seq=seqs, report=reports())
+    def test_response_roundtrip(self, device_id, seq, report):
+        response = Response(device_id, seq, report)
+        parsed = decode_message(response.to_bytes())
+        assert isinstance(parsed, Response)
+        assert (parsed.device_id, parsed.seq) == (device_id, seq)
+        assert parsed.report.to_bytes() == report.to_bytes()
+
+
+class TestTotalDecoding:
+    """Decoders over hostile input raise AttestationError, nothing else."""
+
+    @given(blob=st.binary(max_size=512))
+    def test_decode_frame_never_leaks(self, blob):
+        try:
+            decode_frame(blob)
+        except AttestationError:
+            pass
+
+    @given(blob=st.binary(max_size=512))
+    def test_decode_message_never_leaks(self, blob):
+        try:
+            decode_message(blob)
+        except AttestationError:
+            pass
+
+    @given(blob=st.binary(max_size=512))
+    def test_report_from_bytes_never_leaks(self, blob):
+        try:
+            AttestationReport.from_bytes(blob)
+        except AttestationError:
+            pass
+
+    @given(
+        device_id=device_ids,
+        seq=seqs,
+        nonce=nonces,
+        cut=st.integers(min_value=0, max_value=512),
+    )
+    def test_truncated_challenge_never_leaks(self, device_id, seq, nonce, cut):
+        blob = Challenge(device_id, seq, nonce).to_bytes()
+        truncated = blob[: min(cut, len(blob))]
+        try:
+            parsed = decode_message(truncated)
+        except AttestationError:
+            return
+        # Only the untruncated blob may decode successfully.
+        assert len(truncated) == len(blob)
+        assert parsed == Challenge(device_id, seq, nonce)
+
+    @settings(max_examples=200)
+    @given(
+        report=reports(),
+        position=st.integers(min_value=0, max_value=10_000),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    def test_bitflipped_response_never_leaks(self, report, position, flip):
+        blob = bytearray(Response(7, 1, report).to_bytes())
+        position %= len(blob)
+        blob[position] ^= flip
+        try:
+            parsed = decode_message(bytes(blob))
+        except AttestationError:
+            return
+        # A flip in the MAC/identity/nonce bytes still parses; it must
+        # still be a structurally valid message, just not a trusted one.
+        assert isinstance(parsed, (Challenge, Response))
+
+    @given(blob=st.binary(max_size=512), extra=st.binary(min_size=1, max_size=32))
+    def test_trailing_garbage_rejected(self, blob, extra):
+        framed = encode_frame(1, blob[: min(len(blob), 0xFFFF)])
+        with pytest.raises(AttestationError):
+            decode_frame(framed + extra)
