@@ -111,7 +111,7 @@ class CPU:
         """The block-translation engine (``None`` unless enabled)."""
         return self._blocks
 
-    def enable_blocks(self, horizon=None):
+    def enable_blocks(self, horizon=None, traces=True):
         """Turn on the block-translation tier.
 
         ``horizon`` is an optional callable returning the earliest
@@ -121,10 +121,16 @@ class CPU:
         single-stepping.  With no horizon, blocks always run - only
         correct when nothing raises IRQs between instructions, which is
         the caller's contract (bench rigs without timers).
+
+        ``traces`` additionally enables the trace-recording JIT on top
+        of the block tier (hot block-to-block edges are stitched into
+        multi-block traces with guarded side exits; see
+        :mod:`repro.perf.traces`).  Like blocks, traces change
+        wall-clock speed only, never simulated semantics.
         """
         from repro.perf.translate import BlockEngine
 
-        self._blocks = BlockEngine(self, horizon=horizon)
+        self._blocks = BlockEngine(self, horizon=horizon, traces=traces)
         return self._blocks
 
     def cache_stats(self):
@@ -203,6 +209,7 @@ class CPU:
                         insn,
                         mpu.epoch if mpu is not None else cache.NO_MPU_EPOCH,
                     )
+                    memory.note_snooped_range(eip, eip + insn.length)
         else:
             memory.check_execute(eip, eip)
             insn = self._fetch(eip)

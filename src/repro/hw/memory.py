@@ -11,12 +11,17 @@ platform.
 
 from __future__ import annotations
 
+import sys
 from bisect import bisect_right
 
 from repro.errors import ConfigurationError, MemoryFault
 from repro.perf.counters import HitMissCounter
 
 MASK32 = 0xFFFFFFFF
+
+#: log2 of the write-snoop granule shared by every code cache (decoded
+#: instructions, superblocks, traces): 256-byte pages.
+SNOOP_PAGE_SHIFT = 8
 
 
 def u32(value):
@@ -26,6 +31,16 @@ def u32(value):
 
 class RamRegion:
     """A contiguous range of byte-addressable RAM.
+
+    The backing store is one ``bytearray`` *slab* plus two zero-copy
+    ``memoryview``s over it: a byte view and (on little-endian hosts,
+    for word-multiple sizes) a struct-specialized ``'I'`` cast.  The
+    word view is what makes translated loads/stores a single Python
+    index expression: an aligned 32-bit access inside a hoisted EA-MPU
+    allow window is ``words[offset >> 2]`` with no bytes object, no
+    ``int.from_bytes``, and no method call.  Every mutation path
+    (checked writes, raw writes, translated stores) writes the same
+    slab, so the views never go stale.
 
     Parameters
     ----------
@@ -44,6 +59,16 @@ class RamRegion:
         self.base = u32(base)
         self.size = size
         self.data = bytearray(size)
+        #: Zero-copy byte view of the slab (slice reads without copies).
+        self.view = memoryview(self.data)
+        #: Little-endian 32-bit word view of the slab, or ``None`` when
+        #: the host byte order or the region size rules it out (the
+        #: byte view is always a correct fallback).
+        self.words = None
+        if sys.byteorder == "little" and size % 4 == 0:
+            cast = self.view.cast("I")
+            if cast.itemsize == 4:
+                self.words = cast
 
     @property
     def end(self):
@@ -67,6 +92,33 @@ class RamRegion:
     def fill(self, value=0):
         """Overwrite the whole region with ``value`` (for wipes)."""
         self.data[:] = bytes([value & 0xFF]) * self.size
+
+    # -- slab accessors (fast paths; semantics identical to read/write) --
+
+    def load_u32(self, address):
+        """Little-endian 32-bit load straight from the slab."""
+        offset = address - self.base
+        words = self.words
+        if words is not None and not offset & 3:
+            return words[offset >> 2]
+        return int.from_bytes(self.data[offset : offset + 4], "little")
+
+    def store_u32(self, address, value):
+        """Little-endian 32-bit store straight into the slab."""
+        offset = address - self.base
+        words = self.words
+        if words is not None and not offset & 3:
+            words[offset >> 2] = value
+        else:
+            self.data[offset : offset + 4] = value.to_bytes(4, "little")
+
+    def load_u8(self, address):
+        """Byte load straight from the slab."""
+        return self.data[address - self.base]
+
+    def store_u8(self, address, value):
+        """Byte store straight into the slab."""
+        self.data[address - self.base] = value
 
     def __repr__(self):
         return "RamRegion(%s, 0x%08X..0x%08X)" % (self.name, self.base, self.end)
@@ -172,6 +224,22 @@ class PhysicalMemory:
         self.mpu = None
         self._watchpoints = []
         self._write_listeners = []
+        #: Pages (address >> :data:`SNOOP_PAGE_SHIFT`) that ever held a
+        #: cached code artifact (decoded instructions, superblocks,
+        #: traces).  Every cache that registers a write listener also
+        #: records its pages here, so a translated store fast path may
+        #: skip the listener fan-out entirely when its target page was
+        #: never cached: no listener could have anything to invalidate.
+        #: The set is add-only (entries may go stale when a cache drops
+        #: a page); staleness only costs a redundant listener round,
+        #: never a missed invalidation.
+        self.snooped_pages = set()
+
+    def note_snooped_range(self, start, end):
+        """Record that ``[start, end)`` now backs a cached code artifact."""
+        first = start >> SNOOP_PAGE_SHIFT
+        last = (end - 1) >> SNOOP_PAGE_SHIFT
+        self.snooped_pages.update(range(first, last + 1))
 
     def attach_mpu(self, mpu):
         """Install the EA-MPU; all subsequent accesses are checked."""

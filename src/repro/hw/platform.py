@@ -46,6 +46,7 @@ class MachineConfig:
         mpu_slots=None,
         fastpath=True,
         blocks=True,
+        traces=True,
         obs_enabled=True,
         obs_capacity=DEFAULT_CAPACITY,
         platform_key=None,
@@ -64,6 +65,12 @@ class MachineConfig:
         #: the event horizon).  Wall-clock only; simulated behaviour is
         #: bit-identical either way.  Ignored when ``fastpath`` is off.
         self.blocks = blocks
+        #: Enable the trace-recording JIT on top of the block tier (hot
+        #: block-to-block edges stitched into guarded multi-block
+        #: traces; see :mod:`repro.perf.traces`).  Wall-clock only;
+        #: simulated behaviour is bit-identical either way.  Ignored
+        #: when ``blocks`` is off.
+        self.traces = traces
         #: Enable the observability bus (repro.obs).  Observation only;
         #: simulated behaviour is bit-identical either way.
         self.obs_enabled = obs_enabled
@@ -201,7 +208,7 @@ class Platform:
         self._slice_deadline = None
         self.clock.add_event_source(lambda: self._slice_deadline)
         if cfg.fastpath and cfg.blocks:
-            self.cpu.enable_blocks(self.clock.next_event_horizon)
+            self.cpu.enable_blocks(self.clock.next_event_horizon, traces=cfg.traces)
 
         # -- observability wiring: hardware publishers and the counter
         #    registry absorbing the fast-path cache stats ------------------

@@ -20,7 +20,12 @@ cache structures shared by the CPU, the EA-MPU, and the memory map:
   single Python closures with hoisted EA-MPU checks and batched cycle
   charging, admitted only when they fit inside the event horizon
   (``CycleClock.next_event_horizon``).  Exposed lazily here to keep the
-  package import-light (``repro.hw.memory`` imports this package).
+  package import-light (``repro.hw.memory`` imports this package);
+* :mod:`repro.perf.traces` - the trace-recording JIT stacked on the
+  block tier: hot block-to-block edges stitched into multi-block traces
+  with guarded side exits, registers held in Python locals, counted
+  loops unrolled, and loads/stores served by direct memory-slab
+  indexing inside the hoisted allow windows.  Also exposed lazily.
 
 The invariant all of these preserve: **caches change wall-clock speed
 only, never simulated semantics**.  Faults, fault logs, trace and
@@ -40,6 +45,9 @@ __all__ = [
     "HitMissCounter",
     "MPUDecisionCache",
     "SuperBlock",
+    "Trace",
+    "TraceCache",
+    "TraceJIT",
 ]
 
 
@@ -54,4 +62,8 @@ def __getattr__(name):
         from repro.perf.translate import BlockEngine
 
         return BlockEngine
+    if name in ("Trace", "TraceCache", "TraceJIT"):
+        from repro.perf import traces
+
+        return getattr(traces, name)
     raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -1,7 +1,7 @@
-"""CPU-core throughput bench: baseline vs. fast path vs. block tier.
+"""CPU-core throughput bench: baseline / fast path / blocks / traces.
 
-Runs three self-terminating workloads through three identically
-configured rigs each and reports wall-clock instructions/sec, the
+Runs three self-terminating workloads through identically configured
+rigs (one per mode) and reports wall-clock instructions/sec, the
 speedups, and the cache hit rates:
 
 * ``alu`` - a long straight-line ALU loop: the block translator's best
@@ -17,9 +17,10 @@ speedups, and the cache hit rates:
   the tier with real interrupt batching (and proves delivery lands on
   the same instruction boundary in every mode).
 
-The three modes are ``baseline`` (every cache off), ``fastpath``
-(PR 1's caches), and ``blocks`` (fast path plus the superblock tier).
-All runs of one workload must be *architecturally identical* - same
+The modes are ``baseline`` (every cache off), ``fastpath`` (PR 1's
+caches), ``blocks`` (fast path plus the superblock tier, trace JIT
+ablated), and ``traces`` (the full stack with the trace-recording
+JIT).  All runs of one workload must be *architecturally identical* - same
 retired count, same simulated cycles, same registers, memory, fault
 log, and timer ticks - which the bench asserts before reporting
 numbers.
@@ -51,8 +52,11 @@ DATA_BASE = 0x6000
 OTHER_BASE = 0x8000
 IDT_BASE = 0x0
 
-#: The three execution modes, cheapest-configured first.
-MODES = ("baseline", "fastpath", "blocks")
+#: The execution modes, cheapest-configured first.  ``blocks`` runs the
+#: superblock tier with the trace JIT disabled (the ablation the trace
+#: speedup is measured against); ``traces`` stacks the trace-recording
+#: JIT on top.
+MODES = ("baseline", "fastpath", "blocks", "traces")
 
 #: Cycles between tick interrupts in the ``irq`` workload - short
 #: enough that the event horizon genuinely constrains block admission.
@@ -219,7 +223,9 @@ def _build_mode_rig(source, mode, irq=False):
         engine.install_handler(Vector.TIMER, handler)
         timer.start(cpu.clock.now)
     if mode == "blocks":
-        cpu.enable_blocks(cpu.clock.next_event_horizon)
+        cpu.enable_blocks(cpu.clock.next_event_horizon, traces=False)
+    elif mode == "traces":
+        cpu.enable_blocks(cpu.clock.next_event_horizon, traces=True)
     return cpu, timer
 
 
@@ -293,13 +299,20 @@ def _workloads(instructions):
     ]
 
 
-def run_bench(instructions=150_000, blocks=True):
+def run_bench(instructions=150_000, blocks=True, traces=True):
     """Run every workload in every mode; returns the result dict.
 
-    Raises :class:`AssertionError` if any two modes of one workload
-    disagree on any architectural outcome.
+    ``blocks=False`` drops both JIT tiers; ``traces=False`` keeps the
+    block tier but ablates the trace JIT.  Raises
+    :class:`AssertionError` if any two modes of one workload disagree
+    on any architectural outcome.
     """
-    modes = MODES if blocks else MODES[:2]
+    if not blocks:
+        modes = MODES[:2]
+    elif not traces:
+        modes = MODES[:3]
+    else:
+        modes = MODES
     workloads = {}
     for name, description, source, irq in _workloads(instructions):
         reference = None
@@ -339,6 +352,16 @@ def run_bench(instructions=150_000, blocks=True):
             )
             entry["speedups"]["blocks_vs_baseline"] = round(
                 per["blocks"] / per["baseline"], 2
+            )
+        if "traces" in per:
+            entry["speedups"]["traces_vs_blocks"] = round(
+                per["traces"] / per["blocks"], 2
+            )
+            entry["speedups"]["traces_vs_fastpath"] = round(
+                per["traces"] / per["fastpath"], 2
+            )
+            entry["speedups"]["traces_vs_baseline"] = round(
+                per["traces"] / per["baseline"], 2
             )
         workloads[name] = entry
     return {
@@ -402,7 +425,11 @@ def _load_history(path):
 
 
 def write_report(
-    path="BENCH_cpu_core.json", instructions=150_000, out=None, blocks=True
+    path="BENCH_cpu_core.json",
+    instructions=150_000,
+    out=None,
+    blocks=True,
+    traces=True,
 ):
     """Run the bench and write the JSON report to ``path``.
 
@@ -410,7 +437,7 @@ def write_report(
     runs (read back from any existing report at ``path``), so repeated
     bench runs track the trajectory instead of overwriting it.
     """
-    result = run_bench(instructions, blocks=blocks)
+    result = run_bench(instructions, blocks=blocks, traces=traces)
     result["history"] = _load_history(path) + [_history_entry(result)]
     with open(path, "w") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)
@@ -430,6 +457,11 @@ def write_report(
                 line += " -> %8.0f (%.2fx blocks)" % (
                     per["blocks"]["insns_per_sec"],
                     entry["speedups"]["blocks_vs_baseline"],
+                )
+            if "traces" in per:
+                line += " -> %8.0f (%.2fx traces)" % (
+                    per["traces"]["insns_per_sec"],
+                    entry["speedups"]["traces_vs_baseline"],
                 )
             line += " insns/sec"
             print(line, file=out)

@@ -148,12 +148,17 @@ class SuperBlock:
         )
 
 
-def discover(memory, eip):
+def discover(memory, eip, min_insns=MIN_BLOCK_INSNS):
     """Discover the superblock starting at ``eip``.
 
     Always returns a :class:`SuperBlock`; one with no instructions is a
     no-block marker (its ``end`` still spans the bytes whose change
     would make the verdict stale, so the write snoop invalidates it).
+
+    ``min_insns`` is the shortest run worth returning (shorter runs
+    become markers).  The block tier uses :data:`MIN_BLOCK_INSNS`; the
+    trace builder passes 1, because even a one-instruction segment is
+    worth stitching when it extends a multi-block trace.
     """
     mpu = memory.mpu
     region = memory.map.try_find(eip, 1)
@@ -193,7 +198,7 @@ def discover(memory, eip):
             insns.append((pc, insn))
             cost += BASE_CYCLES[opcode]
             pc = nxt
-    if len(insns) < MIN_BLOCK_INSNS:
+    if len(insns) < min_insns:
         end = marker_end if marker_end > eip else eip + 1
         return SuperBlock(eip, end, (), 0)
     return SuperBlock(eip, pc, tuple(insns), cost)

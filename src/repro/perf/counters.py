@@ -6,10 +6,61 @@ it so existing imports keep working.  New code should import from
 :mod:`repro.obs` and register counters with a
 :class:`~repro.obs.counters.CounterRegistry` (every platform exposes
 one at ``platform.obs.counters``).
+
+This module also defines :class:`TraceCounters`, the trace-JIT's
+counter bundle.  The trace tier's behaviour is otherwise invisible by
+design (bit-identical architectural state), so these counters are the
+only way ``repro.tools.trace`` summaries and benches can show what the
+JIT actually did: how many traces were compiled and flushed, how often
+guards bailed to the interpreter, and what fraction of translated
+loads/stores hit the direct memory-slab fast path.
 """
 
 from __future__ import annotations
 
-from repro.obs.counters import HitMissCounter
+from repro.obs.counters import Counter, HitMissCounter
 
-__all__ = ["HitMissCounter"]
+
+class TraceCounters:
+    """The trace-JIT counter bundle, registry-ready.
+
+    * ``compiles`` - traces stitched and compiled;
+    * ``guard_exits`` - side exits taken because a guard's recorded
+      branch direction did not match at run time;
+    * ``flushes`` - wholesale trace-cache flushes (EA-MPU epoch moves);
+    * ``slab_loads`` / ``slab_stores`` - translated memory accesses
+      served by direct slab indexing (hits) vs. the checked slow path
+      or the write-snoop broadcast path (misses).
+    """
+
+    __slots__ = ("compiles", "guard_exits", "flushes", "slab_loads", "slab_stores")
+
+    def __init__(self):
+        self.compiles = Counter("trace-compiles")
+        self.guard_exits = Counter("trace-guard-exits")
+        self.flushes = Counter("trace-flushes")
+        self.slab_loads = HitMissCounter("slab-load")
+        self.slab_stores = HitMissCounter("slab-store")
+
+    def all(self):
+        """Every counter, for registration with an obs registry."""
+        return [
+            self.compiles,
+            self.guard_exits,
+            self.flushes,
+            self.slab_loads,
+            self.slab_stores,
+        ]
+
+    def snapshot(self):
+        """Plain-dict view for benches and assertions."""
+        return {
+            "compiles": self.compiles.value,
+            "guard_exits": self.guard_exits.value,
+            "flushes": self.flushes.value,
+            "slab_load": self.slab_loads.snapshot(),
+            "slab_store": self.slab_stores.snapshot(),
+        }
+
+
+__all__ = ["Counter", "HitMissCounter", "TraceCounters"]

@@ -1,0 +1,1448 @@
+"""Trace-recording JIT: hot block-to-block paths compiled as one unit.
+
+The block tier (PR 4) stops compiling at every branch, so block-to-block
+dispatch and per-block entry/exit bookkeeping dominate loop-heavy
+workloads.  This module adds the classic meta-tracing tier on top:
+
+* the :class:`~repro.perf.translate.BlockEngine` records **hot edges** -
+  (branch address, next dispatch address) pairs observed after block
+  exits;
+* when an edge gets hot, the :class:`TraceBuilder` logic stitches a
+  *trace* starting at the edge target: straight-line segments (reusing
+  :func:`repro.perf.blocks.discover`) joined across conditional
+  branches in their observed-hot direction, each protected by a
+  **guard**; a trace whose stitched path returns to its own head is a
+  *looping trace* and compiles to a counted ``while`` loop;
+* the whole trace compiles to one Python function that keeps the CPU
+  registers in **Python locals**, folds chains of register operations
+  symbolically (six ``subi edi, 1`` become one ``r7 = (r7 - 6) &
+  0xFFFFFFFF``), elides dead flag computation, performs translated
+  loads/stores as **direct slab indexing** (:class:`repro.hw.memory`'s
+  ``memoryview`` word views) inside hoisted EA-MPU allow windows, and
+  charges cycles in one batch per trace segment;
+* counted loops proven by :func:`repro.analysis.constprop.counted_loop_counter`
+  get a second, *specialized* loop body with the guard and every dead
+  flag update removed - the unrolled fast path for the first
+  ``counter - 1`` iterations.
+
+Guard semantics (the correctness core): a guard tests the recorded
+branch direction against the live EFLAGS.  On mismatch the trace takes
+a **side exit**: it writes back every register, EFLAGS, the retired
+count, and the batched cycles, sets EIP to the *branch address itself*,
+and returns - the branch has not executed, so the interpreter (or the
+block tier) re-executes it with full transfer checks, hooks, and fault
+semantics.  The architectural state at a side exit is therefore
+bit-identical to single-stepping up to that branch, by construction.
+
+Event-horizon admission: a linear trace runs only when its whole cycle
+cost fits before the horizon; a looping trace computes how many whole
+iterations fit (``(horizon - now) // iter_cost``) and runs at most that
+many, exiting at the loop head - so interrupt delivery lands on exactly
+the same instruction boundary as single-stepping, the same contract the
+block tier obeys.
+
+Invalidation mirrors the block cache: page-granular write snooping
+(checked and raw writes alike) plus a wholesale flush when the EA-MPU
+rule-table epoch moves.  A store issued from *inside* a running trace
+that lands in a snooped page takes the broadcast ``write_raw`` path and
+aborts the trace at the next instruction boundary when the trace
+invalidated itself (self-modifying code).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.constprop import _FLAG_WRITERS, counted_loop_counter
+from repro.errors import IllegalInstruction
+from repro.hw.memory import SNOOP_PAGE_SHIFT, RamRegion
+from repro.isa.encoding import decode
+from repro.isa.opcodes import BASE_CYCLES, CONDITIONAL_BRANCHES, LENGTHS, Op
+from repro.cycles import INSN_BRANCH_TAKEN
+from repro.perf.blocks import ALU_OPS, MEM_OPS, PAGE_SHIFT, discover
+from repro.perf.counters import HitMissCounter, TraceCounters
+
+_M = 0xFFFFFFFF
+_SIGN = 0x80000000
+#: EFLAGS with the four ALU result flags (CF|ZF|SF|OF) cleared.
+_FLAG_KEEP = 0xFFFFF73E
+
+_MAX_INSN_BYTES = max(LENGTHS.values())
+
+#: Edge visit count before the target is considered a trace head.
+TRACE_HOT_EDGE = 8
+
+#: Bound on the edge-profile table (cleared wholesale when exceeded).
+EDGE_TABLE_LIMIT = 4096
+
+#: Caps on trace size (segments stitched / total instructions).
+MAX_TRACE_BLOCKS = 8
+MAX_TRACE_INSNS = 192
+
+#: Traces shorter than this are not worth the dispatch overhead.
+MIN_TRACE_INSNS = 3
+
+#: Iterations a looping trace may run per dispatch with no event
+#: horizon (bench rigs without timers; bounds single-step latency).
+DEFAULT_LOOP_ITERS = 16_384
+
+#: Hard per-dispatch iteration cap even under a distant horizon.
+MAX_LOOP_ITERS = 65_536
+
+#: Branch opcodes a trace may stitch through.
+_STITCHABLE = CONDITIONAL_BRANCHES | {Op.JMP}
+
+#: opcode -> expression over the local ``fl`` that is truthy exactly
+#: when the branch is taken (mirrors ``repro.hw.cpu._CONDITIONS``;
+#: CF=bit0, ZF=bit6, SF=bit7, OF=bit11).
+_COND_EXPR = {
+    Op.JZ: "fl & 64",
+    Op.JNZ: "not fl & 64",
+    Op.JC: "fl & 1",
+    Op.JNC: "not fl & 1",
+    Op.JS: "fl & 128",
+    Op.JNS: "not fl & 128",
+    Op.JG: "not fl & 64 and not (fl >> 7 ^ fl >> 11) & 1",
+    Op.JL: "(fl >> 7 ^ fl >> 11) & 1",
+    Op.JGE: "not (fl >> 7 ^ fl >> 11) & 1",
+    Op.JLE: "fl & 64 or (fl >> 7 ^ fl >> 11) & 1",
+}
+
+
+class Trace:
+    """One stitched, compiled trace (or a no-trace marker).
+
+    ``items`` is the flattened path: ``("insn", address, insn)`` for
+    straight-line instructions, ``("guard", address, insn,
+    chosen_taken, target)`` for stitched conditional branches, and
+    ``("jmp", address, insn, target)`` for stitched unconditional
+    jumps.  ``iter_cost``/``iter_retire`` are the exact cycle/retire
+    totals of the full straight path (one iteration, for looping
+    traces) - upper bounds for every admitted execution, which is what
+    the event-horizon test relies on.
+    """
+
+    __slots__ = (
+        "start",
+        "items",
+        "looping",
+        "exit_eip",
+        "iter_cost",
+        "iter_retire",
+        "counter_reg",
+        "windows",
+        "pages",
+        "valid",
+        "run",
+        "run_fast",
+        "source",
+    )
+
+    def __init__(self, start, items, looping, exit_eip):
+        self.start = start
+        self.items = items
+        self.looping = looping
+        #: EIP a linear trace exits at (``None`` for looping traces,
+        #: which exit at their own head).
+        self.exit_eip = exit_eip
+        self.iter_cost = 0
+        self.iter_retire = 0
+        #: Loop-counter register proven by the constprop pass, or None.
+        self.counter_reg = None
+        #: Per-memory-site hoisted allow windows, filled at run time:
+        #: ``(lo, hi_minus_size, region, words, base, data)`` or None.
+        self.windows = []
+        #: Snoop pages spanned by the trace's code bytes.
+        self.pages = frozenset()
+        #: Cleared by the write snoop; checked after broadcast stores.
+        self.valid = True
+        #: Compiled ``__trace__(cpu, tr, n)`` (``None`` = marker).
+        self.run = None
+        #: Specialized counted-loop body (guard and dead flags elided).
+        self.run_fast = None
+        self.source = None
+
+    def is_marker(self):
+        """Whether this entry marks a no-trace address."""
+        return not self.items
+
+    def __repr__(self):
+        return "Trace(0x%X, %d items%s%s)" % (
+            self.start,
+            len(self.items),
+            ", looping" if self.looping else "",
+            ", marker" if not self.items else "",
+        )
+
+
+def _trace_pages(items):
+    """Snoop pages covered by the trace's instruction bytes."""
+    pages = set()
+    for item in items:
+        address = item[1]
+        last = (address + item[2].length - 1) >> PAGE_SHIFT
+        pages.update(range(address >> PAGE_SHIFT, last + 1))
+    return frozenset(pages)
+
+
+class TraceCache:
+    """Entry-EIP -> :class:`Trace`, snooped and epoch-flushed.
+
+    Same invalidation contract as the block cache: every bus write
+    (checked or raw) drops the traces whose code bytes share a 256-byte
+    page with the written range and marks them invalid so a trace that
+    is *currently executing* aborts after its next broadcast store.
+    """
+
+    def __init__(self):
+        self.entries = {}
+        self._pages = {}
+        #: EA-MPU rule-table epoch the cached traces were built under.
+        self.epoch = None
+        self.stats = HitMissCounter("trace")
+
+    def __len__(self):
+        return len(self.entries)
+
+    def put(self, trace):
+        """Register ``trace`` (or marker) for dispatch and snooping."""
+        self.entries[trace.start] = trace
+        pages = self._pages
+        for page in trace.pages:
+            bucket = pages.get(page)
+            if bucket is None:
+                bucket = pages[page] = set()
+            bucket.add(trace.start)
+
+    def note_write(self, address, size):
+        """Snoop a write; drop every trace on a touched page."""
+        pages = self._pages
+        if not pages or size <= 0:
+            return
+        first = address >> PAGE_SHIFT
+        last = (address + size - 1) >> PAGE_SHIFT
+        entries = self.entries
+        for page in range(first, last + 1):
+            bucket = pages.pop(page, None)
+            if bucket is None:
+                continue
+            for eip in bucket:
+                trace = entries.pop(eip, None)
+                if trace is not None:
+                    trace.valid = False
+            self.stats.invalidations += 1
+
+    def flush(self):
+        """Drop everything (EA-MPU epoch change)."""
+        for trace in self.entries.values():
+            trace.valid = False
+        self.entries.clear()
+        self._pages.clear()
+        self.stats.invalidations += 1
+
+
+class EdgeProfile:
+    """Block-to-block edge counts: the trace-head heuristic.
+
+    ``edges[branch_address][target] = count``.  The same table feeds
+    the trace builder's direction choice at each stitched conditional
+    (hot direction inlined, cold direction guarded out) - and is
+    exactly the path evidence a control-flow attestation pass would
+    consume.
+    """
+
+    def __init__(self):
+        self.edges = {}
+
+    def note(self, source, target):
+        """Count one traversal; returns True when the edge just got hot."""
+        edges = self.edges
+        bucket = edges.get(source)
+        if bucket is None:
+            if len(edges) >= EDGE_TABLE_LIMIT:
+                edges.clear()
+            bucket = edges[source] = {}
+        count = bucket.get(target, 0) + 1
+        bucket[target] = count
+        return count >= TRACE_HOT_EDGE
+
+    def flush(self):
+        """Forget all counts (trace-cache flush keeps profiles fresh)."""
+        self.edges.clear()
+
+
+def _decode_at(memory, pc):
+    """Decode the instruction at ``pc`` from RAM, or ``None``."""
+    region = memory.map.try_find(pc, 1)
+    if not isinstance(region, RamRegion):
+        return None
+    window = region.end - pc
+    if window <= 0:
+        return None
+    if window > _MAX_INSN_BYTES:
+        window = _MAX_INSN_BYTES
+    try:
+        return decode(region.read(pc, window), 0, address=pc)
+    except IllegalInstruction:
+        return None
+
+
+def build_trace(memory, head, profile):
+    """Stitch the hot path starting at ``head``; returns Trace or None.
+
+    Every hoisted verdict consulted here (execute probes inside
+    :func:`~repro.perf.blocks.discover`, transfer proofs via
+    ``decisions.lookup_transfer``) is valid for exactly the current
+    EA-MPU epoch; the cache holding the result is flushed when the
+    epoch moves, which is what makes building-time hoisting sound.
+    """
+    mpu = memory.mpu
+    decisions = mpu.decisions if mpu is not None else None
+    edges = profile.edges
+    items = []
+    pc = head
+    seen = set()
+    looping = False
+    exit_eip = None
+    total = 0
+    segments = 0
+    while True:
+        if pc in seen:
+            exit_eip = pc  # inner cycle not through the head: stop here
+            break
+        seen.add(pc)
+        segment = discover(memory, pc, min_insns=1)
+        end = segment.end if segment.insns else pc
+        for address, insn in segment.insns:
+            items.append(("insn", address, insn))
+        total += len(segment.insns)
+        segments += 1
+        if total > MAX_TRACE_INSNS or segments > MAX_TRACE_BLOCKS:
+            exit_eip = end
+            break
+        ender = _decode_at(memory, end)
+        if ender is None or ender.opcode not in _STITCHABLE:
+            exit_eip = end
+            break
+        if mpu is not None and not mpu.probe("execute", end, 1, end):
+            exit_eip = end
+            break
+        if ender.opcode is Op.JMP:
+            target = ender.imm
+            if decisions is None or not decisions.lookup_transfer(end, target):
+                exit_eip = end
+                break
+            items.append(("jmp", end, ender, target))
+            total += 1
+            if target == head:
+                looping = True
+                break
+            pc = target
+            continue
+        taken = ender.imm
+        fallthrough = end + ender.length
+        bucket = edges.get(end) or {}
+        chosen_taken = bucket.get(taken, 0) >= bucket.get(fallthrough, 0)
+        chosen = taken if chosen_taken else fallthrough
+        if decisions is None or not decisions.lookup_transfer(end, chosen):
+            exit_eip = end
+            break
+        items.append(("guard", end, ender, chosen_taken, chosen))
+        total += 1
+        if chosen == head:
+            looping = True
+            break
+        pc = chosen
+    if total < MIN_TRACE_INSNS:
+        return None
+    if not any(item[0] != "insn" for item in items):
+        return None  # a single unstitched segment is the block tier's job
+    trace = Trace(head, tuple(items), looping, None if looping else exit_eip)
+    cost = 0
+    retire = 0
+    for item in items:
+        opcode = item[2].opcode
+        cost += BASE_CYCLES[opcode]
+        retire += 1
+        if item[0] == "jmp" or (item[0] == "guard" and item[3]):
+            cost += INSN_BRANCH_TAKEN
+    trace.iter_cost = cost
+    trace.iter_retire = retire
+    trace.pages = _trace_pages(items)
+    if looping and items[-1][0] == "guard" and items[-1][3]:
+        body = items[:-1]
+        if all(item[0] == "insn" for item in body):
+            trace.counter_reg = counted_loop_counter(
+                [(address, insn) for _, address, insn in body],
+                items[-1][2].opcode,
+            )
+    return trace
+
+
+# -- trace code generation: symbolic register-chain folding ----------------
+
+
+class _Source:
+    """Tiny indented-source builder (trace twin of translate's)."""
+
+    def __init__(self):
+        self.lines = []
+
+    def emit(self, indent, text):
+        self.lines.append("    " * indent + text)
+
+    def source(self):
+        return "\n".join(self.lines) + "\n"
+
+
+class _FoldEmitter:
+    """Emits the trace body with register values held in Python locals.
+
+    Each GPR lives in a local ``r0``..``r7``.  Flag-dead register
+    operations do not emit statements immediately: they accumulate
+    *symbolically* as a base (the local, a known constant, or a copied
+    expression) plus a chain of pending ops, and adjacent ops fold
+    (``subi edi,1`` six times renders as one ``r7 = (r7 - 6) &
+    4294967295``).  A chain materializes into a single assignment only
+    when forced:
+
+    * another chain captured this register's local and that local is
+      about to be reassigned (dependency flush - chains always render
+      against the local values they were captured from);
+    * a flag-live computation or memory operand needs the value in a
+      temp;
+    * the loop-bottom fixpoint (the loop-top assumption is "every
+      register is in its local", so the bottom restores exactly that);
+    * an exit writeback - which *peeks* (renders without resetting), so
+      the main line keeps folding across guard side exits.
+
+    Truncation to 32 bits commutes with ``+ - * & | ^ <<`` and with
+    ``& 31`` shift amounts, so intermediate values may run dirty
+    (negative / over-wide); the emitter tracks cleanliness and masks
+    only where required - before a ``>>`` and at materialization.
+    """
+
+    INLINE_OPS = 2  # longest chain worth inlining into another chain
+    INLINE_USES = 2  # times one pending chain may be inlined
+    CHAIN_LIMIT = 6  # pending ops per register before forced spill
+
+    def __init__(self, out, indent):
+        self.out = out
+        self.indent = indent
+        # base[i]: None = local holds the value; int = known constant;
+        # ("expr", text, deps, clean) = copied expression (mov).
+        self.base = [None] * 8
+        self.ops = [[] for _ in range(8)]
+        self.inl = [0] * 8
+
+    def emit(self, text):
+        self.out.emit(self.indent, text)
+
+    # -- rendering ---------------------------------------------------
+
+    def render(self, j):
+        """Peek ``j``'s current value: ``(expr, deps, clean)``.
+
+        ``deps`` is the set of register locals the text references;
+        ``clean`` says the value is already in ``[0, 2^32)``.
+        """
+        base = self.base[j]
+        if base is None:
+            expr, deps, clean = "r%d" % j, {j}, True
+        elif isinstance(base, int):
+            expr, deps, clean = str(base), set(), True
+        else:
+            expr, deps, clean = base[1], set(base[2]), base[3]
+        for op in self.ops[j]:
+            tag = op[0]
+            if tag == "add":
+                parts = [expr]
+                for sign, term, tdeps in op[1]:
+                    parts.append("+" if sign > 0 else "-")
+                    parts.append(term)
+                    deps |= tdeps
+                const = op[2]
+                if const:
+                    parts.append("+" if const > 0 else "-")
+                    parts.append(str(abs(const)))
+                expr = "(%s)" % " ".join(parts)
+                clean = False
+            elif tag == "neg":
+                expr = "(-%s)" % expr
+                clean = False
+            elif tag in ("shl", "shr"):
+                if len(op) == 2:
+                    amount, adeps = str(op[1]), set()
+                else:
+                    amount, adeps = op[1], op[2]
+                if tag == "shr" and not clean:
+                    expr = "(%s & 4294967295)" % expr
+                expr = "(%s %s %s)" % (expr, "<<" if tag == "shl" else ">>", amount)
+                deps |= adeps
+                clean = tag == "shr"
+            elif tag == "mul":
+                if len(op) == 2:
+                    operand, odeps = str(op[1]), set()
+                else:
+                    operand, odeps = op[1], op[2]
+                expr = "(%s * %s)" % (expr, operand)
+                deps |= odeps
+                clean = False
+            else:  # and / or / xor
+                if len(op) == 2:
+                    operand, odeps, oclean = str(op[1]), set(), True
+                else:
+                    operand, odeps, oclean = op[1], op[2], op[3]
+                symbol = "&" if tag == "and" else ("|" if tag == "or" else "^")
+                expr = "(%s %s %s)" % (expr, symbol, operand)
+                deps |= odeps
+                if tag == "and":
+                    # masking by either clean operand bounds the result
+                    clean = clean or oclean
+                else:
+                    clean = clean and oclean
+        return expr, deps, clean
+
+    def render_clean(self, j):
+        expr, _, clean = self.render(j)
+        return expr if clean else "%s & 4294967295" % expr
+
+    def _pending(self, j):
+        return self.base[j] is not None or bool(self.ops[j])
+
+    # -- state transitions -------------------------------------------
+
+    def _closure(self, seed):
+        """Pending regs entangled with ``seed`` under will-be-reassigned.
+
+        Every reg in the returned set gets its local reassigned, so any
+        pending chain *reading* one of those locals must join the set
+        (its captured text refers to the pre-assignment value) - and so
+        on transitively.
+        """
+        members = set(seed)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(8):
+                if i in members or not self._pending(i):
+                    continue
+                if self.render(i)[1] & members:
+                    members.add(i)
+                    changed = True
+        return members
+
+    def _spill(self, regs):
+        """Materialize ``regs`` in one *parallel* assignment.
+
+        Chains may read each other's locals - even cyclically
+        (``add eax, edx`` folded alongside ``add edx, eax``) - so no
+        sequential assignment order is universally correct.  A tuple
+        assignment evaluates every right-hand side against the
+        pre-assignment locals, which is exactly the state each chain
+        was captured under.
+        """
+        pending = sorted(i for i in regs if self._pending(i))
+        if not pending:
+            return
+        if len(pending) == 1:
+            j = pending[0]
+            self.emit("r%d = %s" % (j, self.render_clean(j)))
+        else:
+            targets = ", ".join("r%d" % j for j in pending)
+            values = ", ".join(self.render_clean(j) for j in pending)
+            self.emit("%s = %s" % (targets, values))
+        for j in pending:
+            self.base[j] = None
+            self.ops[j] = []
+            self.inl[j] = 0
+
+    def materialize(self, j):
+        """Spill ``j``'s symbolic value into its local.
+
+        Drags along (in the same parallel assignment) every pending
+        chain that reads a local being reassigned.
+        """
+        if not self._pending(j):
+            return
+        self._spill(self._closure({j}))
+
+    def flush_dependents(self, j):
+        """Materialize every chain whose text references local ``j``.
+
+        Must run before any assignment to ``r{j}`` (captured chain text
+        refers to the value the local held at capture time).
+        """
+        seed = {
+            i
+            for i in range(8)
+            if i != j and self._pending(i) and j in self.render(i)[1]
+        }
+        if seed:
+            self._spill(self._closure(seed))
+
+    def drop(self, j):
+        """Forget ``j``'s symbolic value (dead: about to be overwritten).
+
+        Caller must have run :meth:`flush_dependents` for ``j`` first.
+        """
+        self.base[j] = None
+        self.ops[j] = []
+        self.inl[j] = 0
+
+    def materialize_all(self):
+        for j in range(8):
+            self.materialize(j)
+
+    def value_expr(self, consumer, j, need_clean=True):
+        """``j``'s value as an operand for ``consumer``'s chain.
+
+        Short chains inline (bounded by the INLINE_* knobs); anything
+        else - including a would-be dependency cycle with ``consumer`` -
+        materializes first.  Returns ``(expr, deps, clean)``.
+        """
+        ops = self.ops[j]
+        if not ops:
+            base = self.base[j]
+            if base is None:
+                return "r%d" % j, {j}, True
+            if isinstance(base, int):
+                return str(base), set(), True
+        expr, deps, clean = self.render(j)
+        if len(ops) <= self.INLINE_OPS and self.inl[j] < self.INLINE_USES and consumer not in deps:
+            self.inl[j] += 1
+            if need_clean and not clean:
+                return "(%s & 4294967295)" % expr, deps, True
+            return expr, deps, clean
+        self.materialize(j)
+        return "r%d" % j, {j}, True
+
+    # -- op application (flag-dead folding) --------------------------
+
+    def _push(self, x, op):
+        if len(self.ops[x]) >= self.CHAIN_LIMIT:
+            self.materialize(x)
+        self.ops[x].append(op)
+
+    def apply_add(self, x, sign, operand):
+        """``operand`` is an unsigned const int or ``(expr, deps)``."""
+        ops = self.ops[x]
+        if isinstance(operand, int):
+            delta = operand & _M
+            if delta >= _SIGN:
+                delta -= _M + 1
+            if sign < 0:
+                delta = -delta
+            if delta == 0:
+                return
+            base = self.base[x]
+            if not ops and isinstance(base, int):
+                self.base[x] = (base + delta) & _M
+                return
+            if ops and ops[-1][0] == "add":
+                ops[-1] = ("add", ops[-1][1], ops[-1][2] + delta)
+                return
+            self._push(x, ("add", [], delta))
+            return
+        expr, deps = operand
+        if ops and ops[-1][0] == "add":
+            ops[-1][1].append((sign, expr, deps))
+            return
+        self._push(x, ("add", [(sign, expr, deps)], 0))
+
+    def apply_logic(self, x, tag, operand):
+        """``tag`` in and/or/xor; const int or ``(expr, deps, clean)``."""
+        ops = self.ops[x]
+        if isinstance(operand, int):
+            v = operand & _M
+            base = self.base[x]
+            if not ops and isinstance(base, int):
+                if tag == "and":
+                    self.base[x] = base & v
+                elif tag == "or":
+                    self.base[x] = base | v
+                else:
+                    self.base[x] = base ^ v
+                return
+            if ops and ops[-1][0] == tag and len(ops[-1]) == 2:
+                prev = ops[-1][1]
+                if tag == "and":
+                    merged = prev & v
+                elif tag == "or":
+                    merged = prev | v
+                else:
+                    merged = prev ^ v
+                if tag != "and" and merged == 0:
+                    # ``xor 0`` / ``or 0`` is a no-op (paired ``xori``s
+                    # cancel); ``and`` keeps even an all-ones mask - it
+                    # doubles as the cleanliness bound on dirty values.
+                    ops.pop()
+                else:
+                    ops[-1] = (tag, merged)
+                return
+            if tag != "and" and v == 0:
+                return
+            self._push(x, (tag, v))
+            return
+        expr, deps, clean = operand
+        self._push(x, (tag, expr, deps, clean))
+
+    def apply_shift(self, x, tag, amount):
+        """``amount`` is a raw const int or ``(expr, deps)`` (& 31 added)."""
+        ops = self.ops[x]
+        if isinstance(amount, int):
+            amount &= 31
+            if amount == 0:
+                return  # value unchanged mod 2^32
+            base = self.base[x]
+            if not ops and isinstance(base, int):
+                if tag == "shl":
+                    self.base[x] = (base << amount) & _M
+                else:
+                    self.base[x] = base >> amount
+                return
+            if ops and ops[-1][0] == tag and len(ops[-1]) == 2:
+                ops[-1] = (tag, ops[-1][1] + amount)
+                return
+            self._push(x, (tag, amount))
+            return
+        expr, deps = amount
+        self._push(x, (tag, "(%s & 31)" % expr, deps))
+
+    def apply_mul(self, x, operand):
+        ops = self.ops[x]
+        if isinstance(operand, int):
+            v = operand & _M
+            base = self.base[x]
+            if not ops and isinstance(base, int):
+                self.base[x] = (base * v) & _M
+                return
+            if ops and ops[-1][0] == "mul" and len(ops[-1]) == 2:
+                ops[-1] = ("mul", (ops[-1][1] * v) & _M)
+                return
+            self._push(x, ("mul", v))
+            return
+        expr, deps = operand
+        self._push(x, ("mul", expr, deps))
+
+    def apply_neg(self, x):
+        ops = self.ops[x]
+        base = self.base[x]
+        if not ops and isinstance(base, int):
+            self.base[x] = (-base) & _M
+            return
+        if ops and ops[-1][0] == "neg":
+            ops.pop()  # double negation cancels exactly (mod 2^32)
+            return
+        self._push(x, ("neg",))
+
+    def set_const(self, x, value):
+        self.flush_dependents(x)
+        self.drop(x)
+        self.base[x] = value & _M
+
+    def set_copy(self, x, triple):
+        """``mov x, y``: adopt ``(expr, deps, clean)`` as the new base."""
+        self.flush_dependents(x)
+        self.drop(x)
+        expr, deps, clean = triple
+        if not deps and clean and expr.isdigit():
+            self.base[x] = int(expr)
+        else:
+            self.base[x] = ("expr", expr, frozenset(deps), clean)
+
+
+_ESP = 4  # Reg.ESP
+
+#: Opcodes reading their ``reg2`` operand.
+_TWO_REG = frozenset(
+    {Op.MOV, Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.CMP, Op.SHL,
+     Op.SHR, Op.MUL, Op.LD, Op.LDB, Op.ST, Op.STB}
+)
+
+#: Opcodes writing their ``reg`` operand.
+_REG_WRITES = frozenset(
+    {Op.MOV, Op.MOVI, Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SHL,
+     Op.SHR, Op.MUL, Op.ADDI, Op.SUBI, Op.ANDI, Op.ORI, Op.XORI,
+     Op.SHLI, Op.SHRI, Op.NOT, Op.NEG, Op.LD, Op.LDB, Op.POP}
+)
+
+_LOAD_SITES = frozenset({Op.LD, Op.LDB, Op.POP})
+_STORE_SITES = frozenset({Op.ST, Op.STB, Op.PUSH, Op.PUSHI})
+
+
+def _reg_usage(items):
+    """``(used, written)`` register sets over the trace body."""
+    used = set()
+    written = set()
+    for item in items:
+        if item[0] != "insn":
+            continue
+        insn = item[2]
+        opcode = insn.opcode
+        if opcode is Op.NOP:
+            continue
+        if opcode in (Op.PUSH, Op.PUSHI, Op.POP):
+            used.add(_ESP)
+            written.add(_ESP)
+        if opcode is Op.PUSHI:
+            continue
+        used.add(insn.reg)
+        if opcode in _TWO_REG:
+            used.add(insn.reg2)
+        if opcode in _REG_WRITES:
+            written.add(insn.reg)
+    return used | written, written
+
+
+def _flag_needs(items):
+    """Which flag-writing items must keep ``fl`` current.
+
+    Same backward scan as the block translator, with guards as an extra
+    observation point (they branch on ``fl``).  For looping traces the
+    closing guard/jmp is the last item, so a writer near the bottom is
+    observed before the next iteration's writers can kill it -
+    cross-iteration liveness needs no special casing.
+    """
+    needs = [False] * len(items)
+    live = True
+    for idx in range(len(items) - 1, -1, -1):
+        kind = items[idx][0]
+        if kind == "guard":
+            live = True
+        elif kind == "insn":
+            opcode = items[idx][2].opcode
+            if opcode in MEM_OPS:
+                live = True
+            elif opcode in _FLAG_WRITERS:
+                needs[idx] = live
+                live = False
+    return needs
+
+
+def _simple(text):
+    """Whether ``text`` is a bare local or literal (no temp needed)."""
+    return text.isdigit() or (len(text) == 2 and text[0] == "r" and text[1].isdigit())
+
+
+def generate_trace(trace, fast=False):
+    """Generate the Python source for ``trace``'s function.
+
+    The signature is ``__trace__(cpu, tr, n)``: ``n`` is the admitted
+    iteration budget for looping traces (1 for linear ones).  With
+    ``fast=True`` the *counted-loop specialization* is generated
+    instead: the closing guard and every dead flag update are elided,
+    valid for up to ``counter - 1`` iterations (the engine enforces the
+    bound), with the counter's final flags reconstructed closed-form.
+    """
+    items = trace.items[:-1] if fast else trace.items
+    looping = trace.looping
+    used, written = _reg_usage(items)
+    needs = [False] * len(items) if fast else _flag_needs(items)
+    load_sites = sum(1 for it in items if it[0] == "insn" and it[2].opcode in _LOAD_SITES)
+    store_sites = sum(1 for it in items if it[0] == "insn" and it[2].opcode in _STORE_SITES)
+    has_mem = bool(load_sites or store_sites)
+    out = _Source()
+    name = "__trace_fast__" if fast else "__trace__"
+    out.emit(0, "def %s(cpu, tr, n):" % name)
+    out.emit(1, "regs = cpu.regs")
+    out.emit(1, "r = regs.gpr")
+    if has_mem:
+        out.emit(1, "memory = cpu.memory")
+        out.emit(1, "W = tr.windows")
+    if store_sites:
+        out.emit(1, "S = memory.snooped_pages")
+    out.emit(1, "clock = cpu.clock")
+    out.emit(1, "fl = regs.eflags")
+    for j in sorted(used):
+        out.emit(1, "r%d = r[%d]" % (j, j))
+    if not fast:
+        out.emit(1, "p = 0")
+        out.emit(1, "ret = 0")
+        if load_sites:
+            out.emit(1, "lh = 0")
+        if store_sites:
+            out.emit(1, "sh = 0")
+        if looping and has_mem:
+            out.emit(1, "n0 = n")
+    if fast:
+        out.emit(1, "for _ in range(n):")
+        em = _FoldEmitter(out, 2)
+    elif looping:
+        out.emit(1, "while n:")
+        out.emit(2, "n -= 1")
+        em = _FoldEmitter(out, 2)
+    else:
+        em = _FoldEmitter(out, 1)
+
+    def emit_writebacks(ind):
+        for j in sorted(written):
+            expr, _, clean = em.render(j)
+            if expr == "r%d" % j:
+                out.emit(ind, "r[%d] = r%d" % (j, j))
+            else:
+                out.emit(ind, "r[%d] = %s" % (j, expr if clean else "%s & 4294967295" % expr))
+
+    def emit_exit(ind, eip, ret_k, cyc, kl, ks, guard=False):
+        emit_writebacks(ind)
+        out.emit(ind, "regs.eflags = fl")
+        if ret_k:
+            out.emit(ind, "cpu.retired += ret + %d" % ret_k)
+        else:
+            out.emit(ind, "cpu.retired += ret")
+        if cyc:
+            out.emit(ind, "q = p + %d" % cyc)
+        else:
+            out.emit(ind, "q = p")
+        out.emit(ind, "if q:")
+        out.emit(ind + 1, "clock.charge(q)")
+        if load_sites:
+            if looping:
+                out.emit(ind, "SL.hits += (n0 - n - 1) * %d + %d + lh" % (load_sites, kl))
+            else:
+                out.emit(ind, "SL.hits += %d + lh" % kl)
+        if store_sites:
+            if looping:
+                out.emit(ind, "SS.hits += (n0 - n - 1) * %d + %d + sh" % (store_sites, ks))
+            else:
+                out.emit(ind, "SS.hits += %d + sh" % ks)
+        out.emit(ind, "regs.eip = %d" % eip)
+        if guard:
+            out.emit(ind, "ge()")
+        out.emit(ind, "return")
+
+    def slow_entry(ind, address, base_c, ret_k, cyc):
+        """Bit-identical single-step state before a checked bus access."""
+        total = cyc + base_c
+        out.emit(ind, "q = p + %d" % total)
+        out.emit(ind, "if q:")
+        out.emit(ind + 1, "clock.charge(q)")
+        out.emit(ind, "p = %d" % -total)
+        if ret_k:
+            out.emit(ind, "cpu.retired += ret + %d" % ret_k)
+        else:
+            out.emit(ind, "cpu.retired += ret")
+        out.emit(ind, "ret = %d" % -(ret_k + 1))
+        out.emit(ind, "regs.eip = %d" % address)
+        out.emit(ind, "regs.eflags = fl")
+        emit_writebacks(ind)
+
+    def emit_fl(carry=None, overflow=None):
+        em.emit("fl = fl & %d" % _FLAG_KEEP)
+        if carry is not None:
+            em.emit("if %s:" % carry)
+            out.emit(em.indent + 1, "fl |= 1")
+        em.emit("if res == 0:")
+        out.emit(em.indent + 1, "fl |= 64")
+        em.emit("if res & %d:" % _SIGN)
+        out.emit(em.indent + 1, "fl |= 128")
+        if overflow is not None:
+            em.emit("if %s:" % overflow)
+            out.emit(em.indent + 1, "fl |= 2048")
+
+    def operand(consumer, j):
+        """Flag-dead operand: const int, or ``(expr, deps)``."""
+        expr, deps, clean = em.value_expr(consumer, j, need_clean=False)
+        if not deps and clean and expr.isdigit():
+            return int(expr)
+        return expr, deps
+
+    def addr_text(insn):
+        """Effective-address expression (clean) for a ld/st operand."""
+        y = insn.reg2
+        if not em.ops[y] and isinstance(em.base[y], int):
+            return str((em.base[y] + insn.imm) & _M)
+        expr, _, __ = em.value_expr(None, y, need_clean=True)
+        if insn.imm:
+            return "(%s + %d) & 4294967295" % (expr, insn.imm)
+        return expr
+
+    def emit_store_paths(k, ea, value, size, address, nxt, base_c, ret_k, cyc, ks):
+        """Window-hit fast path (snoop probe + slab write) and checked
+        slow path of a store; both end with the self-modification abort."""
+        bytes_of = "(%s)" % value if value.isdigit() else value
+        em.emit("w = W[%d]" % k)
+        em.emit("if w is not None and w[0] <= %s <= w[1]:" % ea)
+        ind = em.indent + 1
+        if size == 4:
+            probe = "%s >> 8 in S or (%s + 3) >> 8 in S" % (ea, ea)
+        else:
+            probe = "%s >> 8 in S" % ea
+        out.emit(ind, "if %s:" % probe)
+        out.emit(ind + 1, 'memory.write_raw(%s, %s.to_bytes(%d, "little"))' % (ea, bytes_of, size))
+        out.emit(ind + 1, "sh -= 1")
+        out.emit(ind + 1, "SS.misses += 1")
+        out.emit(ind + 1, "if not tr.valid:")
+        emit_exit(ind + 2, nxt, ret_k + 1, cyc + base_c, KL, ks + 1)
+        out.emit(ind, "else:")
+        if size == 4:
+            out.emit(ind + 1, "o = %s - w[4]" % ea)
+            out.emit(ind + 1, "wv = w[3]")
+            out.emit(ind + 1, "if wv is not None and not o & 3:")
+            out.emit(ind + 2, "wv[o >> 2] = %s" % value)
+            out.emit(ind + 1, "else:")
+            out.emit(ind + 2, 'w[5][o:o + 4] = %s.to_bytes(4, "little")' % bytes_of)
+        else:
+            out.emit(ind + 1, "w[5][%s - w[4]] = %s" % (ea, value))
+        em.emit("else:")
+        slow_entry(ind, address, base_c, ret_k, cyc)
+        out.emit(ind, "ram = slow_store(cpu, tr, %d, %s, %s, %d, %d)" % (k, ea, value, size, address))
+        out.emit(ind, "cpu.retired += 1")
+        out.emit(ind, "sh -= 1")
+        out.emit(ind, "SS.misses += 1")
+        out.emit(ind, "if not ram or not tr.valid:")
+        out.emit(ind + 1, "regs.eip = %d" % nxt)
+        out.emit(ind + 1, "return")
+
+    K = 0  # instructions retired before the current item (one iteration)
+    C = 0  # cycles accrued before the current item (one iteration)
+    KL = 0  # load sites passed so far (slab-counter constants)
+    KS = 0  # store sites passed so far
+    k = 0  # memory-site index (window slot)
+    for idx, item in enumerate(items):
+        kind = item[0]
+        address = item[1]
+        insn = item[2]
+        opcode = insn.opcode
+        base_c = BASE_CYCLES[opcode]
+        if kind == "guard":
+            chosen_taken = item[3]
+            cond = _COND_EXPR[opcode]
+            if chosen_taken:
+                em.emit("if not (%s):" % cond)
+            else:
+                em.emit("if %s:" % cond)
+            emit_exit(em.indent + 1, address, K, C, KL, KS, guard=True)
+            K += 1
+            C += base_c + (INSN_BRANCH_TAKEN if chosen_taken else 0)
+            continue
+        if kind == "jmp":
+            K += 1
+            C += base_c + INSN_BRANCH_TAKEN
+            continue
+        x = insn.reg
+        y = insn.reg2
+        nxt = address + insn.length
+        if opcode in ALU_OPS:
+            flags = needs[idx]
+            if opcode is Op.NOP or opcode in (Op.CMP, Op.CMPI) and not flags:
+                pass
+            elif opcode is Op.MOVI:
+                em.set_const(x, insn.imm)
+            elif opcode is Op.MOV:
+                if x != y:
+                    em.set_copy(x, em.value_expr(x, y, need_clean=False))
+            elif not flags:
+                if opcode in (Op.ADD, Op.SUB):
+                    em.apply_add(x, 1 if opcode is Op.ADD else -1, operand(x, y))
+                elif opcode in (Op.ADDI, Op.SUBI):
+                    em.apply_add(x, 1 if opcode is Op.ADDI else -1, insn.imm)
+                elif opcode in (Op.AND, Op.OR, Op.XOR):
+                    tag = "and" if opcode is Op.AND else ("or" if opcode is Op.OR else "xor")
+                    expr, deps, clean = em.value_expr(x, y, need_clean=False)
+                    if not deps and clean and expr.isdigit():
+                        em.apply_logic(x, tag, int(expr))
+                    else:
+                        em.apply_logic(x, tag, (expr, deps, clean))
+                elif opcode in (Op.ANDI, Op.ORI, Op.XORI):
+                    tag = "and" if opcode is Op.ANDI else ("or" if opcode is Op.ORI else "xor")
+                    em.apply_logic(x, tag, insn.imm)
+                elif opcode is Op.NOT:
+                    em.apply_logic(x, "xor", _M)
+                elif opcode is Op.NEG:
+                    em.apply_neg(x)
+                elif opcode in (Op.SHL, Op.SHR):
+                    em.apply_shift(x, "shl" if opcode is Op.SHL else "shr", operand(x, y))
+                elif opcode in (Op.SHLI, Op.SHRI):
+                    em.apply_shift(x, "shl" if opcode is Op.SHLI else "shr", insn.imm)
+                elif opcode is Op.MUL:
+                    em.apply_mul(x, operand(x, y))
+                else:  # pragma: no cover - ALU_OPS is closed
+                    raise AssertionError("untranslatable ALU op %r" % opcode)
+            else:
+                # flag-live: explicit temps, flags into the fl local
+                em.flush_dependents(x)
+                if opcode in (Op.ADD, Op.ADDI):
+                    if opcode is Op.ADD:
+                        b_expr, _, __ = em.value_expr(x, y, need_clean=True)
+                    else:
+                        b_expr = str(insn.imm & _M)
+                    em.emit("a = %s" % em.render_clean(x))
+                    em.emit("b = %s" % b_expr)
+                    em.emit("raw = a + b")
+                    em.emit("res = raw & 4294967295")
+                    em.drop(x)
+                    em.emit("r%d = res" % x)
+                    emit_fl(
+                        carry="raw > %d" % _M,
+                        overflow="not ((a ^ b) & %d) and ((a ^ res) & %d)" % (_SIGN, _SIGN),
+                    )
+                elif opcode in (Op.SUB, Op.SUBI, Op.CMP, Op.CMPI, Op.NEG):
+                    if opcode is Op.NEG:
+                        a_expr, b_expr = "0", em.render_clean(x)
+                    elif opcode in (Op.SUB, Op.CMP):
+                        b_expr, _, __ = em.value_expr(x, y, need_clean=True)
+                        a_expr = em.render_clean(x)
+                    else:
+                        a_expr, b_expr = em.render_clean(x), str(insn.imm & _M)
+                    writes = opcode not in (Op.CMP, Op.CMPI)
+                    em.emit("a = %s" % a_expr)
+                    em.emit("b = %s" % b_expr)
+                    em.emit("raw = a - b")
+                    em.emit("res = raw & 4294967295")
+                    if writes:
+                        em.drop(x)
+                        em.emit("r%d = res" % x)
+                    emit_fl(
+                        carry="raw < 0",
+                        overflow="((a ^ b) & %d) and ((a ^ res) & %d)" % (_SIGN, _SIGN),
+                    )
+                elif opcode is Op.MUL:
+                    b_expr, _, __ = em.value_expr(x, y, need_clean=True)
+                    em.emit("raw = %s * %s" % (em.render_clean(x), b_expr))
+                    em.emit("res = raw & 4294967295")
+                    em.drop(x)
+                    em.emit("r%d = res" % x)
+                    # MUL sets CF and OF together (raw overflowed 32 bits)
+                    em.emit("fl = fl & %d" % _FLAG_KEEP)
+                    em.emit("if raw > %d:" % _M)
+                    out.emit(em.indent + 1, "fl |= 2049")
+                    em.emit("if res == 0:")
+                    out.emit(em.indent + 1, "fl |= 64")
+                    em.emit("if res & %d:" % _SIGN)
+                    out.emit(em.indent + 1, "fl |= 128")
+                else:
+                    # the logic family: AND/OR/XOR/SHL/SHR (+imm), NOT
+                    if opcode in (Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR):
+                        b_expr, _, __ = em.value_expr(x, y, need_clean=opcode is not Op.SHL)
+                    a_expr = em.render_clean(x)
+                    if opcode is Op.AND:
+                        expr = "%s & %s" % (a_expr, b_expr)
+                    elif opcode is Op.OR:
+                        expr = "%s | %s" % (a_expr, b_expr)
+                    elif opcode is Op.XOR:
+                        expr = "%s ^ %s" % (a_expr, b_expr)
+                    elif opcode is Op.ANDI:
+                        expr = "%s & %d" % (a_expr, insn.imm & _M)
+                    elif opcode is Op.ORI:
+                        expr = "%s | %d" % (a_expr, insn.imm & _M)
+                    elif opcode is Op.XORI:
+                        expr = "%s ^ %d" % (a_expr, insn.imm & _M)
+                    elif opcode is Op.SHL:
+                        expr = "(%s << (%s & 31)) & 4294967295" % (a_expr, b_expr)
+                    elif opcode is Op.SHR:
+                        expr = "%s >> (%s & 31)" % (a_expr, b_expr)
+                    elif opcode is Op.SHLI:
+                        expr = "(%s << %d) & 4294967295" % (a_expr, insn.imm & 31)
+                    elif opcode is Op.SHRI:
+                        expr = "%s >> %d" % (a_expr, insn.imm & 31)
+                    elif opcode is Op.NOT:
+                        expr = "(~%s) & 4294967295" % a_expr
+                    else:  # pragma: no cover - ALU_OPS is closed
+                        raise AssertionError("untranslatable ALU op %r" % opcode)
+                    em.emit("res = %s" % expr)
+                    em.drop(x)
+                    em.emit("r%d = res" % x)
+                    emit_fl()  # logic clears CF and OF
+            K += 1
+            C += base_c
+            continue
+
+        # -- memory items (never generated in fast mode) ---------------
+        if opcode in (Op.LD, Op.LDB):
+            size = 4 if opcode is Op.LD else 1
+            ea = addr_text(insn)
+            if not _simple(ea):
+                em.emit("ea = %s" % ea)
+                ea = "ea"
+            em.flush_dependents(x)
+            em.emit("w = W[%d]" % k)
+            em.emit("if w is not None and w[0] <= %s <= w[1]:" % ea)
+            ind = em.indent + 1
+            if size == 4:
+                out.emit(ind, "o = %s - w[4]" % ea)
+                out.emit(ind, "wv = w[3]")
+                out.emit(ind, "if wv is not None and not o & 3:")
+                out.emit(ind + 1, "r%d = wv[o >> 2]" % x)
+                out.emit(ind, "else:")
+                out.emit(ind + 1, 'r%d = int.from_bytes(w[5][o:o + 4], "little")' % x)
+            else:
+                out.emit(ind, "r%d = w[5][%s - w[4]]" % (x, ea))
+            em.emit("else:")
+            slow_entry(ind, address, base_c, K, C)
+            out.emit(ind, "v, ram = slow_load(cpu, tr, %d, %s, %d, %d)" % (k, ea, size, address))
+            out.emit(ind, "cpu.retired += 1")
+            out.emit(ind, "lh -= 1")
+            out.emit(ind, "SL.misses += 1")
+            out.emit(ind, "r%d = v" % x)
+            out.emit(ind, "if not ram:")
+            out.emit(ind + 1, "r[%d] = v" % x)
+            out.emit(ind + 1, "regs.eip = %d" % nxt)
+            out.emit(ind + 1, "return")
+            em.drop(x)
+            KL += 1
+            k += 1
+        elif opcode in (Op.ST, Op.STB):
+            size = 4 if opcode is Op.ST else 1
+            ea = addr_text(insn)
+            if not _simple(ea):
+                em.emit("ea = %s" % ea)
+                ea = "ea"
+            value, _, __ = em.value_expr(None, x, need_clean=True)
+            if size == 1:
+                value = str(int(value) & 255) if value.isdigit() else "(%s & 255)" % value
+            if not _simple(value):
+                em.emit("v = %s" % value)
+                value = "v"
+            emit_store_paths(k, ea, value, size, address, nxt, base_c, K, C, KS)
+            KS += 1
+            k += 1
+        elif opcode in (Op.PUSH, Op.PUSHI):
+            # push reads its operand *before* decrementing ESP (so
+            # ``push esp`` stores the old value), and a faulting store
+            # leaves ESP already decremented - exactly as CPU.push does.
+            if opcode is Op.PUSH:
+                value, vdeps, _ = em.value_expr(None, x, need_clean=True)
+                if not _simple(value) or _ESP in vdeps:
+                    em.emit("v = %s" % value)
+                    value = "v"
+            else:
+                value = str(insn.imm & _M)
+            em.apply_add(_ESP, -1, 4)
+            em.materialize(_ESP)
+            emit_store_paths(k, "r4", value, 4, address, nxt, base_c, K, C, KS)
+            KS += 1
+            k += 1
+        elif opcode is Op.POP:
+            # pop loads first (a faulting load leaves ESP and the
+            # destination untouched), then bumps ESP, then writes the
+            # destination - so ``pop esp`` ends with the loaded value.
+            em.materialize(_ESP)
+            em.flush_dependents(x)
+            em.emit("w = W[%d]" % k)
+            em.emit("if w is not None and w[0] <= r4 <= w[1]:")
+            ind = em.indent + 1
+            out.emit(ind, "o = r4 - w[4]")
+            out.emit(ind, "wv = w[3]")
+            out.emit(ind, "if wv is not None and not o & 3:")
+            out.emit(ind + 1, "v = wv[o >> 2]")
+            out.emit(ind, "else:")
+            out.emit(ind + 1, 'v = int.from_bytes(w[5][o:o + 4], "little")')
+            em.emit("else:")
+            slow_entry(ind, address, base_c, K, C)
+            out.emit(ind, "v, ram = slow_load(cpu, tr, %d, r4, 4, %d)" % (k, address))
+            out.emit(ind, "cpu.retired += 1")
+            out.emit(ind, "lh -= 1")
+            out.emit(ind, "SL.misses += 1")
+            out.emit(ind, "if not ram:")
+            out.emit(ind + 1, "r4 = (r4 + 4) & 4294967295")
+            out.emit(ind + 1, "r%d = v" % x)
+            out.emit(ind + 1, "r[4] = r4")
+            if x != _ESP:
+                out.emit(ind + 1, "r[%d] = r%d" % (x, x))
+            out.emit(ind + 1, "regs.eip = %d" % nxt)
+            out.emit(ind + 1, "return")
+            em.emit("r4 = (r4 + 4) & 4294967295")
+            em.emit("r%d = v" % x)
+            em.drop(x)
+            KL += 1
+            k += 1
+        else:  # pragma: no cover - the builder filters opcodes
+            raise AssertionError("untranslatable op %r at 0x%X" % (opcode, address))
+        K += 1
+        C += base_c
+
+    if fast:
+        # loop-bottom fixpoint, then closed-form accounting: the body
+        # ran n whole iterations with the counter's subi as the last
+        # flag writer, the guard provably taken, and nothing else
+        # observable in between.
+        em.materialize_all()
+        counter = trace.counter_reg
+        out.emit(1, "fl = fl & %d" % _FLAG_KEEP)
+        out.emit(1, "if r%d & %d:" % (counter, _SIGN))
+        out.emit(2, "fl |= 128")
+        out.emit(1, "if r%d == %d:" % (counter, _SIGN - 1))
+        out.emit(2, "fl |= 2048")
+        out.emit(1, "cpu.retired += n * %d" % trace.iter_retire)
+        out.emit(1, "clock.charge(n * %d)" % trace.iter_cost)
+        emit_writebacks(1)
+        out.emit(1, "regs.eflags = fl")
+        out.emit(1, "regs.eip = %d" % trace.start)
+    elif looping:
+        # fixpoint: restore the loop-top assumption (all registers in
+        # their locals), then batch the iteration's cycles/retires.
+        em.materialize_all()
+        out.emit(2, "p += %d" % trace.iter_cost)
+        out.emit(2, "ret += %d" % trace.iter_retire)
+        # natural exit at the head after n iterations
+        emit_writebacks(1)
+        out.emit(1, "regs.eflags = fl")
+        out.emit(1, "cpu.retired += ret")
+        out.emit(1, "if p:")
+        out.emit(2, "clock.charge(p)")
+        if load_sites:
+            out.emit(1, "SL.hits += n0 * %d + lh" % load_sites)
+        if store_sites:
+            out.emit(1, "SS.hits += n0 * %d + sh" % store_sites)
+        out.emit(1, "regs.eip = %d" % trace.start)
+    else:
+        emit_exit(1, trace.exit_eip, K, C, KL, KS)
+    return out.source()
+
+
+def translate_trace(trace, counters):
+    """Compile ``trace`` in place: fills ``run``, ``source``, ``windows``
+    (and ``run_fast`` for provably counted, memory-free loop bodies)."""
+    # Deferred import: repro.perf.translate imports this module at load
+    # time (the engine owns the JIT), so the module-level direction of
+    # the dependency has to stay one-way.
+    from repro.perf.translate import _slow_load, _slow_store
+
+    namespace = {
+        "slow_load": _slow_load,
+        "slow_store": _slow_store,
+        "SL": counters.slab_loads,
+        "SS": counters.slab_stores,
+        "ge": counters.guard_exits.add,
+    }
+    source = generate_trace(trace)
+    code = compile(source, "<trace@0x%X>" % trace.start, "exec")
+    exec(code, namespace)
+    mem_sites = sum(
+        1 for item in trace.items
+        if item[0] == "insn" and item[2].opcode in MEM_OPS
+    )
+    trace.windows = [None] * mem_sites
+    trace.source = source
+    trace.run = namespace["__trace__"]
+    if trace.counter_reg is not None and mem_sites == 0:
+        fast_source = generate_trace(trace, fast=True)
+        fast_code = compile(fast_source, "<trace-fast@0x%X>" % trace.start, "exec")
+        exec(fast_code, namespace)
+        trace.run_fast = namespace["__trace_fast__"]
+        trace.source = source + "\n" + fast_source
+    return trace
+
+
+class TraceJIT:
+    """Trace dispatcher: edge profile, trace cache, horizon admission.
+
+    Owned by the :class:`~repro.perf.translate.BlockEngine` (dispatch
+    order per step: trace, then block, then single-step).  The engine
+    consults it only after its own refusal checks (trace hook,
+    watchpoints, decision cache present, epoch synced); the JIT adds
+    one of its own - a ``transfer_hook`` (CFI-style) must observe every
+    control transfer, and stitched branches would bypass it.
+    """
+
+    def __init__(self, engine, cpu):
+        self.engine = engine
+        self.cpu = cpu
+        self.cache = TraceCache()
+        self.profile = EdgeProfile()
+        self.counters = TraceCounters()
+        #: Exit address of the last trace/block execution; the next
+        #: dispatch at a *different* address closes the edge.
+        self.pending_edge = None
+        cpu.memory.add_write_listener(self.cache.note_write)
+
+    def epoch_flush(self):
+        """Drop all traces and profiles (EA-MPU rule-table epoch moved)."""
+        if self.cache.entries:
+            self.cache.flush()
+            self.counters.flushes.add()
+            obs = self.engine.obs
+            if obs is not None:
+                obs.publish("perf", "trace-flush", reason="mpu-epoch")
+        self.profile.flush()
+        self.pending_edge = None
+
+    def maybe_build(self, eip):
+        """Stitch, compile, and cache the trace headed at ``eip``."""
+        memory = self.cpu.memory
+        mpu = memory.mpu
+        if mpu is not None and mpu.decisions is None:
+            return
+        cache = self.cache
+        if eip in cache.entries:
+            return
+        trace = build_trace(memory, eip, self.profile)
+        if trace is None:
+            # Remember the refusal, but snoop the head's page so the
+            # marker drops when the code there changes.
+            marker = Trace(eip, (), False, None)
+            marker.pages = frozenset({eip >> PAGE_SHIFT})
+            cache.put(marker)
+            memory.snooped_pages.add(eip >> SNOOP_PAGE_SHIFT)
+            return
+        translate_trace(trace, self.counters)
+        cache.put(trace)
+        # Block-cache pages and memory snoop pages share the 256-byte
+        # granule, so the page sets interchange directly.
+        memory.snooped_pages.update(trace.pages)
+        self.counters.compiles.add()
+        obs = self.engine.obs
+        if obs is not None:
+            obs.publish(
+                "perf",
+                "trace-compile",
+                start=trace.start,
+                insns=len(trace.items),
+                looping=trace.looping,
+                cost=trace.iter_cost,
+                counted=trace.counter_reg is not None,
+            )
+
+    def dispatch(self, cpu, eip):
+        """Run the trace at ``eip`` if present and admitted.
+
+        Returns the cycles charged, or ``None`` to fall through to the
+        block tier.  Also consumes the pending exit edge (building a
+        new trace when the edge crosses the hot threshold).
+        """
+        pending = self.pending_edge
+        if pending is not None and pending != eip:
+            self.pending_edge = None
+            if self.profile.note(pending, eip):
+                self.maybe_build(eip)
+        if cpu.transfer_hook is not None:
+            return None
+        cache = self.cache
+        trace = cache.entries.get(eip)
+        if trace is None or trace.run is None:
+            return None
+        clock = cpu.clock
+        horizon = self.engine.horizon
+        limit = horizon() if horizon is not None else None
+        if trace.looping:
+            if limit is None:
+                iters = DEFAULT_LOOP_ITERS
+            else:
+                iters = (limit - clock.now) // trace.iter_cost
+                if iters <= 0:
+                    # Not even one whole iteration fits before an IRQ
+                    # can become pending: fall back a tier.
+                    self.engine.deferrals.add()
+                    return None
+                if iters > MAX_LOOP_ITERS:
+                    iters = MAX_LOOP_ITERS
+            cache.stats.hits += 1
+            before = clock.now
+            if trace.run_fast is not None:
+                bound = cpu.regs.gpr[trace.counter_reg] - 1
+                if bound > iters:
+                    bound = iters
+                if bound >= 1:
+                    trace.run_fast(cpu, trace, bound)
+                    self.pending_edge = cpu.regs.eip
+                    return clock.now - before
+            trace.run(cpu, trace, iters)
+            self.pending_edge = cpu.regs.eip
+            return clock.now - before
+        if limit is not None and clock.now + trace.iter_cost > limit:
+            self.engine.deferrals.add()
+            return None
+        cache.stats.hits += 1
+        before = clock.now
+        trace.run(cpu, trace, 1)
+        self.pending_edge = cpu.regs.eip
+        return clock.now - before

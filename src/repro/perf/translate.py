@@ -45,6 +45,7 @@ from repro.hw.memory import RamRegion
 from repro.isa.opcodes import BASE_CYCLES, Op
 from repro.obs.counters import Counter
 from repro.perf.blocks import ALU_OPS, MEM_OPS, BlockCache, discover
+from repro.perf.traces import TraceJIT
 
 _M = 0xFFFFFFFF
 _SIGN = 0x80000000
@@ -472,7 +473,10 @@ def _window_for(mpu, region, address, size):
     The verdict just computed by the full check holds for any access of
     the same (kind, size, actor) whose whole span stays inside the cell
     and inside the backing region; the window stores the inclusive
-    address range ``[lo, hi]`` a future effective address may start at.
+    address range ``[lo, hi]`` a future effective address may start at,
+    plus the region's slab views so trace-tier code can index the
+    backing bytes directly: ``(lo, hi - size, region, words_view,
+    region_base, region_bytes)``.
     """
     decisions = mpu.decisions
     if decisions is None:
@@ -484,7 +488,7 @@ def _window_for(mpu, region, address, size):
         hi = region.end
     if hi - size < lo:
         return None
-    return (lo, hi - size, region)
+    return (lo, hi - size, region, region.words, region.base, region.data)
 
 
 def _slow_load(cpu, blk, index, address, size, actor):
@@ -505,7 +509,10 @@ def _slow_load(cpu, blk, index, address, size, actor):
             mpu.check("read", address, size, actor)
             blk.windows[index] = _window_for(mpu, region, address, size)
         else:
-            blk.windows[index] = (region.base, region.end - size, region)
+            blk.windows[index] = (
+                region.base, region.end - size, region,
+                region.words, region.base, region.data,
+            )
         return int.from_bytes(region.read(address, size), "little"), True
     payload = memory.read(address, size, actor=actor)
     return int.from_bytes(payload, "little"), False
@@ -527,7 +534,10 @@ def _slow_store(cpu, blk, index, address, value, size, actor):
             mpu.check("write", address, size, actor)
             blk.windows[index] = _window_for(mpu, region, address, size)
         else:
-            blk.windows[index] = (region.base, region.end - size, region)
+            blk.windows[index] = (
+                region.base, region.end - size, region,
+                region.words, region.base, region.data,
+            )
         memory.write_raw(address, payload)
         return True
     memory.write(address, payload, actor=actor)
@@ -552,7 +562,7 @@ class BlockEngine:
       exactly the state single-stepping would have produced.
     """
 
-    def __init__(self, cpu, horizon=None):
+    def __init__(self, cpu, horizon=None, traces=True):
         self.cpu = cpu
         #: Callable returning the earliest cycle an IRQ can become
         #: pending, or ``None`` for "no scheduled events".
@@ -567,10 +577,17 @@ class BlockEngine:
         self.executions = Counter("block-executions")
         self.deferrals = Counter("block-horizon-deferrals")
         cpu.memory.add_write_listener(self.cache.note_write)
+        #: The trace tier (PR 6) stacked on top of the block tier, or
+        #: ``None`` when disabled (``--no-traces`` ablation).
+        self.traces = TraceJIT(self, cpu) if traces else None
 
     def counters(self):
         """All counters, for registration with an obs registry."""
-        return [self.stats, self.translations, self.executions, self.deferrals]
+        counters = [self.stats, self.translations, self.executions, self.deferrals]
+        if self.traces is not None:
+            counters.append(self.traces.cache.stats)
+            counters.extend(self.traces.counters.all())
+        return counters
 
     def snapshot(self):
         """One dict with every block-tier statistic."""
@@ -579,6 +596,11 @@ class BlockEngine:
         snap["executions"] = self.executions.value
         snap["horizon_deferrals"] = self.deferrals.value
         snap["cached_blocks"] = len(self.cache)
+        if self.traces is not None:
+            trace_snap = self.traces.counters.snapshot()
+            trace_snap["cache"] = self.traces.cache.stats.snapshot()
+            trace_snap["cached_traces"] = len(self.traces.cache)
+            snap["traces"] = trace_snap
         return snap
 
     def try_execute(self, cpu):
@@ -589,6 +611,7 @@ class BlockEngine:
         memory = cpu.memory
         mpu = memory.mpu
         cache = self.cache
+        jit = self.traces
         if mpu is not None:
             if mpu.decisions is None:
                 return None
@@ -597,10 +620,16 @@ class BlockEngine:
                     cache.flush()
                     if self.obs is not None:
                         self.obs.publish("perf", "block-flush", reason="mpu-epoch")
+                if jit is not None:
+                    jit.epoch_flush()
                 cache.epoch = mpu.epoch
         if cpu.trace_hook is not None or memory.has_watchpoints():
             return None
         eip = cpu.regs.eip
+        if jit is not None:
+            charged = jit.dispatch(cpu, eip)
+            if charged is not None:
+                return charged
         block = cache.entries.get(eip)
         stats = cache.stats
         if block is None:
@@ -621,6 +650,9 @@ class BlockEngine:
                         cost=block.cost,
                     )
             cache.put(block)
+            # Every page a cached verdict spans must broadcast stores
+            # (trace-tier slab writes bypass the bus otherwise).
+            memory.note_snooped_range(block.start, block.end)
             if block.run is None:
                 return None
         elif block.run is None:
@@ -640,4 +672,9 @@ class BlockEngine:
         before = clock.now
         self.executions.add()
         block.run(cpu, block)
+        if jit is not None:
+            # The block exits at its ender (a branch or other
+            # non-translatable op); the next dispatch address closes a
+            # profile edge for the trace builder.
+            jit.pending_edge = cpu.regs.eip
         return clock.now - before

@@ -45,6 +45,47 @@ class TestRamRegion:
         with pytest.raises(ConfigurationError):
             RamRegion("bad", 0, 0)
 
+    def test_slab_word_roundtrip_matches_bytes(self):
+        region = RamRegion("r", 0x100, 0x20)
+        region.store_u32(0x104, 0xDEADBEEF)
+        assert region.read(0x104, 4) == b"\xef\xbe\xad\xde"
+        assert region.load_u32(0x104) == 0xDEADBEEF
+        region.write(0x108, b"\x78\x56\x34\x12")
+        assert region.load_u32(0x108) == 0x12345678
+
+    def test_slab_unaligned_word_falls_back(self):
+        region = RamRegion("r", 0x100, 0x20)
+        region.store_u32(0x105, 0xA1B2C3D4)
+        assert region.load_u32(0x105) == 0xA1B2C3D4
+        assert region.read(0x105, 4) == b"\xd4\xc3\xb2\xa1"
+
+    def test_slab_byte_accessors(self):
+        region = RamRegion("r", 0x100, 0x10)
+        region.store_u8(0x10F, 0x7E)
+        assert region.load_u8(0x10F) == 0x7E
+        assert region.read(0x10F, 1) == b"\x7e"
+
+    def test_word_view_sees_raw_writes(self):
+        # The memoryview is over the region's one bytearray, so views
+        # taken before a write observe it (they never go stale).
+        region = RamRegion("r", 0x100, 0x10)
+        words = region.words
+        region.write(0x100, b"\x01\x00\x00\x00")
+        if words is not None:
+            assert words[0] == 1
+
+    def test_snooped_pages_accumulate(self):
+        from repro.hw.memory import SNOOP_PAGE_SHIFT, MemoryMap, PhysicalMemory
+
+        memory = PhysicalMemory(MemoryMap())
+        memory.map.add(RamRegion("r", 0x1000, 0x1000))
+        assert memory.snooped_pages == set()
+        memory.note_snooped_range(0x1000, 0x1101)
+        assert memory.snooped_pages == {
+            0x1000 >> SNOOP_PAGE_SHIFT,
+            0x1100 >> SNOOP_PAGE_SHIFT,
+        }
+
 
 class TestMemoryMap:
     def test_overlap_rejected(self):

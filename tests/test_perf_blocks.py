@@ -303,11 +303,12 @@ class TestCacheMechanics:
 
         cpu = build_rig(fastpath=True, source=ALL_OPS_SOURCE)
         engine = cpu.enable_blocks()
-        for _ in range(400):
-            if cpu.halted:
-                break
+        # Stop as soon as a block is cached: with the trace tier on,
+        # a fixed step budget can run the whole program to halt.
+        while not cpu.halted and not len(engine.cache):
             cpu.step()
         assert len(engine.cache) > 0
+        assert not cpu.halted
         cpu.memory.mpu.program_slot(
             7, MpuRule("late", 0x8F00, 0x8F10, 0x8F00, 0x8F10, Perm.RW)
         )
@@ -338,8 +339,20 @@ class TestBench:
         result = run_bench(instructions=2_000)
         assert set(result["workloads"]) == {"alu", "mem", "irq"}
         for entry in result["workloads"].values():
-            assert set(entry["modes"]) == {"baseline", "fastpath", "blocks"}
+            assert set(entry["modes"]) == {
+                "baseline",
+                "fastpath",
+                "blocks",
+                "traces",
+            }
             assert entry["speedups"]["blocks_vs_fastpath"] > 0
+            assert entry["speedups"]["traces_vs_blocks"] > 0
+
+    def test_run_bench_traces_ablation(self):
+        result = run_bench(instructions=2_000, traces=False)
+        for entry in result["workloads"].values():
+            assert set(entry["modes"]) == {"baseline", "fastpath", "blocks"}
+            assert "traces_vs_blocks" not in entry["speedups"]
 
     def test_mpu_access_memo_usage_by_workload(self):
         # The ALU loop never touches the data-access memo (no loads or

@@ -1,0 +1,240 @@
+"""The trace-recording JIT changes wall-clock speed only.
+
+Differentials pin the tier's invisibility (traces-on vs. the block
+tier alone must agree on every architectural outcome), and the
+structural tests pin the mechanisms that make the differential hold:
+guard side exits restore exact register/flag/cycle state, counted
+loops engage the unrolled fast body, self-modifying stores abort the
+running trace, the write snoop and the EA-MPU epoch drop cached
+traces, and the trace counters land on the platform's obs registry.
+"""
+
+import pytest
+
+from repro.hw.platform import MachineConfig, Platform
+from repro.perf.bench_core import (
+    DATA_BASE,
+    _build_mode_rig,
+    _irq_source,
+    _run,
+    _snapshot,
+)
+from repro.perf.traces import TRACE_HOT_EDGE, build_trace, EdgeProfile
+
+#: A loop whose conditional branch flips direction partway through:
+#: ``jl skip`` is taken for the first 20 iterations and falls through
+#: for the rest, so whichever direction the trace records, the other
+#: direction exercises the guard's side exit mid-trace.
+_GUARD_FLIP_SOURCE = """\
+start:
+    movi ecx, 60
+    movi ebx, %d
+loop:
+    addi eax, 1
+    cmpi eax, 20
+    jl skip
+    addi edx, 5
+    st [ebx+0], edx
+skip:
+    xori esi, 0x33
+    subi ecx, 1
+    jnz loop
+    hlt
+""" % DATA_BASE
+
+#: Pure counted ALU loop: no memory traffic, counter in ecx - the
+#: shape the unrolled ``run_fast`` body requires.
+_COUNTED_SOURCE = """\
+start:
+    movi ecx, 500
+loop:
+    addi eax, 3
+    xori edx, 0x0F0F
+    add esi, eax
+    subi ecx, 1
+    jnz loop
+    hlt
+"""
+
+#: Rewrites its own loop body (the ``addi eax, 1`` at ``patch``) from
+#: *inside* the loop, so a compiled trace over the body must notice
+#: the store and abort before running the stale code again.
+_SELF_PATCH_SOURCE = """\
+start:
+    movi ecx, 40
+loop:
+    movi ebx, patch
+    ld eax, [ebx+0]
+    st [ebx+0], eax
+patch:
+    addi eax, 1
+    addi edx, 3
+    subi ecx, 1
+    jnz loop
+    hlt
+"""
+
+
+def _pair(source, irq=False):
+    """(block-tier-only snapshot, traces snapshot, traced cpu)."""
+    ablated, ablated_timer = _build_mode_rig(source, "blocks", irq=irq)
+    traced, traced_timer = _build_mode_rig(source, "traces", irq=irq)
+    _run(ablated, ablated_timer)
+    _run(traced, traced_timer)
+    return (
+        _snapshot(ablated, ablated_timer),
+        _snapshot(traced, traced_timer),
+        traced,
+    )
+
+
+def _trace_stats(cpu):
+    return cpu.block_engine.snapshot()["traces"]
+
+
+class TestDifferential:
+    def test_counted_loop_identical_and_fast(self):
+        plain, traced, cpu = _pair(_COUNTED_SOURCE)
+        assert plain == traced
+        stats = _trace_stats(cpu)
+        assert stats["compiles"] > 0
+        fast = [
+            trace
+            for trace in cpu.block_engine.traces.cache.entries.values()
+            if trace.run_fast is not None
+        ]
+        assert fast, "counted ALU loop should compile an unrolled fast body"
+        assert fast[0].counter_reg == 1  # ecx
+
+    def test_guard_side_exit_identical(self):
+        plain, traced, cpu = _pair(_GUARD_FLIP_SOURCE)
+        assert plain == traced
+        stats = _trace_stats(cpu)
+        assert stats["compiles"] > 0
+        # The branch flips direction at iteration 20, so the recorded
+        # direction's guard failed at least once - and the equality
+        # above proves the side exit restored exact register, flag,
+        # and cycle state.
+        assert stats["guard_exits"] > 0
+
+    def test_irq_workload_identical(self):
+        plain, traced, cpu = _pair(_irq_source(ticks=12), irq=True)
+        assert plain == traced
+        assert plain["ticks"] == traced["ticks"] == 12
+
+
+class TestSelfModification:
+    def test_self_patching_loop_identical(self):
+        plain = Platform(MachineConfig(blocks=True, traces=False))
+        traced = Platform(MachineConfig(blocks=True, traces=True))
+        results = []
+        for platform in (plain, traced):
+            from repro.image.linker import link
+            from repro.isa.assembler import assemble
+
+            base = platform.config.task_ram_base
+            image = link(assemble(_SELF_PATCH_SOURCE), stack_size=64)
+            blob = bytearray(image.blob)
+            for offset in image.relocations:
+                value = int.from_bytes(blob[offset : offset + 4], "little")
+                blob[offset : offset + 4] = (
+                    (value + base) & 0xFFFFFFFF
+                ).to_bytes(4, "little")
+            platform.memory.write_raw(base, bytes(blob))
+            platform.cpu.regs.eip = base + image.entry
+            platform.cpu.regs.esp = base + 0x8000
+            entry = platform.run_isa_until_event(max_cycles=200_000)
+            assert entry.kind == "halt"
+            cpu = platform.cpu
+            results.append(
+                (
+                    cpu.retired,
+                    platform.clock.now,
+                    list(cpu.regs.gpr),
+                    cpu.regs.eflags,
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_note_write_drops_spanning_trace(self):
+        _, _, cpu = _pair(_COUNTED_SOURCE)
+        cache = cpu.block_engine.traces.cache
+        victims = [t for t in cache.entries.values() if t.run is not None]
+        assert victims
+        victim = victims[0]
+        cache.note_write(victim.start, 1)
+        assert victim.start not in cache.entries
+        assert not victim.valid
+
+
+class TestCacheLifecycle:
+    def test_epoch_flush_drops_traces(self):
+        from repro.hw.ea_mpu import MpuRule, Perm
+
+        _, _, cpu = _pair(_COUNTED_SOURCE)
+        jit = cpu.block_engine.traces
+        assert len(jit.cache.entries) > 0
+        cpu.memory.mpu.program_slot(
+            7, MpuRule("late", 0x8F00, 0x8F10, 0x8F00, 0x8F10, Perm.RW)
+        )
+        # The next dispatch syncs the epoch and flushes both caches.
+        cpu.block_engine.try_execute(cpu)
+        assert len(jit.cache.entries) == 0
+        assert jit.counters.flushes.value > 0
+
+    def test_hot_edge_threshold(self):
+        profile = EdgeProfile()
+        for _ in range(TRACE_HOT_EDGE - 1):
+            assert not profile.note(0x1000, 0x2000)
+        assert profile.note(0x1000, 0x2000)
+
+    def test_build_trace_requires_hot_profile(self):
+        # A cold profile gives the builder no recorded direction for
+        # any conditional branch, so no multi-block trace forms off an
+        # arbitrary address with no discoverable loop.
+        cpu, _ = _build_mode_rig(_COUNTED_SOURCE, "traces")
+        trace = build_trace(cpu.memory, cpu.regs.eip, EdgeProfile())
+        assert trace is None or trace.items
+
+
+class TestObsIntegration:
+    def test_trace_counters_on_platform_registry(self):
+        platform = Platform(MachineConfig())
+        names = platform.obs.counters.names()
+        for expected in (
+            "trace-compiles",
+            "trace-guard-exits",
+            "trace-flushes",
+            "slab-load",
+            "slab-store",
+            "trace",
+        ):
+            assert expected in names, expected
+
+    def test_ablated_platform_skips_trace_counters(self):
+        platform = Platform(MachineConfig(traces=False))
+        assert "trace-compiles" not in platform.obs.counters.names()
+
+    def test_compile_event_published(self):
+        _, _, cpu = _pair(_COUNTED_SOURCE)
+        # Bench rigs have no obs bus; wire one and retrigger a compile
+        # via a fresh rig driven through the platform instead.
+        platform = Platform(MachineConfig())
+        from repro.image.linker import link
+        from repro.isa.assembler import assemble
+
+        base = platform.config.task_ram_base
+        image = link(assemble(_COUNTED_SOURCE), stack_size=64)
+        blob = bytearray(image.blob)
+        for offset in image.relocations:
+            value = int.from_bytes(blob[offset : offset + 4], "little")
+            blob[offset : offset + 4] = ((value + base) & 0xFFFFFFFF).to_bytes(
+                4, "little"
+            )
+        platform.memory.write_raw(base, bytes(blob))
+        platform.cpu.regs.eip = base + image.entry
+        platform.cpu.regs.esp = base + 0x8000
+        entry = platform.run_isa_until_event(max_cycles=200_000)
+        assert entry.kind == "halt"
+        kinds = {event.kind for event in platform.obs.events}
+        assert "trace-compile" in kinds

@@ -67,8 +67,10 @@ def _program(body, iterations, data_base):
     return "\n".join(lines) + "\n"
 
 
-def _run(source, blocks, tick_period):
-    platform = Platform(MachineConfig(blocks=blocks, tick_period=tick_period))
+def _run(source, blocks, tick_period, traces=True):
+    platform = Platform(
+        MachineConfig(blocks=blocks, traces=traces, tick_period=tick_period)
+    )
     base = platform.config.task_ram_base
     data_base = base + 0x4000
     image = link(assemble(source), stack_size=64)
@@ -116,3 +118,22 @@ def test_blocks_invisible_under_random_irqs(body, iterations, tick_period):
     # the equality above exercised interrupt delivery, not just ALU.
     if plain["cycles"] > 2 * tick_period:
         assert plain["ticks"] > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    body=st.lists(_insn, min_size=4, max_size=24),
+    iterations=st.integers(min_value=2, max_value=40),
+    tick_period=st.integers(min_value=60, max_value=3000),
+)
+def test_traces_invisible_under_random_irqs(body, iterations, tick_period):
+    """The trace JIT is architecturally invisible: traces-on vs
+    traces-off (block tier in both) agree on every final-state field
+    and on the whole event stream - so every interrupt was delivered
+    on exactly the same instruction boundary."""
+    source = _program(body, iterations, 0x0010_4000)
+    ablated = _run(source, blocks=True, tick_period=tick_period, traces=False)
+    traced = _run(source, blocks=True, tick_period=tick_period, traces=True)
+    assert ablated == traced
+    if ablated["cycles"] > 2 * tick_period:
+        assert ablated["ticks"] > 0
