@@ -42,23 +42,50 @@ everything in ``__all__`` below is covered by compatibility guarantees:
 * :class:`Verifier` - the off-device attestation verifier;
 * :mod:`repro.obs` (re-exported as ``obs``) with :class:`Event` and
   :class:`EventBus` - the unified observability bus; every system
-  exposes one at ``system.obs`` / ``platform.obs``.
+  exposes one at ``system.obs`` / ``platform.obs``;
+* the fleet stack (:mod:`repro.fleet`): :class:`Fleet` constructed
+  from the typed configs :class:`FleetConfig` / :class:`ShardConfig` /
+  :class:`FabricProfile` / :class:`StoreConfig`, returning a
+  :class:`FleetResult`.
+
+Fleet quickstart::
+
+    from repro import Fleet, FleetConfig, ShardConfig
+
+    fleet = Fleet(FleetConfig(devices=10_000, seed=7),
+                  shards=ShardConfig(shards=8))
+    result = fleet.run()
+    print(result.reports_per_sec, result.quarantined)
 """
 
 from repro import obs
 from repro.core.remote_attest import Verifier
 from repro.core.system import TyTAN, build_freertos_baseline
+from repro.fleet import (
+    Fleet,
+    FleetConfig,
+    FleetResult,
+    ShardConfig,
+    StoreConfig,
+)
 from repro.hw.platform import MachineConfig
+from repro.net.fabric import FabricProfile
 from repro.obs import Event, EventBus
 from repro.rtos.kernel import RunResult
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Event",
     "EventBus",
+    "FabricProfile",
+    "Fleet",
+    "FleetConfig",
+    "FleetResult",
     "MachineConfig",
     "RunResult",
+    "ShardConfig",
+    "StoreConfig",
     "TyTAN",
     "Verifier",
     "build_freertos_baseline",

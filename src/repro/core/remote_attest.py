@@ -152,6 +152,23 @@ class Verifier:
         self._issued.add(nonce)
         return nonce
 
+    def retire_nonce(self, nonce):
+        """Evict an issued-but-unconsumed nonce (challenge expiry).
+
+        A long-running verifier issues a fresh nonce per retry; without
+        eviction the issued set grows with every timeout.  Retiring an
+        expired nonce also refuses any report that later arrives for it:
+        the nonce is moved to the consumed set, so a straggler response
+        to an expired challenge can never verify.
+        """
+        nonce = bytes(nonce)
+        self._issued.discard(nonce)
+        self._consumed.add(nonce)
+
+    def outstanding_nonces(self):
+        """Issued, not-yet-consumed nonce count (store-growth probe)."""
+        return len(self._issued)
+
     def verify(self, report, nonce):
         """Check ``report`` against ``nonce``; returns True/False.
 

@@ -113,14 +113,11 @@ class TyTAN:
         _fill_component_page(self.platform, self.cfi)
 
         # -- trap wiring --------------------------------------------------------
-        self.kernel.register_trap(
-            Vector.IPC,
-            lambda kernel, task: self.ipc.handle_trap(kernel, task, sync=False),
-        )
-        self.kernel.register_trap(
-            VECTOR_IPC_SYNC,
-            lambda kernel, task: self.ipc.handle_trap(kernel, task, sync=True),
-        )
+        # Bound methods, not lambdas: a deep-copied system (the fleet's
+        # snapshot-fork boot) must dispatch traps into its own IPC
+        # proxy, and lambdas would keep closing over this instance.
+        self.kernel.register_trap(Vector.IPC, self._ipc_trap_async)
+        self.kernel.register_trap(VECTOR_IPC_SYNC, self._ipc_trap_sync)
         self.kernel.register_trap(Vector.ATTEST, self._attest_trap)
         self.kernel.register_trap(Vector.STORAGE, self._storage_trap)
 
@@ -328,7 +325,15 @@ class TyTAN:
         """The platform's observability bus (:mod:`repro.obs`)."""
         return self.platform.obs
 
-    # -- ISA trap handlers for attest / storage -----------------------------------
+    # -- ISA trap handlers for IPC / attest / storage -----------------------------
+
+    def _ipc_trap_async(self, kernel, task):
+        """``int 0x21``: asynchronous secure-IPC send."""
+        return self.ipc.handle_trap(kernel, task, sync=False)
+
+    def _ipc_trap_sync(self, kernel, task):
+        """``int 0x24``: synchronous secure-IPC send."""
+        return self.ipc.handle_trap(kernel, task, sync=True)
 
     def _attest_trap(self, kernel, task):
         """``int 0x22``: attest the calling task; report goes to its inbox.

@@ -65,12 +65,13 @@ def device_platform_key(fleet_seed, device_id):
 class FleetDevice:
     """A booted TyTAN machine speaking the attestation wire protocol."""
 
-    def __init__(self, device_id, fleet_seed=0, rogue=False, provider=b""):
+    def __init__(self, device_id, fleet_seed=0, rogue=False, provider=b"", obs_enabled=False):
         self.device_id = int(device_id)
+        self.fleet_seed = int(fleet_seed)
         self.provider = bytes(provider)
         self.rogue = bool(rogue)
         config = MachineConfig(
-            obs_enabled=False,
+            obs_enabled=obs_enabled,
             platform_key=device_platform_key(fleet_seed, device_id),
         )
         self.machine = TyTAN(config)
@@ -84,6 +85,25 @@ class FleetDevice:
         self.malformed = 0
         #: Well-formed frames addressed to another device (dropped).
         self.misaddressed = 0
+
+    def rekey(self, device_id=None, fleet_seed=None):
+        """Re-identify this machine as another fleet member.
+
+        Re-runs only the per-device work a cold boot would do
+        differently: the platform-key derivation and the fuse write.
+        Everything attestation-visible besides K_p - the measured task
+        identity, the MPU rules, the agent binary - is key-independent
+        (secure boot never reads K_p), so a forked-and-rekeyed machine
+        answers challenges byte-identically to a cold-booted one.
+        """
+        if device_id is not None:
+            self.device_id = int(device_id)
+        if fleet_seed is not None:
+            self.fleet_seed = int(fleet_seed)
+        self.machine.platform.key_store.rekey(
+            device_platform_key(self.fleet_seed, self.device_id)
+        )
+        return self
 
     def handle_frame(self, payload):
         """Process one datagram; returns ``(response bytes | None, cycles)``.

@@ -3,15 +3,20 @@
 The orchestrator hands an executor batches of ``(device_id, payload)``
 datagrams and gets back ``(device_id, response | None, cycles)``
 triples.  Responses are pure functions of the device state and the
-challenge, so both executors produce byte-identical results - they
-differ only in *who* does the work:
+challenge, so every executor/boot-mode combination produces
+byte-identical results - they differ only in *who* does the work and
+*how machines come to exist*:
 
-* :class:`SerialExecutor` - every machine lives in this process and is
-  stepped one after another (one compute lane).
+* :class:`SerialExecutor` - one in-process :class:`DevicePool`, stepped
+  sequentially (one compute lane).
 * :class:`PoolExecutor` - a ``multiprocessing`` worker pool; each
-  worker boots and caches the machines it is handed and steps its
-  batch share, giving ``workers`` concurrent compute lanes (and real
-  host parallelism on multi-core machines).
+  worker owns its own :class:`DevicePool` and steps its batch share,
+  giving ``workers`` concurrent compute lanes (and real host
+  parallelism on multi-core machines).
+
+Boot modes come from :class:`~repro.fleet.config.FleetConfig`:
+``snapshot`` (fork-from-template, machines recycled by rekey - the
+10k-device path) or ``cold`` (one booted machine per device id).
 
 The executor's ``lanes`` count is what the orchestrator uses to model
 simulated compute concurrency, so fleet throughput comparisons are
@@ -22,18 +27,19 @@ from __future__ import annotations
 
 import multiprocessing
 
-from repro.fleet.device import FleetDevice
+from repro.fleet.snapshot import DevicePool
 
 
 class SerialExecutor:
-    """All devices in-process, stepped sequentially."""
+    """All devices supplied by one in-process pool, stepped sequentially."""
 
-    def __init__(self, device_ids, fleet_seed=0, rogue=(), provider=b""):
+    def __init__(self, device_ids, fleet_seed=0, rogue=(), provider=b"", boot_mode="snapshot"):
         self.device_ids = list(device_ids)
         self.fleet_seed = fleet_seed
         self.rogue = frozenset(rogue)
         self.provider = bytes(provider)
-        self.devices = None
+        self.boot_mode = boot_mode
+        self.pool = None
 
     @property
     def lanes(self):
@@ -41,64 +47,68 @@ class SerialExecutor:
         return 1
 
     def start(self):
-        """Boot every device machine."""
-        self.devices = {
-            device_id: FleetDevice(
-                device_id,
-                self.fleet_seed,
-                rogue=device_id in self.rogue,
-                provider=self.provider,
-            )
-            for device_id in self.device_ids
-        }
+        """Create the device pool (machines boot lazily)."""
+        self.pool = DevicePool(
+            self.fleet_seed,
+            rogue=self.rogue,
+            provider=self.provider,
+            boot_mode=self.boot_mode,
+        )
 
     def process(self, batch):
         """Step each addressed device through its datagram."""
+        pool = self.pool
         results = []
         for device_id, payload in batch:
-            response, cycles = self.devices[device_id].handle_frame(payload)
+            response, cycles = pool.handle(device_id, payload)
             results.append((device_id, response, cycles))
         return results
 
     def close(self):
         """Release the devices."""
-        self.devices = None
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
 
 
-#: Per-worker state: the booted device cache and the fleet parameters.
-_WORKER = {"config": None, "devices": {}}
+#: Per-worker state: the device pool supplying this worker's machines.
+_WORKER = {"pool": None}
 
 
-def _worker_init(fleet_seed, rogue, provider):
-    """Pool initializer: record the fleet parameters for lazy boots."""
-    _WORKER["config"] = (fleet_seed, frozenset(rogue), bytes(provider))
-    _WORKER["devices"] = {}
+def _worker_init(fleet_seed, rogue, provider, boot_mode):
+    """Pool initializer: build this worker's device pool."""
+    _WORKER["pool"] = DevicePool(
+        fleet_seed, rogue=rogue, provider=provider, boot_mode=boot_mode
+    )
 
 
 def _worker_handle(item):
-    """Step one datagram in a worker, booting the device on first use.
+    """Step one datagram in a worker.
 
-    Devices are cached per worker process; a device whose retries land
-    on a different worker is simply booted again there - responses are
-    pure functions of (seed, device_id, challenge), so placement never
-    changes the bytes, only host-side wall clock.
+    In snapshot mode the worker's pool holds one recycled machine per
+    device class and rekeys it to the addressed device; in cold mode it
+    boots and caches per-device machines.  Either way a device whose
+    retries land on a different worker is simply supplied again there -
+    responses are pure functions of (seed, device_id, challenge), so
+    placement never changes the bytes, only host-side wall clock.
     """
     device_id, payload = item
-    fleet_seed, rogue, provider = _WORKER["config"]
-    device = _WORKER["devices"].get(device_id)
-    if device is None:
-        device = FleetDevice(
-            device_id, fleet_seed, rogue=device_id in rogue, provider=provider
-        )
-        _WORKER["devices"][device_id] = device
-    response, cycles = device.handle_frame(payload)
+    response, cycles = _WORKER["pool"].handle(device_id, payload)
     return device_id, response, cycles
 
 
 class PoolExecutor:
     """A multiprocessing pool of device-stepping workers."""
 
-    def __init__(self, device_ids, fleet_seed=0, rogue=(), provider=b"", workers=4):
+    def __init__(
+        self,
+        device_ids,
+        fleet_seed=0,
+        rogue=(),
+        provider=b"",
+        workers=4,
+        boot_mode="snapshot",
+    ):
         if workers < 2:
             raise ValueError("a worker pool needs at least 2 workers")
         self.device_ids = list(device_ids)
@@ -106,6 +116,7 @@ class PoolExecutor:
         self.rogue = frozenset(rogue)
         self.provider = bytes(provider)
         self.workers = int(workers)
+        self.boot_mode = boot_mode
         self._pool = None
 
     @property
@@ -113,11 +124,11 @@ class PoolExecutor:
         return self.workers
 
     def start(self):
-        """Spin up the worker pool (devices boot lazily per worker)."""
+        """Spin up the worker pool (device pools build lazily per worker)."""
         self._pool = multiprocessing.Pool(
             self.workers,
             initializer=_worker_init,
-            initargs=(self.fleet_seed, self.rogue, self.provider),
+            initargs=(self.fleet_seed, self.rogue, self.provider, self.boot_mode),
         )
 
     def process(self, batch):

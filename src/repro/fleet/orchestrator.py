@@ -1,37 +1,63 @@
-"""The fleet orchestrator: N TyTAN machines vs. one verifier service.
+"""The fleet orchestrator: N TyTAN machines vs. a sharded verifier tier.
 
-:class:`Fleet` wires everything together:
+:class:`Fleet` wires everything together from four typed config
+objects (:mod:`repro.fleet.config`)::
+
+    fleet = Fleet(
+        FleetConfig(devices=10_000, seed=7, boot_mode="snapshot"),
+        shards=ShardConfig(shards=8),
+        fabric=FabricProfile(latency_us=200, loss=0.1),
+        store=StoreConfig(backend="jsonl", path="run.jsonl"),
+    )
+    result = fleet.run()          # -> FleetResult, schema 2
+
+The pieces:
 
 * a :class:`~repro.net.fabric.NetworkFabric` with one endpoint per
-  device plus the verifier's, every link sharing the configured fault
-  profile (latency/jitter/loss/duplication/reordering, seeded RNG);
-* an executor (:mod:`repro.fleet.executors`) owning the device
-  machines - serial (one compute lane) or a multiprocessing worker
-  pool (``workers`` lanes);
-* a :class:`~repro.fleet.service.VerifierService` driving challenges,
-  retries, and quarantine.
+  device plus the verifier tier's, every link sharing the configured
+  :class:`~repro.net.fabric.FabricProfile` (seeded RNG);
+* an executor (:mod:`repro.fleet.executors`) supplying the device
+  machines - snapshot-forked and recycled, or cold-booted - serially
+  or on a multiprocessing worker pool (``workers`` lanes);
+* a :class:`~repro.fleet.shards.ShardedVerifierService`: device ids
+  consistent-hashed onto N verifier shards, each owning its own nonce
+  store and quarantine set;
+* an :class:`~repro.fleet.store.AttestationStore` receiving durable
+  protocol records, so a run checkpoints and can resume.
 
-The run loop is event-driven over fabric time: advance to the next
-delivery or service deadline, step the addressed devices, and schedule
-their responses.  Device compute is charged in *simulated* time - each
+The run loop is event-driven over fabric time and built for 10k-100k
+devices: each iteration advances to the next delivery or service
+deadline, sends the tick's challenges as *one* frame batch
+(:meth:`~repro.net.fabric.NetworkFabric.send_batch` - RNG draws
+amortized, bit-identical to individual sends), and steps only the
+devices the fabric actually delivered to
+(:meth:`~repro.net.fabric.NetworkFabric.take_touched` - O(active), not
+O(fleet)).  Device compute is charged in *simulated* time - each
 response occupies its executor lane for the cycles the machine's clock
 actually charged, converted to fabric microseconds - so fleet
 throughput (reports per simulated second) is deterministic and
 host-independent: a worker pool with K lanes genuinely overlaps K
 device computations where the serial executor must queue them.
 
-Everything in :meth:`Fleet.run`'s result dict is reproducible
-bit-for-bit for a given configuration and seed.
+Everything in the :class:`~repro.fleet.result.FleetResult` is
+reproducible bit-for-bit for a given configuration and seed.
+
+The pre-1.4 kwarg constructor (``Fleet(64, seed=7, loss=0.1)``) still
+works behind a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro import cycles
+from repro.fleet.config import FleetConfig, ShardConfig, StoreConfig
 from repro.fleet.device import device_platform_key, expected_fleet_identity
 from repro.fleet.executors import PoolExecutor, SerialExecutor
-from repro.fleet.service import VerifierService
-from repro.hw.clock import DEFAULT_HZ
-from repro.net.fabric import LinkProfile, NetworkFabric
+from repro.fleet.result import SCHEMA_VERSION, FleetResult
+from repro.fleet.shards import ShardedVerifierService
+from repro.fleet.store import AttestationStore
+from repro.net.fabric import FabricProfile, NetworkFabric
 from repro.obs.bus import EventBus
 
 US_PER_SEC = 1_000_000
@@ -41,51 +67,87 @@ US_PER_SEC = 1_000_000
 #: cycles each machine *actually* spent.
 _ATTEST_CYCLES = cycles.KEY_DERIVATION + cycles.ATTEST_MAC
 
+#: Legacy kwargs accepted (with a warning) by the pre-1.4 constructor.
+_LEGACY_DEFAULTS = {
+    "seed": 0,
+    "loss": 0.0,
+    "latency_us": 200,
+    "jitter_us": 50,
+    "duplicate": 0.0,
+    "reorder": 0.0,
+    "workers": 4,
+    "rogue": (),
+    "provider": b"",
+    "timeout_us": None,
+    "max_attempts": 8,
+    "max_rejects": 3,
+    "backoff_us": 2_000,
+    "obs_capacity": 65_536,
+}
+
 
 class Fleet:
-    """A simulated device fleet under one verifier service."""
+    """A simulated device fleet under one (sharded) verifier tier."""
 
-    def __init__(
-        self,
-        devices=8,
-        *,
-        seed=0,
-        loss=0.0,
-        latency_us=200,
-        jitter_us=50,
-        duplicate=0.0,
-        reorder=0.0,
-        workers=4,
-        rogue=(),
-        provider=b"",
-        timeout_us=None,
-        max_attempts=8,
-        max_rejects=3,
-        backoff_us=2_000,
-        obs_capacity=65_536,
-        hz=DEFAULT_HZ,
-    ):
-        if devices < 1:
-            raise ValueError("a fleet needs at least one device")
-        self.devices = int(devices)
-        self.seed = int(seed)
-        self.workers = int(workers) if workers else 0
-        self.rogue = frozenset(int(r) for r in rogue)
-        if self.rogue - set(range(self.devices)):
-            raise ValueError("rogue ids outside the fleet")
-        self.provider = bytes(provider)
-        self.hz = hz
-        self.profile = LinkProfile(
-            latency_us=latency_us,
-            jitter_us=jitter_us,
-            loss=loss,
-            duplicate=duplicate,
-            reorder=reorder,
-        )
+    def __init__(self, config=None, *, shards=None, fabric=None, store=None, hz=None, **legacy):
+        if config is None or isinstance(config, int):
+            # Pre-1.4 spelling: Fleet(devices, seed=..., loss=..., ...).
+            warnings.warn(
+                "Fleet(devices, seed=..., loss=...) is deprecated; construct "
+                "with FleetConfig (and FabricProfile/ShardConfig/StoreConfig)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            unknown = set(legacy) - set(_LEGACY_DEFAULTS)
+            if unknown:
+                raise TypeError("unknown Fleet arguments: %s" % sorted(unknown))
+            opts = dict(_LEGACY_DEFAULTS, **legacy)
+            config = FleetConfig(
+                devices=8 if config is None else config,
+                seed=opts["seed"],
+                workers=opts["workers"] or 0,
+                rogue=opts["rogue"],
+                provider=opts["provider"],
+                timeout_us=opts["timeout_us"],
+                max_attempts=opts["max_attempts"],
+                max_rejects=opts["max_rejects"],
+                backoff_us=opts["backoff_us"],
+                obs_capacity=opts["obs_capacity"],
+                **({"hz": hz} if hz is not None else {}),
+            )
+            fabric = FabricProfile(
+                latency_us=opts["latency_us"],
+                jitter_us=opts["jitter_us"],
+                loss=opts["loss"],
+                duplicate=opts["duplicate"],
+                reorder=opts["reorder"],
+            )
+        elif legacy or hz is not None:
+            raise TypeError(
+                "unknown Fleet arguments (protocol and clock knobs belong "
+                "on FleetConfig): %s" % sorted(set(legacy) | ({"hz"} if hz is not None else set()))
+            )
 
-        self.fabric = NetworkFabric(seed=seed, default_profile=self.profile)
+        self.config = config
+        self.shard_config = shards if shards is not None else ShardConfig(1)
+        self.profile = fabric if fabric is not None else FabricProfile(jitter_us=50)
+        if store is None:
+            store = StoreConfig("memory")
+        self.store_config = store if isinstance(store, StoreConfig) else None
+        self.store = store.build() if isinstance(store, StoreConfig) else store
+        if not isinstance(self.store, AttestationStore):
+            raise TypeError("store must be a StoreConfig or an AttestationStore")
+
+        self.devices = config.devices
+        self.seed = config.seed
+        self.workers = config.workers
+        self.rogue = config.rogue
+        self.provider = config.provider
+        self.hz = config.hz
+
+        self.fabric = NetworkFabric(self.profile, seed=self.seed)
         #: Fleet-wide observability bus, clocked by fabric time.
-        self.obs = EventBus(clock=self.fabric, capacity=obs_capacity)
+        self.obs = EventBus(clock=self.fabric, capacity=config.obs_capacity)
         self.fabric.obs = self.obs
         self.event_counts = {}
         self.obs.subscribe(self._count_event)
@@ -99,28 +161,42 @@ class Fleet:
             self._device_of_addr[address] = device_id
 
         lanes = self.workers if self.workers else 1
+        timeout_us = config.timeout_us
         if timeout_us is None:
             # Worst case: a full fleet round queued behind the lanes,
             # with 2x headroom, plus the round trip.
             attest_us = self._cycles_to_us(_ATTEST_CYCLES)
             per_round = -(-self.devices // lanes) * attest_us
-            timeout_us = 2 * (latency_us + jitter_us) + 2 * per_round + 10_000
+            timeout_us = (
+                2 * (self.profile.latency_us + self.profile.jitter_us)
+                + 2 * per_round
+                + 10_000
+            )
         self.timeout_us = int(timeout_us)
 
         registry = {
             device_id: device_platform_key(self.seed, device_id)
             for device_id in range(self.devices)
         }
-        self.service = VerifierService(
+        self.service = ShardedVerifierService(
             registry,
             expected_fleet_identity(),
-            self.provider,
+            config,
+            self.shard_config,
             timeout_us=self.timeout_us,
-            max_attempts=max_attempts,
-            max_rejects=max_rejects,
-            backoff_us=backoff_us,
             obs=self.obs,
+            store=self.store,
         )
+
+        #: Devices pre-settled from a resumed store checkpoint.
+        self.resumed = 0
+        if self.store.resume:
+            settled = self.store.settled(self.seed)
+            if settled:
+                self.service.preload(settled)
+                self.resumed = len(
+                    set(settled) & set(range(self.devices))
+                )
 
         if self.workers:
             self.executor = PoolExecutor(
@@ -129,6 +205,7 @@ class Fleet:
                 rogue=self.rogue,
                 provider=self.provider,
                 workers=self.workers,
+                boot_mode=config.boot_mode,
             )
         else:
             self.executor = SerialExecutor(
@@ -136,6 +213,7 @@ class Fleet:
                 fleet_seed=self.seed,
                 rogue=self.rogue,
                 provider=self.provider,
+                boot_mode=config.boot_mode,
             )
         self.compute_cycles = 0
         self.responses_sent = 0
@@ -144,7 +222,7 @@ class Fleet:
 
     @staticmethod
     def _addr(device_id):
-        return "dev-%04d" % device_id
+        return "dev-%05d" % device_id
 
     def _count_event(self, event):
         self.event_counts[event.kind] = self.event_counts.get(event.kind, 0) + 1
@@ -157,19 +235,32 @@ class Fleet:
     def run(self, max_time_us=600 * US_PER_SEC):
         """Drive the protocol until every device settles.
 
-        Returns the deterministic result dict (configuration echo,
-        health report, fabric statistics, obs event histogram, and
-        throughput in reports per simulated second).
+        Returns the deterministic :class:`~repro.fleet.result.FleetResult`.
         """
         fabric = self.fabric
         service = self.service
+        device_eps = self._device_eps
+        device_of_addr = self._device_of_addr
+        addr = self._addr
         lanes = self.executor.lanes
         lane_busy = [0] * lanes
+        cycles_to_us = self._cycles_to_us
+        self.store.begin_epoch(
+            fabric.now,
+            seed=self.seed,
+            devices=self.devices,
+            shards=self.shard_config.shards,
+        )
         self.executor.start()
         try:
             while True:
-                for device_id, frame in service.poll(fabric.now):
-                    self.verifier_ep.send(self._addr(device_id), frame)
+                # One frame batch per tick: every challenge the verifier
+                # tier wants to send right now, in shard order.
+                challenges = service.poll(fabric.now)
+                if challenges:
+                    self.verifier_ep.send_batch(
+                        [(addr(device_id), frame) for device_id, frame in challenges]
+                    )
                 if service.done:
                     break
                 candidates = [
@@ -184,16 +275,22 @@ class Fleet:
                     break
                 fabric.advance_to(target)
 
-                # Step every device that received traffic (sorted, so
-                # the fabric's RNG draw order is canonical).
+                # Step only the endpoints the fabric delivered to
+                # (sorted by device id, so the executor batch - and
+                # with it the response RNG draw order - is canonical).
                 batch = []
-                for device_id in range(self.devices):
-                    endpoint = self._device_eps[device_id]
-                    while True:
-                        item = endpoint.recv()
-                        if item is None:
-                            break
-                        batch.append((device_id, item[1]))
+                verifier_traffic = False
+                touched_ids = []
+                for name in fabric.take_touched():
+                    device_id = device_of_addr.get(name)
+                    if device_id is None:
+                        verifier_traffic = True
+                    else:
+                        touched_ids.append(device_id)
+                touched_ids.sort()
+                for device_id in touched_ids:
+                    for _, payload in device_eps[device_id].drain():
+                        batch.append((device_id, payload))
                 if batch:
                     for device_id, response, spent in self.executor.process(batch):
                         self.compute_cycles += spent
@@ -201,65 +298,72 @@ class Fleet:
                             continue
                         lane = device_id % lanes
                         start = max(fabric.now, lane_busy[lane])
-                        done_at = start + self._cycles_to_us(spent)
+                        done_at = start + cycles_to_us(spent)
                         lane_busy[lane] = done_at
                         self.responses_sent += 1
-                        self._device_eps[device_id].send(
-                            "verifier", response, at=done_at
-                        )
+                        device_eps[device_id].send("verifier", response, at=done_at)
 
-                # Feed delivered responses to the verifier service.
-                while True:
-                    item = self.verifier_ep.recv()
-                    if item is None:
-                        break
-                    source, payload = item
-                    service.handle(
-                        self._device_of_addr.get(source), payload, fabric.now
-                    )
+                # Feed delivered responses to the verifier tier.
+                if verifier_traffic:
+                    for source, payload in self.verifier_ep.drain():
+                        service.handle(
+                            device_of_addr.get(source), payload, fabric.now
+                        )
         finally:
             self.executor.close()
-        return self._result()
+        health = self.service.report()
+        self.store.checkpoint(
+            fabric.now,
+            attested=health["attested"],
+            quarantined=health["quarantined"],
+        )
+        return self._result(health)
 
     # -- results ------------------------------------------------------------
 
-    def _result(self):
-        health = self.service.report()
+    def _result(self, health=None):
+        if health is None:
+            health = self.service.report()
         elapsed_us = self.fabric.now
         reports_per_sec = (
             round(health["attested"] * US_PER_SEC / elapsed_us, 2)
             if elapsed_us
             else 0.0
         )
-        return {
-            "fleet": {
-                "devices": self.devices,
-                "seed": self.seed,
-                "mode": "pool" if self.workers else "serial",
-                "workers": self.workers,
-                "lanes": self.executor.lanes,
-                "loss": self.profile.loss,
-                "latency_us": self.profile.latency_us,
-                "jitter_us": self.profile.jitter_us,
-                "duplicate": self.profile.duplicate,
-                "reorder": self.profile.reorder,
-                "timeout_us": self.timeout_us,
-                "rogue": sorted(self.rogue),
-            },
-            "health": health,
-            "fabric": dict(self.fabric.stats),
-            "events": dict(sorted(self.event_counts.items())),
-            "compute": {
-                "cycles": self.compute_cycles,
-                "responses": self.responses_sent,
-            },
-            "sim_elapsed_us": elapsed_us,
-            "reports_per_sec": reports_per_sec,
-        }
+        store_echo = (
+            self.store_config.to_dict()
+            if self.store_config is not None
+            else {"backend": type(self.store).__name__, "path": self.store.path, "resume": self.store.resume}
+        )
+        store_echo["records"] = self.store.appended
+        return FleetResult(
+            {
+                "schema": SCHEMA_VERSION,
+                "fleet": dict(
+                    self.config.to_dict(),
+                    mode="pool" if self.workers else "serial",
+                    lanes=self.executor.lanes,
+                    timeout_us=self.timeout_us,
+                ),
+                "shards": self.shard_config.to_dict(),
+                "link": self.profile.to_dict(),
+                "store": store_echo,
+                "resumed": self.resumed,
+                "health": health.to_dict(),
+                "fabric": dict(self.fabric.stats),
+                "events": dict(sorted(self.event_counts.items())),
+                "compute": {
+                    "cycles": self.compute_cycles,
+                    "responses": self.responses_sent,
+                },
+                "sim_elapsed_us": elapsed_us,
+                "reports_per_sec": reports_per_sec,
+            }
+        )
 
     def healthy(self, result=None):
         """Whether every non-quarantined device attested."""
-        health = (result or self._result())["health"]
+        health = (result if result is not None else self._result())["health"]
         return health["pending"] == 0 and (
             health["attested"] + health["quarantined"] == health["total"]
         )

@@ -1,10 +1,15 @@
-"""The fleet verifier service.
+"""The fleet verifier service (one shard's worth).
 
 Drives the challenge-response protocol for every registered device:
 
 * **fresh-nonce issuance with expiry** - each challenge carries a nonce
   from the device's :class:`~repro.core.remote_attest.Verifier` (which
-  enforces single use) and is only accepted before its deadline;
+  enforces single use) and is only accepted before its deadline.  On
+  timeout the nonce is *retired on tick* - evicted from the verifier's
+  issued set and moved to consumed - so the nonce store stays bounded
+  and a straggler response to an expired challenge can never verify.
+  (Pre-1.4 the expiry was only checked when a response happened to
+  arrive, so unanswered challenges leaked issued nonces forever.)
 * **retry with timeout and backoff** - an unanswered challenge times
   out and is reissued with a fresh nonce after an exponentially growing
   backoff, up to ``max_attempts``;
@@ -13,6 +18,18 @@ Drives the challenge-response protocol for every registered device:
   identity - a rogue binary), are quarantined and no longer challenged;
 * **health reporting** - per-state device counts, protocol counters,
   and latency percentiles over challenge->attested round trips.
+
+Scale: the service keeps a deadline *heap* over its devices, so
+:meth:`poll` and :meth:`next_wakeup` cost O(due log N) instead of the
+pre-1.4 O(N) scan per call - the difference between 10k devices being
+a fleet and being a quadratic stall.
+
+The canonical constructor takes a :class:`~repro.fleet.config.FleetConfig`::
+
+    service = VerifierService(registry, identity, config)
+
+The pre-1.4 kwarg spelling (``provider=…, timeout_us=…``) still works
+behind a :class:`DeprecationWarning`.
 
 The service is transport-agnostic: :meth:`poll` returns the frames to
 send, and the orchestrator feeds delivered datagrams to :meth:`handle`.
@@ -26,6 +43,9 @@ Per-device state machine::
 
 from __future__ import annotations
 
+import heapq
+import warnings
+
 from repro.core.remote_attest import Verifier
 from repro.errors import AttestationError
 from repro.net.wire import Challenge, Response, decode_message
@@ -35,6 +55,9 @@ PENDING = "pending"
 AWAITING = "awaiting"
 ATTESTED = "attested"
 QUARANTINED = "quarantined"
+
+#: Pre-1.4 default challenge expiry (legacy-shim constructions only).
+LEGACY_TIMEOUT_US = 50_000
 
 
 def _percentile(sorted_values, pct):
@@ -85,44 +108,96 @@ class VerifierService:
         ``{device_id: platform_key}`` - the out-of-band key material.
     expected_identity:
         The agent identity every device must attest to.
+    config:
+        The :class:`~repro.fleet.config.FleetConfig` supplying the
+        protocol knobs (provider, timeouts, retry policy).  Passing a
+        ``bytes`` provider here instead - the pre-1.4 signature - still
+        works but warns.
     timeout_us:
-        Challenge validity window (nonce expiry) in fabric microseconds.
-    max_attempts:
-        Challenges issued per device before quarantine.
-    max_rejects:
-        Affirmative verification failures before quarantine.
-    backoff_us / backoff_factor:
-        Retry backoff: ``backoff_us * factor**(attempt-1)``.
+        Resolved challenge expiry override; the orchestrator passes the
+        fleet-sized timeout here when ``config.timeout_us`` is ``None``.
     obs:
         Optional event bus for ``fleet-*`` events.
+    store:
+        Optional :class:`~repro.fleet.store.AttestationStore` receiving
+        durable protocol records.
+    shard_id:
+        This service's shard index (stamped into store records).
     """
 
     def __init__(
         self,
         registry,
         expected_identity,
-        provider=b"",
+        config=None,
+        provider=None,
         *,
-        timeout_us=50_000,
-        max_attempts=8,
-        max_rejects=3,
-        backoff_us=2_000,
-        backoff_factor=2,
+        timeout_us=None,
+        max_attempts=None,
+        max_rejects=None,
+        backoff_us=None,
+        backoff_factor=None,
         obs=None,
+        store=None,
+        shard_id=0,
     ):
-        self.timeout_us = int(timeout_us)
-        self.max_attempts = int(max_attempts)
-        self.max_rejects = int(max_rejects)
-        self.backoff_us = int(backoff_us)
-        self.backoff_factor = backoff_factor
+        if config is None or isinstance(config, (bytes, str)):
+            # Pre-1.4 spelling: VerifierService(registry, id, b"prov",
+            # timeout_us=..., ...).  Fold everything into a FleetConfig.
+            from repro.fleet.config import FleetConfig
+
+            warnings.warn(
+                "VerifierService(provider=..., timeout_us=...) is deprecated; "
+                "pass a FleetConfig as the third argument",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            legacy_provider = config if config is not None else provider
+            config = FleetConfig(
+                devices=max(1, len(registry)),
+                provider=legacy_provider if legacy_provider is not None else b"",
+                timeout_us=timeout_us if timeout_us is not None else LEGACY_TIMEOUT_US,
+                max_attempts=max_attempts if max_attempts is not None else 8,
+                max_rejects=max_rejects if max_rejects is not None else 3,
+                backoff_us=backoff_us if backoff_us is not None else 2_000,
+                backoff_factor=backoff_factor if backoff_factor is not None else 2,
+            )
+            timeout_us = config.timeout_us
+        elif any(
+            knob is not None
+            for knob in (provider, max_attempts, max_rejects, backoff_us, backoff_factor)
+        ):
+            raise TypeError(
+                "pass protocol knobs through FleetConfig, not alongside it"
+            )
+
+        resolved_timeout = timeout_us if timeout_us is not None else config.timeout_us
+        if resolved_timeout is None:
+            resolved_timeout = LEGACY_TIMEOUT_US
+        self.config = config
+        self.timeout_us = int(resolved_timeout)
+        self.max_attempts = config.max_attempts
+        self.max_rejects = config.max_rejects
+        self.backoff_us = config.backoff_us
+        self.backoff_factor = config.backoff_factor
         self.obs = obs
+        self.store = store
+        self.shard_id = int(shard_id)
         self._verifiers = {}
         self._records = {}
+        #: Deadline heap: ``(fabric_time, device_id)``.  Every active
+        #: deadline (a PENDING retry time or an AWAITING expiry) has an
+        #: entry pushed at the moment it was set; superseded entries
+        #: are dropped lazily when popped.
+        self._heap = []
         for device_id in sorted(registry):
-            verifier = Verifier(registry[device_id], provider)
+            verifier = Verifier(registry[device_id], config.provider)
             verifier.expect(expected_identity)
             self._verifiers[device_id] = verifier
             self._records[device_id] = _DeviceRecord()
+            self._heap.append((0, device_id))
+        heapq.heapify(self._heap)
+        self._settled = 0
         # Protocol counters (all deterministic for a given run).
         self.challenges = 0
         self.retries = 0
@@ -141,34 +216,72 @@ class VerifierService:
     def _backoff(self, attempts):
         return self.backoff_us * int(self.backoff_factor ** max(0, attempts - 1))
 
-    def _quarantine(self, device_id, record, reason):
+    def _quarantine(self, device_id, record, reason, now=0):
         record.status = QUARANTINED
         record.quarantine_reason = reason
+        self._settled += 1
         self._publish("fleet-quarantine", device_id, reason=reason)
+        if self.store is not None:
+            self.store.note_quarantined(now, device_id, self.shard_id, reason)
+
+    def preload(self, settled):
+        """Pre-settle devices from a resumed store (no re-challenge).
+
+        ``settled`` maps device ids to ``(status, reason)`` as returned
+        by :meth:`repro.fleet.store.AttestationStore.settled`.  Devices
+        the service does not own are ignored, so the same map can be
+        broadcast to every shard.  Preloaded devices show up in the
+        health report with zero attempts and no latency sample.
+        """
+        for device_id, (status, reason) in settled.items():
+            record = self._records.get(device_id)
+            if record is None or record.status != PENDING:
+                continue
+            if status == ATTESTED:
+                record.status = ATTESTED
+            else:
+                record.status = QUARANTINED
+                record.quarantine_reason = reason or "resumed"
+            self._settled += 1
 
     # -- outbound -----------------------------------------------------------
 
     def poll(self, now):
         """Protocol housekeeping at fabric time ``now``.
 
-        Expires outstanding challenges, quarantines exhausted devices,
-        and returns the challenge frames to send as a list of
+        Pops every due deadline: expires outstanding challenges
+        (retiring their nonces), quarantines exhausted devices, and
+        returns the challenge frames to send as a list of
         ``(device_id, frame_bytes)``.
         """
         out = []
-        for device_id in self._records:
-            record = self._records[device_id]
-            if record.status == AWAITING and now >= record.expires_at:
+        heap = self._heap
+        records = self._records
+        while heap and heap[0][0] <= now:
+            _, device_id = heapq.heappop(heap)
+            record = records[device_id]
+            if record.status == ATTESTED or record.status == QUARANTINED:
+                continue
+            if record.status == AWAITING:
+                if now < record.expires_at:
+                    continue  # superseded entry; the real one is later
+                # Timeout: retire the nonce *now* (eviction on tick),
+                # so the issued set stays bounded and a straggler
+                # response to this challenge can never verify.
+                self._verifiers[device_id].retire_nonce(record.nonce)
                 self.timeouts += 1
-                self._publish(
-                    "fleet-timeout", device_id, attempt=record.attempts
-                )
+                self._publish("fleet-timeout", device_id, attempt=record.attempts)
+                if self.store is not None:
+                    self.store.note_expire(now, device_id, self.shard_id)
                 record.status = PENDING
                 record.next_at = now + self._backoff(record.attempts)
-            if record.status != PENDING or now < record.next_at:
+                heapq.heappush(heap, (record.next_at, device_id))
                 continue
+            # PENDING
+            if now < record.next_at:
+                continue  # superseded entry
             if record.attempts >= self.max_attempts:
-                self._quarantine(device_id, record, "retries-exhausted")
+                self._quarantine(device_id, record, "retries-exhausted", now)
                 continue
             nonce = self._verifiers[device_id].fresh_nonce()
             record.seq = record.attempts
@@ -179,25 +292,40 @@ class VerifierService:
             if record.first_sent_at is None:
                 record.first_sent_at = now
             record.status = AWAITING
+            heapq.heappush(heap, (record.expires_at, device_id))
             self.challenges += 1
             if record.seq:
                 self.retries += 1
                 self._publish("fleet-retry", device_id, attempt=record.seq)
             self._publish("fleet-challenge", device_id, attempt=record.seq)
-            out.append(
-                (device_id, Challenge(device_id, record.seq, nonce).to_bytes())
-            )
+            if self.store is not None:
+                self.store.note_challenge(now, device_id, self.shard_id, record.seq)
+            out.append((device_id, Challenge(device_id, record.seq, nonce).to_bytes()))
         return out
 
     def next_wakeup(self):
-        """Earliest fabric time the service needs a :meth:`poll`."""
-        times = []
-        for record in self._records.values():
+        """Earliest fabric time the service needs a :meth:`poll`.
+
+        Peeks the deadline heap, discarding entries for settled devices
+        and superseded deadlines along the way.
+        """
+        heap = self._heap
+        records = self._records
+        while heap:
+            when, device_id = heap[0]
+            record = records[device_id]
             if record.status == PENDING:
-                times.append(record.next_at)
+                live = record.next_at
             elif record.status == AWAITING:
-                times.append(record.expires_at)
-        return min(times) if times else None
+                live = record.expires_at
+            else:
+                heapq.heappop(heap)
+                continue
+            if when < live:
+                heapq.heappop(heap)  # superseded
+                continue
+            return when
+        return None
 
     # -- inbound ------------------------------------------------------------
 
@@ -238,6 +366,7 @@ class VerifierService:
         if self._verifiers[device_id].verify(message.report, record.nonce):
             record.status = ATTESTED
             record.latency_us = now - record.sent_at
+            self._settled += 1
             self._latencies.append(record.latency_us)
             self._total_latencies.append(now - record.first_sent_at)
             self._publish(
@@ -246,15 +375,20 @@ class VerifierService:
                 attempt=record.seq,
                 latency_us=record.latency_us,
             )
+            if self.store is not None:
+                self.store.note_attested(
+                    now, device_id, self.shard_id, record.seq, record.latency_us
+                )
             return "attested"
         record.rejects += 1
         self.rejects += 1
         self._publish("fleet-reject", device_id, attempt=record.seq)
         if record.rejects >= self.max_rejects:
-            self._quarantine(device_id, record, "verification-rejected")
+            self._quarantine(device_id, record, "verification-rejected", now)
         else:
             record.status = PENDING
             record.next_at = now + self._backoff(record.attempts)
+            heapq.heappush(self._heap, (record.next_at, device_id))
         return "rejected"
 
     # -- reporting ----------------------------------------------------------
@@ -262,10 +396,7 @@ class VerifierService:
     @property
     def done(self):
         """Whether every device has settled (attested or quarantined)."""
-        return all(
-            record.status in (ATTESTED, QUARANTINED)
-            for record in self._records.values()
-        )
+        return self._settled == len(self._records)
 
     def statuses(self):
         """``{device_id: status}`` for every registered device."""
@@ -274,8 +405,20 @@ class VerifierService:
             for device_id, record in self._records.items()
         }
 
+    def latencies_us(self):
+        """Raw challenge->attested latency samples (for shard merges)."""
+        return list(self._latencies)
+
+    def outstanding_nonces(self):
+        """Issued-but-unconsumed nonces across this shard's verifiers.
+
+        Bounded by the number of AWAITING devices thanks to tick-time
+        retirement; the pre-1.4 service grew this with every timeout.
+        """
+        return sum(v.outstanding_nonces() for v in self._verifiers.values())
+
     def report(self):
-        """The fleet health report (JSON-serialisable, deterministic)."""
+        """The shard health report (JSON-serialisable, deterministic)."""
         by_status = {PENDING: 0, AWAITING: 0, ATTESTED: 0, QUARANTINED: 0}
         quarantined = []
         attempts_histogram = {}

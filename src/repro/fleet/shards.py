@@ -1,0 +1,255 @@
+"""The sharded verifier tier.
+
+One :class:`~repro.fleet.service.VerifierService` per shard, each
+owning the nonce stores and quarantine set of only its own devices.
+Devices are placed on shards by :class:`HashRing` - SHA-1 consistent
+hashing with virtual nodes - so the assignment is a pure function of
+``(salt, vnodes, device_id)`` per shard: growing the shard count only
+moves the devices that land on the *new* shard's points, and every
+other device keeps its shard (the stability property the tests pin).
+
+:class:`ShardedVerifierService` exposes the same protocol surface as a
+single service (``poll`` / ``handle`` / ``next_wakeup`` / ``done``) so
+the orchestrator drives 1 shard and 64 shards identically, and rolls
+per-shard health up into one :class:`FleetHealth` aggregate.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+
+from repro.crypto.sha1 import SHA1
+from repro.fleet.service import VerifierService
+
+
+def _point(salt, label):
+    """A 64-bit ring coordinate: the first 8 bytes of SHA-1(salt|label)."""
+    digest = SHA1(salt + label).digest()
+    return struct.unpack(">Q", digest[:8])[0]
+
+
+class HashRing:
+    """Consistent-hash placement of device ids onto shards.
+
+    Each shard contributes ``vnodes`` points at coordinates that depend
+    only on ``(salt, shard, vnode)`` - never on the total shard count -
+    which is what makes assignments stable as the ring grows: a device
+    moves only if a new shard's point lands between the device and its
+    old successor point.
+    """
+
+    def __init__(self, shards, *, vnodes=64, salt=b"tytan-fleet-ring"):
+        if shards < 1:
+            raise ValueError("a ring needs at least one shard")
+        self.shards = int(shards)
+        self.vnodes = int(vnodes)
+        self.salt = bytes(salt)
+        points = []
+        for shard in range(self.shards):
+            for vnode in range(self.vnodes):
+                label = b"shard:%d:%d" % (shard, vnode)
+                points.append((_point(self.salt, label), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, device_id):
+        """The shard owning ``device_id`` (successor point, wrapping)."""
+        coord = _point(self.salt, b"device:%d" % device_id)
+        index = bisect_right(self._points, coord)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def assign(self, device_ids):
+        """Partition ``device_ids`` into ``[ids_of_shard_0, ...]``."""
+        buckets = [[] for _ in range(self.shards)]
+        for device_id in device_ids:
+            buckets[self.shard_for(device_id)].append(device_id)
+        return buckets
+
+    def __repr__(self):
+        return "HashRing(%d shards x %d vnodes)" % (self.shards, self.vnodes)
+
+
+class FleetHealth:
+    """The fleet-wide health rollup over per-shard reports.
+
+    Behaves as a read-only mapping (``health["attested"]`` etc.) with
+    the same top-level keys a single service report has, plus
+    ``"shards"``: the per-shard report list.  Latency percentiles are
+    recomputed over the *merged* latency population, not averaged from
+    per-shard percentiles.
+    """
+
+    _SUMMED = (
+        "total",
+        "attested",
+        "pending",
+        "quarantined",
+        "challenges",
+        "retries",
+        "timeouts",
+        "rejects",
+        "stale",
+        "malformed",
+        "expired",
+    )
+
+    def __init__(self, shard_reports, merged_latencies):
+        from repro.fleet.service import _percentile
+
+        data = {key: 0 for key in self._SUMMED}
+        quarantined = []
+        attempts = {}
+        for report in shard_reports:
+            for key in self._SUMMED:
+                data[key] += report[key]
+            quarantined.extend(report["quarantined_devices"])
+            for count, n in report["attempts_to_attest"].items():
+                attempts[count] = attempts.get(count, 0) + n
+        quarantined.sort(key=lambda entry: entry["device"])
+        latencies = sorted(merged_latencies)
+        latency = None
+        if latencies:
+            latency = {
+                "count": len(latencies),
+                "p50": _percentile(latencies, 50),
+                "p90": _percentile(latencies, 90),
+                "p99": _percentile(latencies, 99),
+                "max": latencies[-1],
+                "mean": round(sum(latencies) / len(latencies), 1),
+            }
+        data["quarantined_devices"] = quarantined
+        data["attempts_to_attest"] = dict(sorted(attempts.items()))
+        data["latency_us"] = latency
+        data["shards"] = [
+            {"shard": index, **report} for index, report in enumerate(shard_reports)
+        ]
+        self._data = data
+
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __contains__(self, key):
+        return key in self._data
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def keys(self):
+        return self._data.keys()
+
+    def get(self, key, default=None):
+        return self._data.get(key, default)
+
+    def to_dict(self):
+        """Plain-dict form (what goes into result JSON)."""
+        return dict(self._data)
+
+    def __repr__(self):
+        return "FleetHealth(%d/%d attested, %d quarantined, %d shards)" % (
+            self._data["attested"],
+            self._data["total"],
+            self._data["quarantined"],
+            len(self._data["shards"]),
+        )
+
+
+class ShardedVerifierService:
+    """N verifier shards behind the single-service protocol surface."""
+
+    def __init__(
+        self,
+        registry,
+        expected_identity,
+        config,
+        shard_config,
+        *,
+        timeout_us=None,
+        obs=None,
+        store=None,
+    ):
+        self.ring = HashRing(
+            shard_config.shards,
+            vnodes=shard_config.vnodes,
+            salt=shard_config.salt,
+        )
+        self.shard_config = shard_config
+        self._shard_of = {}
+        partitions = [dict() for _ in range(shard_config.shards)]
+        for device_id in sorted(registry):
+            shard = self.ring.shard_for(device_id)
+            self._shard_of[device_id] = shard
+            partitions[shard][device_id] = registry[device_id]
+        self.shards = [
+            VerifierService(
+                partition,
+                expected_identity,
+                config,
+                timeout_us=timeout_us,
+                obs=obs,
+                store=store,
+                shard_id=index,
+            )
+            for index, partition in enumerate(partitions)
+        ]
+        #: Responses whose device id no shard owns (counted, dropped).
+        self.unknown = 0
+
+    def shard_of(self, device_id):
+        """The shard index owning ``device_id`` (None if unregistered)."""
+        return self._shard_of.get(device_id)
+
+    def preload(self, settled):
+        """Pre-settle resumed devices on their owning shards."""
+        for shard in self.shards:
+            shard.preload(settled)
+
+    # -- protocol surface (same shape as VerifierService) -------------------
+
+    def poll(self, now):
+        """Housekeeping on every shard; challenge frames in shard order."""
+        out = []
+        for shard in self.shards:
+            out.extend(shard.poll(now))
+        return out
+
+    def next_wakeup(self):
+        """Earliest wakeup over every shard."""
+        times = [t for t in (s.next_wakeup() for s in self.shards) if t is not None]
+        return min(times) if times else None
+
+    def handle(self, device_id, payload, now):
+        """Route one delivered datagram to its owning shard."""
+        shard = self._shard_of.get(device_id)
+        if shard is None:
+            self.unknown += 1
+            return "unknown"
+        return self.shards[shard].handle(device_id, payload, now)
+
+    @property
+    def done(self):
+        """Whether every shard has settled all its devices."""
+        return all(shard.done for shard in self.shards)
+
+    def statuses(self):
+        """``{device_id: status}`` across every shard."""
+        merged = {}
+        for shard in self.shards:
+            merged.update(shard.statuses())
+        return merged
+
+    def report(self):
+        """The :class:`FleetHealth` rollup."""
+        merged_latencies = []
+        for shard in self.shards:
+            merged_latencies.extend(shard.latencies_us())
+        return FleetHealth([s.report() for s in self.shards], merged_latencies)
+
+    def __repr__(self):
+        return "ShardedVerifierService(%d shards, %d devices)" % (
+            len(self.shards),
+            len(self._shard_of),
+        )

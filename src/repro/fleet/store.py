@@ -1,0 +1,225 @@
+"""Pluggable persistence for attestation protocol state.
+
+An :class:`AttestationStore` receives the protocol's durable facts as
+append-only records - challenges issued, nonces retired, devices
+attested or quarantined, epoch boundaries - each stamped with *fabric*
+time (never wall clock, so stored runs stay byte-comparable).  Two
+backends ship:
+
+* :class:`MemoryStore` - records kept in-process; the default.
+* :class:`JsonlStore` - one JSON object per line, appended to a file;
+  a run can be killed and re-run with ``StoreConfig(resume=True)`` and
+  every device that already settled is not re-challenged.
+
+Record shapes (all have ``t`` = fabric microseconds and ``kind``):
+
+=============  =====================================================
+``epoch``      ``{seed, devices, shards}`` - a run started
+``challenge``  ``{device, shard, attempt}``
+``expire``     ``{device, shard}`` - nonce retired on tick
+``attested``   ``{device, shard, attempt, latency_us}``
+``quarantine`` ``{device, shard, reason}``
+``checkpoint`` ``{attested, quarantined}`` - a run finished
+=============  =====================================================
+
+Resume looks only at ``epoch``/``attested``/``quarantine`` records: a
+device is *settled* if its latest outcome record in the newest epoch
+with the same fleet seed says so.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ConfigurationError
+
+
+class AttestationStore:
+    """Base class: record sink plus the resume query."""
+
+    #: Filesystem path of the backing file, or ``None``.
+    path = None
+
+    def __init__(self, resume=False):
+        self.resume = bool(resume)
+        #: Records appended by this process (not what was loaded).
+        self.appended = 0
+
+    # -- write side ---------------------------------------------------------
+
+    def append(self, record):
+        """Persist one record dict (must contain ``kind`` and ``t``)."""
+        raise NotImplementedError
+
+    def begin_epoch(self, now, *, seed, devices, shards):
+        """Mark the start of a run."""
+        self.append(
+            {
+                "t": int(now),
+                "kind": "epoch",
+                "seed": int(seed),
+                "devices": int(devices),
+                "shards": int(shards),
+            }
+        )
+
+    def note_challenge(self, now, device_id, shard, attempt):
+        """A challenge frame left the verifier tier."""
+        self.append(
+            {
+                "t": int(now),
+                "kind": "challenge",
+                "device": int(device_id),
+                "shard": int(shard),
+                "attempt": int(attempt),
+            }
+        )
+
+    def note_expire(self, now, device_id, shard):
+        """A challenge nonce was retired on tick (timeout eviction)."""
+        self.append(
+            {"t": int(now), "kind": "expire", "device": int(device_id), "shard": int(shard)}
+        )
+
+    def note_attested(self, now, device_id, shard, attempt, latency_us):
+        """A device's report verified."""
+        self.append(
+            {
+                "t": int(now),
+                "kind": "attested",
+                "device": int(device_id),
+                "shard": int(shard),
+                "attempt": int(attempt),
+                "latency_us": int(latency_us),
+            }
+        )
+
+    def note_quarantined(self, now, device_id, shard, reason):
+        """A device was quarantined."""
+        self.append(
+            {
+                "t": int(now),
+                "kind": "quarantine",
+                "device": int(device_id),
+                "shard": int(shard),
+                "reason": reason,
+            }
+        )
+
+    def checkpoint(self, now, *, attested, quarantined):
+        """Mark the end of a run and flush everything durable."""
+        self.append(
+            {
+                "t": int(now),
+                "kind": "checkpoint",
+                "attested": int(attested),
+                "quarantined": int(quarantined),
+            }
+        )
+        self.flush()
+
+    def flush(self):
+        """Make appended records durable (no-op for memory)."""
+
+    def close(self):
+        """Release the backing resource."""
+
+    # -- read side ----------------------------------------------------------
+
+    def records(self):
+        """Every stored record, oldest first (loaded + appended)."""
+        raise NotImplementedError
+
+    def settled(self, seed):
+        """``{device_id: ("attested"|"quarantined", reason|None)}``.
+
+        The resume set: outcomes recorded in the newest epoch whose
+        fleet seed matches ``seed``.  Records from epochs with a
+        different seed are ignored - a store file reused across
+        configurations never leaks outcomes between fleets.
+        """
+        epoch_matches = False
+        outcome = {}
+        for record in self.records():
+            kind = record.get("kind")
+            if kind == "epoch":
+                epoch_matches = record.get("seed") == seed
+                if epoch_matches:
+                    outcome = {}
+            elif not epoch_matches:
+                continue
+            elif kind == "attested":
+                outcome[record["device"]] = ("attested", None)
+            elif kind == "quarantine":
+                outcome[record["device"]] = ("quarantined", record.get("reason"))
+        return outcome
+
+
+class MemoryStore(AttestationStore):
+    """Records held in a list; nothing survives the process."""
+
+    def __init__(self, resume=False):
+        super().__init__(resume=resume)
+        self._records = []
+
+    def append(self, record):
+        self._records.append(dict(record))
+        self.appended += 1
+
+    def records(self):
+        return list(self._records)
+
+    def __repr__(self):
+        return "MemoryStore(%d records)" % len(self._records)
+
+
+class JsonlStore(AttestationStore):
+    """Append-only JSON-lines file; the checkpoint/resume backend.
+
+    Keys are sorted and each record is one compact line, so two runs
+    writing the same records produce byte-identical files.
+    """
+
+    def __init__(self, path, resume=False):
+        if not path:
+            raise ConfigurationError("jsonl store needs a path")
+        super().__init__(resume=resume)
+        self.path = str(path)
+        # Resume appends to the existing log; a fresh run truncates it.
+        self._handle = open(self.path, "a" if resume else "w")
+
+    def append(self, record):
+        self._handle.write(json.dumps(record, sort_keys=True))
+        self._handle.write("\n")
+        self.appended += 1
+
+    def flush(self):
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def records(self):
+        self.flush()
+        try:
+            with open(self.path) as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return []
+        records = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                # A torn final line from a killed run: ignore the tail.
+                break
+        return records
+
+    def __repr__(self):
+        return "JsonlStore(%s, %d appended)" % (self.path, self.appended)

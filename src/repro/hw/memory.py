@@ -59,16 +59,12 @@ class RamRegion:
         self.base = u32(base)
         self.size = size
         self.data = bytearray(size)
-        #: Zero-copy byte view of the slab (slice reads without copies).
-        self.view = memoryview(self.data)
-        #: Little-endian 32-bit word view of the slab, or ``None`` when
-        #: the host byte order or the region size rules it out (the
-        #: byte view is always a correct fallback).
-        self.words = None
-        if sys.byteorder == "little" and size % 4 == 0:
-            cast = self.view.cast("I")
-            if cast.itemsize == 4:
-                self.words = cast
+        #: Zero-copy byte view of the slab (slice reads without copies)
+        #: and, on little-endian hosts for word-multiple sizes, the
+        #: struct-specialized ``'I'`` cast - both built by
+        #: :meth:`_rebuild_views` (also used on unpickle/fork, since
+        #: memoryviews cannot be copied).
+        self._rebuild_views()
 
     @property
     def end(self):
@@ -119,6 +115,34 @@ class RamRegion:
     def store_u8(self, address, value):
         """Byte store straight into the slab."""
         self.data[address - self.base] = value
+
+    # -- snapshot support ---------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle/deepcopy support: drop the zero-copy views.
+
+        ``memoryview`` objects cannot be pickled or deep-copied; the
+        slab (``data``) carries all the state, and the views are
+        rebuilt verbatim on restore.  This is what lets a booted
+        machine be snapshotted and forked (:mod:`repro.fleet.snapshot`).
+        """
+        state = self.__dict__.copy()
+        state["view"] = None
+        state["words"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._rebuild_views()
+
+    def _rebuild_views(self):
+        """Recreate the byte and word views over the current slab."""
+        self.view = memoryview(self.data)
+        self.words = None
+        if sys.byteorder == "little" and self.size % 4 == 0:
+            cast = self.view.cast("I")
+            if cast.itemsize == 4:
+                self.words = cast
 
     def __repr__(self):
         return "RamRegion(%s, 0x%08X..0x%08X)" % (self.name, self.base, self.end)

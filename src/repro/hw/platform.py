@@ -206,7 +206,10 @@ class Platform:
         #    deadline), so interrupt delivery lands on exactly the same
         #    instruction boundary as single-stepping ---------------------
         self._slice_deadline = None
-        self.clock.add_event_source(lambda: self._slice_deadline)
+        # A bound method, not a lambda: closures would keep pointing at
+        # this platform when a booted machine is deep-copied (the fleet's
+        # snapshot-fork boot), while bound methods re-bind to the copy.
+        self.clock.add_event_source(self._slice_deadline_source)
         if cfg.fastpath and cfg.blocks:
             self.cpu.enable_blocks(self.clock.next_event_horizon, traces=cfg.traces)
 
@@ -312,6 +315,10 @@ class Platform:
         self.nic = nic
         self.nic_base = base
         return nic
+
+    def _slice_deadline_source(self):
+        """Event source: the current run slice's deadline, if any."""
+        return self._slice_deadline
 
     # -- device timekeeping --------------------------------------------------
 

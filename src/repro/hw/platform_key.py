@@ -62,6 +62,21 @@ class PlatformKeyStore:
         """
         return self.memory.read(self.base, KEY_BYTES, actor=actor)
 
+    def rekey(self, key):
+        """Replace K_p in place (fleet snapshot-fork support).
+
+        Models blowing a fresh fuse pattern into a forked machine
+        image: the new key is written through the raw (hardware) bus
+        path, so the existing locked EA-MPU rule over the window keeps
+        governing who may read it.  Architecturally this is the only
+        per-device difference between a forked machine and a cold boot.
+        """
+        key = bytes(key)
+        if len(key) != KEY_BYTES:
+            raise ValueError("platform key must be %d bytes" % KEY_BYTES)
+        self._key = key
+        self.memory.write_raw(self.base, key)
+
     def raw_key(self):
         """The key without an access check - test/verifier oracle only.
 

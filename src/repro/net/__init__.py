@@ -8,7 +8,7 @@
   attestation challenge/response frames.
 """
 
-from repro.net.fabric import Endpoint, LinkProfile, NetworkFabric
+from repro.net.fabric import Endpoint, FabricProfile, LinkProfile, NetworkFabric
 from repro.net.wire import (
     Challenge,
     Response,
@@ -20,6 +20,7 @@ from repro.net.wire import (
 __all__ = [
     "Challenge",
     "Endpoint",
+    "FabricProfile",
     "LinkProfile",
     "NetworkFabric",
     "Response",

@@ -12,6 +12,20 @@ converts device compute cycles into fabric microseconds when it
 schedules responses.  The fabric exposes a ``now`` attribute so it can
 serve directly as the ``clock`` of an :class:`repro.obs.bus.EventBus`.
 
+Construction takes a :class:`FabricProfile` (the typed fault/delay
+config object) as the default for every link::
+
+    fabric = NetworkFabric(FabricProfile(latency_us=200, loss=0.1), seed=7)
+
+The pre-1.4 ``NetworkFabric(seed=..., default_profile=...)`` spelling
+still works but emits a :class:`DeprecationWarning`.
+
+Scale: the fleet orchestrator sends one *batch* of frames per fabric
+tick (:meth:`Endpoint.send_batch`), which amortizes the profile lookup
+and the RNG attribute loads over the whole batch, and drains deliveries
+through :meth:`NetworkFabric.take_touched` - the set of endpoints that
+actually received traffic - instead of scanning every endpoint.
+
 Observability: every datagram publishes ``net-send`` when it enters a
 link, ``net-drop`` when the link loses it, and ``net-deliver`` when it
 lands in the destination's receive queue (source ``"net"``).
@@ -20,13 +34,18 @@ lands in the destination's receive queue (source ``"net"``).
 from __future__ import annotations
 
 import heapq
+import warnings
 from collections import deque
 
 from repro.errors import NetworkError
 
 
-class LinkProfile:
+class FabricProfile:
     """Fault and delay model for one direction of a link.
+
+    This is the typed configuration object for :class:`NetworkFabric`
+    (and, through ``FleetConfig``-based construction, for the fleet's
+    links).
 
     Parameters
     ----------
@@ -55,14 +74,29 @@ class LinkProfile:
         self.duplicate = float(duplicate)
         self.reorder = float(reorder)
 
+    def to_dict(self):
+        """JSON-serialisable echo of the profile (result dicts)."""
+        return {
+            "latency_us": self.latency_us,
+            "jitter_us": self.jitter_us,
+            "loss": self.loss,
+            "duplicate": self.duplicate,
+            "reorder": self.reorder,
+        }
+
     def __repr__(self):
-        return "LinkProfile(lat=%dus, jit=%dus, loss=%.2f, dup=%.2f, reorder=%.2f)" % (
+        return "FabricProfile(lat=%dus, jit=%dus, loss=%.2f, dup=%.2f, reorder=%.2f)" % (
             self.latency_us,
             self.jitter_us,
             self.loss,
             self.duplicate,
             self.reorder,
         )
+
+
+#: Pre-1.4 name of :class:`FabricProfile`; kept as an alias so existing
+#: imports keep working.
+LinkProfile = FabricProfile
 
 
 class Endpoint:
@@ -78,9 +112,19 @@ class Endpoint:
         """Send a datagram to endpoint ``dst``; returns False if lost."""
         return self.fabric.send(self.name, dst, payload, at=at)
 
+    def send_batch(self, items, at=None):
+        """Send ``[(dst, payload), ...]`` in order; returns sent count."""
+        return self.fabric.send_batch(self.name, items, at=at)
+
     def recv(self):
         """Pop the oldest delivered datagram, or ``None``."""
         return self.rx.popleft() if self.rx else None
+
+    def drain(self):
+        """Pop every delivered datagram as a list of ``(src, payload)``."""
+        items = list(self.rx)
+        self.rx.clear()
+        return items
 
     def pending(self):
         """Number of delivered datagrams waiting to be read."""
@@ -93,8 +137,28 @@ class Endpoint:
 class NetworkFabric:
     """The seeded datagram fabric connecting a fleet to its verifier."""
 
-    def __init__(self, seed=0, default_profile=None, obs=None):
+    def __init__(self, profile=None, *, seed=0, obs=None, default_profile=None):
         import random
+
+        if isinstance(profile, int):
+            # Pre-1.4 positional spelling: NetworkFabric(seed).
+            warnings.warn(
+                "NetworkFabric(seed) is deprecated; use "
+                "NetworkFabric(FabricProfile(...), seed=seed)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            seed = profile
+            profile = None
+        if default_profile is not None:
+            warnings.warn(
+                "NetworkFabric(default_profile=...) is deprecated; pass the "
+                "FabricProfile as the first argument instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if profile is None:
+                profile = default_profile
 
         #: Current fabric time in microseconds.
         self.now = 0
@@ -103,11 +167,12 @@ class NetworkFabric:
         self._seq = 0
         self.endpoints = {}
         self._links = {}
-        self.default_profile = (
-            default_profile if default_profile is not None else LinkProfile()
-        )
+        self.default_profile = profile if profile is not None else FabricProfile()
         #: Optional :class:`repro.obs.bus.EventBus` for net-* events.
         self.obs = obs
+        #: Endpoint names that received traffic since the last
+        #: :meth:`take_touched` (insertion-ordered, deduplicated).
+        self._touched = {}
         #: Datagram tallies (deterministic for a given seed).
         self.stats = {
             "sent": 0,
@@ -152,12 +217,35 @@ class NetworkFabric:
             raise NetworkError("unknown source endpoint %r" % src)
         if dst not in self.endpoints:
             raise NetworkError("unknown destination endpoint %r" % dst)
-        payload = bytes(payload)
+        return self._send_one(src, dst, bytes(payload), at)
+
+    def send_batch(self, src, items, at=None):
+        """Inject ``[(dst, payload), ...]`` in order; returns sent count.
+
+        One call per fabric tick is the fleet's scale path: the link
+        profile is resolved once per destination class and the RNG is
+        drawn in one tight loop (in item order, so a batch of N sends
+        is bit-identical to N individual :meth:`send` calls).
+        """
+        if src not in self.endpoints:
+            raise NetworkError("unknown source endpoint %r" % src)
+        endpoints = self.endpoints
+        sent = 0
+        for dst, payload in items:
+            if dst not in endpoints:
+                raise NetworkError("unknown destination endpoint %r" % dst)
+            if self._send_one(src, dst, bytes(payload), at):
+                sent += 1
+        return sent
+
+    def _send_one(self, src, dst, payload, at):
+        """Schedule one datagram; the shared core of send/send_batch."""
         when = self.now if at is None else max(int(at), self.now)
         profile = self.profile_for(src, dst)
         rng = self._rng
         self.stats["sent"] += 1
-        self._publish("net-send", src=src, dst=dst, size=len(payload), at=when)
+        if self.obs is not None:
+            self._publish("net-send", src=src, dst=dst, size=len(payload), at=when)
         if profile.loss and rng.random() < profile.loss:
             self.stats["dropped"] += 1
             self._publish("net-drop", src=src, dst=dst, size=len(payload))
@@ -187,11 +275,14 @@ class NetworkFabric:
         """Advance fabric time to ``t``, delivering everything due."""
         t = max(int(t), self.now)
         queue = self._queue
+        endpoints = self.endpoints
+        touched = self._touched
         while queue and queue[0][0] <= t:
             when, _, src, dst, payload = heapq.heappop(queue)
             # Stamp obs events at the delivery instant, not the target.
             self.now = when
-            self.endpoints[dst].rx.append((src, payload))
+            endpoints[dst].rx.append((src, payload))
+            touched[dst] = True
             self.stats["delivered"] += 1
             self._publish("net-deliver", src=src, dst=dst, size=len(payload))
         self.now = t
@@ -199,6 +290,14 @@ class NetworkFabric:
     def advance(self, dt):
         """Advance fabric time by ``dt`` microseconds."""
         self.advance_to(self.now + int(dt))
+
+    def take_touched(self):
+        """Endpoint names delivered to since the last call, in delivery
+        order.  The fleet's O(active) alternative to scanning every
+        endpoint for pending traffic."""
+        touched = list(self._touched)
+        self._touched.clear()
+        return touched
 
     def in_flight(self):
         """Number of datagrams currently traversing links."""

@@ -502,8 +502,11 @@ class _FoldEmitter:
         return expr, deps, clean
 
     def render_clean(self, j):
+        # Parenthesized: callers embed this text inside higher-precedence
+        # contexts (``>>``, ``*``), where a bare ``expr & 4294967295``
+        # would rebind - e.g. ``X & 4294967295 >> 24`` masks by 255.
         expr, _, clean = self.render(j)
-        return expr if clean else "%s & 4294967295" % expr
+        return expr if clean else "(%s & 4294967295)" % expr
 
     def _pending(self, j):
         return self.base[j] is not None or bool(self.ops[j])

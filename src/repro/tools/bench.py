@@ -22,11 +22,12 @@ report is written).
 The WCET mode runs the static-analysis soundness experiments
 (:mod:`repro.analysis.bench`): each benchmark workload's statically
 computed cycle bound next to the cycles the core actually charged.
-The fleet mode runs the attestation-service scaling bench
+The fleet mode runs the attestation-service lane-scaling bench
 (:mod:`repro.perf.bench_fleet`): reports per simulated second vs.
-device count, serial executor vs. multiprocessing worker pool,
-appending to ``BENCH_fleet.json``; with ``--check`` it fails when the
-pool is less than 2x the serial executor at the largest device count.
+device count across 1/2/4 worker lanes (sharded verifier tier,
+snapshot boot), appending to ``BENCH_fleet.json``; with ``--check``
+it fails when the top lane count scales below 0.7x linear over one
+lane at the largest device count.
 """
 
 from __future__ import annotations
@@ -80,9 +81,15 @@ def build_parser():
     )
     parser.add_argument(
         "--fleet-devices",
-        default="4,16,64",
+        default="64,1024,10240",
         metavar="N,N,...",
-        help="device counts swept by the fleet bench (default 4,16,64)",
+        help="device counts swept by the fleet bench (default 64,1024,10240)",
+    )
+    parser.add_argument(
+        "--fleet-lanes",
+        default="1,2,4",
+        metavar="K,K,...",
+        help="worker-lane counts swept by the fleet bench (default 1,2,4)",
     )
     parser.add_argument(
         "--no-blocks",
@@ -205,9 +212,11 @@ def main(argv=None, out=None):
         from repro.perf.bench_fleet import check_fleet, write_report
 
         counts = [int(n) for n in args.fleet_devices.split(",") if n.strip()]
+        lanes = [int(n) for n in args.fleet_lanes.split(",") if n.strip()]
         result = write_report(
             path=args.json or "BENCH_fleet.json",
             device_counts=counts,
+            lanes=lanes,
             out=out,
         )
         if args.check:

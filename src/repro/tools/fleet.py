@@ -2,30 +2,37 @@
 
 Usage::
 
-    python -m repro.tools.fleet --devices 64 --loss 0.1 --seed 7
-    python -m repro.tools.fleet --devices 64 --loss 0.1 --seed 7 --json
+    python -m repro.tools.fleet --devices 10000 --shards 8 --loss 0.1
+    python -m repro.tools.fleet --devices 64 --seed 7 --json
     python -m repro.tools.fleet --devices 16 --rogue 3,9 --serial
+    python -m repro.tools.fleet --devices 2000 --store run.jsonl --resume
 
-Boots N independent TyTAN machines (a multiprocessing worker pool by
-default; ``--serial`` steps them in-process), connects them to a
-verifier service over the simulated fabric with the requested fault
-profile, and drives the challenge-response protocol until every device
-is attested or quarantined.
+Boots N TyTAN machines - by default *snapshot* boot: one template
+machine per device class goes through full secure boot, every other
+device is forked from its snapshot with only per-device key derivation
+re-run (``--boot-mode cold`` boots each machine from scratch instead;
+the outputs are bit-identical).  Devices connect to a consistent-hash
+sharded verifier tier (``--shards``) over the simulated fabric with
+the requested fault profile, and the challenge-response protocol runs
+until every device is attested or quarantined.  With ``--store`` the
+protocol's durable facts are checkpointed to a JSONL file, and
+``--resume`` skips devices that file already settled.
 
-``--json`` prints the full result dict; it is bit-identical across
-runs with the same arguments (everything is seeded, and no wall-clock
-values are included), so two invocations can be diffed as a
-determinism check.  The exit code is 0 iff every non-quarantined
-device attested.
+``--json`` prints the full schema-2 result (``"schema": 2``); it is
+bit-identical across runs with the same arguments (everything is
+seeded, and no wall-clock values are included), so two invocations can
+be diffed as a determinism check.  The exit code is 0 iff every
+non-quarantined device attested.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
+from repro.fleet.config import FleetConfig, ShardConfig, StoreConfig
 from repro.fleet.orchestrator import Fleet
+from repro.net.fabric import FabricProfile
 
 
 def build_parser():
@@ -35,6 +42,23 @@ def build_parser():
         description="Drive remote attestation for a simulated TyTAN fleet.",
     )
     parser.add_argument("--devices", type=int, default=16, metavar="N")
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="verifier shard count (default 1)",
+    )
+    parser.add_argument(
+        "--boot-mode", choices=("snapshot", "cold"), default="snapshot",
+        help="device boot strategy (default snapshot; cold boots every "
+        "machine through full secure boot)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="checkpoint protocol state to this JSONL file",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip devices the --store file already settled",
+    )
     parser.add_argument(
         "--loss", type=float, default=0.0, metavar="P",
         help="per-datagram loss probability (default 0)",
@@ -63,7 +87,7 @@ def build_parser():
     )
     parser.add_argument(
         "--json", action="store_true",
-        help="print the full result as deterministic JSON",
+        help="print the full schema-2 result as deterministic JSON",
     )
     return parser
 
@@ -71,24 +95,39 @@ def build_parser():
 def _render(result, out):
     """Human-readable fleet summary."""
     fleet = result["fleet"]
+    shards = result["shards"]
+    link = result["link"]
     health = result["health"]
     fabric = result["fabric"]
     print(
-        "fleet: %d devices, %s mode (%d lanes), seed %d"
-        % (fleet["devices"], fleet["mode"], fleet["lanes"], fleet["seed"]),
+        "fleet: %d devices, %s mode (%d lanes), %s boot, seed %d"
+        % (
+            fleet["devices"],
+            fleet["mode"],
+            fleet["lanes"],
+            fleet["boot_mode"],
+            fleet["seed"],
+        ),
+        file=out,
+    )
+    print(
+        "tier : %d verifier shard%s (%d vnodes)"
+        % (shards["shards"], "" if shards["shards"] == 1 else "s", shards["vnodes"]),
         file=out,
     )
     print(
         "link : %dus +/-%dus, loss %.0f%%, dup %.0f%%, reorder %.0f%%"
         % (
-            fleet["latency_us"],
-            fleet["jitter_us"],
-            100 * fleet["loss"],
-            100 * fleet["duplicate"],
-            100 * fleet["reorder"],
+            link["latency_us"],
+            link["jitter_us"],
+            100 * link["loss"],
+            100 * link["duplicate"],
+            100 * link["reorder"],
         ),
         file=out,
     )
+    if result["resumed"]:
+        print("resume: %d devices already settled" % result["resumed"], file=out)
     print(
         "health: %d attested, %d pending, %d quarantined (of %d)"
         % (
@@ -133,6 +172,12 @@ def _render(result, out):
             % (latency["p50"], latency["p90"], latency["p99"], latency["max"]),
             file=out,
         )
+    if result["store"]["path"]:
+        print(
+            "store : %d records -> %s"
+            % (result["store"]["records"], result["store"]["path"]),
+            file=out,
+        )
     print(
         "done in %dus simulated: %.1f reports/sec"
         % (result["sim_elapsed_us"], result["reports_per_sec"]),
@@ -145,25 +190,36 @@ def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
     rogue = [int(x) for x in args.rogue.split(",") if x.strip() != ""]
+    store = StoreConfig("memory")
+    if args.store:
+        store = StoreConfig("jsonl", path=args.store, resume=args.resume)
     fleet = Fleet(
-        args.devices,
-        seed=args.seed,
-        loss=args.loss,
-        latency_us=args.latency_us,
-        jitter_us=args.jitter_us,
-        duplicate=args.duplicate,
-        reorder=args.reorder,
-        workers=0 if args.serial else args.workers,
-        rogue=rogue,
-        timeout_us=args.timeout_us,
-        max_attempts=args.max_attempts,
+        FleetConfig(
+            devices=args.devices,
+            seed=args.seed,
+            workers=0 if args.serial else args.workers,
+            boot_mode=args.boot_mode,
+            rogue=rogue,
+            timeout_us=args.timeout_us,
+            max_attempts=args.max_attempts,
+        ),
+        shards=ShardConfig(shards=args.shards),
+        fabric=FabricProfile(
+            latency_us=args.latency_us,
+            jitter_us=args.jitter_us,
+            loss=args.loss,
+            duplicate=args.duplicate,
+            reorder=args.reorder,
+        ),
+        store=store,
     )
     result = fleet.run()
+    fleet.store.close()
     if args.json:
-        print(json.dumps(result, indent=2, sort_keys=True), file=out)
+        print(result.to_json(), file=out)
     else:
         _render(result, out)
-    return 0 if fleet.healthy(result) else 1
+    return 0 if result.healthy else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.system import TyTAN
 from repro.errors import ConfigurationError
+from repro.fleet.config import FleetConfig, ShardConfig
 from repro.fleet.device import (
     FleetDevice,
     device_platform_key,
@@ -16,6 +17,7 @@ from repro.fleet.orchestrator import Fleet
 from repro.fleet.service import VerifierService
 from repro.hw.nic import NetworkInterface
 from repro.hw.platform import MachineConfig
+from repro.net.fabric import FabricProfile
 from repro.net.wire import Challenge, Response, decode_message
 from repro.tools import fleet as fleet_cli
 
@@ -104,7 +106,8 @@ class TestFleetDevice:
 class TestVerifierService:
     def make_service(self, device_ids=(0, 1), **kwargs):
         registry = {i: device_platform_key(0, i) for i in device_ids}
-        return VerifierService(registry, expected_fleet_identity(), **kwargs)
+        config = FleetConfig(devices=max(device_ids) + 1, **kwargs)
+        return VerifierService(registry, expected_fleet_identity(), config)
 
     def respond(self, device_id, frame, fleet_seed=0, rogue=False):
         device = FleetDevice(device_id, fleet_seed=fleet_seed, rogue=rogue)
@@ -181,19 +184,77 @@ class TestVerifierService:
         assert service.handle(0, b"junk", now=1) == "malformed"
         assert service.handle(99, b"junk", now=1) == "unknown"
 
+    def test_timeout_retires_nonce_on_tick(self):
+        # Regression: pre-1.4 the nonce of a timed-out challenge stayed
+        # in the verifier's issued set forever (expiry was only checked
+        # when a response happened to arrive), so an unresponsive device
+        # leaked one nonce per retry - and a straggler response to an
+        # expired challenge could still verify.
+        service = self.make_service((0,), timeout_us=1_000, backoff_us=500)
+        [(_, first)] = service.poll(now=0)
+        assert service.outstanding_nonces() == 1
+        now = 0
+        for _ in range(4):  # several timeout/retry cycles, never answered
+            now = service.next_wakeup()
+            service.poll(now)
+        assert service.timeouts >= 2
+        # Tick-time eviction keeps the issued set bounded by AWAITING.
+        assert service.outstanding_nonces() <= 1
+        # The straggler response to the first (expired) challenge can
+        # never verify: its nonce was moved to the consumed set.
+        device = FleetDevice(0, fleet_seed=0)
+        blob, _ = device.handle_frame(first)
+        assert service.handle(0, blob, now=now + 1) == "stale"
+        assert service.report()["attested"] == 0
+
+    def test_legacy_kwarg_constructor_warns(self):
+        registry = {0: device_platform_key(0, 0)}
+        with pytest.warns(DeprecationWarning):
+            service = VerifierService(
+                registry,
+                expected_fleet_identity(),
+                b"",
+                timeout_us=2_000,
+                max_attempts=5,
+            )
+        assert service.timeout_us == 2_000
+        assert service.max_attempts == 5
+        [(device_id, _)] = service.poll(now=0)
+        assert device_id == 0
+
+    def test_config_plus_legacy_knobs_rejected(self):
+        registry = {0: device_platform_key(0, 0)}
+        with pytest.raises(TypeError):
+            VerifierService(
+                registry,
+                expected_fleet_identity(),
+                FleetConfig(devices=1),
+                max_attempts=5,
+            )
+
+
+def make_fleet(devices, *, seed=0, loss=0.0, workers=0, rogue=(), shards=1, **cfg):
+    """A Fleet through the 1.4 config path (jitterful default link)."""
+    return Fleet(
+        FleetConfig(devices=devices, seed=seed, workers=workers, rogue=rogue, **cfg),
+        shards=ShardConfig(shards=shards),
+        fabric=FabricProfile(latency_us=200, jitter_us=50, loss=loss),
+    )
+
 
 class TestFleetRuns:
     def test_serial_clean_link_all_attest(self):
-        fleet = Fleet(4, seed=1, workers=0)
+        fleet = make_fleet(4, seed=1)
         result = fleet.run()
         assert fleet.healthy(result)
+        assert result["schema"] == 2
         assert result["health"]["attested"] == 4
         assert result["health"]["retries"] == 0
         assert result["events"]["fleet-attested"] == 4
         assert result["fabric"]["dropped"] == 0
 
     def test_lossy_link_retries_and_recovers(self):
-        fleet = Fleet(6, seed=3, workers=0, loss=0.25)
+        fleet = make_fleet(6, seed=3, loss=0.25)
         result = fleet.run()
         assert fleet.healthy(result)
         assert result["health"]["attested"] == 6
@@ -204,33 +265,61 @@ class TestFleetRuns:
         assert result["events"]["net-drop"] == result["fabric"]["dropped"] > 0
 
     def test_rogue_device_quarantined_others_attest(self):
-        fleet = Fleet(4, seed=2, workers=0, rogue=(2,))
+        fleet = make_fleet(4, seed=2, rogue=(2,))
         result = fleet.run()
         assert fleet.healthy(result)
         assert result["health"]["attested"] == 3
         assert result["health"]["quarantined_devices"] == [
             {"device": 2, "reason": "verification-rejected"}
         ]
+        assert result.quarantined[0]["device"] == 2
 
     def test_serial_runs_are_deterministic(self):
-        first = Fleet(5, seed=9, workers=0, loss=0.2).run()
-        second = Fleet(5, seed=9, workers=0, loss=0.2).run()
-        assert json.dumps(first, sort_keys=True) == json.dumps(
-            second, sort_keys=True
-        )
+        first = make_fleet(5, seed=9, loss=0.2).run()
+        second = make_fleet(5, seed=9, loss=0.2).run()
+        assert first.to_json() == second.to_json()
+
+    def test_sharded_run_matches_outcomes(self):
+        plain = make_fleet(12, seed=6, rogue=(7,)).run()
+        sharded = make_fleet(12, seed=6, rogue=(7,), shards=4).run()
+        assert sharded["health"]["attested"] == plain["health"]["attested"] == 11
+        assert sharded["health"]["quarantined"] == 1
+        assert len(sharded["health"]["shards"]) == 4
+        assert sum(s["total"] for s in sharded["health"]["shards"]) == 12
 
     def test_pool_matches_serial_outcomes_and_is_faster(self):
-        serial = Fleet(4, seed=4, workers=0).run()
-        pool = Fleet(4, seed=4, workers=2).run()
+        serial = make_fleet(4, seed=4).run()
+        pool = make_fleet(4, seed=4, workers=2).run()
         assert pool["health"]["attested"] == serial["health"]["attested"] == 4
         assert pool["fleet"]["lanes"] == 2
         # Two compute lanes overlap device MACs the serial executor
         # must queue, so simulated throughput strictly improves.
         assert pool["reports_per_sec"] > serial["reports_per_sec"]
 
+    def test_cold_and_snapshot_boot_bit_identical(self):
+        snap = make_fleet(5, seed=11, loss=0.1, boot_mode="snapshot").run().to_dict()
+        cold = make_fleet(5, seed=11, loss=0.1, boot_mode="cold").run().to_dict()
+        # The config echo names the boot mode; every *observable* output
+        # (health, fabric traffic, obs events, compute cycles) is
+        # byte-identical between the two boot strategies.
+        assert snap["fleet"].pop("boot_mode") == "snapshot"
+        assert cold["fleet"].pop("boot_mode") == "cold"
+        assert json.dumps(snap, sort_keys=True) == json.dumps(cold, sort_keys=True)
+
     def test_rogue_id_out_of_range_rejected(self):
-        with pytest.raises(ValueError):
-            Fleet(2, rogue=(5,))
+        with pytest.raises(ConfigurationError):
+            make_fleet(2, rogue=(5,))
+
+    def test_legacy_kwarg_constructor_warns_and_runs(self):
+        with pytest.warns(DeprecationWarning):
+            fleet = Fleet(4, seed=1, workers=0)
+        result = fleet.run()
+        assert fleet.healthy(result)
+        assert result["health"]["attested"] == 4
+
+    def test_new_path_rejects_legacy_kwargs(self):
+        with pytest.raises(TypeError):
+            Fleet(FleetConfig(devices=2), loss=0.5)
 
 
 class TestFleetCli:
@@ -246,7 +335,33 @@ class TestFleetCli:
         assert code_a == code_b == 0
         assert text_a == text_b
         result = json.loads(text_a)
+        assert result["schema"] == 2
         assert result["health"]["attested"] == 4
+
+    def test_sharded_cli_with_store(self, tmp_path):
+        path = str(tmp_path / "fleet.jsonl")
+        code, text = self.run_cli(
+            "--devices", "8", "--shards", "4", "--serial", "--seed", "3",
+            "--store", path, "--json",
+        )
+        assert code == 0
+        result = json.loads(text)
+        assert result["shards"]["shards"] == 4
+        assert result["store"]["path"] == path
+        assert result["store"]["records"] > 0
+        with open(path) as handle:
+            kinds = [json.loads(line)["kind"] for line in handle if line.strip()]
+        assert kinds[0] == "epoch" and kinds[-1] == "checkpoint"
+        assert kinds.count("attested") == 8
+
+    def test_cold_boot_flag_matches_snapshot(self):
+        args = ("--devices", "3", "--serial", "--seed", "2", "--json")
+        _, snap_text = self.run_cli(*args, "--boot-mode", "snapshot")
+        _, cold_text = self.run_cli(*args, "--boot-mode", "cold")
+        snap, cold = json.loads(snap_text), json.loads(cold_text)
+        assert snap["fleet"].pop("boot_mode") == "snapshot"
+        assert cold["fleet"].pop("boot_mode") == "cold"
+        assert snap == cold
 
     def test_human_summary_mentions_quarantine(self):
         code, text = self.run_cli(
@@ -258,12 +373,16 @@ class TestFleetCli:
 
 class TestFleetBench:
     def test_bench_smoke_and_gate(self):
-        from repro.perf.bench_fleet import check_fleet, run_bench
+        from repro.perf.bench_fleet import GATE_SCALING, check_fleet, run_bench
 
-        result = run_bench(device_counts=(4,), workers=2)
-        entry = result["results"]["4"]
-        assert entry["serial"]["attested"] == entry["pool"]["attested"] == 4
-        assert entry["speedup"] > 1.0
-        # The gate reads the largest swept count.
+        result = run_bench(device_counts=(8,), lanes=(1, 2), shards=2)
+        entry = result["results"]["8"]
+        assert entry["lanes"]["1"]["attested"] == 8
+        assert entry["lanes"]["2"]["attested"] == 8
+        assert entry["speedup"]["1"] == 1.0
+        assert entry["speedup"]["2"] > 1.0
+        # The gate reads the top lane count at the largest swept count.
         out = io.StringIO()
-        assert check_fleet(result, out) == (entry["speedup"] >= 2.0)
+        assert check_fleet(result, out) == (
+            entry["speedup"]["2"] >= GATE_SCALING * 2
+        )

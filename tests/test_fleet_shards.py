@@ -1,0 +1,108 @@
+"""Consistent-hash sharding of the verifier tier (repro.fleet.shards)."""
+
+from repro.fleet.config import FleetConfig, ShardConfig
+from repro.fleet.device import device_platform_key, expected_fleet_identity
+from repro.fleet.shards import FleetHealth, HashRing, ShardedVerifierService
+
+
+class TestHashRing:
+    def test_assignment_is_deterministic_and_total(self):
+        ring = HashRing(4)
+        again = HashRing(4)
+        for device_id in range(500):
+            shard = ring.shard_for(device_id)
+            assert 0 <= shard < 4
+            assert shard == again.shard_for(device_id)
+
+    def test_assignment_stable_under_shard_growth(self):
+        # The consistent-hashing contract: growing N -> N+1 shards only
+        # moves devices onto the NEW shard; nobody is reshuffled between
+        # surviving shards.
+        devices = range(1_000)
+        for n in (1, 2, 4):
+            ring = HashRing(n)
+            before = {d: ring.shard_for(d) for d in devices}
+            grown = HashRing(n + 1)
+            moved = 0
+            for d in devices:
+                after = grown.shard_for(d)
+                if after != before[d]:
+                    assert after == n, (
+                        "device %d moved %d -> %d, not to the new shard %d"
+                        % (d, before[d], after, n)
+                    )
+                    moved += 1
+            # Roughly 1/(n+1) of devices should move (generous bounds).
+            assert 0 < moved < len(list(devices)) * 2.5 / (n + 1)
+
+    def test_balance_is_reasonable(self):
+        ring = HashRing(8, vnodes=64)
+        counts = [len(bucket) for bucket in ring.assign(range(4_000))]
+        assert sum(counts) == 4_000
+        assert min(counts) > 4_000 / 8 * 0.4
+        assert max(counts) < 4_000 / 8 * 2.0
+
+    def test_salt_changes_placement(self):
+        a = HashRing(4, salt=b"one")
+        b = HashRing(4, salt=b"two")
+        assert any(a.shard_for(d) != b.shard_for(d) for d in range(100))
+
+
+class TestShardedService:
+    def make(self, devices=16, shards=4, **cfg):
+        registry = {i: device_platform_key(0, i) for i in range(devices)}
+        config = FleetConfig(devices=devices, **cfg)
+        return ShardedVerifierService(
+            registry,
+            expected_fleet_identity(),
+            config,
+            ShardConfig(shards=shards),
+            timeout_us=5_000,
+        )
+
+    def test_every_device_lands_on_its_ring_shard(self):
+        service = self.make(devices=32, shards=4)
+        for device_id in range(32):
+            shard = service.shard_of(device_id)
+            assert shard == service.ring.shard_for(device_id)
+            assert device_id in service.shards[shard].statuses()
+
+    def test_poll_challenges_every_device_once(self):
+        service = self.make(devices=20, shards=4)
+        frames = service.poll(now=0)
+        assert sorted(device_id for device_id, _ in frames) == list(range(20))
+        assert service.poll(now=1) == []
+        assert not service.done
+
+    def test_handle_routes_to_owning_shard(self):
+        from repro.fleet.device import FleetDevice
+
+        service = self.make(devices=8, shards=4)
+        frames = dict(service.poll(now=0))
+        target = 5
+        blob, _ = FleetDevice(target, fleet_seed=0).handle_frame(frames[target])
+        assert service.handle(target, blob, now=100) == "attested"
+        shard = service.shard_of(target)
+        assert service.shards[shard].statuses()[target] == "attested"
+        assert service.handle(99, blob, now=100) == "unknown"
+        assert service.unknown == 1
+
+    def test_rollup_aggregates_shard_reports(self):
+        from repro.fleet.device import FleetDevice
+
+        service = self.make(devices=10, shards=3)
+        frames = dict(service.poll(now=0))
+        for device_id, frame in frames.items():
+            blob, _ = FleetDevice(device_id, fleet_seed=0).handle_frame(frame)
+            assert service.handle(device_id, blob, now=200 + device_id) == "attested"
+        assert service.done
+        health = service.report()
+        assert isinstance(health, FleetHealth)
+        assert health["total"] == 10
+        assert health["attested"] == 10
+        assert health["challenges"] == 10
+        assert len(health["shards"]) == 3
+        assert sum(s["total"] for s in health["shards"]) == 10
+        # Percentiles come from the merged population of all shards.
+        assert health["latency_us"]["count"] == 10
+        assert health["latency_us"]["max"] == 209

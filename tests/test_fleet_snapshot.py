@@ -1,0 +1,117 @@
+"""Snapshot-fork boot equivalence (repro.fleet.snapshot).
+
+The whole point of snapshot boot is that it is *unobservable*: a device
+forked from a template snapshot and rekeyed must answer challenges
+byte-identically - same response bytes, same charged cycles - to a
+machine cold-booted with that device id.  These tests pin that
+contract, plus the pool's recycling behaviour that keeps live-machine
+count O(device classes).
+"""
+
+import copy
+
+from repro.fleet.device import FleetDevice, device_platform_key
+from repro.fleet.snapshot import DevicePool, DeviceTemplate
+from repro.net.wire import Challenge
+
+import pytest
+
+
+def challenge(device_id, nonce=b"\x5a" * 8, seq=0):
+    return Challenge(device_id, seq, nonce).to_bytes()
+
+
+class TestDeviceTemplate:
+    def test_fork_matches_cold_boot_bit_identically(self):
+        template = DeviceTemplate(fleet_seed=3)
+        for device_id in (1, 7, 4242):
+            forked = template.fork(device_id)
+            cold = FleetDevice(device_id, fleet_seed=3)
+            frame = challenge(device_id)
+            fork_blob, fork_cycles = forked.handle_frame(frame)
+            cold_blob, cold_cycles = cold.handle_frame(frame)
+            assert fork_blob == cold_blob
+            assert fork_cycles == cold_cycles
+        assert template.forks == 3
+
+    def test_rogue_fork_matches_rogue_cold_boot(self):
+        template = DeviceTemplate(fleet_seed=1, rogue=True)
+        forked = template.fork(9)
+        cold = FleetDevice(9, fleet_seed=1, rogue=True)
+        frame = challenge(9)
+        assert forked.handle_frame(frame) == cold.handle_frame(frame)
+
+    def test_selfcheck_passes(self):
+        assert DeviceTemplate(fleet_seed=5).selfcheck(device_id=3)
+
+    def test_fork_rekeys_the_fused_platform_key(self):
+        template = DeviceTemplate(fleet_seed=0)
+        device = template.fork(17)
+        assert device.device_id == 17
+        store = device.machine.platform.key_store
+        assert store.raw_key() == device_platform_key(0, 17)
+
+    def test_forks_are_independent_machines(self):
+        template = DeviceTemplate()
+        a, b = template.fork(1), template.fork(2)
+        a.handle_frame(challenge(1))
+        assert a.handled == 1
+        assert b.handled == 0
+        assert a.machine.clock.now != b.machine.clock.now or a.handled != b.handled
+
+
+class TestDevicePool:
+    def test_snapshot_pool_recycles_one_machine_per_class(self):
+        pool = DevicePool(fleet_seed=0, rogue=(3,), boot_mode="snapshot")
+        for device_id in range(8):
+            blob, _ = pool.handle(device_id, challenge(device_id))
+            assert blob is not None
+        # 2 classes (genuine + rogue) -> 2 templates + 2 recycled.
+        assert pool.cold_boots == 2
+        assert pool.live_machines() == 4
+        assert pool.rekeys >= 8
+
+    def test_pool_answers_match_cold_booted_devices(self):
+        pool = DevicePool(fleet_seed=2, rogue=(1,), boot_mode="snapshot")
+        for device_id in (0, 1, 5, 1, 0):  # revisits force re-rekeying
+            pooled = pool.handle(device_id, challenge(device_id))
+            cold = FleetDevice(
+                device_id, fleet_seed=2, rogue=(device_id == 1)
+            ).handle_frame(challenge(device_id))
+            assert pooled[0] == cold[0]
+
+    def test_cold_mode_boots_one_machine_per_device(self):
+        pool = DevicePool(fleet_seed=0, boot_mode="cold")
+        for device_id in (0, 1, 2, 1, 0):
+            pool.handle(device_id, challenge(device_id))
+        assert pool.cold_boots == 3
+        assert pool.rekeys == 0
+        assert pool.live_machines() == 3
+
+    def test_unknown_boot_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DevicePool(boot_mode="warm")
+
+    def test_close_drops_machines(self):
+        pool = DevicePool()
+        pool.handle(0, challenge(0))
+        assert pool.live_machines() > 0
+        pool.close()
+        assert pool.live_machines() == 0
+
+
+class TestDeepcopySupport:
+    def test_ram_region_survives_deepcopy(self):
+        # The machine's RAM uses memoryview-backed regions; deepcopy
+        # support (used by fork) must preserve contents and isolation.
+        device = FleetDevice(1)
+        clone = copy.deepcopy(device)
+        ram = device.machine.platform.memory
+        ram2 = clone.machine.platform.memory
+        probe = device.machine.platform.key_store.base
+        original = ram.read_raw(probe, 4)
+        assert ram2.read_raw(probe, 4) == original
+        flipped = bytes(b ^ 0xFF for b in original)
+        ram2.write_raw(probe, flipped)
+        assert ram.read_raw(probe, 4) == original
+        assert ram2.read_raw(probe, 4) == flipped

@@ -11,7 +11,7 @@ instruction boundary whether execution single-steps or runs
 horizon-admitted superblocks.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.hw.exceptions import Vector
 from repro.hw.platform import MachineConfig, Platform
@@ -108,6 +108,22 @@ def _run(source, blocks, tick_period, traces=True):
     body=st.lists(_insn, min_size=4, max_size=24),
     iterations=st.integers(min_value=2, max_value=40),
     tick_period=st.integers(min_value=60, max_value=3000),
+)
+# Regression: a flag-live shri over a folded add chain once compiled to
+# ``X & 4294967295 >> 24`` - Python precedence rebinds that to a mask
+# by 255 (render_clean must parenthesize).
+@example(
+    body=[
+        "addi eax, 6188",
+        "addi eax, 0",
+        "addi eax, 0",
+        "addi eax, 0",
+        "addi eax, 0",
+        "shri eax, 24",
+        "ld edx, [ebx+0]",
+    ],
+    iterations=24,
+    tick_period=60,
 )
 def test_blocks_invisible_under_random_irqs(body, iterations, tick_period):
     source = _program(body, iterations, 0x0010_4000)

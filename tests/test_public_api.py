@@ -1,0 +1,49 @@
+"""The public API surface, pinned against a golden snapshot.
+
+``tests/golden/public_api.txt`` lists every name in ``repro.__all__``
+and ``repro.fleet.__all__``.  A failing diff here means the public
+surface changed: if that is intentional, regenerate the snapshot
+(instructions in the assertion message) and call the change out in the
+changelog - these names are covered by compatibility guarantees.
+"""
+
+import pathlib
+
+import repro
+import repro.fleet
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "public_api.txt"
+
+REGENERATE = (
+    "public API surface changed; if intentional, regenerate with:\n"
+    "  PYTHONPATH=src python -c \"import tests.test_public_api as t; t.regenerate()\""
+)
+
+
+def current_surface():
+    lines = ["repro:"]
+    lines += ["  %s" % name for name in sorted(repro.__all__)]
+    lines += ["repro.fleet:"]
+    lines += ["  %s" % name for name in sorted(repro.fleet.__all__)]
+    return "\n".join(lines) + "\n"
+
+
+def regenerate():
+    GOLDEN.write_text(current_surface())
+
+
+def test_public_surface_matches_golden_file():
+    assert current_surface() == GOLDEN.read_text(), REGENERATE
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+    for name in repro.fleet.__all__:
+        assert getattr(repro.fleet, name, None) is not None, name
+
+
+def test_version_is_pep440_ish():
+    major, minor, patch = repro.__version__.split(".")
+    assert (int(major), int(minor)) >= (1, 4)
+    assert patch.isdigit()
