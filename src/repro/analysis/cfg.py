@@ -39,8 +39,8 @@ DIRECT_BRANCHES = frozenset({Op.JMP}) | CONDITIONAL_BRANCHES
 PRIVILEGED_OPS = frozenset({Op.CLI, Op.STI, Op.IRET, Op.HLT})
 
 #: Memory-operand opcodes (the MPU-safety pass checks these).
-LOAD_OPS = frozenset({Op.LD, Op.LDB})
-STORE_OPS = frozenset({Op.ST, Op.STB})
+LOAD_OPS = frozenset({Op.LD, Op.LDB, Op.LDH})
+STORE_OPS = frozenset({Op.ST, Op.STB, Op.STH})
 
 #: Opcodes that overwrite their ``reg`` operand (constant tracking).
 REG_WRITERS = frozenset(
@@ -65,6 +65,7 @@ REG_WRITERS = frozenset(
         Op.SHRI,
         Op.LD,
         Op.LDB,
+        Op.LDH,
         Op.POP,
         Op.NOT,
         Op.NEG,

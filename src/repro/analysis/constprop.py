@@ -22,8 +22,12 @@ from repro.isa.opcodes import Op
 
 
 def access_width(opcode):
-    """Bytes moved by a load/store opcode (1 for the byte forms)."""
-    return 1 if opcode in (Op.LDB, Op.STB) else 4
+    """Bytes moved by a load/store opcode (1/2 for byte/half forms)."""
+    if opcode in (Op.LDB, Op.STB):
+        return 1
+    if opcode in (Op.LDH, Op.STH):
+        return 2
+    return 4
 
 
 #: Opcodes whose handlers write the EFLAGS result flags (static twin of

@@ -494,6 +494,18 @@ class CPU:
         self._store(address, regs.read(insn.reg), 1)
         self._advance(insn)
 
+    def _op_ldh(self, insn):
+        regs = self.regs
+        address = u32(regs.read(insn.reg2) + insn.imm)
+        regs.write(insn.reg, self._load(address, 2))
+        self._advance(insn)
+
+    def _op_sth(self, insn):
+        regs = self.regs
+        address = u32(regs.read(insn.reg2) + insn.imm)
+        self._store(address, regs.read(insn.reg), 2)
+        self._advance(insn)
+
     def _op_jmp(self, insn):
         self._jump(insn.imm)
 
@@ -566,6 +578,8 @@ _HANDLERS = {
     Op.ST: CPU._op_st,
     Op.LDB: CPU._op_ldb,
     Op.STB: CPU._op_stb,
+    Op.LDH: CPU._op_ldh,
+    Op.STH: CPU._op_sth,
     Op.JMP: CPU._op_jmp,
     Op.CALL: CPU._op_call,
     Op.JZ: CPU._op_jcc,

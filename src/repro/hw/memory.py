@@ -32,12 +32,13 @@ def u32(value):
 class RamRegion:
     """A contiguous range of byte-addressable RAM.
 
-    The backing store is one ``bytearray`` *slab* plus two zero-copy
+    The backing store is one ``bytearray`` *slab* plus zero-copy
     ``memoryview``s over it: a byte view and (on little-endian hosts,
-    for word-multiple sizes) a struct-specialized ``'I'`` cast.  The
-    word view is what makes translated loads/stores a single Python
-    index expression: an aligned 32-bit access inside a hoisted EA-MPU
-    allow window is ``words[offset >> 2]`` with no bytes object, no
+    for suitably sized regions) struct-specialized ``'I'`` and ``'H'``
+    casts.  The typed views are what make translated loads/stores a
+    single Python index expression: an aligned 32-bit access inside a
+    hoisted EA-MPU allow window is ``words[offset >> 2]`` (16-bit:
+    ``halves[offset >> 1]``) with no bytes object, no
     ``int.from_bytes``, and no method call.  Every mutation path
     (checked writes, raw writes, translated stores) writes the same
     slab, so the views never go stale.
@@ -108,6 +109,23 @@ class RamRegion:
         else:
             self.data[offset : offset + 4] = value.to_bytes(4, "little")
 
+    def load_u16(self, address):
+        """Little-endian 16-bit load straight from the slab."""
+        offset = address - self.base
+        halves = self.halves
+        if halves is not None and not offset & 1:
+            return halves[offset >> 1]
+        return int.from_bytes(self.data[offset : offset + 2], "little")
+
+    def store_u16(self, address, value):
+        """Little-endian 16-bit store straight into the slab."""
+        offset = address - self.base
+        halves = self.halves
+        if halves is not None and not offset & 1:
+            halves[offset >> 1] = value
+        else:
+            self.data[offset : offset + 2] = value.to_bytes(2, "little")
+
     def load_u8(self, address):
         """Byte load straight from the slab."""
         return self.data[address - self.base]
@@ -129,6 +147,7 @@ class RamRegion:
         state = self.__dict__.copy()
         state["view"] = None
         state["words"] = None
+        state["halves"] = None
         return state
 
     def __setstate__(self, state):
@@ -136,13 +155,19 @@ class RamRegion:
         self._rebuild_views()
 
     def _rebuild_views(self):
-        """Recreate the byte and word views over the current slab."""
+        """Recreate the byte, half, and word views over the current slab."""
         self.view = memoryview(self.data)
         self.words = None
-        if sys.byteorder == "little" and self.size % 4 == 0:
-            cast = self.view.cast("I")
-            if cast.itemsize == 4:
-                self.words = cast
+        self.halves = None
+        if sys.byteorder == "little":
+            if self.size % 4 == 0:
+                cast = self.view.cast("I")
+                if cast.itemsize == 4:
+                    self.words = cast
+            if self.size % 2 == 0:
+                cast = self.view.cast("H")
+                if cast.itemsize == 2:
+                    self.halves = cast
 
     def __repr__(self):
         return "RamRegion(%s, 0x%08X..0x%08X)" % (self.name, self.base, self.end)

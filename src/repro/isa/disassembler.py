@@ -40,7 +40,7 @@ def format_instruction(insn):
             mem = "[%s+%d]" % (base, insn.imm)
         else:
             mem = "[%s%d]" % (base, insn.imm)
-        if insn.mnemonic in ("st", "stb"):
+        if insn.mnemonic in ("st", "stb", "sth"):
             return "%s %s, %s" % (name, mem, Reg.name(insn.reg))
         return "%s %s, %s" % (name, Reg.name(insn.reg), mem)
     raise AssertionError("unknown format %r" % fmt)  # pragma: no cover

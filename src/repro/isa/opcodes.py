@@ -72,6 +72,8 @@ class Op:
     ST = 0x31
     LDB = 0x32
     STB = 0x33
+    LDH = 0x34
+    STH = 0x35
 
     JMP = 0x40
     CALL = 0x41
@@ -127,6 +129,8 @@ _TABLE = {
     Op.ST: ("st", OpFormat.MEM, cycles.INSN_BASE + cycles.INSN_MEM),
     Op.LDB: ("ldb", OpFormat.MEM, cycles.INSN_BASE + cycles.INSN_MEM),
     Op.STB: ("stb", OpFormat.MEM, cycles.INSN_BASE + cycles.INSN_MEM),
+    Op.LDH: ("ldh", OpFormat.MEM, cycles.INSN_BASE + cycles.INSN_MEM),
+    Op.STH: ("sth", OpFormat.MEM, cycles.INSN_BASE + cycles.INSN_MEM),
     Op.JMP: ("jmp", OpFormat.IMM32, cycles.INSN_BASE),
     Op.CALL: ("call", OpFormat.IMM32, cycles.INSN_BASE + cycles.INSN_MEM),
     Op.JZ: ("jz", OpFormat.IMM32, cycles.INSN_BASE),

@@ -430,18 +430,31 @@ def write_report(
     out=None,
     blocks=True,
     traces=True,
+    record=True,
 ):
     """Run the bench and write the JSON report to ``path``.
 
     The report carries a cumulative timestamped ``history`` of past
     runs (read back from any existing report at ``path``), so repeated
-    bench runs track the trajectory instead of overwriting it.
+    bench runs track the trajectory instead of overwriting it.  With
+    ``record=False`` (gate/CI checks) the report file is left untouched
+    and only the result is returned - check runs must not pollute the
+    history.  A dedupe guard also drops an append whose payload matches
+    the previous entry exactly (timestamp aside), so re-running the
+    same bench back-to-back records one trajectory point, not two.
     """
     result = run_bench(instructions, blocks=blocks, traces=traces)
-    result["history"] = _load_history(path) + [_history_entry(result)]
-    with open(path, "w") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    if record:
+        history = _load_history(path)
+        entry = _history_entry(result)
+        if history:
+            previous = dict(history[-1], timestamp=None)
+            if previous == dict(entry, timestamp=None):
+                history = history[:-1]
+        result["history"] = history + [entry]
+        with open(path, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     if out is not None:
         for name, entry in sorted(result["workloads"].items()):
             per = entry["modes"]
@@ -465,5 +478,8 @@ def write_report(
                 )
             line += " insns/sec"
             print(line, file=out)
-        print("report: %s" % path, file=out)
+        if record:
+            print("report: %s" % path, file=out)
+        else:
+            print("report: (check run, history not recorded)", file=out)
     return result

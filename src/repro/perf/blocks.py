@@ -99,7 +99,9 @@ ALU_OPS = frozenset(
 )
 
 #: Memory-touching opcodes translated with a hoisted EA-MPU window.
-MEM_OPS = frozenset({Op.LD, Op.ST, Op.LDB, Op.STB, Op.PUSH, Op.POP, Op.PUSHI})
+MEM_OPS = frozenset(
+    {Op.LD, Op.ST, Op.LDB, Op.STB, Op.LDH, Op.STH, Op.PUSH, Op.POP, Op.PUSHI}
+)
 
 #: Everything a superblock may contain.
 TRANSLATABLE_OPS = ALU_OPS | MEM_OPS

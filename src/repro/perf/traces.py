@@ -34,12 +34,20 @@ block tier) re-executes it with full transfer checks, hooks, and fault
 semantics.  The architectural state at a side exit is therefore
 bit-identical to single-stepping up to that branch, by construction.
 
-Event-horizon admission: a linear trace runs only when its whole cycle
-cost fits before the horizon; a looping trace computes how many whole
-iterations fit (``(horizon - now) // iter_cost``) and runs at most that
-many, exiting at the loop head - so interrupt delivery lands on exactly
-the same instruction boundary as single-stepping, the same contract the
-block tier obeys.
+Event-horizon admission is *granular*: a linear trace whose whole cycle
+cost fits before the horizon runs in full; a looping trace computes how
+many whole iterations fit (``(horizon - now) // iter_cost``) and runs
+at most that many, exiting at the loop head.  What does **not** fit
+whole falls to the *horizon-split prefix body*: every trace also
+carries a checkpoint cost table (a cut after each stitched branch and
+every :data:`CHECKPOINT_INSNS` straight-line instructions) and a third
+compiled function that executes exactly the largest checkpoint prefix
+fitting the remaining budget, writing back registers, EFLAGS, the
+exact cycle/retire charge, and the boundary EIP - bit-identical to
+single-stepping the same instructions.  Interrupt delivery therefore
+lands on exactly the same instruction boundary as single-stepping (the
+same contract the block tier obeys), while the 400-cycle-tick tail
+that used to single-step now runs at trace speed.
 
 Invalidation mirrors the block cache: page-granular write snooping
 (checked and raw writes alike) plus a wholesale flush when the EA-MPU
@@ -50,6 +58,8 @@ invalidated itself (self-modifying code).
 """
 
 from __future__ import annotations
+
+from bisect import bisect_right
 
 from repro.analysis.constprop import _FLAG_WRITERS, counted_loop_counter
 from repro.errors import IllegalInstruction
@@ -129,10 +139,13 @@ class Trace:
         "iter_retire",
         "counter_reg",
         "windows",
+        "windows2",
         "pages",
         "valid",
         "run",
         "run_fast",
+        "run_prefix",
+        "checkpoints",
         "source",
     )
 
@@ -148,8 +161,15 @@ class Trace:
         #: Loop-counter register proven by the constprop pass, or None.
         self.counter_reg = None
         #: Per-memory-site hoisted allow windows, filled at run time:
-        #: ``(lo, hi_minus_size, region, words, base, data)`` or None.
+        #: ``(lo, hi_minus_size, slab_view, shifted_base)`` or None
+        #: (see :func:`repro.perf.translate._window_tuple`).
         self.windows = []
+        #: Per-load-site *victim* windows: when a slow load installs a
+        #: fresh window it demotes the old one here, so a site whose EA
+        #: alternates between two regions (a poll flipping between data
+        #: and stack, say) hits slab speed on both instead of thrashing
+        #: the single slot into a slow call every iteration.
+        self.windows2 = []
         #: Snoop pages spanned by the trace's code bytes.
         self.pages = frozenset()
         #: Cleared by the write snoop; checked after broadcast stores.
@@ -158,6 +178,14 @@ class Trace:
         self.run = None
         #: Specialized counted-loop body (guard and dead flags elided).
         self.run_fast = None
+        #: Horizon-split body ``__trace_prefix__(cpu, tr, n)``: runs the
+        #: first ``n`` checkpoints' worth of the straight path, then
+        #: exits at the checkpoint boundary.  Compiled lazily on the
+        #: first prefix admission.
+        self.run_prefix = None
+        #: Cumulative cycle cost at each countdown checkpoint, in body
+        #: order (strictly increasing; the admission table).
+        self.checkpoints = ()
         self.source = None
 
     def is_marker(self):
@@ -641,7 +669,12 @@ class _FoldEmitter:
                 self.base[x] = (base + delta) & _M
                 return
             if ops and ops[-1][0] == "add":
-                ops[-1] = ("add", ops[-1][1], ops[-1][2] + delta)
+                merged = ops[-1][2] + delta
+                if not merged and not ops[-1][1]:
+                    # balanced const adds (push/pop pairs) cancel whole
+                    ops.pop()
+                else:
+                    ops[-1] = ("add", ops[-1][1], merged)
                 return
             self._push(x, ("add", [], delta))
             return
@@ -758,18 +791,130 @@ _ESP = 4  # Reg.ESP
 #: Opcodes reading their ``reg2`` operand.
 _TWO_REG = frozenset(
     {Op.MOV, Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.CMP, Op.SHL,
-     Op.SHR, Op.MUL, Op.LD, Op.LDB, Op.ST, Op.STB}
+     Op.SHR, Op.MUL, Op.LD, Op.LDB, Op.LDH, Op.ST, Op.STB, Op.STH}
 )
 
 #: Opcodes writing their ``reg`` operand.
 _REG_WRITES = frozenset(
     {Op.MOV, Op.MOVI, Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SHL,
      Op.SHR, Op.MUL, Op.ADDI, Op.SUBI, Op.ANDI, Op.ORI, Op.XORI,
-     Op.SHLI, Op.SHRI, Op.NOT, Op.NEG, Op.LD, Op.LDB, Op.POP}
+     Op.SHLI, Op.SHRI, Op.NOT, Op.NEG, Op.LD, Op.LDB, Op.LDH, Op.POP}
 )
 
-_LOAD_SITES = frozenset({Op.LD, Op.LDB, Op.POP})
-_STORE_SITES = frozenset({Op.ST, Op.STB, Op.PUSH, Op.PUSHI})
+_LOAD_SITES = frozenset({Op.LD, Op.LDB, Op.LDH, Op.POP})
+_STORE_SITES = frozenset({Op.ST, Op.STB, Op.STH, Op.PUSH, Op.PUSHI})
+
+#: Access width by memory-site opcode (stack ops are word-sized).
+_SITE_WIDTH = {
+    Op.LD: 4, Op.ST: 4, Op.LDH: 2, Op.STH: 2, Op.LDB: 1, Op.STB: 1,
+    Op.POP: 4, Op.PUSH: 4, Op.PUSHI: 4,
+}
+
+#: width -> (alignment mask, index shift) for slab-view indexing.
+_ALIGN_SHIFT = {4: (3, 2), 2: (1, 1), 1: (0, 0)}
+
+#: width -> store-value truncation mask (sub-word stores only).
+_SIZE_MASKS = {1: 0xFF, 2: 0xFFFF}
+
+#: Sentinel "window" whose bounds test always fails (``lo=1 > hi=0``),
+#: so hoisted per-site window locals need no per-access ``None`` check.
+_NO_WINDOW = (1, 0, None, 0, None, 0)
+
+#: Straight-line instructions between countdown checkpoints in the
+#: horizon-split prefix body (stitched branches always get one).
+CHECKPOINT_INSNS = 4
+
+_WIDTHS = (4, 2, 1)
+
+
+def _checkpoint_plan(items):
+    """Checkpoint placement for the horizon-split prefix body.
+
+    Returns ``(cuts, costs)``: ``cuts[idx]`` marks a countdown
+    checkpoint *after* item ``idx``, and ``costs`` holds the exact
+    cumulative cycle cost at each checkpoint in body order (strictly
+    increasing - the dispatcher bisects it against the remaining
+    horizon budget).  A checkpoint lands after every stitched branch
+    and after every :data:`CHECKPOINT_INSNS` straight-line
+    instructions; the final item gets none (the body's own exit
+    already covers the full path, and full execution is the whole-body
+    dispatcher's job).
+    """
+    cuts = [False] * len(items)
+    costs = []
+    cost = 0
+    since = 0
+    last = len(items) - 1
+    for idx, item in enumerate(items):
+        cost += BASE_CYCLES[item[2].opcode]
+        if item[0] == "jmp" or (item[0] == "guard" and item[3]):
+            cost += INSN_BRANCH_TAKEN
+        since += 1
+        if idx == last:
+            break
+        if item[0] != "insn" or since >= CHECKPOINT_INSNS:
+            cuts[idx] = True
+            costs.append(cost)
+            since = 0
+    return cuts, tuple(costs)
+
+
+def _steady_plan(items):
+    """Loop-invariant EA descriptors for a counted body's memory sites.
+
+    Returns one ``(base_reg, offset)`` pair per memory site, in site
+    order, such that the site's effective address every iteration is
+    ``(r[base_reg]_at_loop_entry + offset) & 2^32-1`` - or ``None``
+    when any site's address cannot be proven loop-invariant.  This is
+    what lets the counted-loop fast body check each site's window,
+    alignment, and snoop preconditions *once* and run the whole loop on
+    raw slab indexing:
+
+    * a ``[base+disp]`` site is invariant when nothing in the body
+      writes ``base``;
+    * ``push``/``pop`` sites (and ``[esp+disp]`` sites) are invariant
+      when ESP is only moved by the body's own pushes and pops and the
+      net movement over one iteration is zero - each site's offset is
+      the static ESP displacement at that point.
+
+    Same deliberately conservative style as ``counted_loop_counter``:
+    a proof, not a heuristic (a ``movi`` rebasing a pointer mid-body,
+    ``pop esp``, or unbalanced stack traffic all return ``None``).
+    """
+    written = set()
+    for item in items:
+        insn = item[2]
+        if insn.opcode in _REG_WRITES:
+            written.add(insn.reg)
+    esp_clean = _ESP not in written
+    plan = []
+    off = 0
+    for item in items:
+        insn = item[2]
+        opcode = insn.opcode
+        if opcode in (Op.PUSH, Op.PUSHI):
+            if not esp_clean:
+                return None
+            off -= 4
+            plan.append((_ESP, off))
+        elif opcode is Op.POP:
+            if not esp_clean:
+                return None
+            plan.append((_ESP, off))
+            off += 4
+        elif opcode in _LOAD_SITES or opcode in _STORE_SITES:
+            base = insn.reg2
+            if base == _ESP:
+                if not esp_clean:
+                    return None
+                plan.append((_ESP, off + insn.imm))
+            elif base in written:
+                return None
+            else:
+                plan.append((base, insn.imm))
+    if off:
+        return None
+    return plan
 
 
 def _reg_usage(items):
@@ -796,7 +941,7 @@ def _reg_usage(items):
     return used | written, written
 
 
-def _flag_needs(items):
+def _flag_needs(items, cuts=None):
     """Which flag-writing items must keep ``fl`` current.
 
     Same backward scan as the block translator, with guards as an extra
@@ -804,10 +949,16 @@ def _flag_needs(items):
     closing guard/jmp is the last item, so a writer near the bottom is
     observed before the next iteration's writers can kill it -
     cross-iteration liveness needs no special casing.
+
+    ``cuts`` (prefix bodies only) adds each countdown checkpoint as an
+    observation point: a checkpoint exit writes EFLAGS back, so the
+    last flag writer before every cut must be live.
     """
     needs = [False] * len(items)
     live = True
     for idx in range(len(items) - 1, -1, -1):
+        if cuts is not None and cuts[idx]:
+            live = True
         kind = items[idx][0]
         if kind == "guard":
             live = True
@@ -826,8 +977,8 @@ def _simple(text):
     return text.isdigit() or (len(text) == 2 and text[0] == "r" and text[1].isdigit())
 
 
-def generate_trace(trace, fast=False):
-    """Generate the Python source for ``trace``'s function.
+def generate_trace(trace, fast=False, prefix=False):
+    """Generate the Python source for one of ``trace``'s bodies.
 
     The signature is ``__trace__(cpu, tr, n)``: ``n`` is the admitted
     iteration budget for looping traces (1 for linear ones).  With
@@ -835,22 +986,86 @@ def generate_trace(trace, fast=False):
     instead: the closing guard and every dead flag update are elided,
     valid for up to ``counter - 1`` iterations (the engine enforces the
     bound), with the counter's final flags reconstructed closed-form.
+
+    With ``prefix=True`` the *horizon-split* body is generated: the
+    straight path rendered linearly (one iteration, for looping traces)
+    with a countdown checkpoint at each :func:`_checkpoint_plan` cut.
+    Called as ``__trace_prefix__(cpu, tr, n)`` it executes exactly the
+    first ``n`` checkpoints' worth of instructions, then writes back
+    every register, EFLAGS, the exact cycle/retire charge, and the
+    checkpoint's boundary EIP - architectural state bit-identical to
+    single-stepping the same instructions.  Checkpoints are flag
+    observation points, so the prefix body elides less than the full
+    body; it only ever runs for the sub-horizon tail of a dispatch.
     """
     items = trace.items[:-1] if fast else trace.items
-    looping = trace.looping
+    looping = trace.looping and not prefix  # the prefix body is linear
     used, written = _reg_usage(items)
-    needs = [False] * len(items) if fast else _flag_needs(items)
-    load_sites = sum(1 for it in items if it[0] == "insn" and it[2].opcode in _LOAD_SITES)
-    store_sites = sum(1 for it in items if it[0] == "insn" and it[2].opcode in _STORE_SITES)
-    has_mem = bool(load_sites or store_sites)
+    cuts = _checkpoint_plan(items)[0] if prefix else None
+    needs = [False] * len(items) if fast else _flag_needs(items, cuts)
+    load_n = {1: 0, 2: 0, 4: 0}
+    store_n = {1: 0, 2: 0, 4: 0}
+    site_meta = []  # (width, is_store) per memory site, in site order
+    for it in items:
+        if it[0] != "insn":
+            continue
+        opcode = it[2].opcode
+        if opcode in _LOAD_SITES:
+            load_n[_SITE_WIDTH[opcode]] += 1
+            site_meta.append((_SITE_WIDTH[opcode], False))
+        elif opcode in _STORE_SITES:
+            store_n[_SITE_WIDTH[opcode]] += 1
+            site_meta.append((_SITE_WIDTH[opcode], True))
+    sites = len(site_meta)
+    load_sites = sum(load_n.values())
+    store_sites = sum(store_n.values())
+    has_mem = bool(sites)
+    #: Fast bodies with memory run in *steady state*: every EA is
+    #: loop-invariant (:func:`_steady_plan`), so the prologue checks
+    #: each site's window/alignment/snoop preconditions once and the
+    #: loop itself is raw slab indexing.  Any precondition failure
+    #: returns ``False`` before touching state - the dispatcher falls
+    #: back to the general body, whose slow paths install the windows.
+    plan = _steady_plan(items) if fast and has_mem else None
+    assert plan is not None or not (fast and has_mem)
+    #: When the counter register is touched by nothing but its own
+    #: ``subi reg, 1`` (the common dedicated-counter loop), even the
+    #: per-iteration decrement is dead inside the fast body: no other
+    #: item observes the intermediate values, so the whole countdown is
+    #: applied closed-form (``r -= n``) after the loop.
+    counter_lone = False
+    if fast:
+        counter = trace.counter_reg
+        counter_lone = True
+        for it in items:
+            if it[0] != "insn":
+                continue
+            op = it[2].opcode
+            if op in (Op.PUSHI, Op.NOP):
+                continue
+            if it[2].reg == counter and not (op is Op.SUBI and it[2].imm == 1):
+                counter_lone = False
+                break
+            if op in _TWO_REG and it[2].reg2 == counter:
+                counter_lone = False
+                break
+    #: Looping bodies re-run every memory site each iteration, so the
+    #: window bounds/view/base are hoisted into per-site locals once
+    #: per dispatch (refreshed whenever a slow path installs a window).
+    hoist = looping and has_mem and not fast
     out = _Source()
-    name = "__trace_fast__" if fast else "__trace__"
+    name = (
+        "__trace_prefix__" if prefix
+        else ("__trace_fast__" if fast else "__trace__")
+    )
     out.emit(0, "def %s(cpu, tr, n):" % name)
     out.emit(1, "regs = cpu.regs")
     out.emit(1, "r = regs.gpr")
     if has_mem:
         out.emit(1, "memory = cpu.memory")
         out.emit(1, "W = tr.windows")
+        if load_sites and not fast:
+            out.emit(1, "W2 = tr.windows2")
     if store_sites:
         out.emit(1, "S = memory.snooped_pages")
     out.emit(1, "clock = cpu.clock")
@@ -860,12 +1075,44 @@ def generate_trace(trace, fast=False):
     if not fast:
         out.emit(1, "p = 0")
         out.emit(1, "ret = 0")
-        if load_sites:
-            out.emit(1, "lh = 0")
-        if store_sites:
-            out.emit(1, "sh = 0")
         if looping and has_mem:
             out.emit(1, "n0 = n")
+    if hoist:
+        for site in range(sites):
+            out.emit(1, "w = W[%d]" % site)
+            out.emit(1, "if w is None:")
+            out.emit(2, "w = NW")
+            out.emit(
+                1,
+                "w%dl, w%dh, w%dv, w%db = w[:4]" % (site, site, site, site),
+            )
+    if plan is not None:
+        # steady preconditions: one window/alignment/snoop check per
+        # site covers all n iterations, because the EAs are proven
+        # loop-invariant.  Pure reads only before any return False.
+        for site, (breg, off) in enumerate(plan):
+            width, is_store = site_meta[site]
+            if not off:
+                ea = "r%d" % breg
+            elif off < 0:
+                ea = "(r%d - %d) & 4294967295" % (breg, -off)
+            else:
+                ea = "(r%d + %d) & 4294967295" % (breg, off)
+            out.emit(1, "e = %s" % ea)
+            out.emit(1, "w = W[%d]" % site)
+            mask, shift = _ALIGN_SHIFT[width]
+            cond = "w is None or not w[0] <= e <= w[1]"
+            if mask:
+                cond += " or e & %d" % mask
+            if is_store:
+                cond += " or e >> 8 in S"
+            out.emit(1, "if %s:" % cond)
+            out.emit(2, "return False")
+            out.emit(1, "m%d = w[2]" % site)
+            if shift:
+                out.emit(1, "i%d = (e >> %d) - w[3]" % (site, shift))
+            else:
+                out.emit(1, "i%d = e - w[3]" % site)
     if fast:
         out.emit(1, "for _ in range(n):")
         em = _FoldEmitter(out, 2)
@@ -884,6 +1131,33 @@ def generate_trace(trace, fast=False):
             else:
                 out.emit(ind, "r[%d] = %s" % (j, expr if clean else "%s & 4294967295" % expr))
 
+    def emit_slab_hits(ind, kl, ks, loop_end=False):
+        """Per-width slab hit credit at an exit point.
+
+        ``kl``/``ks`` count the load/store sites *passed* at this point
+        in the current iteration (miss paths pre-decrement the counter,
+        so passed == hit).  Looping bodies add the completed-iteration
+        term; ``loop_end`` is the natural while-exit where all ``n0``
+        iterations completed.
+        """
+        for name_, totals, counts in (("SL", load_n, kl), ("SS", store_n, ks)):
+            for width in _WIDTHS:
+                per_iter = totals[width]
+                if not per_iter and not counts.get(width):
+                    continue
+                if looping:
+                    if loop_end:
+                        expr = "n0 * %d" % per_iter
+                    elif counts.get(width):
+                        expr = "(n0 - n - 1) * %d + %d" % (per_iter, counts[width])
+                    else:
+                        expr = "(n0 - n - 1) * %d" % per_iter
+                elif counts.get(width):
+                    expr = "%d" % counts[width]
+                else:
+                    continue
+                out.emit(ind, "%s%d.hits += %s" % (name_, width, expr))
+
     def emit_exit(ind, eip, ret_k, cyc, kl, ks, guard=False):
         emit_writebacks(ind)
         out.emit(ind, "regs.eflags = fl")
@@ -897,16 +1171,7 @@ def generate_trace(trace, fast=False):
             out.emit(ind, "q = p")
         out.emit(ind, "if q:")
         out.emit(ind + 1, "clock.charge(q)")
-        if load_sites:
-            if looping:
-                out.emit(ind, "SL.hits += (n0 - n - 1) * %d + %d + lh" % (load_sites, kl))
-            else:
-                out.emit(ind, "SL.hits += %d + lh" % kl)
-        if store_sites:
-            if looping:
-                out.emit(ind, "SS.hits += (n0 - n - 1) * %d + %d + sh" % (store_sites, ks))
-            else:
-                out.emit(ind, "SS.hits += %d + sh" % ks)
+        emit_slab_hits(ind, kl, ks)
         out.emit(ind, "regs.eip = %d" % eip)
         if guard:
             out.emit(ind, "ge()")
@@ -927,6 +1192,81 @@ def generate_trace(trace, fast=False):
         out.emit(ind, "regs.eip = %d" % address)
         out.emit(ind, "regs.eflags = fl")
         emit_writebacks(ind)
+
+    def win_cond(site, width, ea):
+        """Window-hit test (bounds + alignment) for memory site ``site``."""
+        mask = _ALIGN_SHIFT[width][0]
+        if hoist:
+            cond = "w%dl <= %s <= w%dh" % (site, ea, site)
+        else:
+            cond = "w is not None and w[0] <= %s <= w[1]" % ea
+        if mask:
+            cond += " and not %s & %d" % (ea, mask)
+        return cond
+
+    def win_index(site, width, ea):
+        """Direct slab-view index expression for a window hit."""
+        shift = _ALIGN_SHIFT[width][1]
+        view = "w%dv" % site if hoist else "w[2]"
+        base_l = "w%db" % site if hoist else "w[3]"
+        if shift:
+            return "%s[(%s >> %d) - %s]" % (view, ea, shift, base_l)
+        return "%s[%s - %s]" % (view, ea, base_l)
+
+    def victim_cond(width, ea):
+        """Victim-window hit test (the ``w2`` local holds ``W2[site]``).
+
+        Checked between the primary window and the slow path, so a load
+        whose EA alternates between two regions stays on the slab
+        instead of thrashing one slot into a slow call per iteration."""
+        mask = _ALIGN_SHIFT[width][0]
+        cond = "w2 is not None and w2[0] <= %s <= w2[1]" % ea
+        if mask:
+            cond += " and not %s & %d" % (ea, mask)
+        return cond
+
+    def victim_index(width, ea):
+        shift = _ALIGN_SHIFT[width][1]
+        if shift:
+            return "w2[2][(%s >> %d) - w2[3]]" % (ea, shift)
+        return "w2[2][%s - w2[3]]" % ea
+
+    def emit_unaligned_loads(ind, site, x, size, ea):
+        """In-window *misaligned* load arms (widths 2/4 only), tried
+        after the aligned victim test and before the slow path.
+
+        The window's range already proves MPU read permission for any
+        start address in ``[lo, hi - size]`` - only the typed slab view
+        needs alignment - so a misaligned hit reads its span off the
+        region's byte slab (``w[4]``/``w[5]`` of the window tuple)
+        instead of paying a checked slow call.  Without this, a load
+        whose EA alternates between an aligned and a misaligned target
+        takes the slow path every other access even with the victim
+        slot holding both windows."""
+        if hoist:
+            bounds = "w%dl <= %s <= w%dh" % (site, ea, site)
+        else:
+            bounds = "w is not None and w[0] <= %s <= w[1]" % ea
+        out.emit(ind, "elif %s:" % bounds)
+        if hoist:
+            out.emit(ind + 1, "w = W[%d]" % site)
+        out.emit(ind + 1, "j = %s - w[5]" % ea)
+        out.emit(ind + 1, 'r%d = int.from_bytes(w[4][j:j + %d], "little")' % (x, size))
+        out.emit(ind, "elif w2 is not None and w2[0] <= %s <= w2[1]:" % ea)
+        out.emit(ind + 1, "j = %s - w2[5]" % ea)
+        out.emit(ind + 1, 'r%d = int.from_bytes(w2[4][j:j + %d], "little")' % (x, size))
+
+    def win_refresh(ind, site):
+        """Re-read a site's hoisted window locals after a slow path
+        (which may have installed or re-installed the window)."""
+        if not hoist:
+            return
+        out.emit(ind, "w = W[%d]" % site)
+        out.emit(ind, "if w is not None:")
+        out.emit(
+            ind + 1,
+            "w%dl, w%dh, w%dv, w%db = w[:4]" % (site, site, site, site),
+        )
 
     def emit_fl(carry=None, overflow=None):
         em.emit("fl = fl & %d" % _FLAG_KEEP)
@@ -958,48 +1298,56 @@ def generate_trace(trace, fast=False):
             return "(%s + %d) & 4294967295" % (expr, insn.imm)
         return expr
 
-    def emit_store_paths(k, ea, value, size, address, nxt, base_c, ret_k, cyc, ks):
-        """Window-hit fast path (snoop probe + slab write) and checked
-        slow path of a store; both end with the self-modification abort."""
+    def emit_store_paths(site, ea, value, size, address, nxt, base_c, ret_k, cyc):
+        """Window-hit fast path (single snoop-page probe + direct slab
+        write) and checked slow path of a store; both end with the
+        self-modification abort.  An access aligned to its own width
+        never crosses a 256-byte snoop page, so one probe suffices -
+        the window test already proved the alignment."""
         bytes_of = "(%s)" % value if value.isdigit() else value
-        em.emit("w = W[%d]" % k)
-        em.emit("if w is not None and w[0] <= %s <= w[1]:" % ea)
+        if not hoist:
+            em.emit("w = W[%d]" % site)
+        em.emit("if %s:" % win_cond(site, size, ea))
         ind = em.indent + 1
-        if size == 4:
-            probe = "%s >> 8 in S or (%s + 3) >> 8 in S" % (ea, ea)
-        else:
-            probe = "%s >> 8 in S" % ea
-        out.emit(ind, "if %s:" % probe)
+        out.emit(ind, "if %s >> 8 in S:" % ea)
         out.emit(ind + 1, 'memory.write_raw(%s, %s.to_bytes(%d, "little"))' % (ea, bytes_of, size))
-        out.emit(ind + 1, "sh -= 1")
-        out.emit(ind + 1, "SS.misses += 1")
+        out.emit(ind + 1, "SS%d.misses += 1" % size)
+        out.emit(ind + 1, "SS%d.hits -= 1" % size)
         out.emit(ind + 1, "if not tr.valid:")
-        emit_exit(ind + 2, nxt, ret_k + 1, cyc + base_c, KL, ks + 1)
+        ks2 = dict(KS)
+        ks2[size] += 1
+        emit_exit(ind + 2, nxt, ret_k + 1, cyc + base_c, dict(KL), ks2)
         out.emit(ind, "else:")
-        if size == 4:
-            out.emit(ind + 1, "o = %s - w[4]" % ea)
-            out.emit(ind + 1, "wv = w[3]")
-            out.emit(ind + 1, "if wv is not None and not o & 3:")
-            out.emit(ind + 2, "wv[o >> 2] = %s" % value)
-            out.emit(ind + 1, "else:")
-            out.emit(ind + 2, 'w[5][o:o + 4] = %s.to_bytes(4, "little")' % bytes_of)
-        else:
-            out.emit(ind + 1, "w[5][%s - w[4]] = %s" % (ea, value))
+        out.emit(ind + 1, "%s = %s" % (win_index(site, size, ea), value))
         em.emit("else:")
         slow_entry(ind, address, base_c, ret_k, cyc)
-        out.emit(ind, "ram = slow_store(cpu, tr, %d, %s, %s, %d, %d)" % (k, ea, value, size, address))
+        out.emit(ind, "ram = slow_store(cpu, tr, %d, %s, %s, %d, %d)" % (site, ea, value, size, address))
         out.emit(ind, "cpu.retired += 1")
-        out.emit(ind, "sh -= 1")
-        out.emit(ind, "SS.misses += 1")
+        out.emit(ind, "SS%d.misses += 1" % size)
         out.emit(ind, "if not ram or not tr.valid:")
+        emit_slab_hits(ind + 1, dict(KL), dict(KS))
         out.emit(ind + 1, "regs.eip = %d" % nxt)
         out.emit(ind + 1, "return")
+        out.emit(ind, "SS%d.hits -= 1" % size)
+        win_refresh(ind, site)
 
     K = 0  # instructions retired before the current item (one iteration)
     C = 0  # cycles accrued before the current item (one iteration)
-    KL = 0  # load sites passed so far (slab-counter constants)
-    KS = 0  # store sites passed so far
+    KL = {1: 0, 2: 0, 4: 0}  # load sites passed so far, by width
+    KS = {1: 0, 2: 0, 4: 0}  # store sites passed so far, by width
     k = 0  # memory-site index (window slot)
+
+    def emit_checkpoint(idx, eip):
+        """Countdown checkpoint (prefix bodies): exit at the boundary
+        with exact architectural state once the admitted budget runs
+        out.  Reads ``K``/``C``/``KL``/``KS`` at call time, i.e. the
+        state *after* the item the cut follows."""
+        if cuts is None or not cuts[idx]:
+            return
+        em.emit("n -= 1")
+        em.emit("if not n:")
+        emit_exit(em.indent + 1, eip, K, C, dict(KL), dict(KS))
+
     for idx, item in enumerate(items):
         kind = item[0]
         address = item[1]
@@ -1013,20 +1361,29 @@ def generate_trace(trace, fast=False):
                 em.emit("if not (%s):" % cond)
             else:
                 em.emit("if %s:" % cond)
-            emit_exit(em.indent + 1, address, K, C, KL, KS, guard=True)
+            emit_exit(em.indent + 1, address, K, C, dict(KL), dict(KS), guard=True)
             K += 1
             C += base_c + (INSN_BRANCH_TAKEN if chosen_taken else 0)
+            emit_checkpoint(idx, item[4])
             continue
         if kind == "jmp":
             K += 1
             C += base_c + INSN_BRANCH_TAKEN
+            emit_checkpoint(idx, item[3])
             continue
         x = insn.reg
         y = insn.reg2
         nxt = address + insn.length
         if opcode in ALU_OPS:
             flags = needs[idx]
-            if opcode is Op.NOP or opcode in (Op.CMP, Op.CMPI) and not flags:
+            if (
+                counter_lone
+                and opcode is Op.SUBI
+                and x == trace.counter_reg
+                and insn.imm == 1
+            ):
+                pass  # countdown applied closed-form after the loop
+            elif opcode is Op.NOP or opcode in (Op.CMP, Op.CMPI) and not flags:
                 pass
             elif opcode is Op.MOVI:
                 em.set_const(x, insn.imm)
@@ -1147,56 +1504,120 @@ def generate_trace(trace, fast=False):
                     emit_fl()  # logic clears CF and OF
             K += 1
             C += base_c
+            emit_checkpoint(idx, nxt)
             continue
 
-        # -- memory items (never generated in fast mode) ---------------
-        if opcode in (Op.LD, Op.LDB):
-            size = 4 if opcode is Op.LD else 1
+        # -- memory items ----------------------------------------------
+        if fast:
+            # steady body: the prologue proved window hit, alignment,
+            # and (for stores) a snoop-free page for this site's
+            # invariant EA, so the access is a raw slab index.  Cycles,
+            # retires, and slab hit counters are all charged closed-form
+            # after the loop.
+            if opcode in (Op.LD, Op.LDH, Op.LDB):
+                em.flush_dependents(x)
+                em.emit("r%d = m%d[i%d]" % (x, k, k))
+                em.drop(x)
+            elif opcode in (Op.ST, Op.STH, Op.STB):
+                size = _SITE_WIDTH[opcode]
+                # Spill a pending value chain into its register local
+                # instead of rendering it into the store: in a steady
+                # loop the chain almost always feeds later uses too, and
+                # inlining would compute it here and again at the
+                # loop-bottom spill.
+                if not em.ops[x] and isinstance(em.base[x], int):
+                    value = str(em.base[x])
+                else:
+                    em.materialize(x)
+                    value = "r%d" % x
+                if size != 4:
+                    mask = _SIZE_MASKS[size]
+                    value = (
+                        str(int(value) & mask) if value.isdigit()
+                        else "(%s & %d)" % (value, mask)
+                    )
+                em.emit("m%d[i%d] = %s" % (k, k, value))
+            elif opcode in (Op.PUSH, Op.PUSHI):
+                # value read before the ESP move (push esp stores the
+                # old value); the EA itself comes from the plan.
+                if opcode is Op.PUSH and x != _ESP:
+                    # same spill-don't-inline policy as the store arm
+                    if not em.ops[x] and isinstance(em.base[x], int):
+                        value = str(em.base[x])
+                    else:
+                        em.materialize(x)
+                        value = "r%d" % x
+                elif opcode is Op.PUSH:
+                    # push esp: render inline so the pending ESP chain
+                    # (which balanced push/pop cancellation may yet
+                    # erase) is not spilled mid-iteration.
+                    value, _, __ = em.value_expr(None, x, need_clean=True)
+                else:
+                    value = str(insn.imm & _M)
+                em.emit("m%d[i%d] = %s" % (k, k, value))
+                em.apply_add(_ESP, -1, 4)
+            else:  # POP (pop esp is rejected by the plan)
+                em.flush_dependents(x)
+                em.emit("r%d = m%d[i%d]" % (x, k, k))
+                em.apply_add(_ESP, 1, 4)
+                em.drop(x)
+            k += 1
+            K += 1
+            C += base_c
+            continue
+        if opcode in (Op.LD, Op.LDH, Op.LDB):
+            size = _SITE_WIDTH[opcode]
             ea = addr_text(insn)
             if not _simple(ea):
                 em.emit("ea = %s" % ea)
                 ea = "ea"
             em.flush_dependents(x)
-            em.emit("w = W[%d]" % k)
-            em.emit("if w is not None and w[0] <= %s <= w[1]:" % ea)
+            if not hoist:
+                em.emit("w = W[%d]" % k)
+            em.emit("if %s:" % win_cond(k, size, ea))
             ind = em.indent + 1
-            if size == 4:
-                out.emit(ind, "o = %s - w[4]" % ea)
-                out.emit(ind, "wv = w[3]")
-                out.emit(ind, "if wv is not None and not o & 3:")
-                out.emit(ind + 1, "r%d = wv[o >> 2]" % x)
-                out.emit(ind, "else:")
-                out.emit(ind + 1, 'r%d = int.from_bytes(w[5][o:o + 4], "little")' % x)
-            else:
-                out.emit(ind, "r%d = w[5][%s - w[4]]" % (x, ea))
+            out.emit(ind, "r%d = %s" % (x, win_index(k, size, ea)))
             em.emit("else:")
+            out.emit(ind, "w2 = W2[%d]" % k)
+            out.emit(ind, "if %s:" % victim_cond(size, ea))
+            out.emit(ind + 1, "r%d = %s" % (x, victim_index(size, ea)))
+            if _ALIGN_SHIFT[size][0]:
+                emit_unaligned_loads(ind, k, x, size, ea)
+            out.emit(ind, "else:")
+            ind += 1
             slow_entry(ind, address, base_c, K, C)
             out.emit(ind, "v, ram = slow_load(cpu, tr, %d, %s, %d, %d)" % (k, ea, size, address))
             out.emit(ind, "cpu.retired += 1")
-            out.emit(ind, "lh -= 1")
-            out.emit(ind, "SL.misses += 1")
+            out.emit(ind, "SL%d.misses += 1" % size)
             out.emit(ind, "r%d = v" % x)
             out.emit(ind, "if not ram:")
             out.emit(ind + 1, "r[%d] = v" % x)
+            emit_slab_hits(ind + 1, dict(KL), dict(KS))
             out.emit(ind + 1, "regs.eip = %d" % nxt)
             out.emit(ind + 1, "return")
+            out.emit(ind, "SL%d.hits -= 1" % size)
+            win_refresh(ind, k)
             em.drop(x)
-            KL += 1
+            KL[size] += 1
             k += 1
-        elif opcode in (Op.ST, Op.STB):
-            size = 4 if opcode is Op.ST else 1
+        elif opcode in (Op.ST, Op.STH, Op.STB):
+            size = _SITE_WIDTH[opcode]
             ea = addr_text(insn)
             if not _simple(ea):
                 em.emit("ea = %s" % ea)
                 ea = "ea"
             value, _, __ = em.value_expr(None, x, need_clean=True)
-            if size == 1:
-                value = str(int(value) & 255) if value.isdigit() else "(%s & 255)" % value
+            if size != 4:
+                mask = _SIZE_MASKS[size]
+                value = (
+                    str(int(value) & mask) if value.isdigit()
+                    else "(%s & %d)" % (value, mask)
+                )
             if not _simple(value):
                 em.emit("v = %s" % value)
                 value = "v"
-            emit_store_paths(k, ea, value, size, address, nxt, base_c, K, C, KS)
-            KS += 1
+            emit_store_paths(k, ea, value, size, address, nxt, base_c, K, C)
+            KS[size] += 1
             k += 1
         elif opcode in (Op.PUSH, Op.PUSHI):
             # push reads its operand *before* decrementing ESP (so
@@ -1211,8 +1632,8 @@ def generate_trace(trace, fast=False):
                 value = str(insn.imm & _M)
             em.apply_add(_ESP, -1, 4)
             em.materialize(_ESP)
-            emit_store_paths(k, "r4", value, 4, address, nxt, base_c, K, C, KS)
-            KS += 1
+            emit_store_paths(k, "r4", value, 4, address, nxt, base_c, K, C)
+            KS[4] += 1
             k += 1
         elif opcode is Op.POP:
             # pop loads first (a faulting load leaves ESP and the
@@ -1220,38 +1641,42 @@ def generate_trace(trace, fast=False):
             # destination - so ``pop esp`` ends with the loaded value.
             em.materialize(_ESP)
             em.flush_dependents(x)
-            em.emit("w = W[%d]" % k)
-            em.emit("if w is not None and w[0] <= r4 <= w[1]:")
+            if not hoist:
+                em.emit("w = W[%d]" % k)
+            em.emit("if %s:" % win_cond(k, 4, "r4"))
             ind = em.indent + 1
-            out.emit(ind, "o = r4 - w[4]")
-            out.emit(ind, "wv = w[3]")
-            out.emit(ind, "if wv is not None and not o & 3:")
-            out.emit(ind + 1, "v = wv[o >> 2]")
-            out.emit(ind, "else:")
-            out.emit(ind + 1, 'v = int.from_bytes(w[5][o:o + 4], "little")')
+            out.emit(ind, "v = %s" % win_index(k, 4, "r4"))
             em.emit("else:")
+            out.emit(ind, "w2 = W2[%d]" % k)
+            out.emit(ind, "if %s:" % victim_cond(4, "r4"))
+            out.emit(ind + 1, "v = %s" % victim_index(4, "r4"))
+            out.emit(ind, "else:")
+            ind += 1
             slow_entry(ind, address, base_c, K, C)
             out.emit(ind, "v, ram = slow_load(cpu, tr, %d, r4, 4, %d)" % (k, address))
             out.emit(ind, "cpu.retired += 1")
-            out.emit(ind, "lh -= 1")
-            out.emit(ind, "SL.misses += 1")
+            out.emit(ind, "SL4.misses += 1")
             out.emit(ind, "if not ram:")
             out.emit(ind + 1, "r4 = (r4 + 4) & 4294967295")
             out.emit(ind + 1, "r%d = v" % x)
             out.emit(ind + 1, "r[4] = r4")
             if x != _ESP:
                 out.emit(ind + 1, "r[%d] = r%d" % (x, x))
+            emit_slab_hits(ind + 1, dict(KL), dict(KS))
             out.emit(ind + 1, "regs.eip = %d" % nxt)
             out.emit(ind + 1, "return")
+            out.emit(ind, "SL4.hits -= 1")
+            win_refresh(ind, k)
             em.emit("r4 = (r4 + 4) & 4294967295")
             em.emit("r%d = v" % x)
             em.drop(x)
-            KL += 1
+            KL[4] += 1
             k += 1
         else:  # pragma: no cover - the builder filters opcodes
             raise AssertionError("untranslatable op %r at 0x%X" % (opcode, address))
         K += 1
         C += base_c
+        emit_checkpoint(idx, nxt)
 
     if fast:
         # loop-bottom fixpoint, then closed-form accounting: the body
@@ -1260,6 +1685,10 @@ def generate_trace(trace, fast=False):
         # observable in between.
         em.materialize_all()
         counter = trace.counter_reg
+        if counter_lone:
+            # the elided per-iteration decrements, applied at once
+            # (the bound keeps the counter >= 1, so no wraparound)
+            out.emit(1, "r%d = r%d - n" % (counter, counter))
         out.emit(1, "fl = fl & %d" % _FLAG_KEEP)
         out.emit(1, "if r%d & %d:" % (counter, _SIGN))
         out.emit(2, "fl |= 128")
@@ -1267,6 +1696,11 @@ def generate_trace(trace, fast=False):
         out.emit(2, "fl |= 2048")
         out.emit(1, "cpu.retired += n * %d" % trace.iter_retire)
         out.emit(1, "clock.charge(n * %d)" % trace.iter_cost)
+        for width in _WIDTHS:
+            if load_n[width]:
+                out.emit(1, "SL%d.hits += n * %d" % (width, load_n[width]))
+            if store_n[width]:
+                out.emit(1, "SS%d.hits += n * %d" % (width, store_n[width]))
         emit_writebacks(1)
         out.emit(1, "regs.eflags = fl")
         out.emit(1, "regs.eip = %d" % trace.start)
@@ -1282,31 +1716,46 @@ def generate_trace(trace, fast=False):
         out.emit(1, "cpu.retired += ret")
         out.emit(1, "if p:")
         out.emit(2, "clock.charge(p)")
-        if load_sites:
-            out.emit(1, "SL.hits += n0 * %d + lh" % load_sites)
-        if store_sites:
-            out.emit(1, "SS.hits += n0 * %d + sh" % store_sites)
+        emit_slab_hits(1, {}, {}, loop_end=True)
         out.emit(1, "regs.eip = %d" % trace.start)
     else:
-        emit_exit(1, trace.exit_eip, K, C, KL, KS)
+        # linear trace, or the linearized prefix body: a prefix body
+        # that outlives its last checkpoint ran the whole straight
+        # path, so a looping trace's prefix ends back at the head.
+        final_eip = trace.start if trace.looping else trace.exit_eip
+        emit_exit(1, final_eip, K, C, dict(KL), dict(KS))
     return out.source()
 
 
-def translate_trace(trace, counters):
-    """Compile ``trace`` in place: fills ``run``, ``source``, ``windows``
-    (and ``run_fast`` for provably counted, memory-free loop bodies)."""
+def _trace_namespace(counters):
+    """Globals shared by every generated trace body."""
     # Deferred import: repro.perf.translate imports this module at load
     # time (the engine owns the JIT), so the module-level direction of
     # the dependency has to stay one-way.
     from repro.perf.translate import _slow_load, _slow_store
 
-    namespace = {
+    return {
         "slow_load": _slow_load,
         "slow_store": _slow_store,
-        "SL": counters.slab_loads,
-        "SS": counters.slab_stores,
+        "NW": _NO_WINDOW,
+        "SL4": counters.slab_loads,
+        "SS4": counters.slab_stores,
+        "SL2": counters.slab_loads_u16,
+        "SS2": counters.slab_stores_u16,
+        "SL1": counters.slab_loads_u8,
+        "SS1": counters.slab_stores_u8,
         "ge": counters.guard_exits.add,
     }
+
+
+def translate_trace(trace, counters):
+    """Compile ``trace`` in place: fills ``run``, ``source``, ``windows``,
+    ``checkpoints`` (and ``run_fast`` for provably counted loop bodies
+    that are memory-free or whose every memory EA is loop-invariant,
+    see :func:`_steady_plan`).  The prefix body compiles lazily on
+    first prefix admission (:meth:`TraceJIT._compile_prefix`) - most
+    traces never need one."""
+    namespace = _trace_namespace(counters)
     source = generate_trace(trace)
     code = compile(source, "<trace@0x%X>" % trace.start, "exec")
     exec(code, namespace)
@@ -1315,9 +1764,13 @@ def translate_trace(trace, counters):
         if item[0] == "insn" and item[2].opcode in MEM_OPS
     )
     trace.windows = [None] * mem_sites
+    trace.windows2 = [None] * mem_sites
+    trace.checkpoints = _checkpoint_plan(trace.items)[1]
     trace.source = source
     trace.run = namespace["__trace__"]
-    if trace.counter_reg is not None and mem_sites == 0:
+    if trace.counter_reg is not None and (
+        mem_sites == 0 or _steady_plan(trace.items[:-1]) is not None
+    ):
         fast_source = generate_trace(trace, fast=True)
         fast_code = compile(fast_source, "<trace-fast@0x%X>" % trace.start, "exec")
         exec(fast_code, namespace)
@@ -1416,6 +1869,7 @@ class TraceJIT:
         clock = cpu.clock
         horizon = self.engine.horizon
         limit = horizon() if horizon is not None else None
+        counters = self.counters
         if trace.looping:
             if limit is None:
                 iters = DEFAULT_LOOP_ITERS
@@ -1423,29 +1877,103 @@ class TraceJIT:
                 iters = (limit - clock.now) // trace.iter_cost
                 if iters <= 0:
                     # Not even one whole iteration fits before an IRQ
-                    # can become pending: fall back a tier.
-                    self.engine.deferrals.add()
-                    return None
+                    # can become pending: admit a checkpoint prefix of
+                    # a single iteration instead of falling back a tier.
+                    return self._dispatch_prefix(cpu, trace, limit)
                 if iters > MAX_LOOP_ITERS:
                     iters = MAX_LOOP_ITERS
             cache.stats.hits += 1
+            counters.admits_full.add()
             before = clock.now
             if trace.run_fast is not None:
                 bound = cpu.regs.gpr[trace.counter_reg] - 1
                 if bound > iters:
                     bound = iters
-                if bound >= 1:
-                    trace.run_fast(cpu, trace, bound)
+                # A steady body (counted loop with memory) returns False
+                # without touching state when a window/alignment/snoop
+                # precondition fails; the general body below then runs
+                # and its slow paths install the missing windows.
+                if bound >= 1 and trace.run_fast(cpu, trace, bound) is not False:
+                    self._prefix_tail(cpu, trace, limit)
                     self.pending_edge = cpu.regs.eip
                     return clock.now - before
             trace.run(cpu, trace, iters)
+            self._prefix_tail(cpu, trace, limit)
             self.pending_edge = cpu.regs.eip
             return clock.now - before
         if limit is not None and clock.now + trace.iter_cost > limit:
-            self.engine.deferrals.add()
-            return None
+            # The whole straight path does not fit: admit its largest
+            # checkpoint prefix instead.
+            return self._dispatch_prefix(cpu, trace, limit)
         cache.stats.hits += 1
+        counters.admits_full.add()
         before = clock.now
         trace.run(cpu, trace, 1)
         self.pending_edge = cpu.regs.eip
         return clock.now - before
+
+    def _compile_prefix(self, trace):
+        """Lazily compile the horizon-split prefix body (most traces
+        never need one, so :func:`translate_trace` skips it)."""
+        namespace = _trace_namespace(self.counters)
+        source = generate_trace(trace, prefix=True)
+        code = compile(source, "<trace-prefix@0x%X>" % trace.start, "exec")
+        exec(code, namespace)
+        run_prefix = namespace["__trace_prefix__"]
+        trace.run_prefix = run_prefix
+        trace.source = (trace.source or "") + "\n" + source
+        return run_prefix
+
+    def _dispatch_prefix(self, cpu, trace, limit):
+        """Admit the largest checkpoint prefix of one body iteration.
+
+        ``trace.checkpoints`` holds the exact cumulative cycle cost at
+        each countdown checkpoint, strictly increasing, so one bisect
+        finds how many checkpoints fit before the horizon.  Zero means
+        the dispatch falls back a tier (counted as a reject *and* an
+        engine deferral, like the old whole-body refusal).
+        """
+        counters = self.counters
+        clock = cpu.clock
+        n = bisect_right(trace.checkpoints, limit - clock.now)
+        if n <= 0:
+            counters.admits_reject.add()
+            self.engine.deferrals.add()
+            return None
+        run_prefix = trace.run_prefix
+        if run_prefix is None:
+            run_prefix = self._compile_prefix(trace)
+        self.cache.stats.hits += 1
+        counters.admits_prefix.add()
+        before = clock.now
+        run_prefix(cpu, trace, n)
+        self.pending_edge = cpu.regs.eip
+        return clock.now - before
+
+    def _prefix_tail(self, cpu, trace, limit):
+        """Spend the sub-iteration remainder of the horizon budget.
+
+        Called after a fully-admitted looping run: when the trace is
+        still valid and execution ended back at the loop head with less
+        than one whole iteration of budget left, the largest checkpoint
+        prefix of the next iteration still fits by construction - the
+        checkpoint costs are a prefix of the iteration cost the
+        admission test already bounded.
+        """
+        if limit is None or not trace.valid:
+            return
+        if cpu.regs.eip != trace.start:
+            return  # guard exit or self-modification abort mid-body
+        clock = cpu.clock
+        if limit - clock.now >= trace.iter_cost:
+            # A whole iteration still fits (counted loop ran out of
+            # counter, not budget): leave it to the next dispatch.
+            return
+        n = bisect_right(trace.checkpoints, limit - clock.now)
+        if n <= 0:
+            return
+        run_prefix = trace.run_prefix
+        if run_prefix is None:
+            run_prefix = self._compile_prefix(trace)
+        self.counters.admits_prefix.add()
+        run_prefix(cpu, trace, n)

