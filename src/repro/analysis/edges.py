@@ -1,0 +1,92 @@
+"""Valid taken-transfer edges of a task image (link-base-0 offsets).
+
+One extraction, two consumers: the :class:`~repro.core.cfi.CfiWatchdog`
+validates transfers online against these sets, and the
+:class:`~repro.cfa.verifier.PathVerifier` replays recorded path evidence
+against them offline.  Both used to carry private decode walkers; the
+edge model is now derived from the :class:`~repro.analysis.cfg.CodeModel`
+linear sweep so branch-target decoding lives in exactly one place.
+
+The sweep stops at the first undecodable byte, which in TELF images is
+normally the start of the data section; bytes beyond it never execute
+legitimately (the EA-MPU would still let them - code and data share the
+task region) so transfers touching unswept offsets are violations,
+catching jumps into data too.
+
+Targets are the *raw* branch immediates (``insn.imm``), not the
+relocation-gated targets recursive descent uses: the consumers compare
+against link-base-0 offsets after subtracting the load base, and an
+unrelocated branch is a decode-soundness finding for the static
+verifier, not a reason to widen the runtime edge set.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import CONDITIONAL_BRANCHES, Op
+
+from .cfg import CodeModel
+
+
+class EdgeModel:
+    """Static control-flow edges of one image, from the linear sweep."""
+
+    __slots__ = (
+        "branch_targets",
+        "return_sites",
+        "ret_offsets",
+        "instruction_starts",
+        "swept_end",
+    )
+
+    def __init__(self):
+        #: offset of each decoded instruction -> set of valid direct
+        #: branch targets (offsets) for that instruction; empty set for
+        #: non-branch instructions.
+        self.branch_targets = {}
+        #: offsets that are valid return sites (call continuations).
+        self.return_sites = set()
+        #: offsets of ``ret`` instructions.
+        self.ret_offsets = set()
+        #: all valid instruction-start offsets.
+        self.instruction_starts = set()
+        #: one past the last swept byte.
+        self.swept_end = 0
+
+    @classmethod
+    def from_code_model(cls, model):
+        """Derive the edge sets from a :class:`CodeModel`'s sweep."""
+        edges = cls()
+        for offset, insn in model.sweep.items():
+            edges.instruction_starts.add(offset)
+            targets = set()
+            opcode = insn.opcode
+            if opcode == Op.JMP or opcode in CONDITIONAL_BRANCHES:
+                targets.add(insn.imm)
+            elif opcode == Op.CALL:
+                targets.add(insn.imm)
+                edges.return_sites.add(offset + insn.length)
+            elif opcode == Op.RET:
+                edges.ret_offsets.add(offset)
+            edges.branch_targets[offset] = targets
+        edges.swept_end = model.sweep_end
+        return edges
+
+    @classmethod
+    def from_image(cls, image):
+        """Extract the edge model from a task image."""
+        return cls.from_code_model(CodeModel(image))
+
+    def validate(self, from_offset, to_offset):
+        """Check one taken transfer; returns ``None`` or a reason string."""
+        if from_offset not in self.instruction_starts:
+            return "transfer from unknown instruction"
+        if to_offset not in self.instruction_starts:
+            return "target is not an instruction boundary"
+        if from_offset in self.ret_offsets:
+            if to_offset not in self.return_sites:
+                return "return to a non-call-site"
+            return None
+        allowed = self.branch_targets.get(from_offset, set())
+        if to_offset in allowed:
+            return None
+        return "branch target not in the binary's CFG"

@@ -1,0 +1,43 @@
+"""Control-flow attestation: path-hashed execution evidence.
+
+Static remote attestation proves *what* binary a device loaded; this
+package proves *how* it ran.  The device side folds every taken control
+transfer of an enrolled task into a segment-chunked BLAKE2 hash chain
+(:mod:`repro.cfa.recorder`), identical bit for bit across all four
+execution tiers; the :class:`~repro.cfa.engine.CfaEngine` firmware
+component seals segments at preemption boundaries and generates MACed
+evidence reports interruptibly (:mod:`repro.cfa.engine`,
+:mod:`repro.cfa.evidence`); the off-device
+:class:`~repro.cfa.verifier.PathVerifier` replays the evidence against
+the static edge model of the shipped image
+(:mod:`repro.analysis.edges`), distinguishing *unknown-binary* from
+*known-binary-hijacked-control-flow* (:mod:`repro.cfa.verifier`).
+"""
+
+from repro.cfa.engine import CfaEngine
+from repro.cfa.evidence import CfaEvidence, evidence_mac_ok
+from repro.cfa.recorder import CfaCore, PathRecorder, PathSegment, segment_digest
+from repro.cfa.verifier import (
+    VERDICT_CLEAN,
+    VERDICT_HIJACKED,
+    VERDICT_INCONSISTENT,
+    VERDICT_UNKNOWN,
+    PathVerdict,
+    PathVerifier,
+)
+
+__all__ = [
+    "CfaCore",
+    "CfaEngine",
+    "CfaEvidence",
+    "PathRecorder",
+    "PathSegment",
+    "PathVerdict",
+    "PathVerifier",
+    "VERDICT_CLEAN",
+    "VERDICT_HIJACKED",
+    "VERDICT_INCONSISTENT",
+    "VERDICT_UNKNOWN",
+    "evidence_mac_ok",
+    "segment_digest",
+]

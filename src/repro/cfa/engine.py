@@ -1,0 +1,256 @@
+"""The CFA monitor firmware component: enrolment, sealing, reporting.
+
+Registered beside the other TyTAN trusted components (it occupies the
+last free firmware page), the engine owns the device side of
+control-flow attestation:
+
+* **enrolment** wires a :class:`~repro.cfa.recorder.PathRecorder` for a
+  task's code region onto the CPU monitor port (``cpu.cfa``) and bumps
+  the port's generation so the trace tier drops bodies compiled without
+  the CFA updates;
+* **sealing** happens at every kernel preemption point (via the
+  kernel's preempt hooks) and on task deletion - preemption lands on
+  the same instruction boundary in every execution tier, so the segment
+  stream is bit-identical across tiers;
+* **report generation** is ISC-FLAT-style interruptible: the evidence
+  body is serialised and MACed in bounded
+  :data:`~repro.cycles.CFA_REPORT_SLICE` charge chunks, each one a
+  kernel preemption point, so enabling CFA never degrades the
+  platform's IRQ latency bound.
+
+Evidence survives task exit: the engine keeps the recorder of an
+unenrolled task until :meth:`CfaEngine.discard`, so a fleet device can
+answer challenges about an agent that has already run to completion.
+"""
+
+from __future__ import annotations
+
+from repro import cycles
+from repro.crypto.hmac import hmac_sha1
+from repro.crypto.kdf import derive_key
+from repro.errors import AttestationError
+from repro.hw.platform import FirmwareComponent
+from repro.obs.counters import Counter
+from repro.rtos.task import NativeCall
+
+from .evidence import CfaEvidence
+from .recorder import CfaCore, PathRecorder
+
+
+class _CfaTask:
+    """Per-enrolled-task monitor state."""
+
+    __slots__ = ("name", "tid", "base", "end", "identity", "recorder", "attached")
+
+    def __init__(self, name, tid, base, end, identity, recorder):
+        self.name = name
+        self.tid = tid
+        self.base = base
+        self.end = end
+        self.identity = identity
+        self.recorder = recorder
+        self.attached = True
+
+
+class CfaEngine(FirmwareComponent):
+    """Control-flow attestation monitor + report generator."""
+
+    NAME = "cfa-monitor"
+
+    def __init__(self, kernel, rtm, remote_attest):
+        super().__init__()
+        self.kernel = kernel
+        self.rtm = rtm
+        #: The Remote Attest component: K_a is only accessible to it
+        #: (Section 3), so evidence MACs are derived through its key
+        #: path rather than by reading the fuses directly - the CFA
+        #: monitor needs no key-fuse EA-MPU rule of its own.
+        self.remote_attest = remote_attest
+        #: tid -> :class:`_CfaTask` (kept after unenrolment for reports).
+        self._tasks = {}
+        self._installed = False
+        self.reports = Counter("cfa-reports")
+        self.preempt_seals = Counter("cfa-preempt-seals")
+
+    # -- obs ----------------------------------------------------------------
+
+    def _publish(self, kind, **data):
+        bus = self.kernel.obs
+        if bus is not None:
+            bus.publish("cfa", kind, component=self.NAME, **data)
+
+    # -- enrolment ----------------------------------------------------------
+
+    @property
+    def core(self):
+        """The CPU monitor port (``cpu.cfa``), created on first use."""
+        cpu = self.kernel.platform.cpu
+        if cpu.cfa is None:
+            cpu.cfa = CfaCore(self.kernel.clock)
+        return cpu.cfa
+
+    def _install(self):
+        if self._installed:
+            return
+        self.kernel.add_preempt_hook(self._on_preempt)
+        self.kernel.add_delete_hook(self._on_delete)
+        bus = self.kernel.obs
+        if bus is not None:
+            bus.counters.register(self.reports, replace=True)
+            bus.counters.register(self.preempt_seals, replace=True)
+        self._installed = True
+
+    def enroll_task(self, task, segment_runs=None, max_segments=None):
+        """Start recording ``task``'s taken control transfers."""
+        entry = self.rtm.lookup_task(task)
+        if entry is None:
+            raise AttestationError(
+                "task %s is not measured; CFA evidence needs an identity" % task.name
+            )
+        kwargs = {}
+        if segment_runs is not None:
+            kwargs["segment_runs"] = segment_runs
+        if max_segments is not None:
+            kwargs["max_segments"] = max_segments
+        recorder = PathRecorder(**kwargs)
+        state = _CfaTask(
+            task.name, task.tid, task.base, task.end, entry.identity, recorder
+        )
+        self._tasks[task.tid] = state
+        self.core.attach_region(task.base, task.end, recorder)
+        self._install()
+        self._publish(
+            "enroll",
+            task=task.name,
+            base=task.base,
+            end=task.end,
+            identity=entry.identity.hex()[:16],
+        )
+        return recorder
+
+    def unenroll_task(self, task):
+        """Stop recording ``task``; its evidence stays reportable."""
+        state = self._tasks.get(task.tid)
+        if state is None or not state.attached:
+            return
+        state.recorder.seal()
+        state.attached = False
+        self.core.detach_region(state.base)
+        self._publish("unenroll", task=state.name, edges=state.recorder.edges)
+
+    def discard(self, tid):
+        """Forget an unenrolled task's evidence entirely."""
+        state = self._tasks.pop(tid, None)
+        if state is not None and state.attached:
+            self.core.detach_region(state.base)
+
+    def enrolled_count(self):
+        return sum(1 for state in self._tasks.values() if state.attached)
+
+    def recorder_for(self, name):
+        """The recorder of the (most recently enrolled) task ``name``."""
+        for state in reversed(list(self._tasks.values())):
+            if state.name == name:
+                return state.recorder
+        return None
+
+    def state_for(self, name):
+        for state in reversed(list(self._tasks.values())):
+            if state.name == name:
+                return state
+        return None
+
+    # -- kernel hooks --------------------------------------------------------
+
+    def _on_preempt(self, task):
+        """Seal the open segment at a preemption boundary.
+
+        Sealing is free at run time (hardware chain pipeline); the
+        boundary is what matters - it is tier-identical by the event
+        horizon argument, so so are the seals.
+        """
+        state = self._tasks.get(task.tid)
+        if state is not None and state.attached:
+            if state.recorder.seal() is not None:
+                self.preempt_seals.add()
+
+    def _on_delete(self, task):
+        self.unenroll_task(task)
+
+    # -- report generation ---------------------------------------------------
+
+    def _report_key(self, provider=b""):
+        """Obtain K_a via the Remote Attest component's key path.
+
+        The fuse read presents Remote Attest's actor, so the EA-MPU
+        rule installed at secure boot is what authorises it; the
+        derivation cost is charged by the caller in interruptible
+        slices rather than by this helper.
+        """
+        attest = self.remote_attest
+        platform_key = attest.key_store.read_key(actor=attest.base)
+        return derive_key(platform_key, b"attest", provider)
+
+    def generate_evidence(self, name, nonce, provider=b""):
+        """Generator producing a MACed evidence record, interruptibly.
+
+        Yields :class:`NativeCall` charge chunks no larger than
+        :data:`cycles.CFA_REPORT_SLICE`; every yield is a kernel
+        preemption point, which is the ISC-FLAT property.  Returns the
+        :class:`CfaEvidence` via ``StopIteration.value``.
+
+        The recorder is *not* mutated: the open segment is digested as
+        if sealed now, so repeated challenges see a stable path log.
+        """
+        state = self.state_for(name)
+        if state is None:
+            raise AttestationError("no CFA evidence for task %r" % name)
+        evidence = CfaEvidence.from_recorder(state.identity, state.recorder)
+
+        # Serialisation cost: per segment + per carried run, in slices.
+        cost = len(evidence.segments) * cycles.CFA_SEAL_BASE
+        cost += evidence.run_count() * (
+            cycles.CFA_SEAL_PER_RUN + cycles.CFA_REPORT_PER_RUN
+        )
+        while cost > 0:
+            step = min(cost, cycles.CFA_REPORT_SLICE)
+            yield NativeCall.charge(step)
+            cost -= step
+
+        # Key derivation + MAC, also sliced.
+        key = self._report_key(provider)
+        for chunk in (cycles.KEY_DERIVATION, cycles.ATTEST_MAC):
+            remaining = chunk
+            while remaining > 0:
+                step = min(remaining, cycles.CFA_REPORT_SLICE)
+                yield NativeCall.charge(step)
+                remaining -= step
+        evidence.mac = hmac_sha1(
+            key, evidence.identity + bytes(nonce) + evidence.body_bytes()
+        )
+        self.reports.add()
+        self._publish(
+            "report",
+            task=state.name,
+            segments=len(evidence.segments),
+            edges=evidence.edges,
+            dropped=evidence.dropped,
+        )
+        return evidence
+
+    def evidence_report(self, name, nonce, provider=b""):
+        """Synchronous drain of :meth:`generate_evidence`.
+
+        The charge chunks still advance the simulated clock (device
+        polling stays live through the platform's normal charge path),
+        so fleet response timing includes the full report cost.
+        """
+        generator = self.generate_evidence(name, nonce, provider)
+        clock = self.kernel.clock
+        while True:
+            try:
+                call = next(generator)
+            except StopIteration as stop:
+                return stop.value
+            if call.kind == NativeCall.CHARGE:
+                clock.charge(call.value)

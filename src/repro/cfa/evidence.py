@@ -1,0 +1,153 @@
+"""The CFA evidence record: path segments, serialised and MACed.
+
+The record a device ships in answer to a CFA challenge.  It carries the
+retained path segments *with their runs* (the abstracted path claim the
+verifier replays against the static edge model) plus the chain digests
+(the hash commitments), the eviction count, and an HMAC-SHA-1 over
+``identity | nonce | body`` under the same attestation key K_a the
+static report uses - so evidence is bound to the device, the binary it
+claims, and the verifier's fresh challenge.
+
+Parsing is total in the :mod:`repro.net.wire` style: any blob that is
+not an exact, well-formed record raises
+:class:`~repro.errors.AttestationError`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.compare import constant_time_equal
+from repro.crypto.hmac import hmac_sha1
+from repro.errors import AttestationError
+
+from .recorder import DIGEST_SIZE, RUN_STRUCT
+
+
+def evidence_mac_ok(key, evidence, nonce):
+    """Whether ``evidence`` carries a valid MAC under K_a and ``nonce``."""
+    expected = hmac_sha1(
+        key, evidence.identity + bytes(nonce) + evidence.body_bytes()
+    )
+    return constant_time_equal(expected, evidence.mac)
+
+#: sealed_total u32 | dropped u32 | edges u64 | segment count u16.
+_FIXED = struct.Struct("<IIQH")
+_SEGMENT = struct.Struct("<IH")
+_MAC_LEN = 20
+_IDENTITY_LEN = 20
+
+#: Hard cap on segments in one record (wire-frame sanity bound).
+MAX_SEGMENTS = 4096
+
+#: Hard cap on runs in one segment record.
+MAX_RUNS = 65_535
+
+
+class CfaEvidence:
+    """One control-flow-attestation evidence record."""
+
+    __slots__ = ("identity", "sealed_total", "dropped", "edges", "first_prev", "segments", "mac")
+
+    def __init__(self, identity, sealed_total, dropped, edges, first_prev, segments, mac=b""):
+        self.identity = bytes(identity)
+        #: Total segments the device ever sealed (detects truncation).
+        self.sealed_total = sealed_total
+        #: Segments evicted from the bounded on-device log.
+        self.dropped = dropped
+        #: Total taken edges folded into the path hash.
+        self.edges = edges
+        #: Chain digest before the first carried segment.
+        self.first_prev = bytes(first_prev)
+        #: ``(index, runs, digest)`` per carried segment, where runs is
+        #: a tuple of ``(src, dst, count)`` region-relative edge runs.
+        self.segments = list(segments)
+        self.mac = bytes(mac)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_recorder(cls, identity, recorder):
+        """Build the (unMACed) record from a recorder snapshot."""
+        segments = recorder.snapshot_segments()
+        first_prev = segments[0].prev if segments else recorder.prev_digest
+        carried = [(seg.index, seg.runs, seg.digest) for seg in segments]
+        sealed_total = segments[-1].index + 1 if segments else recorder.sealed
+        return cls(
+            identity,
+            sealed_total,
+            recorder.dropped,
+            recorder.edges,
+            first_prev,
+            carried,
+        )
+
+    # -- wire format --------------------------------------------------------
+
+    def body_bytes(self):
+        """Everything but the MAC (the MAC's message, after id|nonce)."""
+        if len(self.identity) != _IDENTITY_LEN:
+            raise AttestationError("evidence identity must be 20 bytes")
+        parts = [
+            self.identity,
+            _FIXED.pack(self.sealed_total, self.dropped, self.edges, len(self.segments)),
+            self.first_prev,
+        ]
+        for index, runs, digest in self.segments:
+            parts.append(_SEGMENT.pack(index, len(runs)))
+            for src, dst, count in runs:
+                parts.append(RUN_STRUCT.pack(src, dst, count))
+            parts.append(bytes(digest))
+        return b"".join(parts)
+
+    def to_bytes(self):
+        """Wire format: body | mac."""
+        if len(self.mac) != _MAC_LEN:
+            raise AttestationError("evidence is not MACed")
+        return self.body_bytes() + self.mac
+
+    @classmethod
+    def from_bytes(cls, blob):
+        """Parse the wire format; rejects any malformed blob."""
+        blob = bytes(blob)
+        view = memoryview(blob)
+        offset = 0
+
+        def take(n, what):
+            nonlocal offset
+            if offset + n > len(blob):
+                raise AttestationError("truncated CFA evidence (%s)" % what)
+            chunk = view[offset : offset + n]
+            offset += n
+            return chunk
+
+        identity = bytes(take(_IDENTITY_LEN, "identity"))
+        sealed_total, dropped, edges, count = _FIXED.unpack(take(_FIXED.size, "header"))
+        if count > MAX_SEGMENTS:
+            raise AttestationError("CFA evidence segment count out of range")
+        first_prev = bytes(take(DIGEST_SIZE, "chain digest"))
+        segments = []
+        for _ in range(count):
+            index, run_count = _SEGMENT.unpack(take(_SEGMENT.size, "segment header"))
+            if run_count > MAX_RUNS:
+                raise AttestationError("CFA evidence run count out of range")
+            runs = []
+            for _ in range(run_count):
+                runs.append(RUN_STRUCT.unpack(take(RUN_STRUCT.size, "edge run")))
+            digest = bytes(take(DIGEST_SIZE, "segment digest"))
+            segments.append((index, tuple(runs), digest))
+        mac = bytes(take(_MAC_LEN, "mac"))
+        if offset != len(blob):
+            raise AttestationError("trailing bytes after CFA evidence")
+        return cls(identity, sealed_total, dropped, edges, first_prev, segments, mac)
+
+    def run_count(self):
+        """Total edge runs carried (report-cost accounting)."""
+        return sum(len(runs) for _, runs, _ in self.segments)
+
+    def __repr__(self):
+        return "CfaEvidence(id=%s..., %d segments, %d edges)" % (
+            self.identity[:4].hex(),
+            len(self.segments),
+            self.edges,
+        )

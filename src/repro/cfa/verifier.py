@@ -1,0 +1,146 @@
+"""Off-device path verification: evidence vs the static edge model.
+
+The verifier's registry maps a measured binary *identity* to the
+:class:`~repro.analysis.edges.EdgeModel` extracted from the shipped
+image (plus its loop-bound annotations), which is what lets it
+distinguish the two failure modes static attestation conflates:
+
+* **unknown-binary** - the evidence claims an identity the verifier has
+  no edge model for: it cannot judge the path at all (the static report
+  would already have failed the whitelist, but CFA evidence can arrive
+  under a different identity than the static report claims);
+* **hijacked** - the identity is known and the static report checks
+  out, but the recorded path contains an edge the binary's CFG does not
+  allow (a corrupted return edge lands here) or repeats a loop edge
+  beyond its annotated bound;
+* **inconsistent** - a carried segment's digest does not match the
+  digest recomputed from its runs, or the chain does not link: the
+  evidence body was tampered with or truncated mid-segment;
+* **clean** - every carried run is a CFG edge, the chain recomputes,
+  and all loop bounds hold.
+
+Loop segments are abstracted exactly the way the WCET pass abstracts
+them: per loop *header* offset, the total count of recorded edges
+targeting the header must not exceed the annotated bound.  Totals are
+aggregated across all runs (call/return interleavings keep run lengths
+at 1, so per-run lengths prove nothing).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.edges import EdgeModel
+
+from .recorder import segment_digest
+
+#: Possible verdicts, in decreasing severity.
+VERDICT_UNKNOWN = "unknown-binary"
+VERDICT_INCONSISTENT = "inconsistent"
+VERDICT_HIJACKED = "hijacked"
+VERDICT_CLEAN = "clean"
+
+
+class PathVerdict:
+    """The outcome of verifying one evidence record."""
+
+    __slots__ = ("verdict", "reason", "segments", "edges")
+
+    def __init__(self, verdict, reason=None, segments=0, edges=0):
+        self.verdict = verdict
+        self.reason = reason
+        #: Carried segments examined.
+        self.segments = segments
+        #: Total recorded edges examined.
+        self.edges = edges
+
+    @property
+    def ok(self):
+        return self.verdict == VERDICT_CLEAN
+
+    def __repr__(self):
+        return "PathVerdict(%s%s)" % (
+            self.verdict,
+            ", %s" % self.reason if self.reason else "",
+        )
+
+
+class PathVerifier:
+    """Adjudicates CFA evidence against registered shipped binaries."""
+
+    def __init__(self):
+        #: identity bytes -> (EdgeModel, loop_bounds dict).
+        self._known = {}
+
+    def register(self, identity, image, loop_bounds=None):
+        """Register a shipped binary the fleet is expected to run."""
+        model = image if isinstance(image, EdgeModel) else EdgeModel.from_image(image)
+        self._known[bytes(identity)] = (model, dict(loop_bounds or {}))
+        return model
+
+    def known_identities(self):
+        return set(self._known)
+
+    def verify(self, evidence):
+        """Judge one :class:`~repro.cfa.evidence.CfaEvidence` record."""
+        entry = self._known.get(bytes(evidence.identity))
+        if entry is None:
+            return PathVerdict(VERDICT_UNKNOWN, "identity not registered")
+        edge_model, loop_bounds = entry
+
+        # 1. Hash commitments: each segment digest must recompute from
+        #    its runs, and consecutive segments must chain.
+        prev = evidence.first_prev
+        total_edges = 0
+        last_index = None
+        for index, runs, digest in evidence.segments:
+            if last_index is not None and index != last_index + 1:
+                return PathVerdict(
+                    VERDICT_INCONSISTENT,
+                    "segment indices not consecutive (%d after %d)" % (index, last_index),
+                    segments=len(evidence.segments),
+                )
+            last_index = index
+            if segment_digest(prev, runs) != bytes(digest):
+                return PathVerdict(
+                    VERDICT_INCONSISTENT,
+                    "segment %d digest does not recompute" % index,
+                    segments=len(evidence.segments),
+                )
+            prev = bytes(digest)
+            for _src, _dst, count in runs:
+                total_edges += count
+
+        # 2. Every recorded edge must be a CFG edge of the shipped
+        #    binary (returns must land on call continuations).
+        for index, runs, _digest in evidence.segments:
+            for src, dst, count in runs:
+                reason = edge_model.validate(src, dst)
+                if reason is not None:
+                    return PathVerdict(
+                        VERDICT_HIJACKED,
+                        "segment %d: 0x%X -> 0x%X x%d: %s"
+                        % (index, src, dst, count, reason),
+                        segments=len(evidence.segments),
+                        edges=total_edges,
+                    )
+
+        # 3. Loop abstraction: aggregate taken-edge totals into each
+        #    annotated loop header must respect the bound.
+        if loop_bounds:
+            into = {}
+            for _index, runs, _digest in evidence.segments:
+                for _src, dst, count in runs:
+                    into[dst] = into.get(dst, 0) + count
+            for header, bound in loop_bounds.items():
+                taken = into.get(header, 0)
+                if taken > bound:
+                    return PathVerdict(
+                        VERDICT_HIJACKED,
+                        "loop header 0x%X taken %d times (bound %d)"
+                        % (header, taken, bound),
+                        segments=len(evidence.segments),
+                        edges=total_edges,
+                    )
+
+        return PathVerdict(
+            VERDICT_CLEAN, segments=len(evidence.segments), edges=total_edges
+        )

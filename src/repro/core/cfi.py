@@ -30,10 +30,9 @@ the overhead bench quantifies it against unmonitored execution.
 
 from __future__ import annotations
 
+from repro.analysis.edges import EdgeModel
 from repro.errors import HardwareFault
 from repro.hw.platform import FirmwareComponent
-from repro.isa.encoding import decode
-from repro.isa.opcodes import CONDITIONAL_BRANCHES, Op
 
 #: Modelled hardware cost of one CFI edge check.
 CFI_CHECK_CYCLES = 2
@@ -51,73 +50,15 @@ class CfiViolation(HardwareFault):
         )
 
 
-class ControlFlowGraph:
+class ControlFlowGraph(EdgeModel):
     """Static control-flow edges of a task image (link-base-0 offsets).
 
-    Built by a linear sweep of the blob.  The sweep stops at the first
-    undecodable byte, which in TELF images is the start of the data
-    section; bytes beyond it never execute (the EA-MPU would still let
-    them - code and data share the task region - so the watchdog treats
-    transfers into unswept offsets as violations, catching jumps into
-    data too).
+    A thin alias over :class:`repro.analysis.edges.EdgeModel`: the
+    branch-target decoding the watchdog used to carry privately now
+    comes from the :class:`~repro.analysis.cfg.CodeModel` linear sweep,
+    so ``repro.analysis`` owns edge extraction for both the online CFI
+    check and the offline CFA path verifier.
     """
-
-    def __init__(self):
-        #: offset of each decoded instruction -> set of valid direct
-        #: branch targets (offsets) for that instruction; empty set for
-        #: non-branch instructions.
-        self.branch_targets = {}
-        #: offsets that are valid return sites (call continuations).
-        self.return_sites = set()
-        #: offsets of ``ret`` instructions.
-        self.ret_offsets = set()
-        #: all valid instruction-start offsets.
-        self.instruction_starts = set()
-        #: one past the last swept byte.
-        self.swept_end = 0
-
-    @classmethod
-    def from_image(cls, image):
-        """Extract the CFG from a task image."""
-        cfg = cls()
-        blob = image.blob
-        offset = 0
-        while offset < len(blob):
-            try:
-                insn = decode(blob, offset)
-            except HardwareFault:
-                break
-            cfg.instruction_starts.add(offset)
-            targets = set()
-            opcode = insn.opcode
-            if opcode == Op.JMP:
-                targets.add(insn.imm)
-            elif opcode in CONDITIONAL_BRANCHES:
-                targets.add(insn.imm)
-            elif opcode == Op.CALL:
-                targets.add(insn.imm)
-                cfg.return_sites.add(offset + insn.length)
-            elif opcode == Op.RET:
-                cfg.ret_offsets.add(offset)
-            cfg.branch_targets[offset] = targets
-            offset += insn.length
-        cfg.swept_end = offset
-        return cfg
-
-    def validate(self, from_offset, to_offset):
-        """Check one taken transfer; returns ``None`` or a reason string."""
-        if from_offset not in self.instruction_starts:
-            return "transfer from unknown instruction"
-        if to_offset not in self.instruction_starts:
-            return "target is not an instruction boundary"
-        if from_offset in self.ret_offsets:
-            if to_offset not in self.return_sites:
-                return "return to a non-call-site"
-            return None
-        allowed = self.branch_targets.get(from_offset, set())
-        if to_offset in allowed:
-            return None
-        return "branch target not in the binary's CFG"
 
 
 class CfiWatchdog(FirmwareComponent):

@@ -112,6 +112,15 @@ class TyTAN:
         self.cfi = self.platform.register_firmware(CfiWatchdog(self.kernel))
         _fill_component_page(self.platform, self.cfi)
 
+        # -- CFA monitor (control-flow attestation: path-hashed
+        #    execution evidence; opt-in per task via enable_cfa) --------
+        from repro.cfa.engine import CfaEngine
+
+        self.cfa = self.platform.register_firmware(
+            CfaEngine(self.kernel, self.rtm, self.remote_attest)
+        )
+        _fill_component_page(self.platform, self.cfa)
+
         # -- trap wiring --------------------------------------------------------
         # Bound methods, not lambdas: a deep-copied system (the fleet's
         # snapshot-fork boot) must dispatch traps into its own IPC
@@ -202,6 +211,7 @@ class TyTAN:
     def unload_task(self, task):
         """Unload a task and reclaim its memory."""
         self.cfi.unmonitor_task(task)
+        self.cfa.unenroll_task(task)
         self.loader.unload(task)
 
     def suspend_task(self, task):
@@ -267,16 +277,36 @@ class TyTAN:
         """Apply an authorized live update synchronously; returns the
         :class:`~repro.core.update.UpdateResult`."""
         was_monitored = task.tid in self.cfi._monitored
+        cfa_state = self.cfa._tasks.get(task.tid)
+        was_recorded = cfa_state is not None and cfa_state.attached
+        if was_recorded:
+            # The path log describes the old binary; close it out.
+            self.cfa.unenroll_task(task)
+            self.cfa.discard(task.tid)
         result = self.updater.update_synchronously(task, new_image, token, provider)
         if was_monitored:
             # Re-extract the CFG for the new binary at its new base.
             self.cfi.monitor_task(task)
+        if was_recorded:
+            # Fresh recorder under the new binary's identity.
+            self.cfa.enroll_task(task)
         return result
 
     def enable_cfi(self, task):
         """Enroll ``task`` with the runtime attack detector; returns
         the extracted control-flow graph."""
         return self.cfi.monitor_task(task)
+
+    def enable_cfa(self, task, segment_runs=None, max_segments=None):
+        """Enroll ``task`` with the control-flow-attestation monitor;
+        returns its :class:`~repro.cfa.recorder.PathRecorder`."""
+        return self.cfa.enroll_task(
+            task, segment_runs=segment_runs, max_segments=max_segments
+        )
+
+    def cfa_evidence(self, name, nonce, provider=b""):
+        """Generate a MACed CFA evidence record for task ``name``."""
+        return self.cfa.evidence_report(name, nonce, provider)
 
     def update_task_async(self, task, new_image, token, provider=b"", priority=0):
         """Start a preemptible background update."""

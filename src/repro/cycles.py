@@ -251,6 +251,31 @@ XTEA_PER_BLOCK = 210
 ATTEST_MAC = KEY_DERIVATION
 
 # ---------------------------------------------------------------------------
+# Control-flow attestation (repro.cfa)
+# ---------------------------------------------------------------------------
+
+#: Folding one taken control transfer into the running path hash.  Same
+#: magnitude as the CFI watchdog's per-transfer check: a hardware path
+#: monitor updates a small digest register in a couple of cycles.
+#: Segment *sealing* is free at run time (the monitor finalises the
+#: chain in a background pipeline); only report generation costs CPU.
+CFA_EDGE_CYCLES = 2
+
+#: Per sealed segment serialised into an evidence report (fixed part).
+CFA_SEAL_BASE = 96
+
+#: Per recorded edge run hashed/serialised while reporting a segment.
+CFA_SEAL_PER_RUN = 6
+
+#: Serialising one edge run into the evidence report body.
+CFA_REPORT_PER_RUN = 4
+
+#: Upper bound on cycles charged per interruptible evidence-generation
+#: slice (the ISC-FLAT argument: report generation never occupies the
+#: CPU for longer than this between preemption points).
+CFA_REPORT_SLICE = 2_000
+
+# ---------------------------------------------------------------------------
 # Scheduler / kernel costs
 # ---------------------------------------------------------------------------
 

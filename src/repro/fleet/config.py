@@ -34,6 +34,9 @@ BOOT_MODES = ("snapshot", "cold")
 #: Valid attestation-store backends (:class:`StoreConfig.backend`).
 STORE_BACKENDS = ("memory", "jsonl")
 
+#: Valid rogue-device behaviours (:class:`FleetConfig.rogue_mode`).
+ROGUE_MODES = ("tamper", "hijack")
+
 
 class FleetConfig:
     """Everything about the fleet itself: size, seed, compute, protocol.
@@ -56,7 +59,18 @@ class FleetConfig:
         every device machine from scratch.  The two are bit-identical
         in every observable output - snapshot is simply the scale path.
     rogue:
-        Device ids running the tampered agent binary.
+        Device ids behaving badly (see ``rogue_mode``).
+    rogue_mode:
+        What a rogue device does: ``"tamper"`` runs a tampered agent
+        binary (wrong identity - static attestation catches it);
+        ``"hijack"`` runs the *shipped* binary but corrupts a return
+        edge at run time, so static attestation passes and only
+        control-flow attestation catches it.  ``"hijack"`` therefore
+        requires ``cfa=True``.
+    cfa:
+        Enable control-flow attestation: devices run an executable
+        agent under the CFA monitor and the verifier tier demands path
+        evidence with every challenge.
     provider:
         Attestation provider label (Footnote 2 per-provider keys).
     timeout_us:
@@ -78,6 +92,8 @@ class FleetConfig:
         workers=4,
         boot_mode="snapshot",
         rogue=(),
+        rogue_mode="tamper",
+        cfa=False,
         provider=b"",
         timeout_us=None,
         max_attempts=8,
@@ -99,6 +115,15 @@ class FleetConfig:
             raise ConfigurationError("max_attempts/max_rejects must be >= 1")
         if timeout_us is not None and timeout_us < 1:
             raise ConfigurationError("timeout_us must be positive")
+        if rogue_mode not in ROGUE_MODES:
+            raise ConfigurationError(
+                "rogue_mode must be one of %s, got %r" % (ROGUE_MODES, rogue_mode)
+            )
+        if rogue_mode == "hijack" and not cfa:
+            raise ConfigurationError(
+                "rogue_mode='hijack' needs cfa=True (a hijacked device is "
+                "invisible to static attestation)"
+            )
         self.devices = int(devices)
         self.seed = int(seed)
         self.workers = int(workers)
@@ -106,6 +131,8 @@ class FleetConfig:
         self.rogue = frozenset(int(r) for r in rogue)
         if self.rogue - set(range(self.devices)):
             raise ConfigurationError("rogue ids outside the fleet")
+        self.rogue_mode = rogue_mode
+        self.cfa = bool(cfa)
         self.provider = bytes(provider)
         self.timeout_us = None if timeout_us is None else int(timeout_us)
         self.max_attempts = int(max_attempts)
@@ -123,6 +150,8 @@ class FleetConfig:
             "workers": self.workers,
             "boot_mode": self.boot_mode,
             "rogue": sorted(self.rogue),
+            "rogue_mode": self.rogue_mode,
+            "cfa": self.cfa,
             "provider": self.provider.hex(),
             "timeout_us": self.timeout_us,
             "max_attempts": self.max_attempts,

@@ -33,12 +33,23 @@ from repro.fleet.snapshot import DevicePool
 class SerialExecutor:
     """All devices supplied by one in-process pool, stepped sequentially."""
 
-    def __init__(self, device_ids, fleet_seed=0, rogue=(), provider=b"", boot_mode="snapshot"):
+    def __init__(
+        self,
+        device_ids,
+        fleet_seed=0,
+        rogue=(),
+        provider=b"",
+        boot_mode="snapshot",
+        cfa=False,
+        rogue_mode="tamper",
+    ):
         self.device_ids = list(device_ids)
         self.fleet_seed = fleet_seed
         self.rogue = frozenset(rogue)
         self.provider = bytes(provider)
         self.boot_mode = boot_mode
+        self.cfa = bool(cfa)
+        self.rogue_mode = rogue_mode
         self.pool = None
 
     @property
@@ -53,6 +64,8 @@ class SerialExecutor:
             rogue=self.rogue,
             provider=self.provider,
             boot_mode=self.boot_mode,
+            cfa=self.cfa,
+            rogue_mode=self.rogue_mode,
         )
 
     def process(self, batch):
@@ -75,10 +88,15 @@ class SerialExecutor:
 _WORKER = {"pool": None}
 
 
-def _worker_init(fleet_seed, rogue, provider, boot_mode):
+def _worker_init(fleet_seed, rogue, provider, boot_mode, cfa=False, rogue_mode="tamper"):
     """Pool initializer: build this worker's device pool."""
     _WORKER["pool"] = DevicePool(
-        fleet_seed, rogue=rogue, provider=provider, boot_mode=boot_mode
+        fleet_seed,
+        rogue=rogue,
+        provider=provider,
+        boot_mode=boot_mode,
+        cfa=cfa,
+        rogue_mode=rogue_mode,
     )
 
 
@@ -108,6 +126,8 @@ class PoolExecutor:
         provider=b"",
         workers=4,
         boot_mode="snapshot",
+        cfa=False,
+        rogue_mode="tamper",
     ):
         if workers < 2:
             raise ValueError("a worker pool needs at least 2 workers")
@@ -117,6 +137,8 @@ class PoolExecutor:
         self.provider = bytes(provider)
         self.workers = int(workers)
         self.boot_mode = boot_mode
+        self.cfa = bool(cfa)
+        self.rogue_mode = rogue_mode
         self._pool = None
 
     @property
@@ -128,7 +150,14 @@ class PoolExecutor:
         self._pool = multiprocessing.Pool(
             self.workers,
             initializer=_worker_init,
-            initargs=(self.fleet_seed, self.rogue, self.provider, self.boot_mode),
+            initargs=(
+                self.fleet_seed,
+                self.rogue,
+                self.provider,
+                self.boot_mode,
+                self.cfa,
+                self.rogue_mode,
+            ),
         )
 
     def process(self, batch):

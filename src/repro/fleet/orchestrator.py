@@ -164,8 +164,12 @@ class Fleet:
         timeout_us = config.timeout_us
         if timeout_us is None:
             # Worst case: a full fleet round queued behind the lanes,
-            # with 2x headroom, plus the round trip.
-            attest_us = self._cycles_to_us(_ATTEST_CYCLES)
+            # with 2x headroom, plus the round trip.  A CFA response
+            # additionally derives the evidence key and MACs the path
+            # log (roughly another attestation's worth of cycles).
+            attest_us = self._cycles_to_us(
+                _ATTEST_CYCLES * (2 if config.cfa else 1)
+            )
             per_round = -(-self.devices // lanes) * attest_us
             timeout_us = (
                 2 * (self.profile.latency_us + self.profile.jitter_us)
@@ -180,7 +184,7 @@ class Fleet:
         }
         self.service = ShardedVerifierService(
             registry,
-            expected_fleet_identity(),
+            expected_fleet_identity(cfa=config.cfa),
             config,
             self.shard_config,
             timeout_us=self.timeout_us,
@@ -206,6 +210,8 @@ class Fleet:
                 provider=self.provider,
                 workers=self.workers,
                 boot_mode=config.boot_mode,
+                cfa=config.cfa,
+                rogue_mode=config.rogue_mode,
             )
         else:
             self.executor = SerialExecutor(
@@ -214,6 +220,8 @@ class Fleet:
                 rogue=self.rogue,
                 provider=self.provider,
                 boot_mode=config.boot_mode,
+                cfa=config.cfa,
+                rogue_mode=config.rogue_mode,
             )
         self.compute_cycles = 0
         self.responses_sent = 0

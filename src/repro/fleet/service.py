@@ -46,9 +46,10 @@ from __future__ import annotations
 import heapq
 import warnings
 
+from repro.cfa import PathVerifier, evidence_mac_ok
 from repro.core.remote_attest import Verifier
 from repro.errors import AttestationError
-from repro.net.wire import Challenge, Response, decode_message
+from repro.net.wire import CfaChallenge, CfaResponse, Challenge, Response, decode_message
 
 #: Device protocol states.
 PENDING = "pending"
@@ -183,6 +184,15 @@ class VerifierService:
         self.obs = obs
         self.store = store
         self.shard_id = int(shard_id)
+        #: Control-flow attestation: challenge with :class:`CfaChallenge`
+        #: and adjudicate the path evidence in every response.
+        self.cfa = bool(getattr(config, "cfa", False))
+        self._path_verifier = None
+        if self.cfa:
+            from repro.fleet.device import fleet_task_image
+
+            self._path_verifier = PathVerifier()
+            self._path_verifier.register(expected_identity, fleet_task_image(cfa=True))
         self._verifiers = {}
         self._records = {}
         #: Deadline heap: ``(fabric_time, device_id)``.  Every active
@@ -206,6 +216,8 @@ class VerifierService:
         self.stale = 0
         self.malformed = 0
         self.expired = 0
+        #: Devices quarantined on path evidence (CFA verdict not clean).
+        self.cfa_quarantines = 0
         self._latencies = []
         self._total_latencies = []
 
@@ -300,7 +312,10 @@ class VerifierService:
             self._publish("fleet-challenge", device_id, attempt=record.seq)
             if self.store is not None:
                 self.store.note_challenge(now, device_id, self.shard_id, record.seq)
-            out.append((device_id, Challenge(device_id, record.seq, nonce).to_bytes()))
+            challenge_cls = CfaChallenge if self.cfa else Challenge
+            out.append(
+                (device_id, challenge_cls(device_id, record.seq, nonce).to_bytes())
+            )
         return out
 
     def next_wakeup(self):
@@ -332,9 +347,11 @@ class VerifierService:
     def handle(self, device_id, payload, now):
         """Process one delivered datagram; returns a disposition string.
 
-        Dispositions: ``attested``, ``rejected``, ``stale`` (duplicate,
-        wrong attempt, or already-settled device), ``expired`` (correct
-        nonce but past its deadline), ``malformed``, ``unknown``.
+        Dispositions: ``attested``, ``rejected``, ``quarantined`` (a
+        CFA verdict affirmatively proved hijacked control flow),
+        ``stale`` (duplicate, wrong attempt, or already-settled
+        device), ``expired`` (correct nonce but past its deadline),
+        ``malformed``, ``unknown``.
         """
         record = self._records.get(device_id)
         if record is None:
@@ -346,7 +363,8 @@ class VerifierService:
             self.malformed += 1
             self._publish("fleet-malformed", device_id)
             return "malformed"
-        if not isinstance(message, Response) or message.device_id != device_id:
+        wanted = CfaResponse if self.cfa else Response
+        if not isinstance(message, wanted) or message.device_id != device_id:
             self.malformed += 1
             self._publish("fleet-malformed", device_id)
             return "malformed"
@@ -364,6 +382,30 @@ class VerifierService:
             self._publish("fleet-expired", device_id, attempt=record.seq)
             return "expired"
         if self._verifiers[device_id].verify(message.report, record.nonce):
+            if self.cfa:
+                if not evidence_mac_ok(
+                    self._verifiers[device_id]._key, message.evidence, record.nonce
+                ):
+                    # Unauthentic (or replayed) path evidence: treat it
+                    # like any verification reject - retry, then
+                    # quarantine on exhaustion.
+                    return self._reject(device_id, record, now)
+                verdict = self._path_verifier.verify(message.evidence)
+                if not verdict.ok:
+                    # The evidence is authentic and affirmatively shows
+                    # an impossible path (or an unknown/broken log):
+                    # no retry can change what already executed.
+                    self.cfa_quarantines += 1
+                    self._publish(
+                        "fleet-cfa-verdict",
+                        device_id,
+                        verdict=verdict.verdict,
+                        reason=verdict.reason,
+                    )
+                    self._quarantine(
+                        device_id, record, "cfa-" + verdict.verdict, now
+                    )
+                    return "quarantined"
             record.status = ATTESTED
             record.latency_us = now - record.sent_at
             self._settled += 1
@@ -380,6 +422,10 @@ class VerifierService:
                     now, device_id, self.shard_id, record.seq, record.latency_us
                 )
             return "attested"
+        return self._reject(device_id, record, now)
+
+    def _reject(self, device_id, record, now):
+        """One verification reject: back off, quarantine on exhaustion."""
         record.rejects += 1
         self.rejects += 1
         self._publish("fleet-reject", device_id, attempt=record.seq)
@@ -455,6 +501,7 @@ class VerifierService:
             "stale": self.stale,
             "malformed": self.malformed,
             "expired": self.expired,
+            "cfa_quarantines": self.cfa_quarantines,
             "attempts_to_attest": attempts_histogram,
             "latency_us": latency,
         }

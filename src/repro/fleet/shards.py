@@ -95,6 +95,7 @@ class FleetHealth:
         "stale",
         "malformed",
         "expired",
+        "cfa_quarantines",
     )
 
     def __init__(self, shard_reports, merged_latencies):

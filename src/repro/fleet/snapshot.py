@@ -43,16 +43,28 @@ class DeviceTemplate:
     at construction; every :meth:`fork` is a deep copy plus a rekey.
     """
 
-    def __init__(self, fleet_seed=0, rogue=False, provider=b"", obs_enabled=False):
+    def __init__(
+        self,
+        fleet_seed=0,
+        rogue=False,
+        provider=b"",
+        obs_enabled=False,
+        cfa=False,
+        rogue_mode="tamper",
+    ):
         self.fleet_seed = int(fleet_seed)
         self.rogue = bool(rogue)
         self.provider = bytes(provider)
+        self.cfa = bool(cfa)
+        self.rogue_mode = rogue_mode
         self._image = FleetDevice(
             TEMPLATE_DEVICE_ID,
             fleet_seed,
             rogue=rogue,
             provider=provider,
             obs_enabled=obs_enabled,
+            cfa=cfa,
+            rogue_mode=rogue_mode,
         )
         #: Forks minted from this template.
         self.forks = 0
@@ -76,7 +88,12 @@ class DeviceTemplate:
         frame = Challenge(device_id, 0, nonce).to_bytes()
         forked = self.fork(device_id)
         cold = FleetDevice(
-            device_id, self.fleet_seed, rogue=self.rogue, provider=self.provider
+            device_id,
+            self.fleet_seed,
+            rogue=self.rogue,
+            provider=self.provider,
+            cfa=self.cfa,
+            rogue_mode=self.rogue_mode,
         )
         fork_response, fork_cycles = forked.handle_frame(frame)
         cold_response, cold_cycles = cold.handle_frame(frame)
@@ -109,13 +126,23 @@ class DevicePool:
     memory; right for small fleets and for the equivalence tests.
     """
 
-    def __init__(self, fleet_seed=0, rogue=(), provider=b"", boot_mode="snapshot"):
+    def __init__(
+        self,
+        fleet_seed=0,
+        rogue=(),
+        provider=b"",
+        boot_mode="snapshot",
+        cfa=False,
+        rogue_mode="tamper",
+    ):
         if boot_mode not in ("snapshot", "cold"):
             raise ValueError("unknown boot mode %r" % boot_mode)
         self.fleet_seed = int(fleet_seed)
         self.rogue = frozenset(rogue)
         self.provider = bytes(provider)
         self.boot_mode = boot_mode
+        self.cfa = bool(cfa)
+        self.rogue_mode = rogue_mode
         self._templates = {}  # class -> DeviceTemplate
         self._recycled = {}  # class -> FleetDevice (snapshot mode)
         self._booted = {}  # device_id -> FleetDevice (cold mode)
@@ -127,7 +154,11 @@ class DevicePool:
         template = self._templates.get(rogue)
         if template is None:
             template = DeviceTemplate(
-                self.fleet_seed, rogue=rogue, provider=self.provider
+                self.fleet_seed,
+                rogue=rogue,
+                provider=self.provider,
+                cfa=self.cfa,
+                rogue_mode=self.rogue_mode,
             )
             self._templates[rogue] = template
             self.cold_boots += 1
@@ -140,7 +171,12 @@ class DevicePool:
             device = self._booted.get(device_id)
             if device is None:
                 device = FleetDevice(
-                    device_id, self.fleet_seed, rogue=rogue, provider=self.provider
+                    device_id,
+                    self.fleet_seed,
+                    rogue=rogue,
+                    provider=self.provider,
+                    cfa=self.cfa,
+                    rogue_mode=self.rogue_mode,
                 )
                 self._booted[device_id] = device
                 self.cold_boots += 1

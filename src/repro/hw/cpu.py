@@ -82,6 +82,13 @@ class CPU:
         #: may raise a :class:`~repro.errors.HardwareFault` to kill the
         #: offending task.
         self.transfer_hook = None
+        #: Control-flow-attestation monitor port
+        #: (:class:`repro.cfa.recorder.CfaCore` or ``None``).  Unlike
+        #: ``transfer_hook`` it stays compatible with the block/trace
+        #: tiers: compiled bodies emit the same hash updates the
+        #: interpreter performs here, so attaching it never forces
+        #: deoptimisation.
+        self.cfa = None
         #: Whether the core-side caches are active (wall-clock only;
         #: simulated behaviour is identical either way).
         self.fastpath = bool(fastpath)
@@ -289,6 +296,8 @@ class CPU:
             self.memory.mpu.check_transfer(self.regs.eip, target, privileged)
         if self.transfer_hook is not None:
             self.transfer_hook(self.regs.eip, u32(target))
+        if self.cfa is not None:
+            self.cfa.on_transfer(self.regs.eip, u32(target))
         self.regs.eip = u32(target)
         if taken_cost:
             self.clock.charge(cycles.INSN_BRANCH_TAKEN)

@@ -17,12 +17,19 @@ Messages:
 * :class:`Response` - device -> verifier: ``(device_id, seq, report)``
   where ``report`` is a full
   :class:`~repro.core.remote_attest.AttestationReport`.
+* :class:`CfaChallenge` / :class:`CfaResponse` - the control-flow
+  attestation variants: the challenge is shaped like a plain challenge
+  (a new frame type tells the device path evidence is wanted too), the
+  response carries the static report *and* a
+  :class:`~repro.cfa.evidence.CfaEvidence` record.  Both are additive
+  frame types; the v1 codec for the original messages is untouched.
 """
 
 from __future__ import annotations
 
 import struct
 
+from repro.cfa.evidence import CfaEvidence
 from repro.core.remote_attest import AttestationReport
 from repro.errors import AttestationError
 
@@ -34,6 +41,8 @@ VERSION = 1
 #: Frame types.
 T_CHALLENGE = 1
 T_RESPONSE = 2
+T_CHALLENGE_CFA = 3
+T_RESPONSE_CFA = 4
 
 _FRAME_HEADER = struct.Struct("<BBBH")  # magic, version, type, payload length
 _MSG_HEADER = struct.Struct("<IHH")  # device_id, seq, body length
@@ -66,7 +75,7 @@ def decode_frame(blob):
         raise AttestationError("bad frame magic 0x%02X" % magic)
     if version != VERSION:
         raise AttestationError("unsupported wire version %d" % version)
-    if frame_type not in (T_CHALLENGE, T_RESPONSE):
+    if frame_type not in (T_CHALLENGE, T_RESPONSE, T_CHALLENGE_CFA, T_RESPONSE_CFA):
         raise AttestationError("unknown frame type %d" % frame_type)
     payload = blob[_FRAME_HEADER.size :]
     if len(payload) != length:
@@ -158,12 +167,91 @@ class Response:
         )
 
 
+class CfaChallenge(Challenge):
+    """A challenge that also requests control-flow path evidence.
+
+    Identical payload to :class:`Challenge`; the frame type is what
+    tells the device to attach a :class:`CfaEvidence` record (MACed
+    over the same nonce, so both halves of the response are fresh).
+    """
+
+    def to_bytes(self):
+        """The framed wire form."""
+        payload = _MSG_HEADER.pack(self.device_id, self.seq, len(self.nonce))
+        return encode_frame(T_CHALLENGE_CFA, payload + self.nonce)
+
+    def __eq__(self, other):
+        if not isinstance(other, CfaChallenge):
+            return NotImplemented
+        return (self.device_id, self.seq, self.nonce) == (
+            other.device_id,
+            other.seq,
+            other.nonce,
+        )
+
+    def __repr__(self):
+        return "CfaChallenge(dev=%d, seq=%d, nonce=%s)" % (
+            self.device_id,
+            self.seq,
+            self.nonce.hex(),
+        )
+
+
+_CFA_BODY = struct.Struct("<H")  # static report length prefix
+
+
+class CfaResponse:
+    """A device's response carrying the static report + path evidence."""
+
+    def __init__(self, device_id, seq, report, evidence):
+        self.device_id = int(device_id)
+        self.seq = int(seq)
+        self.report = report
+        self.evidence = evidence
+
+    def to_bytes(self):
+        """The framed wire form."""
+        report = self.report.to_bytes()
+        body = _CFA_BODY.pack(len(report)) + report + self.evidence.to_bytes()
+        payload = _MSG_HEADER.pack(self.device_id, self.seq, len(body))
+        return encode_frame(T_RESPONSE_CFA, payload + body)
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Parse a CFA response payload (frame already stripped)."""
+        device_id, seq, body = _decode_msg_header(payload, "cfa response")
+        if len(body) < _CFA_BODY.size:
+            raise AttestationError("truncated cfa response body (%d bytes)" % len(body))
+        (report_len,) = _CFA_BODY.unpack_from(body)
+        rest = body[_CFA_BODY.size :]
+        if len(rest) < report_len:
+            raise AttestationError(
+                "cfa response report length mismatch: header says %d, got %d"
+                % (report_len, len(rest))
+            )
+        report = AttestationReport.from_bytes(rest[:report_len])
+        evidence = CfaEvidence.from_bytes(rest[report_len:])
+        return cls(device_id, seq, report, evidence)
+
+    def __repr__(self):
+        return "CfaResponse(dev=%d, seq=%d, %r, %r)" % (
+            self.device_id,
+            self.seq,
+            self.report,
+            self.evidence,
+        )
+
+
 def decode_message(blob):
-    """Decode a datagram into a :class:`Challenge` or :class:`Response`.
+    """Decode a datagram into one of the four message classes.
 
     Any malformation raises :class:`AttestationError`.
     """
     frame_type, payload = decode_frame(blob)
     if frame_type == T_CHALLENGE:
         return Challenge.from_payload(payload)
+    if frame_type == T_CHALLENGE_CFA:
+        return CfaChallenge.from_payload(payload)
+    if frame_type == T_RESPONSE_CFA:
+        return CfaResponse.from_payload(payload)
     return Response.from_payload(payload)

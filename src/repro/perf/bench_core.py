@@ -372,6 +372,149 @@ def run_bench(instructions=150_000, blocks=True, traces=True):
     }
 
 
+def run_cfa_bench(instructions=150_000):
+    """Path-recording overhead: the alu workload, recording off vs on.
+
+    Runs the straight-line ALU loop in every mode twice - once bare and
+    once with a :class:`~repro.cfa.recorder.CfaCore` folding every taken
+    transfer into the path hash - and reports the wall-clock insns/sec
+    cost of recording per tier, plus the modelled cycle cost (the
+    per-edge charge the interpreter pays and the trace tier bakes into
+    its closed-form bodies).  The run doubles as the cross-tier evidence
+    gate: all four recording runs must retire the same count, charge the
+    same cycles, and chain to the same path digest - divergence means a
+    JIT's baked hash updates drifted from the interpreter's.
+    """
+    from repro.cfa.recorder import CfaCore, PathRecorder
+
+    iters = max(1, instructions // _ALU_PER_ITER)
+    source = _alu_source(iters)
+    modes_out = {}
+    reference = None
+    off_reference = None
+    for mode in MODES:
+        timings = {}
+        evidence = None
+        for recording in (False, True):
+            cpu, timer = _build_mode_rig(source, mode)
+            recorder = None
+            if recording:
+                recorder = PathRecorder()
+                cpu.cfa = CfaCore(cpu.clock)
+                cpu.cfa.attach_region(CODE_BASE, CODE_BASE + 0x1000, recorder)
+            seconds = _run(cpu, timer)
+            timings[recording] = (cpu.retired, cpu.clock.now, seconds)
+            state = (list(cpu.regs.gpr), cpu.regs.eip, cpu.regs.eflags)
+            if recording:
+                if state != off_state:
+                    raise AssertionError(
+                        "cfa: %s architectural state differs with recording on"
+                        % mode
+                    )
+            else:
+                off_state = state
+            if recording:
+                recorder.seal()
+                evidence = (
+                    recorder.path_digest().hex(),
+                    recorder.edges,
+                    cpu.clock.now,
+                    cpu.retired,
+                )
+        off_retired, off_cycles, off_seconds = timings[False]
+        on_retired, on_cycles, on_seconds = timings[True]
+        if off_retired != on_retired:
+            raise AssertionError(
+                "cfa: %s retired %d recording vs %d bare"
+                % (mode, on_retired, off_retired)
+            )
+        if reference is None:
+            reference = (mode, evidence)
+            off_reference = (mode, (off_retired, off_cycles))
+        else:
+            if evidence != reference[1]:
+                raise AssertionError(
+                    "cfa: modes %r and %r diverged on recorded evidence"
+                    % (reference[0], mode)
+                )
+            if (off_retired, off_cycles) != off_reference[1]:
+                raise AssertionError(
+                    "cfa: modes %r and %r diverged on the bare run"
+                    % (off_reference[0], mode)
+                )
+        off_rate = round(off_retired / off_seconds, 1)
+        on_rate = round(on_retired / on_seconds, 1)
+        modes_out[mode] = {
+            "off_insns_per_sec": off_rate,
+            "on_insns_per_sec": on_rate,
+            "recording_overhead_pct": round(100.0 * (off_rate - on_rate) / off_rate, 1),
+        }
+    digest, edges, on_cycles, retired = reference[1]
+    off_cycles = off_reference[1][1]
+    return {
+        "bench": "cfa_overhead",
+        "workload": "alu",
+        "instructions": instructions,
+        "retired": retired,
+        "edges": edges,
+        "path_digest": digest,
+        "cycles_recording_off": off_cycles,
+        "cycles_recording_on": on_cycles,
+        "cycle_overhead_pct": round(100.0 * (on_cycles - off_cycles) / off_cycles, 2),
+        "modes": modes_out,
+    }
+
+
+def write_cfa_report(
+    path="BENCH_cpu_core.json",
+    instructions=150_000,
+    out=None,
+    record=True,
+):
+    """Run the CFA overhead bench; publish it into the core report.
+
+    The result lands under the ``"cfa"`` key of the existing report at
+    ``path`` (created if absent) - :func:`write_report` preserves that
+    section across throughput runs, so one JSON file carries both the
+    tier trajectory and the latest recording-overhead numbers.
+    """
+    result = run_cfa_bench(instructions)
+    if record:
+        report = _load_report(path)
+        report.setdefault("bench", "cpu_core")
+        report["cfa"] = result
+        with open(path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if out is not None:
+        for mode in MODES:
+            entry = result["modes"][mode]
+            print(
+                "cfa %-8s: %9.0f -> %9.0f insns/sec (%.1f%% recording overhead)"
+                % (
+                    mode,
+                    entry["off_insns_per_sec"],
+                    entry["on_insns_per_sec"],
+                    entry["recording_overhead_pct"],
+                ),
+                file=out,
+            )
+        print(
+            "cfa evidence: %d edges, digest %s, +%.2f%% simulated cycles"
+            % (
+                result["edges"],
+                result["path_digest"][:16],
+                result["cycle_overhead_pct"],
+            ),
+            file=out,
+        )
+        if record:
+            print("report: %s" % path, file=out)
+        else:
+            print("report: (check run, history not recorded)", file=out)
+    return result
+
+
 def _history_entry(result):
     """Compact trajectory record appended to the report's history."""
     return {
@@ -407,13 +550,18 @@ def _legacy_history_entry(old):
     }
 
 
-def _load_history(path):
-    """The history list of an existing report, in either schema."""
+def _load_report(path):
+    """The existing report at ``path`` as a dict ({} if absent/bad)."""
     try:
         with open(path) as handle:
             old = json.load(handle)
     except (OSError, ValueError):
-        return []
+        return {}
+    return old if isinstance(old, dict) else {}
+
+
+def _history_of(old):
+    """The history list of an existing report, in either schema."""
     if isinstance(old.get("history"), list):
         return old["history"]
     if "baseline" in old and "fastpath" in old:
@@ -445,13 +593,17 @@ def write_report(
     """
     result = run_bench(instructions, blocks=blocks, traces=traces)
     if record:
-        history = _load_history(path)
+        old = _load_report(path)
+        history = _history_of(old)
         entry = _history_entry(result)
         if history:
             previous = dict(history[-1], timestamp=None)
             if previous == dict(entry, timestamp=None):
                 history = history[:-1]
         result["history"] = history + [entry]
+        if "cfa" in old:
+            # --cfa runs publish into the same report; keep their section.
+            result["cfa"] = old["cfa"]
         with open(path, "w") as handle:
             json.dump(result, handle, indent=2, sort_keys=True)
             handle.write("\n")

@@ -66,7 +66,7 @@ from repro.errors import IllegalInstruction
 from repro.hw.memory import SNOOP_PAGE_SHIFT, RamRegion
 from repro.isa.encoding import decode
 from repro.isa.opcodes import BASE_CYCLES, CONDITIONAL_BRANCHES, LENGTHS, Op
-from repro.cycles import INSN_BRANCH_TAKEN
+from repro.cycles import CFA_EDGE_CYCLES, INSN_BRANCH_TAKEN
 from repro.perf.blocks import ALU_OPS, MEM_OPS, PAGE_SHIFT, discover
 from repro.perf.counters import HitMissCounter, TraceCounters
 
@@ -146,6 +146,7 @@ class Trace:
         "run_fast",
         "run_prefix",
         "checkpoints",
+        "cfa",
         "source",
     )
 
@@ -186,6 +187,13 @@ class Trace:
         #: Cumulative cycle cost at each countdown checkpoint, in body
         #: order (strictly increasing; the admission table).
         self.checkpoints = ()
+        #: Item indices whose stitched taken transfer is recorded by
+        #: the CFA monitor (both endpoints inside an enrolled region at
+        #: build time).  The compiled bodies emit the same hash update
+        #: the interpreter performs, and the per-edge cost is baked
+        #: into ``iter_cost``/``checkpoints``; the generation check in
+        #: the block engine flushes traces when enrolment changes.
+        self.cfa = frozenset()
         self.source = None
 
     def is_marker(self):
@@ -313,7 +321,7 @@ def _decode_at(memory, pc):
         return None
 
 
-def build_trace(memory, head, profile):
+def build_trace(memory, head, profile, cfa=None):
     """Stitch the hot path starting at ``head``; returns Trace or None.
 
     Every hoisted verdict consulted here (execute probes inside
@@ -321,6 +329,13 @@ def build_trace(memory, head, profile):
     ``decisions.lookup_transfer``) is valid for exactly the current
     EA-MPU epoch; the cache holding the result is flushed when the
     epoch moves, which is what makes building-time hoisting sound.
+
+    ``cfa`` is the CPU's CFA monitor port (or ``None``): stitched taken
+    transfers it covers are flagged on ``trace.cfa`` so codegen emits
+    the matching hash updates, and their modelled cost joins the static
+    cycle totals.  The flags are valid for exactly one CFA enrolment
+    generation, enforced the same way as the MPU epoch (cache flush on
+    generation change in the block engine's dispatch).
     """
     mpu = memory.mpu
     decisions = mpu.decisions if mpu is not None else None
@@ -384,14 +399,26 @@ def build_trace(memory, head, profile):
     if not any(item[0] != "insn" for item in items):
         return None  # a single unstitched segment is the block tier's job
     trace = Trace(head, tuple(items), looping, None if looping else exit_eip)
+    flagged = set()
+    if cfa is not None:
+        for idx, item in enumerate(items):
+            if item[0] == "jmp":
+                if cfa.covers(item[1], item[3]):
+                    flagged.add(idx)
+            elif item[0] == "guard" and item[3]:
+                if cfa.covers(item[1], item[4]):
+                    flagged.add(idx)
+    trace.cfa = frozenset(flagged)
     cost = 0
     retire = 0
-    for item in items:
+    for idx, item in enumerate(items):
         opcode = item[2].opcode
         cost += BASE_CYCLES[opcode]
         retire += 1
         if item[0] == "jmp" or (item[0] == "guard" and item[3]):
             cost += INSN_BRANCH_TAKEN
+            if idx in flagged:
+                cost += CFA_EDGE_CYCLES
     trace.iter_cost = cost
     trace.iter_retire = retire
     trace.pages = _trace_pages(items)
@@ -827,7 +854,7 @@ CHECKPOINT_INSNS = 4
 _WIDTHS = (4, 2, 1)
 
 
-def _checkpoint_plan(items):
+def _checkpoint_plan(items, cfa_flags=frozenset()):
     """Checkpoint placement for the horizon-split prefix body.
 
     Returns ``(cuts, costs)``: ``cuts[idx]`` marks a countdown
@@ -838,7 +865,9 @@ def _checkpoint_plan(items):
     and after every :data:`CHECKPOINT_INSNS` straight-line
     instructions; the final item gets none (the body's own exit
     already covers the full path, and full execution is the whole-body
-    dispatcher's job).
+    dispatcher's job).  ``cfa_flags`` (``trace.cfa``) adds the modelled
+    CFA hash-update cost at the flagged stitched transfers, keeping the
+    cumulative table exact when recording is on.
     """
     cuts = [False] * len(items)
     costs = []
@@ -849,6 +878,8 @@ def _checkpoint_plan(items):
         cost += BASE_CYCLES[item[2].opcode]
         if item[0] == "jmp" or (item[0] == "guard" and item[3]):
             cost += INSN_BRANCH_TAKEN
+            if idx in cfa_flags:
+                cost += CFA_EDGE_CYCLES
         since += 1
         if idx == last:
             break
@@ -1069,6 +1100,15 @@ def generate_trace(trace, fast=False, prefix=False):
     if store_sites:
         out.emit(1, "S = memory.snooped_pages")
     out.emit(1, "clock = cpu.clock")
+    if fast:
+        cfa_used = (len(trace.items) - 1) in trace.cfa
+    else:
+        cfa_used = bool(trace.cfa)
+    if cfa_used:
+        # Bound once per dispatch; the enrolment-generation flush in
+        # the block engine guarantees cpu.cfa is live whenever a body
+        # compiled with CFA flags runs.
+        out.emit(1, "CF = cpu.cfa")
     out.emit(1, "fl = regs.eflags")
     for j in sorted(used):
         out.emit(1, "r%d = r[%d]" % (j, j))
@@ -1364,11 +1404,22 @@ def generate_trace(trace, fast=False, prefix=False):
             emit_exit(em.indent + 1, address, K, C, dict(KL), dict(KS), guard=True)
             K += 1
             C += base_c + (INSN_BRANCH_TAKEN if chosen_taken else 0)
+            if idx in trace.cfa:
+                # The guard passed, so the stitched taken transfer is
+                # committed: fold it into the CFA path hash exactly as
+                # the interpreter would (its cost is already in C; a
+                # guard *failure* exits with the branch unexecuted, and
+                # the interpreter records it on re-execution).
+                em.emit("CF.record_edge(%d, %d)" % (address, item[4]))
+                C += CFA_EDGE_CYCLES
             emit_checkpoint(idx, item[4])
             continue
         if kind == "jmp":
             K += 1
             C += base_c + INSN_BRANCH_TAKEN
+            if idx in trace.cfa:
+                em.emit("CF.record_edge(%d, %d)" % (address, item[3]))
+                C += CFA_EDGE_CYCLES
             emit_checkpoint(idx, item[3])
             continue
         x = insn.reg
@@ -1696,6 +1747,12 @@ def generate_trace(trace, fast=False, prefix=False):
         out.emit(2, "fl |= 2048")
         out.emit(1, "cpu.retired += n * %d" % trace.iter_retire)
         out.emit(1, "clock.charge(n * %d)" % trace.iter_cost)
+        if cfa_used:
+            # Each of the n elided closing guards was provably taken:
+            # one bulk hash update, exactly equivalent to n single
+            # records (the PathRecorder run-fold contract).
+            guard = trace.items[-1]
+            out.emit(1, "CF.record_edge_run(%d, %d, n)" % (guard[1], guard[4]))
         for width in _WIDTHS:
             if load_n[width]:
                 out.emit(1, "SL%d.hits += n * %d" % (width, load_n[width]))
@@ -1765,7 +1822,7 @@ def translate_trace(trace, counters):
     )
     trace.windows = [None] * mem_sites
     trace.windows2 = [None] * mem_sites
-    trace.checkpoints = _checkpoint_plan(trace.items)[1]
+    trace.checkpoints = _checkpoint_plan(trace.items, trace.cfa)[1]
     trace.source = source
     trace.run = namespace["__trace__"]
     if trace.counter_reg is not None and (
@@ -1801,14 +1858,15 @@ class TraceJIT:
         self.pending_edge = None
         cpu.memory.add_write_listener(self.cache.note_write)
 
-    def epoch_flush(self):
-        """Drop all traces and profiles (EA-MPU rule-table epoch moved)."""
+    def epoch_flush(self, reason="mpu-epoch"):
+        """Drop all traces and profiles (EA-MPU rule-table epoch moved,
+        or the CFA enrolment generation changed)."""
         if self.cache.entries:
             self.cache.flush()
             self.counters.flushes.add()
             obs = self.engine.obs
             if obs is not None:
-                obs.publish("perf", "trace-flush", reason="mpu-epoch")
+                obs.publish("perf", "trace-flush", reason=reason)
         self.profile.flush()
         self.pending_edge = None
 
@@ -1821,7 +1879,7 @@ class TraceJIT:
         cache = self.cache
         if eip in cache.entries:
             return
-        trace = build_trace(memory, eip, self.profile)
+        trace = build_trace(memory, eip, self.profile, self.cpu.cfa)
         if trace is None:
             # Remember the refusal, but snoop the head's page so the
             # marker drops when the code there changes.

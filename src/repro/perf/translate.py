@@ -657,6 +657,10 @@ class BlockEngine:
         self.executions = Counter("block-executions")
         self.deferrals = Counter("block-horizon-deferrals")
         cpu.memory.add_write_listener(self.cache.note_write)
+        #: CFA enrolment generation the cached traces were built under
+        #: (trace bodies embed hash updates for the enrolled regions,
+        #: so an enrolment change flushes them like an MPU epoch move).
+        self._cfa_generation = 0
         #: The trace tier (PR 6) stacked on top of the block tier, or
         #: ``None`` when disabled (``--no-traces`` ablation).
         self.traces = TraceJIT(self, cpu) if traces else None
@@ -703,7 +707,23 @@ class BlockEngine:
                 if jit is not None:
                     jit.epoch_flush()
                 cache.epoch = mpu.epoch
-        if cpu.trace_hook is not None or memory.has_watchpoints():
+        generation = 0 if cpu.cfa is None else cpu.cfa.generation
+        if generation != self._cfa_generation:
+            # Cached trace bodies bake the CFA hash updates of the
+            # enrolment set they were compiled under; an enrol/unenrol
+            # invalidates them (blocks contain no transfers, so the
+            # block cache is unaffected).
+            self._cfa_generation = generation
+            if jit is not None:
+                jit.epoch_flush(reason="cfa-generation")
+        if (
+            cpu.trace_hook is not None
+            or cpu.transfer_hook is not None
+            or memory.has_watchpoints()
+        ):
+            # A transfer hook (e.g. the CFI watchdog) must observe every
+            # taken transfer; compiled bodies would bypass it silently,
+            # so the whole perf tier deoptimises to the interpreter.
             return None
         eip = cpu.regs.eip
         if jit is not None:

@@ -169,6 +169,7 @@ class Kernel:
         self.faulted = {}
         #: Hooks run when a task is deleted.
         self._delete_hooks = []
+        self._preempt_hooks = []
         #: Queues reachable from ISA tasks via QUEUE_SEND/QUEUE_RECV.
         self._queue_registry = {}
         self._stopped = False
@@ -283,6 +284,21 @@ class Kernel:
         """Register ``hook(task)`` to run whenever a task is deleted
         (TyTAN uses this to release EA-MPU slots of native services)."""
         self._delete_hooks.append(hook)
+
+    def add_preempt_hook(self, hook):
+        """Register ``hook(task)`` to run whenever a running task is
+        preempted mid-slice (IRQ preemption or deadline parking).
+
+        Preemption lands on the same instruction boundary in every
+        execution tier (the event-horizon argument), so work done here
+        - the CFA monitor seals its open path segment - observes
+        tier-identical state.
+        """
+        self._preempt_hooks.append(hook)
+
+    def _run_preempt_hooks(self, task):
+        for hook in self._preempt_hooks:
+            hook(task)
 
     # -- context frames ------------------------------------------------------
 
@@ -604,6 +620,7 @@ class Kernel:
         the interrupt wins the CPU.  Returns ``True`` (slice ends).
         """
         self.context_policy.save_context(task)
+        self._run_preempt_hooks(task)
         task.preemptions += 1
         if vector == self.platform.tick_timer.vector:
             self._handle_ticks()
@@ -627,6 +644,7 @@ class Kernel:
         # save so the next run() can resume it cleanly.
         self.platform.engine.deliver(self.platform.cpu, Vector.TIMER, charge=False)
         self.context_policy.save_context(task)
+        self._run_preempt_hooks(task)
         self.scheduler.make_ready(task)
         self.scheduler.current = None
 

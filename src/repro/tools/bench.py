@@ -8,6 +8,7 @@ Usage::
     python -m repro.tools.bench --throughput  # CPU-core insns/sec bench
     python -m repro.tools.bench --wcet        # static vs dynamic WCET
     python -m repro.tools.bench --fleet       # fleet attestation bench
+    python -m repro.tools.bench --cfa         # CFA recording overhead
 
 The throughput mode runs the CPU bench (:mod:`repro.perf.bench_core`):
 three workloads (alu / mem / irq), each in baseline, fast-path,
@@ -75,6 +76,12 @@ def build_parser():
         "--wcet",
         action="store_true",
         help="run the static-vs-dynamic WCET soundness experiments",
+    )
+    parser.add_argument(
+        "--cfa",
+        action="store_true",
+        help="run the control-flow-attestation overhead bench "
+        "(path recording on vs. off, every execution tier)",
     )
     parser.add_argument(
         "--fleet",
@@ -218,6 +225,18 @@ def main(argv=None, out=None):
 
         unsound = render_wcet(wcet_experiments(), out)
         return 0 if unsound == 0 else 1
+    if args.cfa:
+        from repro.perf.bench_core import write_cfa_report
+
+        # The cross-tier evidence gate is built in: any digest/cycle
+        # divergence between tiers raises before a report is written.
+        write_cfa_report(
+            path=args.json or "BENCH_cpu_core.json",
+            instructions=args.instructions,
+            out=out,
+            record=args.record and not args.check,
+        )
+        return 0
     if args.fleet:
         from repro.perf.bench_fleet import check_fleet, write_report
 

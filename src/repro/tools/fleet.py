@@ -83,7 +83,20 @@ def build_parser():
     parser.add_argument("--max-attempts", type=int, default=8, metavar="N")
     parser.add_argument(
         "--rogue", default="", metavar="IDS",
-        help="comma-separated device ids running a tampered agent binary",
+        help="comma-separated device ids behaving badly (see --rogue-mode)",
+    )
+    parser.add_argument(
+        "--rogue-mode", choices=("tamper", "hijack"), default="tamper",
+        help="what rogue devices do: tamper runs a modified binary "
+        "(static attestation catches it); hijack runs the shipped "
+        "binary with a corrupted return edge (needs --cfa, only path "
+        "evidence catches it)",
+    )
+    parser.add_argument(
+        "--cfa", action="store_true",
+        help="control-flow attestation: devices run the executable "
+        "agent under the path monitor and every challenge demands "
+        "MACed path evidence",
     )
     parser.add_argument(
         "--json", action="store_true",
@@ -110,6 +123,16 @@ def _render(result, out):
         ),
         file=out,
     )
+    if fleet.get("cfa"):
+        print(
+            "cfa  : path evidence required with every challenge"
+            + (
+                " (rogue mode: %s)" % fleet["rogue_mode"]
+                if fleet.get("rogue")
+                else ""
+            ),
+            file=out,
+        )
     print(
         "tier : %d verifier shard%s (%d vnodes)"
         % (shards["shards"], "" if shards["shards"] == 1 else "s", shards["vnodes"]),
@@ -200,6 +223,8 @@ def main(argv=None, out=None):
             workers=0 if args.serial else args.workers,
             boot_mode=args.boot_mode,
             rogue=rogue,
+            rogue_mode=args.rogue_mode,
+            cfa=args.cfa,
             timeout_us=args.timeout_us,
             max_attempts=args.max_attempts,
         ),

@@ -5,6 +5,9 @@ Usage::
     python -m repro.tools.verify task.img             # text report
     python -m repro.tools.verify task.img --json      # JSON report
     python -m repro.tools.verify task.s               # assemble + verify
+    python -m repro.tools.verify task.s --cfa         # + run under the CFA
+                                                      #   monitor and verify
+                                                      #   the path evidence
     python -m repro.tools.verify --builtin            # shipped-corpus gate
 
 Policy knobs::
@@ -75,6 +78,13 @@ def build_parser():
         metavar="LO:HI",
         help="allowed absolute address window (half-open; repeatable)",
     )
+    parser.add_argument(
+        "--cfa",
+        action="store_true",
+        help="also execute the image under the control-flow-attestation "
+        "monitor on a reference machine and verify the recorded path "
+        "evidence against the image's CFG (uses --loop-bound annotations)",
+    )
     return parser
 
 
@@ -117,7 +127,44 @@ def load_input(path):
     return link(assemble(raw.decode("utf-8"), name), name=name)
 
 
-def verify_files(paths, policy, as_json, out):
+def cfa_check(image, loop_bounds):
+    """Run ``image`` under the CFA monitor and verify its path evidence.
+
+    Boots a reference TyTAN machine, enrols the task with the
+    control-flow-attestation engine, runs it, and checks the MACed
+    evidence record against the image's own CFG - the full
+    device-to-verifier round on one host.  Returns a JSON-serialisable
+    dict with the verdict.
+    """
+    from repro.cfa import PathVerifier, evidence_mac_ok
+    from repro.core.identity import identity_of_image
+    from repro.core.system import TyTAN
+    from repro.crypto.kdf import derive_key
+
+    system = TyTAN()
+    task = system.load_task(image, secure=True, name="cfa-check")
+    recorder = system.enable_cfa(task)
+    system.run(max_cycles=2_000_000)
+    nonce = b"repro-verify-cfa"
+    evidence = system.cfa_evidence("cfa-check", nonce)
+    key = derive_key(system.platform.key_store.raw_key(), b"attest", b"")
+    mac_ok = evidence_mac_ok(key, evidence, nonce)
+    verifier = PathVerifier()
+    verifier.register(identity_of_image(image), image, loop_bounds or None)
+    verdict = verifier.verify(evidence)
+    return {
+        "verdict": verdict.verdict,
+        "reason": verdict.reason,
+        "mac_ok": mac_ok,
+        "edges": evidence.edges,
+        "segments": len(evidence.segments),
+        "dropped": evidence.dropped,
+        "recorded_runs": recorder.edges,
+        "ok": bool(mac_ok and verdict.ok),
+    }
+
+
+def verify_files(paths, policy, as_json, out, cfa=False):
     """Verify each file; returns the number of failing images."""
     from repro.analysis.verifier import verify_image
 
@@ -126,13 +173,31 @@ def verify_files(paths, policy, as_json, out):
     for path in paths:
         image = load_input(path)
         report = verify_image(image, policy)
-        reports.append(report)
-        if not report.ok:
+        cfa_result = None
+        if cfa:
+            cfa_result = cfa_check(image, policy.loop_bounds)
+        reports.append((report, cfa_result))
+        if not report.ok or (cfa_result is not None and not cfa_result["ok"]):
             failures += 1
         if not as_json:
             print(report.render_text(), file=out)
+            if cfa_result is not None:
+                line = "cfa: %s (%d edges, %d segments, mac %s)" % (
+                    cfa_result["verdict"],
+                    cfa_result["edges"],
+                    cfa_result["segments"],
+                    "ok" if cfa_result["mac_ok"] else "BAD",
+                )
+                if cfa_result["reason"]:
+                    line += " - %s" % cfa_result["reason"]
+                print(line, file=out)
     if as_json:
-        payload = [report.to_dict() for report in reports]
+        payload = []
+        for report, cfa_result in reports:
+            entry = report.to_dict()
+            if cfa_result is not None:
+                entry["cfa"] = cfa_result
+            payload.append(entry)
         json.dump(payload[0] if len(payload) == 1 else payload, out, indent=2)
         out.write("\n")
     return failures
@@ -213,7 +278,9 @@ def main(argv=None, out=None):
         if args.builtin:
             failures += verify_builtin(args.json, out)
         if args.files:
-            failures += verify_files(args.files, build_policy(args), args.json, out)
+            failures += verify_files(
+                args.files, build_policy(args), args.json, out, cfa=args.cfa
+            )
     except (OSError, TyTANError) as exc:
         print("repro-verify: %s" % exc, file=sys.stderr)
         return 2
